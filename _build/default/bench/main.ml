@@ -1,0 +1,231 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks of the building blocks (codec, flow
+      table, buffer pools, event engine) — the cost of the mechanisms
+      themselves, independent of any scenario.
+
+   2. The figure harness: regenerates every table/figure of the paper's
+      evaluation (Figs. 2-13) by running the Section IV and Section V
+      sweeps and printing the series, followed by the headline
+      aggregate claims next to the paper's reported numbers.
+
+   Usage:
+     dune exec bench/main.exe                 # micro + all figures
+     dune exec bench/main.exe -- micro        # micro-benchmarks only
+     dune exec bench/main.exe -- figures      # all figures only
+     dune exec bench/main.exe -- fig5         # one figure
+     dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
+     dune exec bench/main.exe -- ablations    # the ablation studies
+*)
+
+open Bechamel
+open Toolkit
+
+(* ---- Micro-benchmark subjects ---- *)
+
+let mac1 = Sdn_net.Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Sdn_net.Mac.of_octets 0x02 0 0 0 0 2
+let ip1 = Sdn_net.Ip.make 10 0 0 1
+let ip2 = Sdn_net.Ip.make 10 0 0 2
+
+let sample_packet =
+  Sdn_net.Packet.udp_frame_of_size ~src_mac:mac1 ~dst_mac:mac2 ~src_ip:ip1
+    ~dst_ip:ip2 ~src_port:1000 ~dst_port:9 ~frame_size:1000
+    ~payload_fill:(fun _ -> ())
+
+let sample_frame = Sdn_net.Packet.encode sample_packet
+
+let sample_pkt_in_full =
+  Sdn_openflow.Of_codec.encode ~xid:1l
+    (Sdn_openflow.Of_codec.Packet_in
+       (Sdn_openflow.Of_packet_in.make ~buffer_id:Sdn_openflow.Of_wire.no_buffer
+          ~in_port:1 ~reason:Sdn_openflow.Of_packet_in.No_match
+          ~frame:sample_frame ~miss_send_len:None))
+
+let sample_pkt_in_buffered =
+  Sdn_openflow.Of_codec.encode ~xid:1l
+    (Sdn_openflow.Of_codec.Packet_in
+       (Sdn_openflow.Of_packet_in.make ~buffer_id:7l ~in_port:1
+          ~reason:Sdn_openflow.Of_packet_in.No_match ~frame:sample_frame
+          ~miss_send_len:(Some 128)))
+
+let sample_flow_mod =
+  Sdn_openflow.Of_flow_mod.add
+    ~match_:
+      (Sdn_openflow.Of_match.of_flow_key
+         (Option.get (Sdn_net.Packet.flow_key sample_packet)))
+    ~actions:[ Sdn_openflow.Of_action.output 2 ]
+    ()
+
+(* A populated flow table for lookup benchmarks. *)
+let populated_table n =
+  let table = Sdn_switch.Flow_table.create ~capacity:(2 * n) () in
+  for i = 0 to n - 1 do
+    let key =
+      Sdn_net.Flow_key.make ~proto:17
+        ~src_ip:(Sdn_net.Ip.of_int32 (Int32.of_int (0x0A010000 + i)))
+        ~dst_ip:ip2 ~src_port:(1000 + (i mod 16384)) ~dst_port:9
+    in
+    let fm =
+      Sdn_openflow.Of_flow_mod.add
+        ~match_:(Sdn_openflow.Of_match.of_flow_key key)
+        ~actions:[ Sdn_openflow.Of_action.output 2 ]
+        ()
+    in
+    ignore
+      (Sdn_switch.Flow_table.insert table
+         (Sdn_switch.Flow_entry.of_flow_mod fm ~now:0.0))
+  done;
+  table
+
+let micro_tests () =
+  let open Sdn_net in
+  let open Sdn_openflow in
+  let table1000 = populated_table 1000 in
+  [
+    Test.make ~name:"packet/encode-1000B"
+      (Staged.stage (fun () -> ignore (Packet.encode sample_packet)));
+    Test.make ~name:"packet/decode-1000B"
+      (Staged.stage (fun () -> ignore (Packet.decode sample_frame)));
+    Test.make ~name:"packet/peek-headers"
+      (Staged.stage (fun () -> ignore (Packet.peek_headers sample_frame)));
+    Test.make ~name:"openflow/encode-pkt_in-no-buffer"
+      (Staged.stage (fun () ->
+           ignore
+             (Of_codec.encode ~xid:1l
+                (Of_codec.Packet_in
+                   (Of_packet_in.make ~buffer_id:Of_wire.no_buffer ~in_port:1
+                      ~reason:Of_packet_in.No_match ~frame:sample_frame
+                      ~miss_send_len:None)))));
+    Test.make ~name:"openflow/encode-pkt_in-buffered"
+      (Staged.stage (fun () ->
+           ignore
+             (Of_codec.encode ~xid:1l
+                (Of_codec.Packet_in
+                   (Of_packet_in.make ~buffer_id:7l ~in_port:1
+                      ~reason:Of_packet_in.No_match ~frame:sample_frame
+                      ~miss_send_len:(Some 128))))));
+    Test.make ~name:"openflow/decode-pkt_in-no-buffer"
+      (Staged.stage (fun () -> ignore (Of_codec.decode sample_pkt_in_full)));
+    Test.make ~name:"openflow/decode-pkt_in-buffered"
+      (Staged.stage (fun () -> ignore (Of_codec.decode sample_pkt_in_buffered)));
+    Test.make ~name:"openflow/encode-flow_mod"
+      (Staged.stage (fun () ->
+           ignore (Of_codec.encode ~xid:1l (Of_codec.Flow_mod sample_flow_mod))));
+    Test.make ~name:"flow-table/lookup-hit-1000-rules"
+      (Staged.stage (fun () ->
+           ignore
+             (Sdn_switch.Flow_table.lookup table1000 ~in_port:1 sample_packet)));
+    Test.make ~name:"flow-table/lookup-miss-1000-rules"
+      (Staged.stage
+         (let miss_packet =
+            Packet.udp ~src_mac:mac1 ~dst_mac:mac2 ~src_ip:(Ip.make 192 168 0 1)
+              ~dst_ip:ip2 ~src_port:1 ~dst_port:2 ~payload:Bytes.empty ()
+          in
+          fun () ->
+            ignore (Sdn_switch.Flow_table.lookup table1000 ~in_port:1 miss_packet)));
+    Test.make ~name:"buffer/packet-granularity-alloc-take"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          let pool =
+            Sdn_switch.Packet_buffer.create engine ~capacity:256 ~expiry:1e9
+              ~reclaim_lag:0.0 ()
+          in
+          fun () ->
+            match Sdn_switch.Packet_buffer.alloc pool ~frame:sample_frame with
+            | Some id ->
+                ignore (Sdn_switch.Packet_buffer.take pool id);
+                (* Drain the engine so reclaim events do not pile up. *)
+                Sdn_sim.Engine.run engine
+            | None -> ()));
+    Test.make ~name:"buffer/flow-granularity-add-take_all"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          let pool =
+            Sdn_switch.Flow_buffer.create engine ~capacity:256 ~reclaim_lag:0.0
+              ~resend_timeout:1e9 ~max_resends:0
+              ~on_resend:(fun ~buffer_id:_ ~key:_ ~first_frame:_ -> ())
+              ()
+          in
+          let key = Option.get (Sdn_net.Packet.flow_key sample_packet) in
+          fun () ->
+            match Sdn_switch.Flow_buffer.add pool ~key ~frame:sample_frame with
+            | Sdn_switch.Flow_buffer.First id ->
+                ignore (Sdn_switch.Flow_buffer.add pool ~key ~frame:sample_frame);
+                ignore (Sdn_switch.Flow_buffer.take_all pool id);
+                Sdn_sim.Engine.run engine
+            | Sdn_switch.Flow_buffer.Appended _ | Sdn_switch.Flow_buffer.No_space
+              ->
+                ()));
+    Test.make ~name:"engine/schedule-run-event"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          fun () ->
+            ignore (Sdn_sim.Engine.schedule engine ~delay:1e-9 (fun () -> ()));
+            ignore (Sdn_sim.Engine.step engine)));
+  ]
+
+let run_micro () =
+  print_endline "== Micro-benchmarks (Bechamel, ns/run) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let tests = Test.make_grouped ~name:"micro" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%12.1f" e
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := (name, estimate, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Printf.printf "%-50s %14s %8s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, est, r2) -> Printf.printf "%-50s %14s %8s\n" name est r2)
+    rows;
+  print_newline ()
+
+(* ---- Figure harness ---- *)
+
+let run_figures ?reps () = Sdn_core.Figures.run_all ?reps ()
+
+let run_one_figure id ?reps () =
+  match List.assoc_opt id Sdn_core.Figures.exp_a_figures with
+  | Some f -> f (Sdn_core.Figures.run_exp_a ?reps ())
+  | None -> (
+      match List.assoc_opt id Sdn_core.Figures.exp_b_figures with
+      | Some f -> f (Sdn_core.Figures.run_exp_b ?reps ())
+      | None -> Printf.eprintf "unknown figure %S\n" id)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | [ _ ] | [ _; "all" ] ->
+      run_micro ();
+      run_figures ();
+      Sdn_core.Ablations.run_all ()
+  | [ _; "micro" ] -> run_micro ()
+  | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
+  | [ _; "figures" ] -> run_figures ()
+  | [ _; "figures"; reps ] -> run_figures ~reps:(int_of_string reps) ()
+  | [ _; id ] -> run_one_figure id ()
+  | [ _; id; reps ] -> run_one_figure id ~reps:(int_of_string reps) ()
+  | _ ->
+      prerr_endline "usage: main.exe [all|micro|figures [reps]|figN [reps]]";
+      exit 2

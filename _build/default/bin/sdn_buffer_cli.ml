@@ -1,0 +1,178 @@
+(* Command-line front end for the reproduction: single runs, sweeps,
+   individual figures, the full evaluation, and calibration checks. *)
+
+open Cmdliner
+open Sdn_core
+
+let mechanism_conv =
+  let parse = function
+    | "no-buffer" | "none" -> Ok Config.No_buffer
+    | "packet" | "packet-granularity" -> Ok Config.Packet_granularity
+    | "flow" | "flow-granularity" -> Ok Config.Flow_granularity
+    | s -> Error (`Msg (Printf.sprintf "unknown mechanism %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Config.No_buffer -> "no-buffer"
+      | Config.Packet_granularity -> "packet-granularity"
+      | Config.Flow_granularity -> "flow-granularity")
+  in
+  Arg.conv (parse, print)
+
+let mechanism_arg =
+  Arg.(
+    value
+    & opt mechanism_conv Config.Packet_granularity
+    & info [ "m"; "mechanism" ] ~docv:"MECH"
+        ~doc:"Buffer mechanism: no-buffer, packet-granularity or \
+              flow-granularity.")
+
+let buffer_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "b"; "buffer" ] ~docv:"UNITS" ~doc:"Buffer capacity in units.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "r"; "rate" ] ~docv:"MBPS" ~doc:"Sending rate in Mbps.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let reps_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "n"; "reps" ] ~docv:"N" ~doc:"Repetitions per rate point.")
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) Sweep.default_rates
+    & info [ "rates" ] ~docv:"R1,R2,..." ~doc:"Sending rates to sweep (Mbps).")
+
+let workload_arg =
+  let workload_conv =
+    let parse = function
+      | "exp-a" -> Ok (Config.Exp_a { n_flows = 1000 })
+      | "exp-b" ->
+          Ok (Config.Exp_b { n_flows = 50; packets_per_flow = 20; concurrent = 5 })
+      | "burst" -> Ok (Config.Udp_burst { n_packets = 200 })
+      | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+    in
+    let print fmt w =
+      Format.pp_print_string fmt
+        (match w with
+        | Config.Exp_a _ -> "exp-a"
+        | Config.Exp_b _ -> "exp-b"
+        | Config.Udp_burst _ -> "burst")
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt workload_conv (Config.Exp_a { n_flows = 1000 })
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"Workload: exp-a (1000 single-packet flows), exp-b (50x20 \
+              cross-sequence) or burst.")
+
+let run_cmd =
+  let run mechanism buffer rate seed workload =
+    let config =
+      {
+        Config.default with
+        Config.mechanism;
+        buffer_capacity = (if mechanism = Config.No_buffer then 0 else buffer);
+        rate_mbps = rate;
+        seed;
+        workload;
+      }
+    in
+    let result = Experiment.run config in
+    Format.printf "%a@." Experiment.pp_result result
+  in
+  let term =
+    Term.(
+      const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
+      $ workload_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print its metrics.")
+    term
+
+let figure_cmd =
+  let all_ids =
+    List.map fst Figures.exp_a_figures @ List.map fst Figures.exp_b_figures
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun id -> (id, id)) all_ids))) None
+      & info [] ~docv:"FIGURE"
+          ~doc:
+            (Printf.sprintf "Figure to reproduce: %s."
+               (String.concat ", " all_ids)))
+  in
+  let run id rates reps =
+    match List.assoc_opt id Figures.exp_a_figures with
+    | Some f -> f (Figures.run_exp_a ~rates ~reps ())
+    | None -> (
+        match List.assoc_opt id Figures.exp_b_figures with
+        | Some f -> f (Figures.run_exp_b ~rates ~reps ())
+        | None -> prerr_endline "unknown figure")
+  in
+  let term = Term.(const run $ id_arg $ rates_arg $ reps_arg) in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Reproduce one figure of the paper.")
+    term
+
+let all_cmd =
+  let run rates reps = Figures.run_all ~rates ~reps () in
+  let term = Term.(const run $ rates_arg $ reps_arg) in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every figure and the headline claims.")
+    term
+
+let export_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "results"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Directory for the CSV files.")
+  in
+  let run dir rates reps =
+    let a = Figures.run_exp_a ~rates ~reps () in
+    let b = Figures.run_exp_b ~rates ~reps () in
+    Figures.export_csv ~dir a b;
+    Printf.printf "wrote 16 figure CSVs to %s/\n" dir
+  in
+  let term = Term.(const run $ dir_arg $ rates_arg $ reps_arg) in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Run both sweeps and export every figure as CSV.")
+    term
+
+let calibration_cmd =
+  let run () =
+    let checks = Calibration.sanity () in
+    List.iter
+      (fun (what, ok) ->
+        Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
+      checks;
+    if List.for_all snd checks then ()
+    else exit 1
+  in
+  Cmd.v
+    (Cmd.info "calibration" ~doc:"Check the calibration sanity conditions.")
+    Term.(const run $ const ())
+
+let default_info =
+  Cmd.info "sdn_buffer_cli" ~version:"1.0.0"
+    ~doc:
+      "Reproduction of 'Adopting SDN Switch Buffer: Benefits Analysis and \
+       Mechanism Design' (ICDCS 2017) on a simulated testbed."
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group default_info
+          [ run_cmd; figure_cmd; all_cmd; export_cmd; calibration_cmd ]))

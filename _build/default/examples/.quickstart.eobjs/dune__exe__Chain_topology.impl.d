@@ -1,0 +1,1 @@
+examples/chain_topology.ml: Chain Config Experiment List Printf Report Sdn_core Sdn_measure

@@ -1,0 +1,1 @@
+examples/chain_topology.mli:

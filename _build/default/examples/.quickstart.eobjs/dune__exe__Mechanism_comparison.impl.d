@@ -1,0 +1,1 @@
+examples/mechanism_comparison.ml: Config Experiment List Printf Report Sdn_core Sdn_measure

@@ -1,0 +1,1 @@
+examples/qos_scheduling.ml: Addressing Config List Option Patterns Pktgen Printf Report Scenario Sdn_controller Sdn_core Sdn_measure Sdn_net Sdn_sim Sdn_switch Sdn_traffic Stats

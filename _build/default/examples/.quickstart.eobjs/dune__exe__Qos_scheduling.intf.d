@@ -1,0 +1,1 @@
+examples/qos_scheduling.mli:

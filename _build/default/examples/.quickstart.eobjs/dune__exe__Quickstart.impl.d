@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Experiment Format Printf Sdn_core

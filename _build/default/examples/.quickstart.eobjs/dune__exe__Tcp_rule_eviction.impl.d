@@ -1,0 +1,1 @@
+examples/tcp_rule_eviction.ml: Capture Config Float List Patterns Pktgen Printf Report Scenario Sdn_core Sdn_measure Sdn_switch Sdn_traffic

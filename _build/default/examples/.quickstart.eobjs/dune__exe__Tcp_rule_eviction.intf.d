@@ -1,0 +1,1 @@
+examples/tcp_rule_eviction.mli:

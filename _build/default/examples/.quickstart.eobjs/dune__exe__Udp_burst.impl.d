@@ -1,0 +1,1 @@
+examples/udp_burst.ml: Config Experiment List Printf Report Sdn_core Sdn_measure

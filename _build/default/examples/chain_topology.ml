@@ -1,0 +1,62 @@
+(* Multi-hop extension: flow setup across a chain of switches.
+
+   Run with:  dune exec examples/chain_topology.exe
+
+   In a data-center fabric a new flow crosses several switches, and
+   every hop's table misses until its rule lands — so both the
+   flow-setup delay and the control-path load multiply with path
+   length. This example runs the paper's Exp-A workload (500
+   single-packet flows at 40 Mbps) over chains of 1..4 switches under
+   the three buffer mechanisms, all managed by one controller. *)
+
+open Sdn_core
+open Sdn_measure
+
+let run mechanism buffer n_switches =
+  let config =
+    {
+      Config.default with
+      Config.mechanism;
+      buffer_capacity = buffer;
+      rate_mbps = 40.0;
+      workload = Config.Exp_a { n_flows = 500 };
+      seed = 21;
+    }
+  in
+  (Config.label config, Chain.run config ~n_switches)
+
+let () =
+  Printf.printf
+    "500 single-packet flows at 40 Mbps across 1..4 switches in a chain\n\
+     (one controller, one control channel per switch).\n\n";
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (label, r) ->
+            [
+              string_of_int n;
+              label;
+              string_of_int r.Chain.pkt_ins;
+              Report.fmt_mbps r.Chain.ctrl_load_up_mbps;
+              Report.fmt_ms r.Chain.setup_delay.Experiment.mean;
+              Printf.sprintf "%d/%d" r.Chain.packets_out r.Chain.packets_in;
+            ])
+          [
+            run Config.No_buffer 0 n;
+            run Config.Packet_granularity 256 n;
+            run Config.Flow_granularity 256 n;
+          ])
+      [ 1; 2; 3; 4 ]
+  in
+  Report.print_table
+    ~header:
+      [
+        "hops"; "mechanism"; "requests"; "ctrl load up (Mbps)";
+        "e2e setup (ms)"; "delivered";
+      ]
+    ~rows;
+  Printf.printf
+    "\nRequests and control load scale with the hop count for every\n\
+     mechanism — but the per-hop cost of the unbuffered switch is ~5x\n\
+     larger, so the buffer's savings compound along the path.\n"

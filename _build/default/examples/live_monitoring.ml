@@ -1,0 +1,174 @@
+(* Live monitoring over the OpenFlow statistics machinery.
+
+   Run with:  dune exec examples/live_monitoring.exe
+
+   A monitor co-located with the controller polls the switch every
+   50 ms with real OpenFlow messages — OFPST_AGGREGATE flow statistics
+   plus this repository's vendor flow-buffer statistics — and prints
+   the resulting timeline: the observability a deployment would use to
+   pick a buffer size (paper, Section IV.G).
+
+   The example wires the topology by hand (instead of using
+   [Sdn_core.Scenario]) so the monitor can share the controller's
+   control channel and decode the replies itself. *)
+
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+
+let mac1 = Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Mac.of_octets 0x02 0 0 0 0 2
+let host1_ip = Ip.make 10 0 0 1
+let host2_ip = Ip.make 10 0 0 2
+
+type sample = {
+  at : float;
+  matched_packets : int64;
+  rules : int32;
+  buffer : Of_ext.stats;
+}
+
+let () =
+  let engine = Engine.create () in
+  let rng = Rng.of_int 13 in
+  let switch =
+    Sdn_switch.Switch.create engine
+      ~config:
+        {
+          Sdn_switch.Switch.default_config with
+          Sdn_switch.Switch.mechanism = Sdn_switch.Switch.Flow_granularity;
+        }
+      ~costs:Sdn_switch.Costs.default ~rng:(Rng.split rng) ()
+  in
+  let controller =
+    Sdn_controller.Controller.create engine
+      ~app:
+        (Sdn_controller.Apps.forwarding
+           ~hosts:[ (host1_ip, mac1, 1); (host2_ip, mac2, 2) ]
+           ())
+      ~costs:Sdn_controller.Costs.default ~rng:(Rng.split rng) ()
+  in
+  (* Monitor state: it keeps the pending-xid set and assembles a sample
+     whenever both replies of a polling epoch have arrived. *)
+  let pending = Hashtbl.create 8 in
+  let timeline = ref [] in
+  let latest_aggregate = ref 0L in
+  let latest_rules = ref 0l in
+  let monitor_sniff buf =
+    match Of_codec.decode buf with
+    | Ok (xid, Of_codec.Stats_reply (Of_stats.Aggregate_reply a))
+      when Hashtbl.mem pending xid ->
+        Hashtbl.remove pending xid;
+        latest_aggregate := a.packet_count;
+        latest_rules := a.flow_count
+    | Ok (xid, Of_codec.Vendor (Of_ext.Flow_buffer_stats_reply s))
+      when Hashtbl.mem pending xid ->
+        Hashtbl.remove pending xid;
+        timeline :=
+          {
+            at = Engine.now engine;
+            matched_packets = !latest_aggregate;
+            rules = !latest_rules;
+            buffer = s;
+          }
+          :: !timeline
+    | Ok _ | Error _ -> ()
+  in
+  (* Control channel; the monitor sniffs the upstream receiver. *)
+  let to_controller =
+    Link.create engine ~name:"sw->ctrl" ~bandwidth_bps:100e6
+      ~propagation_s:350e-6
+      ~receiver:(fun buf ->
+        monitor_sniff buf;
+        Sdn_controller.Controller.handle_message controller buf)
+      ()
+  in
+  let to_switch =
+    Link.create engine ~name:"ctrl->sw" ~bandwidth_bps:100e6
+      ~propagation_s:350e-6
+      ~receiver:(fun buf -> Sdn_switch.Switch.handle_of_message switch buf)
+      ()
+  in
+  (* Data path. *)
+  let received = ref 0 in
+  let to_host2 =
+    Link.create engine ~name:"sw->host2" ~bandwidth_bps:100e6
+      ~propagation_s:30e-6
+      ~receiver:(fun (_ : Bytes.t) -> incr received)
+      ()
+  in
+  let to_host1 =
+    Link.create engine ~name:"sw->host1" ~bandwidth_bps:100e6
+      ~propagation_s:30e-6
+      ~receiver:(fun (_ : Bytes.t) -> ())
+      ()
+  in
+  let host1_link =
+    Link.create engine ~name:"host1->sw" ~bandwidth_bps:100e6
+      ~propagation_s:30e-6
+      ~receiver:(fun frame -> Sdn_switch.Switch.handle_frame switch ~in_port:1 frame)
+      ()
+  in
+  Sdn_switch.Switch.set_port switch ~port:1 to_host1;
+  Sdn_switch.Switch.set_port switch ~port:2 to_host2;
+  Sdn_switch.Switch.set_controller_link switch to_controller;
+  Sdn_controller.Controller.set_switch_link controller to_switch;
+  Sdn_switch.Switch.start switch;
+  Sdn_controller.Controller.start controller ~enable_flow_buffer:0.05 ();
+  (* The polling loop: two real OpenFlow requests every 50 ms. *)
+  let next_xid = ref 0x7000_0000l in
+  let poll () =
+    let send msg =
+      next_xid := Int32.add !next_xid 1l;
+      Hashtbl.replace pending !next_xid ();
+      let encoded = Of_codec.encode ~xid:!next_xid msg in
+      Link.send to_switch ~size:(Bytes.length encoded) encoded
+    in
+    send
+      (Of_codec.Stats_request
+         (Of_stats.Aggregate_request
+            {
+              match_ = Of_match.wildcard_all;
+              table_id = 0xFF;
+              out_port = Of_wire.Port.none;
+            }));
+    send (Of_codec.Vendor Of_ext.Flow_buffer_stats_request)
+  in
+  Sdn_measure.Sampler.every engine ~dt:0.05 ~until:0.35 (fun ~time:_ -> poll ());
+  (* Traffic: the paper's Exp-B at 90 Mbps. *)
+  let injections =
+    Sdn_traffic.Patterns.exp_b ~rng:(Rng.split rng) ~start:0.05 ~n_flows:50
+      ~packets_per_flow:20 ~concurrent:5 ~rate_mbps:90.0 ~frame_size:1000 ()
+  in
+  Sdn_traffic.Pktgen.schedule engine
+    ~inject:(fun ~in_port:_ frame ->
+      Link.send host1_link ~size:(Bytes.length frame) frame)
+    injections;
+  Engine.run ~until:0.6 engine;
+  Printf.printf
+    "Exp-B at 90 Mbps, flow-granularity buffer; the monitor polled the\n\
+     switch every 50 ms with AGGREGATE + vendor buffer-stats requests:\n\n";
+  let rows =
+    List.rev_map
+      (fun s ->
+        [
+          Printf.sprintf "%.0f" (s.at *. 1000.0);
+          Int64.to_string s.matched_packets;
+          Int32.to_string s.rules;
+          Printf.sprintf "%d/%d" s.buffer.Of_ext.units_in_use
+            s.buffer.Of_ext.units_total;
+          string_of_int s.buffer.Of_ext.packets_buffered;
+          string_of_int s.buffer.Of_ext.resends;
+        ])
+      !timeline
+  in
+  Sdn_measure.Report.print_table
+    ~header:
+      [ "t (ms)"; "pkts matched"; "rules"; "buffer units"; "chained pkts";
+        "re-requests" ]
+    ~rows;
+  Printf.printf
+    "\n%d of 1000 frames delivered to Host2. The pool breathes with each\n\
+     cross-sequence batch: units spike as five new flows' first packets\n\
+     arrive, then drain as releases land and installed rules take over.\n"
+    !received

@@ -1,0 +1,38 @@
+(* Quickstart: build one experiment, run it, read the metrics.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   This reproduces a single point of the paper's Section IV setup: the
+   default (packet-granularity) OpenFlow buffer with 256 units, 1000
+   single-packet UDP flows sent at 30 Mbps through the Fig. 1 topology
+   (two hosts, one switch, one controller). *)
+
+open Sdn_core
+
+let () =
+  let config =
+    {
+      Config.default with
+      Config.mechanism = Config.Packet_granularity;
+      buffer_capacity = 256;
+      rate_mbps = 30.0;
+      workload = Config.Exp_a { n_flows = 1000 };
+      seed = 42;
+    }
+  in
+  Printf.printf "Running: %s at %.0f Mbps, %d single-packet flows...\n\n"
+    (Config.label config) config.Config.rate_mbps
+    (Config.packets_expected config);
+  let result = Experiment.run config in
+  Format.printf "%a@." Experiment.pp_result result;
+  Printf.printf
+    "\nReading the result:\n\
+    \  - every flow's first packet missed the table, was buffered, and\n\
+    \    triggered one small PACKET_IN (%d requests for %d flows);\n\
+    \  - the control path carried %.2f Mbps toward the controller instead\n\
+    \    of the ~%.1f Mbps the same workload costs without a buffer;\n\
+    \  - flow setup took %.2f ms on average.\n"
+    result.Experiment.pkt_ins result.Experiment.flows_started
+    result.Experiment.ctrl_load_up_mbps
+    (config.Config.rate_mbps *. 1.084)
+    (result.Experiment.setup_delay.Experiment.mean *. 1e3)

@@ -1,0 +1,61 @@
+(* Section VI.A motivation: a UDP sender suddenly emits a large burst
+   with no connection setup. Every packet of the burst is a miss-match
+   packet until the controller's rule lands, so the burst is exactly
+   where buffering pays off.
+
+   Run with:  dune exec examples/udp_burst.exe
+
+   Compares the three mechanisms on the same 200-packet burst at
+   80 Mbps: number of requests sent to the controller, control-path
+   bytes, and when the burst finished draining. *)
+
+open Sdn_core
+open Sdn_measure
+
+let run mechanism buffer_capacity =
+  let config =
+    {
+      Config.default with
+      Config.mechanism;
+      buffer_capacity;
+      rate_mbps = 80.0;
+      workload = Config.Udp_burst { n_packets = 200 };
+      seed = 7;
+    }
+  in
+  (Config.label config, Experiment.run config)
+
+let () =
+  Printf.printf
+    "A 200-packet UDP burst at 80 Mbps hits an empty flow table.\n\n";
+  let rows =
+    List.map
+      (fun (label, r) ->
+        [
+          label;
+          string_of_int r.Experiment.pkt_ins;
+          Report.fmt_mbps r.Experiment.ctrl_load_up_mbps;
+          Report.fmt_mbps r.Experiment.ctrl_load_down_mbps;
+          Report.fmt_ms r.Experiment.setup_delay.Experiment.mean;
+          Report.fmt_ms r.Experiment.forwarding_delay.Experiment.mean;
+          string_of_int r.Experiment.packets_out;
+        ])
+      [
+        run Config.No_buffer 0;
+        run Config.Packet_granularity 256;
+        run Config.Flow_granularity 256;
+      ]
+  in
+  Report.print_table
+    ~header:
+      [
+        "mechanism"; "requests"; "load up (Mbps)"; "load down (Mbps)";
+        "setup (ms)"; "burst drain (ms)"; "delivered";
+      ]
+    ~rows;
+  Printf.printf
+    "\nThe flow-granularity buffer answers the whole burst with a handful\n\
+     of requests: the first packet allocates the flow's buffer unit and\n\
+     every subsequent miss chains onto it silently (Algorithm 1), so the\n\
+     controller sees one request per install round instead of one per\n\
+     packet.\n"

@@ -1,0 +1,1 @@
+lib/controller/app.ml: Flow_key Packet Sdn_net

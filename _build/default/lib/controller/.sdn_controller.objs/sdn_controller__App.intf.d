@@ -1,0 +1,1 @@
+lib/controller/app.mli: Flow_key Packet Sdn_net

@@ -1,0 +1,1 @@
+lib/controller/apps.ml: App Ethernet Hashtbl Ip Ipv4 List Mac Packet Sdn_net

@@ -1,0 +1,1 @@
+lib/controller/apps.mli: App Ip Mac Sdn_net

@@ -1,0 +1,1 @@
+lib/controller/controller.mli: App Bytes Costs Cpu Engine Link Rng Sdn_openflow Sdn_sim

@@ -1,0 +1,29 @@
+open Sdn_net
+
+type context = {
+  in_port : int;
+  headers : Packet.headers;
+  flow_key : Flow_key.t option;
+  buffer_id : int32;
+  total_len : int;
+}
+
+type forward = {
+  out_port : int;
+  install : bool;
+  idle_timeout : int;
+  hard_timeout : int;
+}
+
+type forward_queued = { f : forward; queue_id : int32 }
+
+type decision =
+  | Forward of forward
+  | Forward_queued of forward_queued
+  | Flood
+  | Drop
+
+type t = { name : string; decide : context -> decision }
+
+let forward ?(install = true) ?(idle_timeout = 5) ?(hard_timeout = 0) out_port =
+  Forward { out_port; install; idle_timeout; hard_timeout }

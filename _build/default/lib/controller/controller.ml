@@ -1,0 +1,333 @@
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+
+type release_strategy = [ `Pair | `Flow_mod_release ]
+
+type counters = {
+  pkt_ins_received : int;
+  flow_mods_sent : int;
+  pkt_outs_sent : int;
+  drops_decided : int;
+  errors_received : int;
+  echo_requests : int;
+  flow_removed_received : int;
+  port_changes : int;
+  decode_failures : int;
+}
+
+type t = {
+  engine : Engine.t;
+  app : App.t;
+  costs : Costs.t;
+  release_strategy : release_strategy;
+  cpu : Cpu.t;
+  links : (int, Bytes.t Link.t) Hashtbl.t;  (** switch id -> downlink *)
+  mutable next_xid : int32;
+  (* Sliding window of recently-arrived message bytes, for the GC
+     pressure factor. *)
+  recent : (float * int) Queue.t;
+  mutable recent_bytes : int;
+  mutable last_gc_pause : float;
+  mutable pkt_ins_received : int;
+  mutable flow_mods_sent : int;
+  mutable pkt_outs_sent : int;
+  mutable drops_decided : int;
+  mutable errors_received : int;
+  mutable echo_requests : int;
+  mutable flow_removed_received : int;
+  mutable port_changes : int;
+  mutable decode_failures : int;
+}
+
+let create engine ~app ~costs ~rng ?(release_strategy = `Pair) () =
+  let noise () =
+    Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
+  in
+  let scale ~queue_len = Costs.penalty costs ~queue_len in
+  {
+    engine;
+    app;
+    costs;
+    release_strategy;
+    cpu =
+      Cpu.create engine ~name:"controller" ~cores:costs.Costs.cores
+        ~service_scale:scale ~noise ();
+    links = Hashtbl.create 4;
+    next_xid = 0x4000_0000l;
+    recent = Queue.create ();
+    recent_bytes = 0;
+    last_gc_pause = neg_infinity;
+    pkt_ins_received = 0;
+    flow_mods_sent = 0;
+    pkt_outs_sent = 0;
+    drops_decided = 0;
+    errors_received = 0;
+    echo_requests = 0;
+    flow_removed_received = 0;
+    port_changes = 0;
+    decode_failures = 0;
+  }
+
+let fresh_xid t =
+  let xid = t.next_xid in
+  t.next_xid <-
+    (if Int32.equal t.next_xid Int32.max_int then 0x4000_0000l
+     else Int32.add t.next_xid 1l);
+  xid
+
+let send t ~switch ~xid msg =
+  match Hashtbl.find_opt t.links switch with
+  | Some link ->
+      let encoded = Of_codec.encode ~xid msg in
+      Link.send link ~size:(Bytes.length encoded) encoded;
+      (match msg with
+      | Of_codec.Flow_mod _ -> t.flow_mods_sent <- t.flow_mods_sent + 1
+      | Of_codec.Packet_out _ -> t.pkt_outs_sent <- t.pkt_outs_sent + 1
+      | Of_codec.Hello | Of_codec.Error_msg _ | Of_codec.Echo_request _
+      | Of_codec.Echo_reply _ | Of_codec.Vendor _ | Of_codec.Features_request
+      | Of_codec.Features_reply _ | Of_codec.Get_config_request
+      | Of_codec.Get_config_reply _ | Of_codec.Set_config _
+      | Of_codec.Packet_in _ | Of_codec.Flow_removed _
+      | Of_codec.Port_status _
+      | Of_codec.Stats_request _ | Of_codec.Stats_reply _
+      | Of_codec.Barrier_request | Of_codec.Barrier_reply -> ())
+  | None -> ()
+
+(* The match installed for a flow: the 5-tuple when the headers give
+   one (hash-indexable at the switch), the exact L2 match otherwise. *)
+let match_for (ctx : App.context) =
+  match ctx.App.flow_key with
+  | Some key -> Of_match.of_flow_key key
+  | None ->
+      {
+        Of_match.wildcard_all with
+        Of_match.dl_src = Some ctx.App.headers.Packet.h_eth.Ethernet.src;
+        dl_dst = Some ctx.App.headers.Packet.h_eth.Ethernet.dst;
+        dl_type = Some ctx.App.headers.Packet.h_eth.Ethernet.ethertype;
+      }
+
+let respond t ~switch ~xid ~(pkt_in : Of_packet_in.t) (ctx : App.context)
+    decision =
+  let buffered = not (Int32.equal ctx.App.buffer_id Of_wire.no_buffer) in
+  let pkt_out_for ~out_port =
+    if buffered then
+      Of_packet_out.release ~buffer_id:ctx.App.buffer_id ~out_port
+    else
+      Of_packet_out.full ~frame:pkt_in.Of_packet_in.data
+        ~in_port:ctx.App.in_port ~out_port
+  in
+  let forward ~action ~out_port (f : App.forward) =
+    if f.App.install then begin
+      let release_in_flow_mod =
+        buffered && t.release_strategy = `Flow_mod_release
+      in
+      let flow_mod =
+        Of_flow_mod.add ~idle_timeout:f.App.idle_timeout
+          ~hard_timeout:f.App.hard_timeout
+          ~buffer_id:
+            (if release_in_flow_mod then ctx.App.buffer_id else Of_wire.no_buffer)
+          ~match_:(match_for ctx) ~actions:[ action ] ()
+      in
+      send t ~switch ~xid (Of_codec.Flow_mod flow_mod);
+      if not release_in_flow_mod then begin
+        let po = pkt_out_for ~out_port in
+        send t ~switch ~xid
+          (Of_codec.Packet_out { po with Of_packet_out.actions = [ action ] })
+      end
+    end
+    else begin
+      let po = pkt_out_for ~out_port in
+      send t ~switch ~xid
+        (Of_codec.Packet_out { po with Of_packet_out.actions = [ action ] })
+    end
+  in
+  match decision with
+  | App.Drop ->
+      t.drops_decided <- t.drops_decided + 1;
+      if buffered then
+        (* Release the buffer with no output action: the switch frees
+           the unit and discards the packet. *)
+        send t ~switch ~xid
+          (Of_codec.Packet_out
+             {
+               Of_packet_out.buffer_id = ctx.App.buffer_id;
+               in_port = ctx.App.in_port;
+               actions = [];
+               data = Bytes.empty;
+             })
+  | App.Flood ->
+      send t ~switch ~xid
+        (Of_codec.Packet_out (pkt_out_for ~out_port:Of_wire.Port.flood))
+  | App.Forward f ->
+      forward ~action:(Of_action.output f.App.out_port) ~out_port:f.App.out_port f
+  | App.Forward_queued { App.f; queue_id } ->
+      forward
+        ~action:(Of_action.Enqueue { port = f.App.out_port; queue_id })
+        ~out_port:f.App.out_port f
+
+let reply_sizes t decision ~buffered ~data_len =
+  (* Work for encoding the replies: base per message plus the bytes of
+     frame data carried back (the expensive no-buffer PACKET_OUT). *)
+  let data_out = if buffered then 0 else data_len in
+  match decision with
+  | App.Drop -> if buffered then (1, 0) else (0, 0)
+  | App.Flood -> (1, data_out)
+  | App.Forward { App.install; _ } | App.Forward_queued { App.f = { App.install; _ }; _ }
+    ->
+      if not install then (1, data_out)
+      else if buffered && t.release_strategy = `Flow_mod_release then (1, 0)
+      else (2, data_out)
+
+let note_arrival t ~bytes =
+  let now = Engine.now t.engine in
+  Queue.push (now, bytes) t.recent;
+  t.recent_bytes <- t.recent_bytes + bytes;
+  let horizon = now -. t.costs.Costs.gc_window in
+  let rec prune () =
+    match Queue.peek_opt t.recent with
+    | Some (time, old_bytes) when time < horizon ->
+        ignore (Queue.pop t.recent);
+        t.recent_bytes <- t.recent_bytes - old_bytes;
+        prune ()
+    | Some _ | None -> ()
+  in
+  prune ();
+  (* Sustained pressure triggers a stop-the-world collection: every
+     core is stalled for the pause duration, so requests queued behind
+     it see multi-millisecond delays. *)
+  if
+    t.recent_bytes > t.costs.Costs.gc_threshold_bytes
+    && now -. t.last_gc_pause >= t.costs.Costs.gc_pause_min_gap
+  then begin
+    t.last_gc_pause <- now;
+    for _core = 1 to Cpu.cores t.cpu do
+      Cpu.submit t.cpu ~work_s:t.costs.Costs.gc_pause_duration (fun () -> ())
+    done
+  end;
+  Costs.gc_factor t.costs ~window_bytes:t.recent_bytes
+
+let handle_packet_in t ~switch ~xid (pkt_in : Of_packet_in.t) ~msg_bytes =
+  t.pkt_ins_received <- t.pkt_ins_received + 1;
+  let gc = note_arrival t ~bytes:msg_bytes in
+  match Packet.peek_headers pkt_in.Of_packet_in.data with
+  | Error _ -> t.decode_failures <- t.decode_failures + 1
+  | Ok headers ->
+      let ctx =
+        {
+          App.in_port = pkt_in.Of_packet_in.in_port;
+          headers;
+          flow_key = Packet.peek_flow_key pkt_in.Of_packet_in.data;
+          buffer_id = pkt_in.Of_packet_in.buffer_id;
+          total_len = pkt_in.Of_packet_in.total_len;
+        }
+      in
+      let decision = t.app.App.decide ctx in
+      let buffered = not (Int32.equal ctx.App.buffer_id Of_wire.no_buffer) in
+      let replies, data_out =
+        reply_sizes t decision ~buffered
+          ~data_len:(Bytes.length pkt_in.Of_packet_in.data)
+      in
+      let work =
+        gc
+        *. (t.costs.Costs.parse_base_cost
+           +. (t.costs.Costs.parse_per_byte *. float_of_int msg_bytes)
+           +. t.costs.Costs.decision_cost
+           +. (t.costs.Costs.encode_base_cost *. float_of_int replies)
+           +. (t.costs.Costs.encode_per_byte *. float_of_int data_out))
+      in
+      Cpu.submit t.cpu ~work_s:work (fun () ->
+          respond t ~switch ~xid ~pkt_in ctx decision)
+
+let handle_message_from t ~switch buf =
+  match Of_codec.decode buf with
+  | Error _ -> t.decode_failures <- t.decode_failures + 1
+  | Ok (xid, msg) -> (
+      match msg with
+      | Of_codec.Packet_in pkt_in ->
+          handle_packet_in t ~switch ~xid pkt_in ~msg_bytes:(Bytes.length buf)
+      | Of_codec.Error_msg _ -> t.errors_received <- t.errors_received + 1
+      | Of_codec.Echo_request payload ->
+          t.echo_requests <- t.echo_requests + 1;
+          let work = t.costs.Costs.parse_base_cost +. t.costs.Costs.encode_base_cost in
+          Cpu.submit t.cpu ~work_s:work (fun () ->
+              send t ~switch ~xid (Of_codec.Echo_reply payload))
+      | Of_codec.Flow_removed _ ->
+          t.flow_removed_received <- t.flow_removed_received + 1
+      | Of_codec.Port_status ps ->
+          t.port_changes <- t.port_changes + 1;
+          (* A failed link strands every rule forwarding into it; flush
+             them so affected flows fall back to the reactive path. *)
+          if ps.Of_port_status.link_down then begin
+            let work = t.costs.Costs.parse_base_cost +. t.costs.Costs.decision_cost in
+            Cpu.submit t.cpu ~work_s:work (fun () ->
+                send t ~switch ~xid
+                  (Of_codec.Flow_mod
+                     {
+                       (Of_flow_mod.add ~match_:Of_match.wildcard_all ~actions:[] ()) with
+                       Of_flow_mod.command = Of_flow_mod.Delete;
+                       out_port = ps.Of_port_status.port.Of_features.port_no;
+                     }))
+          end
+      | Of_codec.Hello | Of_codec.Echo_reply _ | Of_codec.Features_reply _
+      | Of_codec.Get_config_reply _ | Of_codec.Stats_reply _
+      | Of_codec.Barrier_reply | Of_codec.Vendor _ ->
+          (* Handshake replies and statistics land here; nothing to do
+             for the reproduction's workloads. *)
+          ()
+      | Of_codec.Features_request | Of_codec.Get_config_request
+      | Of_codec.Set_config _ | Of_codec.Packet_out _ | Of_codec.Flow_mod _
+      | Of_codec.Stats_request _ | Of_codec.Barrier_request ->
+          (* Switch-bound messages should not arrive at the controller. *)
+          t.decode_failures <- t.decode_failures + 1)
+
+let handle_message t buf = handle_message_from t ~switch:0 buf
+
+let start_switch t ~switch ?enable_flow_buffer ?miss_send_len () =
+  send t ~switch ~xid:(fresh_xid t) Of_codec.Hello;
+  send t ~switch ~xid:(fresh_xid t) Of_codec.Features_request;
+  (match miss_send_len with
+  | Some n ->
+      send t ~switch ~xid:(fresh_xid t)
+        (Of_codec.Set_config { Of_config.flags = 0; miss_send_len = n })
+  | None -> ());
+  match enable_flow_buffer with
+  | Some timeout ->
+      send t ~switch ~xid:(fresh_xid t)
+        (Of_codec.Vendor (Of_ext.Flow_buffer_enable { timeout }))
+  | None -> ()
+
+let start t ?enable_flow_buffer ?miss_send_len () =
+  start_switch t ~switch:0 ?enable_flow_buffer ?miss_send_len ()
+
+let add_switch t ~switch link = Hashtbl.replace t.links switch link
+
+let install_proactive t ?(switch = 0) flow_mods =
+  List.iter
+    (fun fm ->
+      let work =
+        t.costs.Costs.encode_base_cost
+        +. (t.costs.Costs.parse_base_cost /. 2.0)
+      in
+      Cpu.submit t.cpu ~work_s:work (fun () ->
+          send t ~switch ~xid:(fresh_xid t) (Of_codec.Flow_mod fm)))
+    flow_mods
+
+let set_switch_link t link = add_switch t ~switch:0 link
+
+let switch_count t = Hashtbl.length t.links
+let cpu t = t.cpu
+let app_name t = t.app.App.name
+
+let counters t =
+  {
+    pkt_ins_received = t.pkt_ins_received;
+    flow_mods_sent = t.flow_mods_sent;
+    pkt_outs_sent = t.pkt_outs_sent;
+    drops_decided = t.drops_decided;
+    errors_received = t.errors_received;
+    echo_requests = t.echo_requests;
+    flow_removed_received = t.flow_removed_received;
+    port_changes = t.port_changes;
+    decode_failures = t.decode_failures;
+  }

@@ -1,0 +1,81 @@
+(** The SDN controller model (Floodlight stand-in).
+
+    Receives OpenFlow messages from the control link, prices the
+    per-message CPU work (parse proportional to carried bytes, app
+    decision, reply encoding), and answers each [PACKET_IN] with the
+    paper's message pair: a [FLOW_MOD] installing the rule followed by
+    a [PACKET_OUT] releasing the miss-match packet. Replies carry the
+    request's transaction id so measurement can pair them.
+
+    For the ablation study the release strategy is selectable:
+    [`Pair] is what the paper describes; [`Flow_mod_release] rides the
+    buffer id inside the [FLOW_MOD] and skips the [PACKET_OUT]
+    entirely (saving one message when the packet is buffered). *)
+
+open Sdn_sim
+
+type release_strategy = [ `Pair | `Flow_mod_release ]
+
+type counters = {
+  pkt_ins_received : int;
+  flow_mods_sent : int;
+  pkt_outs_sent : int;
+  drops_decided : int;
+  errors_received : int;
+  echo_requests : int;
+  flow_removed_received : int;
+  port_changes : int;
+  decode_failures : int;
+}
+
+type t
+
+val create :
+  Engine.t ->
+  app:App.t ->
+  costs:Costs.t ->
+  rng:Rng.t ->
+  ?release_strategy:release_strategy ->
+  unit ->
+  t
+(** [release_strategy] defaults to [`Pair]. *)
+
+val set_switch_link : t -> Bytes.t Link.t -> unit
+(** Attach the controller-to-switch half of the control channel
+    (single-switch shorthand for [add_switch ~switch:0]). *)
+
+val add_switch : t -> switch:int -> Bytes.t Link.t -> unit
+(** Register another switch session — one controller can manage a
+    whole topology (e.g. the chain scenario). *)
+
+val switch_count : t -> int
+
+val handle_message : t -> Bytes.t -> unit
+(** Deliver a switch-to-controller message (wired as the receiver of
+    the control link); single-switch shorthand for
+    [handle_message_from ~switch:0]. *)
+
+val handle_message_from : t -> switch:int -> Bytes.t -> unit
+(** Deliver a message from a specific switch session; responses return
+    on that session's link. *)
+
+val start_switch :
+  t -> switch:int -> ?enable_flow_buffer:float -> ?miss_send_len:int -> unit -> unit
+(** Hand-shake one switch session. *)
+
+val start : t -> ?enable_flow_buffer:float -> ?miss_send_len:int -> unit -> unit
+(** Run the handshake: HELLO then FEATURES_REQUEST; when
+    [miss_send_len] is given, configure the switch's PACKET_IN
+    truncation via SET_CONFIG; when [enable_flow_buffer] is given, also
+    send the vendor message turning on flow-granularity buffering with
+    that re-request timeout. *)
+
+val install_proactive :
+  t -> ?switch:int -> Sdn_openflow.Of_flow_mod.t list -> unit
+(** Push a batch of FLOW_MODs to a switch outside any request/response
+    cycle — the proactive provisioning baseline against which the
+    paper's reactive flow setup (and all its overhead) is compared. *)
+
+val cpu : t -> Cpu.t
+val counters : t -> counters
+val app_name : t -> string

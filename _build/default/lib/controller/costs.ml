@@ -1,0 +1,48 @@
+type t = {
+  cores : int;
+  parse_base_cost : float;
+  parse_per_byte : float;
+  decision_cost : float;
+  encode_base_cost : float;
+  encode_per_byte : float;
+  congestion_threshold : int;
+  congestion_slope : float;
+  congestion_cap : float;
+  gc_window : float;
+  gc_threshold_bytes : int;
+  gc_slope_per_kb : float;
+  gc_cap : float;
+  gc_pause_duration : float;
+  gc_pause_min_gap : float;
+  service_noise_sigma : float;
+}
+
+let default =
+  {
+    cores = 2;
+    parse_base_cost = 18e-6;
+    parse_per_byte = 25e-9;
+    decision_cost = 30e-6;
+    encode_base_cost = 6e-6;
+    encode_per_byte = 25e-9;
+    congestion_threshold = 16;
+    congestion_slope = 0.01;
+    congestion_cap = 1.3;
+    gc_window = 5e-3;
+    gc_threshold_bytes = 38_000;
+    gc_slope_per_kb = 0.015;
+    gc_cap = 1.8;
+    gc_pause_duration = 2.5e-3;
+    gc_pause_min_gap = 25e-3;
+    service_noise_sigma = 0.08;
+  }
+
+let penalty t ~queue_len =
+  let excess = float_of_int (max 0 (queue_len - t.congestion_threshold)) in
+  Float.min t.congestion_cap (1.0 +. (t.congestion_slope *. excess))
+
+let gc_factor t ~window_bytes =
+  let excess_kb =
+    float_of_int (max 0 (window_bytes - t.gc_threshold_bytes)) /. 1000.0
+  in
+  Float.min t.gc_cap (1.0 +. (t.gc_slope_per_kb *. excess_kb))

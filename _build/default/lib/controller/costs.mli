@@ -1,0 +1,51 @@
+(** Controller-side resource cost model (the Floodlight process).
+
+    The paper's controller-usage measurements show parse cost growing
+    with the bytes carried in each [PACKET_IN] (the no-buffer penalty)
+    and a super-linear regime once many large requests arrive
+    concurrently ("an approximate exponential variation", Fig. 3).
+    The model therefore prices a request as
+
+    [parse_base + parse_per_byte * msg_bytes + decision
+     + encode_base * replies + encode_per_byte * reply_bytes]
+
+    and applies a queue-length congestion penalty — GC pressure and
+    scheduler thrashing under concurrency — once the backlog passes
+    [congestion_threshold]. *)
+
+type t = {
+  cores : int;
+  parse_base_cost : float;
+  parse_per_byte : float;
+  decision_cost : float;  (** forwarding-table consultation *)
+  encode_base_cost : float;  (** per outgoing message *)
+  encode_per_byte : float;  (** per byte of data carried out *)
+  congestion_threshold : int;  (** backlog at which the penalty starts *)
+  congestion_slope : float;  (** extra work fraction per queued message *)
+  congestion_cap : float;  (** upper bound of the penalty factor *)
+  gc_window : float;
+      (** sliding window (seconds) over which incoming message bytes
+          are summed to estimate memory pressure *)
+  gc_threshold_bytes : int;  (** pressure-free byte budget per window *)
+  gc_slope_per_kb : float;
+      (** extra work fraction per KB of window bytes above threshold —
+          the JVM garbage-collection/copy pressure that makes handling
+          many concurrent {e large} PACKET_INs super-linear (paper
+          Fig. 3, no-buffer); small buffered messages never reach the
+          threshold *)
+  gc_cap : float;
+  gc_pause_duration : float;
+      (** stop-the-world pause length (seconds) injected while the byte
+          window stays above threshold — the source of the no-buffer
+          controller-delay spikes past ~60 Mbps in the paper's Fig. 6 *)
+  gc_pause_min_gap : float;  (** minimum time between pauses *)
+  service_noise_sigma : float;
+}
+
+val default : t
+
+val penalty : t -> queue_len:int -> float
+(** [min cap (1 + slope * max 0 (queue - threshold))]. *)
+
+val gc_factor : t -> window_bytes:int -> float
+(** [min gc_cap (1 + gc_slope_per_kb * excess_kb)]. *)

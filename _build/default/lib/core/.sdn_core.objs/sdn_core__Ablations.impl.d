@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Config Experiment Float List Printf Report Scenario Sdn_controller Sdn_measure Sdn_openflow Sdn_sim Sdn_switch Sdn_traffic

@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Sdn_controller Sdn_switch

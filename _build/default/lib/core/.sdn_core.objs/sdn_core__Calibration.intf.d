@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Sdn_controller Sdn_switch

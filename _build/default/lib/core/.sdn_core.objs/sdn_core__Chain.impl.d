@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Bytes Calibration Capture Config Delay Engine Experiment Float Format Int64 Ip Link Option Printf Rng Sdn_controller Sdn_measure Sdn_net Sdn_sim Sdn_switch Sdn_traffic

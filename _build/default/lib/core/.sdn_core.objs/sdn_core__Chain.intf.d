@@ -1,0 +1,1 @@
+lib/core/chain.mli: Bytes Capture Config Delay Engine Experiment Format Link Rng Sdn_controller Sdn_measure Sdn_sim Sdn_switch

@@ -1,0 +1,1 @@
+lib/core/config.ml: Calibration Printf Sdn_controller Sdn_switch

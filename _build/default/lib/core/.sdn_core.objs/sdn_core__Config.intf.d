@@ -1,0 +1,1 @@
+lib/core/config.mli: Sdn_controller Sdn_switch

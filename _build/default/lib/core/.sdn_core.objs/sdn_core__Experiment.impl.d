@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Capture Config Cpu Delay Float Format List Option Patterns Pktgen Scenario Sdn_controller Sdn_measure Sdn_sim Sdn_switch Sdn_traffic Stats

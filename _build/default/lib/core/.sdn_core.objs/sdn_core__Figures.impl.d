@@ -1,0 +1,1 @@
+lib/core/figures.ml: Config Experiment Filename List Printf Sdn_measure Sweep Sys

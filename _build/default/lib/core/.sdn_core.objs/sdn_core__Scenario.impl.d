@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Bytes Calibration Capture Config Delay Engine Float Ip Link Option Printf Rng Sdn_controller Sdn_measure Sdn_net Sdn_sim Sdn_switch Sdn_traffic

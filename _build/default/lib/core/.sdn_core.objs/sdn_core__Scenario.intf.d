@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Bytes Capture Config Delay Engine Link Rng Sdn_controller Sdn_measure Sdn_sim Sdn_switch

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Experiment List Sdn_sim Stats

@@ -1,0 +1,70 @@
+(** One experiment run's configuration. *)
+
+type mechanism = Sdn_switch.Switch.mechanism =
+  | No_buffer
+  | Packet_granularity
+  | Flow_granularity
+
+type workload =
+  | Exp_a of { n_flows : int }
+      (** Section IV: single-packet flows with forged sources. *)
+  | Exp_b of { n_flows : int; packets_per_flow : int; concurrent : int }
+      (** Section V: multi-packet flows in cross-sequence batches. *)
+  | Udp_burst of { n_packets : int }
+      (** Section VI.A: one sudden many-packet UDP flow. *)
+
+type qos = {
+  classify : Sdn_controller.App.context -> int32;
+      (** maps each new flow to an egress class *)
+  policy : Sdn_switch.Egress_queue.policy;
+  queues : Sdn_switch.Egress_queue.queue_config list;
+}
+(** Egress QoS scheduling (the paper's Section VII future work): when
+    set, the controller installs [Enqueue] actions chosen by
+    [classify] and both host-facing ports get a scheduler. *)
+
+type t = {
+  mechanism : mechanism;
+  buffer_capacity : int;
+  rate_mbps : float;
+  frame_size : int;
+  workload : workload;
+  seed : int;
+  release_strategy : Sdn_controller.Controller.release_strategy;
+  control_loss_rate : float;
+      (** probability that a control-channel message (either direction)
+          is lost; 0 on the paper's wired testbed *)
+  miss_send_len : int;
+      (** bytes of a buffered packet carried in the PACKET_IN (128 in
+          OpenFlow 1.0 and in the paper) *)
+  resend_timeout : float;
+      (** flow-granularity re-request period, seconds *)
+  flow_table_capacity : int;
+  rule_idle_timeout : int;  (** seconds, for installed rules *)
+  qos : qos option;
+  egress_bandwidth_bps : float option;
+      (** override for the switch-to-host2 link speed (e.g. a slower
+          uplink); [None] keeps the calibrated 100 Mbps *)
+  switch_costs : Sdn_switch.Costs.t;
+  controller_costs : Sdn_controller.Costs.t;
+}
+
+val default : t
+(** Packet-granularity buffer-256, 30 Mbps, Exp-A with the paper's
+    1000 flows of 1000-byte frames, seed 1. *)
+
+val exp_a :
+  mechanism:mechanism -> buffer_capacity:int -> rate_mbps:float -> seed:int -> t
+(** The Section IV configurations (no-buffer / buffer-16 /
+    buffer-256). *)
+
+val exp_b : mechanism:mechanism -> rate_mbps:float -> seed:int -> t
+(** The Section V comparison: 50 flows x 20 packets, batches of 5,
+    buffer 256 for both mechanisms. *)
+
+val packets_expected : t -> int
+(** Total data packets the workload injects. *)
+
+val label : t -> string
+(** Short human-readable tag, e.g. ["buffer-256"] or
+    ["flow-granularity"]. *)

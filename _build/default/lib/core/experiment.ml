@@ -1,0 +1,151 @@
+open Sdn_sim
+open Sdn_measure
+open Sdn_traffic
+
+type summary = {
+  count : int;
+  mean : float;
+  sd : float;
+  min : float;
+  max : float;
+}
+
+let summary_of_stats stats =
+  {
+    count = Stats.count stats;
+    mean = Stats.mean stats;
+    sd = Stats.stddev stats;
+    min = (if Stats.count stats = 0 then 0.0 else Stats.min stats);
+    max = (if Stats.count stats = 0 then 0.0 else Stats.max stats);
+  }
+
+type result = {
+  config : Config.t;
+  send_window : float;
+  observe_window : float;
+  ctrl_load_up_mbps : float;
+  ctrl_load_down_mbps : float;
+  ctrl_msgs_up : int;
+  ctrl_msgs_down : int;
+  pkt_ins : int;
+  pkt_in_resends : int;
+  full_packet_fallbacks : int;
+  ctrl_msgs_lost : int;
+  controller_cpu_pct : float;
+  switch_cpu_pct : float;
+  setup_delay : summary;
+  controller_delay : summary;
+  switch_delay : summary;
+  forwarding_delay : summary;
+  buffer_mean_in_use : float;
+  buffer_max_in_use : int;
+  flows_started : int;
+  flows_completed : int;
+  packets_in : int;
+  packets_out : int;
+  packets_dropped : int;
+}
+
+(* Injections start after the handshake has settled. *)
+let traffic_start = 0.05
+
+let injections_of (config : Config.t) rng =
+  match config.Config.workload with
+  | Config.Exp_a { n_flows } ->
+      Patterns.exp_a ~rng ~start:traffic_start ~n_flows
+        ~rate_mbps:config.Config.rate_mbps ~frame_size:config.Config.frame_size
+        ()
+  | Config.Exp_b { n_flows; packets_per_flow; concurrent } ->
+      Patterns.exp_b ~rng ~start:traffic_start ~n_flows ~packets_per_flow
+        ~concurrent ~rate_mbps:config.Config.rate_mbps
+        ~frame_size:config.Config.frame_size ()
+  | Config.Udp_burst { n_packets } ->
+      Patterns.udp_burst ~rng ~start:traffic_start ~n_packets
+        ~rate_mbps:config.Config.rate_mbps ~frame_size:config.Config.frame_size
+        ()
+
+let run (config : Config.t) =
+  let scenario = Scenario.build config in
+  let engine = scenario.Scenario.engine in
+  let injections = injections_of config scenario.Scenario.traffic_rng in
+  let plan = Pktgen.stats_of injections in
+  Pktgen.schedule engine
+    ~inject:(fun ~in_port frame -> Scenario.inject scenario ~in_port frame)
+    injections;
+  Scenario.run_until_quiet ~min_time:plan.Pktgen.last scenario;
+  let capture = scenario.Scenario.capture in
+  let delay = scenario.Scenario.delay in
+  let switch = scenario.Scenario.switch in
+  let send_window = plan.Pktgen.last -. plan.Pktgen.first in
+  let window_end =
+    List.fold_left Float.max plan.Pktgen.last
+      [
+        Delay.last_egress_time delay;
+        Option.value ~default:0.0 (Capture.last_time capture Capture.To_controller);
+        Option.value ~default:0.0 (Capture.last_time capture Capture.To_switch);
+      ]
+  in
+  let observe_window = Float.max 1e-9 (window_end -. plan.Pktgen.first) in
+  let counters = Sdn_switch.Switch.counters switch in
+  let controller_cpu =
+    Cpu.busy_core_seconds (Sdn_controller.Controller.cpu scenario.Scenario.controller)
+  in
+  let switch_cpu = Sdn_switch.Switch.cpu_busy_core_seconds switch in
+  {
+    config;
+    send_window;
+    observe_window;
+    ctrl_load_up_mbps = Capture.load_mbps capture Capture.To_controller ~window:observe_window;
+    ctrl_load_down_mbps = Capture.load_mbps capture Capture.To_switch ~window:observe_window;
+    ctrl_msgs_up = Capture.messages capture Capture.To_controller;
+    ctrl_msgs_down = Capture.messages capture Capture.To_switch;
+    pkt_ins = counters.Sdn_switch.Switch.pkt_ins_sent;
+    pkt_in_resends = counters.Sdn_switch.Switch.pkt_in_resends;
+    full_packet_fallbacks = counters.Sdn_switch.Switch.full_packet_fallbacks;
+    ctrl_msgs_lost =
+      Sdn_sim.Link.messages_lost scenario.Scenario.to_controller
+      + Sdn_sim.Link.messages_lost scenario.Scenario.to_switch;
+    controller_cpu_pct = controller_cpu /. observe_window *. 100.0;
+    switch_cpu_pct = switch_cpu /. observe_window *. 100.0;
+    setup_delay = summary_of_stats (Delay.flow_setup_delays delay);
+    controller_delay = summary_of_stats (Delay.controller_delays delay);
+    switch_delay = summary_of_stats (Delay.switch_delays delay);
+    forwarding_delay = summary_of_stats (Delay.flow_forwarding_delays delay);
+    buffer_mean_in_use = Sdn_switch.Switch.buffer_mean_in_use switch ~until:window_end;
+    buffer_max_in_use = Sdn_switch.Switch.buffer_max_in_use switch;
+    flows_started = Delay.flows_started delay;
+    flows_completed = Delay.flows_completed delay;
+    packets_in = Delay.packets_in delay;
+    packets_out = Delay.packets_out delay;
+    packets_dropped = counters.Sdn_switch.Switch.frames_dropped;
+  }
+
+let pp_summary_ms fmt s =
+  Format.fprintf fmt "mean=%.3fms sd=%.3fms max=%.3fms (n=%d)" (s.mean *. 1e3)
+    (s.sd *. 1e3) (s.max *. 1e3) s.count
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "configuration        : %s, %.0f Mbps, seed %d@,"
+    (Config.label r.config) r.config.Config.rate_mbps r.config.Config.seed;
+  Format.fprintf fmt "windows              : send %.3fs, observe %.3fs@,"
+    r.send_window r.observe_window;
+  Format.fprintf fmt "control load up/down : %.3f / %.3f Mbps (%d / %d msgs)@,"
+    r.ctrl_load_up_mbps r.ctrl_load_down_mbps r.ctrl_msgs_up r.ctrl_msgs_down;
+  Format.fprintf fmt "packet_ins           : %d (+%d resends, %d full-packet fallbacks)@,"
+    r.pkt_ins r.pkt_in_resends r.full_packet_fallbacks;
+  Format.fprintf fmt "controller / switch CPU : %.1f%% / %.1f%%@,"
+    r.controller_cpu_pct r.switch_cpu_pct;
+  Format.fprintf fmt "flow setup delay     : %a@," pp_summary_ms r.setup_delay;
+  Format.fprintf fmt "controller delay     : %a@," pp_summary_ms r.controller_delay;
+  Format.fprintf fmt "switch delay         : %a@," pp_summary_ms r.switch_delay;
+  if r.forwarding_delay.count > 0 then
+    Format.fprintf fmt "flow forwarding delay: %a@," pp_summary_ms
+      r.forwarding_delay;
+  Format.fprintf fmt "buffer units         : mean %.1f, max %d@,"
+    r.buffer_mean_in_use r.buffer_max_in_use;
+  Format.fprintf fmt "flows                : %d started, %d completed@,"
+    r.flows_started r.flows_completed;
+  Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
+    r.packets_in r.packets_out r.packets_dropped;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Run one configured experiment and collect every metric of the
+    paper's Section III.B. *)
+
+open Sdn_sim
+
+type summary = {
+  count : int;
+  mean : float;
+  sd : float;
+  min : float;
+  max : float;
+}
+
+val summary_of_stats : Stats.t -> summary
+
+type result = {
+  config : Config.t;
+  send_window : float;  (** first to last injection, seconds *)
+  observe_window : float;  (** first injection to last activity *)
+  ctrl_load_up_mbps : float;  (** switch-to-controller control load *)
+  ctrl_load_down_mbps : float;
+  ctrl_msgs_up : int;
+  ctrl_msgs_down : int;
+  pkt_ins : int;
+  pkt_in_resends : int;
+  full_packet_fallbacks : int;
+  ctrl_msgs_lost : int;  (** control messages dropped by the loss model *)
+  controller_cpu_pct : float;  (** percent of one core; can exceed 100 *)
+  switch_cpu_pct : float;
+  setup_delay : summary;  (** seconds *)
+  controller_delay : summary;
+  switch_delay : summary;
+  forwarding_delay : summary;
+  buffer_mean_in_use : float;
+  buffer_max_in_use : int;
+  flows_started : int;
+  flows_completed : int;
+  packets_in : int;
+  packets_out : int;
+  packets_dropped : int;
+}
+
+val run : Config.t -> result
+
+val pp_result : Format.formatter -> result -> unit
+(** Multi-line human-readable report of a single run. *)

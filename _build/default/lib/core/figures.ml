@@ -1,0 +1,290 @@
+type exp_a_data = {
+  no_buffer : Sweep.series;
+  buffer_16 : Sweep.series;
+  buffer_256 : Sweep.series;
+}
+
+type exp_b_data = { packet_gran : Sweep.series; flow_gran : Sweep.series }
+
+let run_exp_a ?rates ?reps () =
+  let sweep mechanism buffer_capacity label =
+    Sweep.run ~label ?rates ?reps (fun ~rate_mbps ~seed ->
+        Config.exp_a ~mechanism ~buffer_capacity ~rate_mbps ~seed)
+  in
+  {
+    no_buffer = sweep Config.No_buffer 0 "no-buffer";
+    buffer_16 = sweep Config.Packet_granularity 16 "buffer-16";
+    buffer_256 = sweep Config.Packet_granularity 256 "buffer-256";
+  }
+
+let run_exp_b ?rates ?reps () =
+  let sweep mechanism label =
+    Sweep.run ~label ?rates ?reps (fun ~rate_mbps ~seed ->
+        Config.exp_b ~mechanism ~rate_mbps ~seed)
+  in
+  {
+    packet_gran = sweep Config.Packet_granularity "packet-granularity";
+    flow_gran = sweep Config.Flow_granularity "flow-granularity";
+  }
+
+let print_figure ~id ~title ~unit_label ~series metric =
+  Printf.printf "\n%s: %s [%s]\n" id title unit_label;
+  let header =
+    "rate(Mbps)"
+    :: List.concat_map
+         (fun (s : Sweep.series) ->
+           [ s.Sweep.label ^ " mean"; s.Sweep.label ^ " sd" ])
+         series
+  in
+  let rates =
+    match series with
+    | [] -> []
+    | s :: _ -> List.map (fun (p : Sweep.point) -> p.Sweep.rate_mbps) s.Sweep.points
+  in
+  let rows =
+    List.mapi
+      (fun i rate ->
+        Printf.sprintf "%.0f" rate
+        :: List.concat_map
+             (fun (s : Sweep.series) ->
+               let p = List.nth s.Sweep.points i in
+               [
+                 Printf.sprintf "%.3f" (Sweep.point_mean p metric);
+                 Printf.sprintf "%.3f" (Sweep.point_sd p metric);
+               ])
+             series)
+      rates
+  in
+  Sdn_measure.Report.print_table ~header ~rows
+
+(* Metric extractors (delays in milliseconds for readability). *)
+let load_up (r : Experiment.result) = r.Experiment.ctrl_load_up_mbps
+let load_down (r : Experiment.result) = r.Experiment.ctrl_load_down_mbps
+let controller_cpu (r : Experiment.result) = r.Experiment.controller_cpu_pct
+let switch_cpu (r : Experiment.result) = r.Experiment.switch_cpu_pct
+let setup_ms (r : Experiment.result) = r.Experiment.setup_delay.Experiment.mean *. 1e3
+let controller_ms (r : Experiment.result) =
+  r.Experiment.controller_delay.Experiment.mean *. 1e3
+let switch_ms (r : Experiment.result) = r.Experiment.switch_delay.Experiment.mean *. 1e3
+let forwarding_ms (r : Experiment.result) =
+  r.Experiment.forwarding_delay.Experiment.mean *. 1e3
+let buffer_mean (r : Experiment.result) = r.Experiment.buffer_mean_in_use
+let buffer_max (r : Experiment.result) = float_of_int r.Experiment.buffer_max_in_use
+
+let fig2a d =
+  print_figure ~id:"Fig 2(a)" ~title:"control path load, switch -> controller"
+    ~unit_label:"Mbps"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    load_up
+
+let fig2b d =
+  print_figure ~id:"Fig 2(b)" ~title:"control path load, controller -> switch"
+    ~unit_label:"Mbps"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    load_down
+
+let fig3 d =
+  print_figure ~id:"Fig 3" ~title:"controller usages" ~unit_label:"% CPU"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    controller_cpu
+
+let fig4 d =
+  print_figure ~id:"Fig 4" ~title:"switch usages" ~unit_label:"% CPU"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    switch_cpu
+
+let fig5 d =
+  print_figure ~id:"Fig 5" ~title:"flow setup delay" ~unit_label:"ms"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    setup_ms
+
+let fig6 d =
+  print_figure ~id:"Fig 6" ~title:"controller delay" ~unit_label:"ms"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    controller_ms
+
+let fig7 d =
+  print_figure ~id:"Fig 7" ~title:"switch delay" ~unit_label:"ms"
+    ~series:[ d.no_buffer; d.buffer_16; d.buffer_256 ]
+    switch_ms
+
+let fig8 d =
+  print_figure ~id:"Fig 8" ~title:"buffer utilization (units in use)"
+    ~unit_label:"units"
+    ~series:[ d.buffer_16; d.buffer_256 ]
+    buffer_mean
+
+let fig9a d =
+  print_figure ~id:"Fig 9(a)" ~title:"control path load, switch -> controller"
+    ~unit_label:"Mbps"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    load_up
+
+let fig9b d =
+  print_figure ~id:"Fig 9(b)" ~title:"control path load, controller -> switch"
+    ~unit_label:"Mbps"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    load_down
+
+let fig10 d =
+  print_figure ~id:"Fig 10" ~title:"controller usages" ~unit_label:"% CPU"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    controller_cpu
+
+let fig11 d =
+  print_figure ~id:"Fig 11" ~title:"switch usages" ~unit_label:"% CPU"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    switch_cpu
+
+let fig12a d =
+  print_figure ~id:"Fig 12(a)" ~title:"flow setup delay" ~unit_label:"ms"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    setup_ms
+
+let fig12b d =
+  print_figure ~id:"Fig 12(b)" ~title:"flow forwarding delay" ~unit_label:"ms"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    forwarding_ms
+
+let fig13a d =
+  print_figure ~id:"Fig 13(a)" ~title:"average buffer units used"
+    ~unit_label:"units"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    buffer_mean
+
+let fig13b d =
+  print_figure ~id:"Fig 13(b)" ~title:"maximum buffer units used"
+    ~unit_label:"units"
+    ~series:[ d.packet_gran; d.flow_gran ]
+    buffer_max
+
+(* CSV export: one file per figure. *)
+let figure_csv ~dir ~id ~series metric =
+  let header =
+    "rate_mbps"
+    :: List.concat_map
+         (fun (s : Sweep.series) ->
+           [ s.Sweep.label ^ "_mean"; s.Sweep.label ^ "_sd" ])
+         series
+  in
+  let rates =
+    match series with
+    | [] -> []
+    | s :: _ -> List.map (fun (p : Sweep.point) -> p.Sweep.rate_mbps) s.Sweep.points
+  in
+  let rows =
+    List.mapi
+      (fun i rate ->
+        Printf.sprintf "%.0f" rate
+        :: List.concat_map
+             (fun (s : Sweep.series) ->
+               let p = List.nth s.Sweep.points i in
+               [
+                 Printf.sprintf "%.6f" (Sweep.point_mean p metric);
+                 Printf.sprintf "%.6f" (Sweep.point_sd p metric);
+               ])
+             series)
+      rates
+  in
+  Sdn_measure.Report.write_csv
+    ~path:(Filename.concat dir (id ^ ".csv"))
+    ~header ~rows
+
+let export_csv ~dir a b =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let a3 = [ a.no_buffer; a.buffer_16; a.buffer_256 ] in
+  let a2 = [ a.buffer_16; a.buffer_256 ] in
+  let b2 = [ b.packet_gran; b.flow_gran ] in
+  figure_csv ~dir ~id:"fig2a" ~series:a3 load_up;
+  figure_csv ~dir ~id:"fig2b" ~series:a3 load_down;
+  figure_csv ~dir ~id:"fig3" ~series:a3 controller_cpu;
+  figure_csv ~dir ~id:"fig4" ~series:a3 switch_cpu;
+  figure_csv ~dir ~id:"fig5" ~series:a3 setup_ms;
+  figure_csv ~dir ~id:"fig6" ~series:a3 controller_ms;
+  figure_csv ~dir ~id:"fig7" ~series:a3 switch_ms;
+  figure_csv ~dir ~id:"fig8" ~series:a2 buffer_mean;
+  figure_csv ~dir ~id:"fig9a" ~series:b2 load_up;
+  figure_csv ~dir ~id:"fig9b" ~series:b2 load_down;
+  figure_csv ~dir ~id:"fig10" ~series:b2 controller_cpu;
+  figure_csv ~dir ~id:"fig11" ~series:b2 switch_cpu;
+  figure_csv ~dir ~id:"fig12a" ~series:b2 setup_ms;
+  figure_csv ~dir ~id:"fig12b" ~series:b2 forwarding_ms;
+  figure_csv ~dir ~id:"fig13a" ~series:b2 buffer_mean;
+  figure_csv ~dir ~id:"fig13b" ~series:b2 buffer_max
+
+let claim ~what ~paper ~ours =
+  Printf.printf "  %-46s paper: %6s   measured: %6s\n" what paper ours
+
+let pct v = Printf.sprintf "%.1f%%" v
+
+let summary_exp_a d =
+  let reduction metric =
+    Sweep.reduction_pct
+      ~baseline:(Sweep.series_mean d.no_buffer metric)
+      ~improved:(Sweep.series_mean d.buffer_256 metric)
+  in
+  Printf.printf "\nSection IV headline claims (buffer-256 vs no-buffer, sweep averages):\n";
+  claim ~what:"control path load reduction (to controller)" ~paper:"78.7%"
+    ~ours:(pct (reduction load_up));
+  claim ~what:"control path load reduction (to switch)" ~paper:"96%"
+    ~ours:(pct (reduction load_down));
+  claim ~what:"controller overhead reduction" ~paper:"37%"
+    ~ours:(pct (reduction controller_cpu));
+  claim ~what:"switch overhead increase"
+    ~paper:"5.6%"
+    ~ours:
+      (pct
+         (-.Sweep.reduction_pct
+             ~baseline:(Sweep.series_mean d.no_buffer switch_cpu)
+             ~improved:(Sweep.series_mean d.buffer_256 switch_cpu)));
+  claim ~what:"controller delay reduction" ~paper:"58%"
+    ~ours:(pct (reduction controller_ms));
+  claim ~what:"switch delay reduction" ~paper:"87%"
+    ~ours:(pct (reduction switch_ms));
+  claim ~what:"flow setup delay reduction" ~paper:"78%"
+    ~ours:(pct (reduction setup_ms))
+
+let summary_exp_b d =
+  let reduction metric =
+    Sweep.reduction_pct
+      ~baseline:(Sweep.series_mean d.packet_gran metric)
+      ~improved:(Sweep.series_mean d.flow_gran metric)
+  in
+  Printf.printf
+    "\nSection V headline claims (flow- vs packet-granularity, sweep averages):\n";
+  claim ~what:"control path load reduction (to controller)" ~paper:"64%"
+    ~ours:(pct (reduction load_up));
+  claim ~what:"control path load reduction (to switch)" ~paper:"80%"
+    ~ours:(pct (reduction load_down));
+  claim ~what:"controller overhead reduction" ~paper:"35.7%"
+    ~ours:(pct (reduction controller_cpu));
+  claim ~what:"buffer utilization improvement" ~paper:"71.6%"
+    ~ours:(pct (reduction buffer_mean));
+  claim ~what:"flow forwarding delay reduction" ~paper:"18%"
+    ~ours:(pct (reduction forwarding_ms))
+
+let exp_a_figures =
+  [
+    ("fig2a", fig2a); ("fig2b", fig2b); ("fig3", fig3); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
+  ]
+
+let exp_b_figures =
+  [
+    ("fig9a", fig9a); ("fig9b", fig9b); ("fig10", fig10); ("fig11", fig11);
+    ("fig12a", fig12a); ("fig12b", fig12b); ("fig13a", fig13a);
+    ("fig13b", fig13b);
+  ]
+
+let run_all ?rates ?reps () =
+  Printf.printf "== Section IV: benefits of the default switch buffer ==\n";
+  Printf.printf "workload: 1000 single-packet UDP flows, 1000 B frames\n";
+  let a = run_exp_a ?rates ?reps () in
+  List.iter (fun (_, f) -> f a) exp_a_figures;
+  summary_exp_a a;
+  Printf.printf "\n== Section V: flow-granularity buffer mechanism ==\n";
+  Printf.printf
+    "workload: 50 flows x 20 packets, cross-sequence batches of 5, buffer 256\n";
+  let b = run_exp_b ?rates ?reps () in
+  List.iter (fun (_, f) -> f b) exp_b_figures;
+  summary_exp_b b

@@ -1,0 +1,210 @@
+open Sdn_sim
+open Sdn_net
+open Sdn_measure
+
+type t = {
+  engine : Engine.t;
+  switch : Sdn_switch.Switch.t;
+  controller : Sdn_controller.Controller.t;
+  capture : Capture.t;
+  delay : Delay.t;
+  host1_link : Bytes.t Link.t;
+  host2_link : Bytes.t Link.t;
+  to_host1 : Bytes.t Link.t;
+  to_host2 : Bytes.t Link.t;
+  to_controller : Bytes.t Link.t;
+  to_switch : Bytes.t Link.t;
+  traffic_rng : Rng.t;
+  mutable host1_received : int;
+  mutable host2_received : int;
+}
+
+let host1_ip = Ip.make 10 0 0 1
+let host2_ip = Ip.make 10 0 0 2
+
+let build (config : Config.t) =
+  let engine = Engine.create () in
+  let root_rng = Rng.of_int config.Config.seed in
+  let traffic_rng = Rng.split root_rng in
+  let switch_rng = Rng.split root_rng in
+  let controller_rng = Rng.split root_rng in
+  let capture = Capture.create ~encap_overhead:Calibration.encap_overhead_bytes () in
+  let delay = Delay.create () in
+  let addressing = Sdn_traffic.Addressing.default in
+  let switch_config =
+    {
+      Sdn_switch.Switch.default_config with
+      Sdn_switch.Switch.mechanism = config.Config.mechanism;
+      buffer_capacity = max 1 config.Config.buffer_capacity;
+      miss_send_len = config.Config.miss_send_len;
+      resend_timeout = config.Config.resend_timeout;
+      flow_table_capacity = config.Config.flow_table_capacity;
+    }
+  in
+  (* buffer_capacity = 0 means the no-buffer configuration. *)
+  let switch_config =
+    if config.Config.buffer_capacity = 0 then
+      { switch_config with Sdn_switch.Switch.mechanism = Sdn_switch.Switch.No_buffer }
+    else switch_config
+  in
+  let switch =
+    Sdn_switch.Switch.create engine ~config:switch_config
+      ~costs:config.Config.switch_costs ~rng:switch_rng ()
+  in
+  let hosts =
+    [
+      (host1_ip, addressing.Sdn_traffic.Addressing.src_mac, 1);
+      (host2_ip, addressing.Sdn_traffic.Addressing.dst_mac, 2);
+    ]
+  in
+  let app =
+    match config.Config.qos with
+    | None ->
+        Sdn_controller.Apps.forwarding ~hosts
+          ~idle_timeout:config.Config.rule_idle_timeout ()
+    | Some qos ->
+        Sdn_controller.Apps.qos_forwarding ~hosts
+          ~classify:qos.Config.classify
+          ~idle_timeout:config.Config.rule_idle_timeout ()
+  in
+  let controller =
+    Sdn_controller.Controller.create engine ~app
+      ~costs:config.Config.controller_costs ~rng:controller_rng
+      ~release_strategy:config.Config.release_strategy ()
+  in
+  let control_loss =
+    if config.Config.control_loss_rate > 0.0 then
+      Some (config.Config.control_loss_rate, Rng.split root_rng)
+    else None
+  in
+  let scenario = ref None in
+  let get () = Option.get !scenario in
+  (* Host ingress links: measurement sees the frame as it reaches the
+     switch. *)
+  let host1_link =
+    Link.create engine ~name:"host1->switch"
+      ~bandwidth_bps:Calibration.data_link_bandwidth_bps
+      ~propagation_s:Calibration.data_link_latency
+      ~receiver:(fun frame ->
+        Delay.on_switch_ingress delay ~time:(Engine.now engine) frame;
+        Sdn_switch.Switch.handle_frame switch ~in_port:1 frame)
+      ()
+  in
+  let host2_link =
+    Link.create engine ~name:"host2->switch"
+      ~bandwidth_bps:Calibration.data_link_bandwidth_bps
+      ~propagation_s:Calibration.data_link_latency
+      ~receiver:(fun frame ->
+        Delay.on_switch_ingress delay ~time:(Engine.now engine) frame;
+        Sdn_switch.Switch.handle_frame switch ~in_port:2 frame)
+      ()
+  in
+  (* Egress links: the capture hook sees the frame the instant the
+     switch puts it on the wire, which is the paper's "packet leaving
+     the switch". *)
+  let to_host1 =
+    Link.create engine ~name:"switch->host1"
+      ~bandwidth_bps:Calibration.data_link_bandwidth_bps
+      ~propagation_s:Calibration.data_link_latency
+      ~capture:(fun ~time ~size:_ frame -> Delay.on_switch_egress delay ~time frame)
+      ~receiver:(fun _frame ->
+        let s = get () in
+        s.host1_received <- s.host1_received + 1)
+      ()
+  in
+  let to_host2 =
+    Link.create engine ~name:"switch->host2"
+      ~bandwidth_bps:
+        (Option.value config.Config.egress_bandwidth_bps
+           ~default:Calibration.data_link_bandwidth_bps)
+      ~propagation_s:Calibration.data_link_latency
+      ~capture:(fun ~time ~size:_ frame -> Delay.on_switch_egress delay ~time frame)
+      ~receiver:(fun _frame ->
+        let s = get () in
+        s.host2_received <- s.host2_received + 1)
+      ()
+  in
+  let to_controller =
+    Link.create engine ~name:"switch->controller"
+      ~bandwidth_bps:Calibration.control_link_bandwidth_bps
+      ~propagation_s:Calibration.control_link_latency ?loss:control_loss
+      ~capture:(fun ~time ~size:_ buf ->
+        Capture.observe capture Capture.To_controller ~time buf;
+        Delay.on_to_controller delay ~time buf)
+      ~receiver:(fun buf -> Sdn_controller.Controller.handle_message controller buf)
+      ()
+  in
+  let to_switch =
+    Link.create engine ~name:"controller->switch"
+      ~bandwidth_bps:Calibration.control_link_bandwidth_bps
+      ~propagation_s:Calibration.control_link_latency ?loss:control_loss
+      ~capture:(fun ~time ~size:_ buf ->
+        Capture.observe capture Capture.To_switch ~time buf)
+      ~receiver:(fun buf ->
+        Delay.on_to_switch delay ~time:(Engine.now engine) buf;
+        Sdn_switch.Switch.handle_of_message switch buf)
+      ()
+  in
+  Sdn_switch.Switch.set_port switch ~port:1 to_host1;
+  Sdn_switch.Switch.set_port switch ~port:2 to_host2;
+  (match config.Config.qos with
+  | Some qos ->
+      Sdn_switch.Switch.set_port_scheduler switch ~port:1
+        ~policy:qos.Config.policy ~queues:qos.Config.queues;
+      Sdn_switch.Switch.set_port_scheduler switch ~port:2
+        ~policy:qos.Config.policy ~queues:qos.Config.queues
+  | None -> ());
+  Sdn_switch.Switch.set_controller_link switch to_controller;
+  Sdn_controller.Controller.set_switch_link controller to_switch;
+  Sdn_switch.Switch.start switch;
+  let enable_flow_buffer =
+    match config.Config.mechanism with
+    | Config.Flow_granularity -> Some config.Config.resend_timeout
+    | Config.No_buffer | Config.Packet_granularity -> None
+  in
+  Sdn_controller.Controller.start controller ?enable_flow_buffer
+    ~miss_send_len:config.Config.miss_send_len ();
+  let s =
+    {
+      engine;
+      switch;
+      controller;
+      capture;
+      delay;
+      host1_link;
+      host2_link;
+      to_host1;
+      to_host2;
+      to_controller;
+      to_switch;
+      traffic_rng;
+      host1_received = 0;
+      host2_received = 0;
+    }
+  in
+  scenario := Some s;
+  s
+
+let inject t ~in_port frame =
+  let link =
+    match in_port with
+    | 1 -> t.host1_link
+    | 2 -> t.host2_link
+    | p -> invalid_arg (Printf.sprintf "Scenario.inject: no host on port %d" p)
+  in
+  Link.send link ~size:(Bytes.length frame) frame
+
+let run_until_quiet ?(grace = 2.0) ?(min_time = 0.0) t =
+  (* Run in grace-sized slices until every injected packet has either
+     egressed or been dropped (bounded rounds — the housekeeping sweep
+     reschedules forever, so a plain drain would never terminate). *)
+  let rec loop rounds limit =
+    Engine.run ~until:limit t.engine;
+    let counters = Sdn_switch.Switch.counters t.switch in
+    let settled =
+      Delay.packets_out t.delay + counters.Sdn_switch.Switch.frames_dropped
+    in
+    if rounds < 10 && settled < Delay.packets_in t.delay then
+      loop (rounds + 1) (limit +. grace)
+  in
+  loop 0 (Float.max min_time (Engine.now t.engine) +. grace)

@@ -1,0 +1,50 @@
+open Sdn_sim
+
+type point = { rate_mbps : float; results : Experiment.result list }
+
+type series = { label : string; points : point list }
+
+let default_rates = List.init 20 (fun i -> float_of_int ((i + 1) * 5))
+
+let run ~label ?(rates = default_rates) ?(reps = 20) make_config =
+  let points =
+    List.map
+      (fun rate_mbps ->
+        let results =
+          List.init reps (fun rep ->
+              let seed = (int_of_float (rate_mbps *. 10.0) * 1000) + rep + 1 in
+              Experiment.run (make_config ~rate_mbps ~seed))
+        in
+        { rate_mbps; results })
+      rates
+  in
+  { label; points }
+
+let stats_of_point point f =
+  let s = Stats.create () in
+  List.iter (fun r -> Stats.add s (f r)) point.results;
+  s
+
+let point_mean point f = Stats.mean (stats_of_point point f)
+let point_sd point f = Stats.stddev (stats_of_point point f)
+
+let point_max point f =
+  let s = stats_of_point point f in
+  if Stats.count s = 0 then 0.0 else Stats.max s
+
+let stats_of_series series f =
+  let s = Stats.create () in
+  List.iter
+    (fun point -> List.iter (fun r -> Stats.add s (f r)) point.results)
+    series.points;
+  s
+
+let series_mean series f = Stats.mean (stats_of_series series f)
+let series_sd series f = Stats.stddev (stats_of_series series f)
+
+let series_max series f =
+  let s = stats_of_series series f in
+  if Stats.count s = 0 then 0.0 else Stats.max s
+
+let reduction_pct ~baseline ~improved =
+  if baseline = 0.0 then 0.0 else (baseline -. improved) /. baseline *. 100.0

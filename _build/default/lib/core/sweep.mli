@@ -1,0 +1,34 @@
+(** Rate sweeps with repetitions — the paper's methodology: every
+    sending rate from 5 to 100 Mbps in 5 Mbps steps, 20 repetitions
+    per point. *)
+
+type point = { rate_mbps : float; results : Experiment.result list }
+
+type series = { label : string; points : point list }
+
+val default_rates : float list
+(** [5; 10; ...; 100]. *)
+
+val run :
+  label:string ->
+  ?rates:float list ->
+  ?reps:int ->
+  (rate_mbps:float -> seed:int -> Config.t) ->
+  series
+(** [run ~label make_config] executes [reps] (default 20) runs per
+    rate, seeding each repetition differently (and differently across
+    rates). *)
+
+val point_mean : point -> (Experiment.result -> float) -> float
+val point_sd : point -> (Experiment.result -> float) -> float
+val point_max : point -> (Experiment.result -> float) -> float
+
+val series_mean : series -> (Experiment.result -> float) -> float
+(** Mean of the metric over every run at every rate — the quantity
+    behind the paper's "on average" claims. *)
+
+val series_sd : series -> (Experiment.result -> float) -> float
+val series_max : series -> (Experiment.result -> float) -> float
+
+val reduction_pct : baseline:float -> improved:float -> float
+(** [(baseline - improved) / baseline * 100]. *)

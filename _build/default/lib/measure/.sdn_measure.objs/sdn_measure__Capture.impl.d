@@ -1,0 +1,1 @@
+lib/measure/capture.ml: Bytes Format Hashtbl Of_codec Of_wire Option Sdn_openflow Sdn_sim Units

@@ -1,0 +1,1 @@
+lib/measure/capture.mli: Bytes Format Of_wire Sdn_openflow

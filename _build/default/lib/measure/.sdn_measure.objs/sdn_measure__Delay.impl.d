@@ -1,0 +1,1 @@
+lib/measure/delay.ml: Bytes Float Hashtbl Of_codec Of_packet_in Of_wire Option Sdn_net Sdn_openflow Sdn_sim Sdn_traffic Stats Tag

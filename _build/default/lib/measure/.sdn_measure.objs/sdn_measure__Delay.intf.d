@@ -1,0 +1,1 @@
+lib/measure/delay.mli: Bytes Sdn_sim Stats

@@ -1,0 +1,1 @@
+lib/measure/report.ml: Array Fun List Printf String

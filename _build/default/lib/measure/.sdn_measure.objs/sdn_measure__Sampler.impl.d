@@ -1,0 +1,1 @@
+lib/measure/sampler.ml: Cpu Engine List Sdn_sim Timeseries

@@ -1,0 +1,1 @@
+lib/measure/sampler.mli: Cpu Engine Sdn_sim Timeseries

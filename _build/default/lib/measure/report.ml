@@ -1,0 +1,43 @@
+let widths header rows =
+  let n = List.length header in
+  let w = Array.make n 0 in
+  let note row =
+    List.iteri (fun i cell -> if i < n then w.(i) <- max w.(i) (String.length cell)) row
+  in
+  note header;
+  List.iter note rows;
+  w
+
+let pad cell width = cell ^ String.make (max 0 (width - String.length cell)) ' '
+
+let render_row w row =
+  String.concat "  " (List.mapi (fun i cell -> pad cell w.(i)) row)
+
+let table ~header ~rows =
+  let w = widths header rows in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  String.concat "\n" (render_row w header :: sep :: List.map (render_row w) rows)
+
+let print_table ~header ~rows = print_endline (table ~header ~rows)
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~header ~rows =
+  let line row = String.concat "," (List.map escape_csv row) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_csv ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (csv ~header ~rows))
+
+let fmt_ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
+let fmt_mbps v = Printf.sprintf "%.2f" v
+let fmt_pct v = Printf.sprintf "%.1f" v
+let fmt_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v

@@ -1,0 +1,17 @@
+(** Plain-text table and CSV rendering for experiment output. *)
+
+val table : header:string list -> rows:string list list -> string
+(** Monospace table with column widths fitted to the content. *)
+
+val print_table : header:string list -> rows:string list list -> unit
+
+val csv : header:string list -> rows:string list list -> string
+
+val write_csv : path:string -> header:string list -> rows:string list list -> unit
+
+val fmt_ms : float -> string
+(** Seconds rendered as milliseconds, 3 decimals. *)
+
+val fmt_mbps : float -> string
+val fmt_pct : float -> string
+val fmt_f : ?decimals:int -> float -> string

@@ -1,0 +1,30 @@
+open Sdn_sim
+
+let every engine ~dt ~until f =
+  if dt <= 0.0 then invalid_arg "Sampler.every: dt must be positive";
+  let rec tick () =
+    let now = Engine.now engine in
+    if now <= until then begin
+      f ~time:now;
+      ignore (Engine.schedule engine ~delay:dt tick)
+    end
+  in
+  ignore (Engine.schedule engine ~delay:dt tick)
+
+let cpu_utilization engine ~dt ~until cpus =
+  let series = Timeseries.create () in
+  let last = ref (List.map (fun cpu -> Cpu.busy_core_seconds cpu) cpus) in
+  every engine ~dt ~until (fun ~time ->
+      let current = List.map (fun cpu -> Cpu.busy_core_seconds cpu) cpus in
+      let busy =
+        List.fold_left2 (fun acc now before -> acc +. now -. before) 0.0 current
+          !last
+      in
+      last := current;
+      Timeseries.add series ~time ~value:(busy /. dt *. 100.0));
+  series
+
+let gauge engine ~dt ~until f =
+  let series = Timeseries.create () in
+  every engine ~dt ~until (fun ~time -> Timeseries.add series ~time ~value:(f ()));
+  series

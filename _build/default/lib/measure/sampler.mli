@@ -1,0 +1,18 @@
+(** Periodic in-simulation sampling. *)
+
+open Sdn_sim
+
+val every : Engine.t -> dt:float -> until:float -> (time:float -> unit) -> unit
+(** Call the function at [dt] intervals, starting one period from now
+    and stopping after [until]. *)
+
+val cpu_utilization :
+  Engine.t -> dt:float -> until:float -> Cpu.t list -> Timeseries.t
+(** Sample the combined utilization (percent of one core, summed over
+    the given CPUs) over each interval, as [top] would report for a
+    multi-threaded process. *)
+
+val gauge :
+  Engine.t -> dt:float -> until:float -> (unit -> float) -> Timeseries.t
+(** Sample an arbitrary instantaneous value (e.g. buffer units in
+    use). *)

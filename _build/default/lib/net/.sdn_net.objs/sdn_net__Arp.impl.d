@@ -1,0 +1,1 @@
+lib/net/arp.ml: Bytes Ethernet Format Ip Mac Printf

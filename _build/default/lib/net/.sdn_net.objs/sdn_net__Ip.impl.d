@@ -1,0 +1,1 @@
+lib/net/ip.ml: Bytes Format Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/net/mac.ml: Bytes Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Arp Bytes Ethernet Flow_key Format Ipv4 Printf Tcp Udp

@@ -1,0 +1,1 @@
+lib/net/packet.mli: Arp Bytes Ethernet Flow_key Format Ip Ipv4 Mac Tcp Udp

@@ -1,0 +1,1 @@
+lib/net/udp.ml: Bytes Checksum Format Ip Ipv4

@@ -1,0 +1,27 @@
+let fold_carries s =
+  let s = ref s in
+  while !s > 0xFFFF do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s
+
+let sum buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.sum: region out of bounds";
+  let s = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    s := !s + Bytes.get_uint16_be buf !i;
+    i := !i + 2
+  done;
+  if !i < stop then s := !s + (Bytes.get_uint8 buf !i lsl 8);
+  fold_carries !s
+
+let add a b = fold_carries (a + b)
+
+let finish s = lnot s land 0xFFFF
+
+let over buf off len = finish (sum buf off len)
+
+let verify buf off len = sum buf off len = 0xFFFF

@@ -1,0 +1,20 @@
+(** RFC 1071 Internet checksum (one's-complement sum of 16-bit words). *)
+
+val sum : Bytes.t -> int -> int -> int
+(** [sum buf off len] is the one's-complement running sum (not yet
+    complemented) of the region, as an int in [\[0, 0xFFFF\]]. An odd
+    trailing byte is padded with zero, per the RFC. *)
+
+val add : int -> int -> int
+(** Combine two running sums with end-around carry. *)
+
+val finish : int -> int
+(** One's-complement the running sum into a wire checksum. An all-zero
+    result is returned as is (UDP maps it to 0xFFFF itself). *)
+
+val over : Bytes.t -> int -> int -> int
+(** [over buf off len] is [finish (sum buf off len)]. *)
+
+val verify : Bytes.t -> int -> int -> bool
+(** A region that embeds its own checksum sums to 0xFFFF; [verify]
+    checks that. *)

@@ -1,0 +1,28 @@
+type t = { dst : Mac.t; src : Mac.t; ethertype : int }
+
+let size = 14
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+
+let write t buf off =
+  Mac.write t.dst buf off;
+  Mac.write t.src buf (off + 6);
+  Bytes.set_uint16_be buf (off + 12) t.ethertype
+
+let read buf off =
+  if off + size > Bytes.length buf then Error "Ethernet.read: truncated header"
+  else
+    Ok
+      {
+        dst = Mac.read buf off;
+        src = Mac.read buf (off + 6);
+        ethertype = Bytes.get_uint16_be buf (off + 12);
+      }
+
+let equal a b =
+  Mac.equal a.dst b.dst && Mac.equal a.src b.src && a.ethertype = b.ethertype
+
+let pp fmt t =
+  Format.fprintf fmt "eth{%a -> %a, type=0x%04x}" Mac.pp t.src Mac.pp t.dst
+    t.ethertype

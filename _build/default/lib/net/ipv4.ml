@@ -1,0 +1,65 @@
+type t = {
+  tos : int;
+  ident : int;
+  dont_fragment : bool;
+  ttl : int;
+  proto : int;
+  src : Ip.t;
+  dst : Ip.t;
+}
+
+let size = 20
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+let write t ~payload_len buf off =
+  if payload_len < 0 then invalid_arg "Ipv4.write: negative payload length";
+  Bytes.set_uint8 buf off 0x45 (* version 4, IHL 5 *);
+  Bytes.set_uint8 buf (off + 1) t.tos;
+  Bytes.set_uint16_be buf (off + 2) (size + payload_len);
+  Bytes.set_uint16_be buf (off + 4) t.ident;
+  Bytes.set_uint16_be buf (off + 6) (if t.dont_fragment then 0x4000 else 0);
+  Bytes.set_uint8 buf (off + 8) t.ttl;
+  Bytes.set_uint8 buf (off + 9) t.proto;
+  Bytes.set_uint16_be buf (off + 10) 0;
+  Ip.write t.src buf (off + 12);
+  Ip.write t.dst buf (off + 16);
+  let csum = Checksum.over buf off size in
+  Bytes.set_uint16_be buf (off + 10) csum
+
+let read buf off =
+  if off + size > Bytes.length buf then Error "Ipv4.read: truncated header"
+  else begin
+    let vihl = Bytes.get_uint8 buf off in
+    if vihl lsr 4 <> 4 then Error "Ipv4.read: not IPv4"
+    else if vihl land 0xF <> 5 then Error "Ipv4.read: options unsupported"
+    else if not (Checksum.verify buf off size) then
+      Error "Ipv4.read: bad header checksum"
+    else begin
+      let total_len = Bytes.get_uint16_be buf (off + 2) in
+      if total_len < size then Error "Ipv4.read: bad total length"
+      else
+        Ok
+          ( {
+              tos = Bytes.get_uint8 buf (off + 1);
+              ident = Bytes.get_uint16_be buf (off + 4);
+              dont_fragment = Bytes.get_uint16_be buf (off + 6) land 0x4000 <> 0;
+              ttl = Bytes.get_uint8 buf (off + 8);
+              proto = Bytes.get_uint8 buf (off + 9);
+              src = Ip.read buf (off + 12);
+              dst = Ip.read buf (off + 16);
+            },
+            total_len - size )
+    end
+  end
+
+let equal a b =
+  a.tos = b.tos && a.ident = b.ident && a.dont_fragment = b.dont_fragment
+  && a.ttl = b.ttl && a.proto = b.proto && Ip.equal a.src b.src
+  && Ip.equal a.dst b.dst
+
+let pp fmt t =
+  Format.fprintf fmt "ipv4{%a -> %a, proto=%d, ttl=%d}" Ip.pp t.src Ip.pp t.dst
+    t.proto t.ttl

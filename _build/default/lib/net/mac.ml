@@ -1,0 +1,64 @@
+type t = int64 (* low 48 bits *)
+
+let mask = 0xFFFF_FFFF_FFFFL
+
+let of_int64 x = Int64.logand x mask
+
+let to_int64 t = t
+
+let of_octets a b c d e f =
+  let check o =
+    if o < 0 || o > 255 then invalid_arg "Mac.of_octets: octet out of range"
+  in
+  check a; check b; check c; check d; check e; check f;
+  let ( << ) x n = Int64.shift_left (Int64.of_int x) n in
+  List.fold_left Int64.logor 0L
+    [ a << 40; b << 32; c << 24; d << 16; e << 8; f << 0 ]
+
+let octet t i =
+  (* i = 0 is the most significant octet. *)
+  Int64.to_int (Int64.logand (Int64.shift_right_logical t (8 * (5 - i))) 0xFFL)
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (octet t 0) (octet t 1)
+    (octet t 2) (octet t 3) (octet t 4) (octet t 5)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] -> (
+      let parse x = int_of_string ("0x" ^ x) in
+      try
+        let parts = List.map parse [ a; b; c; d; e; f ] in
+        if List.exists (fun o -> o < 0 || o > 255) parts then
+          Error (Printf.sprintf "Mac.of_string: octet out of range in %S" s)
+        else
+          match parts with
+          | [ a; b; c; d; e; f ] -> Ok (of_octets a b c d e f)
+          | _ -> assert false
+      with Failure _ ->
+        Error (Printf.sprintf "Mac.of_string: bad octet in %S" s))
+  | _ -> Error (Printf.sprintf "Mac.of_string: expected 6 octets in %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let broadcast = mask
+
+let zero = 0L
+
+let is_broadcast t = Int64.equal t broadcast
+
+let compare = Int64.compare
+let equal = Int64.equal
+let hash t = Int64.to_int t land max_int
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let write t buf off =
+  for i = 0 to 5 do
+    Bytes.set_uint8 buf (off + i) (octet t i)
+  done
+
+let read buf off =
+  let get i = Bytes.get_uint8 buf (off + i) in
+  of_octets (get 0) (get 1) (get 2) (get 3) (get 4) (get 5)

@@ -1,0 +1,39 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+(** A MAC address. Total order and equality are structural. *)
+
+val of_octets : int -> int -> int -> int -> int -> int -> t
+(** [of_octets a b c d e f] builds [a:b:c:d:e:f]. Each octet must be in
+    [\[0, 255\]]; raises [Invalid_argument] otherwise. *)
+
+val of_int64 : int64 -> t
+(** Low 48 bits of the argument. *)
+
+val to_int64 : t -> int64
+
+val of_string : string -> (t, string) result
+(** Parse ["aa:bb:cc:dd:ee:ff"] (case-insensitive). *)
+
+val of_string_exn : string -> t
+
+val to_string : t -> string
+(** Lower-case colon-separated form. *)
+
+val broadcast : t
+(** [ff:ff:ff:ff:ff:ff]. *)
+
+val zero : t
+
+val is_broadcast : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val write : t -> Bytes.t -> int -> unit
+(** [write t buf off] stores the 6 octets at [buf.\[off..off+5\]]. *)
+
+val read : Bytes.t -> int -> t
+(** [read buf off] reads 6 octets. *)

@@ -1,0 +1,232 @@
+type l4 =
+  | Udp of Udp.t * Bytes.t
+  | Tcp of Tcp.t * Bytes.t
+  | Raw_l4 of int * Bytes.t
+
+type l3 = Ipv4 of Ipv4.t * l4 | Arp of Arp.t | Raw_l3 of Bytes.t
+
+type t = { eth : Ethernet.t; l3 : l3 }
+
+let min_udp_frame = Ethernet.size + Ipv4.size + Udp.size
+
+let l4_size = function
+  | Udp (_, payload) -> Udp.size + Bytes.length payload
+  | Tcp (_, payload) -> Tcp.size + Bytes.length payload
+  | Raw_l4 (_, payload) -> Bytes.length payload
+
+let size t =
+  Ethernet.size
+  +
+  match t.l3 with
+  | Ipv4 (_, l4) -> Ipv4.size + l4_size l4
+  | Arp _ -> Arp.size
+  | Raw_l3 payload -> Bytes.length payload
+
+let encode t =
+  let buf = Bytes.make (size t) '\000' in
+  Ethernet.write t.eth buf 0;
+  (match t.l3 with
+  | Ipv4 (ip, l4) ->
+      let ip_off = Ethernet.size in
+      let l4_off = ip_off + Ipv4.size in
+      Ipv4.write ip ~payload_len:(l4_size l4) buf ip_off;
+      (match l4 with
+      | Udp (udp, payload) ->
+          Bytes.blit payload 0 buf (l4_off + Udp.size) (Bytes.length payload);
+          Udp.write udp ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst ~payload buf
+            l4_off
+      | Tcp (tcp, payload) ->
+          Bytes.blit payload 0 buf (l4_off + Tcp.size) (Bytes.length payload);
+          Tcp.write tcp ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst ~payload buf
+            l4_off
+      | Raw_l4 (_, payload) ->
+          Bytes.blit payload 0 buf l4_off (Bytes.length payload))
+  | Arp arp -> Arp.write arp buf Ethernet.size
+  | Raw_l3 payload -> Bytes.blit payload 0 buf Ethernet.size (Bytes.length payload));
+  buf
+
+let decode_l4 ip buf off payload_len =
+  let sub () = Bytes.sub buf off payload_len in
+  if ip.Ipv4.proto = Ipv4.proto_udp then
+    match
+      Udp.read buf off ~len:payload_len ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
+    with
+    | Ok (udp, data_len) -> Ok (Udp (udp, Bytes.sub buf (off + Udp.size) data_len))
+    | Error _ as e -> e
+  else if ip.Ipv4.proto = Ipv4.proto_tcp then
+    match
+      Tcp.read buf off ~len:payload_len ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
+    with
+    | Ok (tcp, data_len) -> Ok (Tcp (tcp, Bytes.sub buf (off + Tcp.size) data_len))
+    | Error _ as e -> e
+  else Ok (Raw_l4 (ip.Ipv4.proto, sub ()))
+
+let decode buf =
+  match Ethernet.read buf 0 with
+  | Error _ as e -> e
+  | Ok eth ->
+      if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then begin
+        match Ipv4.read buf Ethernet.size with
+        | Error _ as e -> e
+        | Ok (ip, payload_len) ->
+            let l4_off = Ethernet.size + Ipv4.size in
+            if l4_off + payload_len > Bytes.length buf then
+              Error "Packet.decode: truncated IPv4 payload"
+            else begin
+              match decode_l4 ip buf l4_off payload_len with
+              | Ok l4 -> Ok { eth; l3 = Ipv4 (ip, l4) }
+              | Error _ as e -> e
+            end
+      end
+      else if eth.Ethernet.ethertype = Ethernet.ethertype_arp then begin
+        match Arp.read buf Ethernet.size with
+        | Ok arp -> Ok { eth; l3 = Arp arp }
+        | Error _ as e -> e
+      end
+      else begin
+        let payload =
+          Bytes.sub buf Ethernet.size (Bytes.length buf - Ethernet.size)
+        in
+        Ok { eth; l3 = Raw_l3 payload }
+      end
+
+let flow_key t =
+  match t.l3 with
+  | Ipv4 (ip, Udp (udp, _)) ->
+      Some
+        (Flow_key.make ~proto:Ipv4.proto_udp ~src_ip:ip.Ipv4.src
+           ~dst_ip:ip.Ipv4.dst ~src_port:udp.Udp.src_port
+           ~dst_port:udp.Udp.dst_port)
+  | Ipv4 (ip, Tcp (tcp, _)) ->
+      Some
+        (Flow_key.make ~proto:Ipv4.proto_tcp ~src_ip:ip.Ipv4.src
+           ~dst_ip:ip.Ipv4.dst ~src_port:tcp.Tcp.src_port
+           ~dst_port:tcp.Tcp.dst_port)
+  | Ipv4 (_, Raw_l4 _) | Arp _ | Raw_l3 _ -> None
+
+let udp ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64)
+    ?(ident = 0) ~payload () =
+  {
+    eth =
+      { Ethernet.dst = dst_mac; src = src_mac; ethertype = Ethernet.ethertype_ipv4 };
+    l3 =
+      Ipv4
+        ( {
+            Ipv4.tos = 0;
+            ident;
+            dont_fragment = true;
+            ttl;
+            proto = Ipv4.proto_udp;
+            src = src_ip;
+            dst = dst_ip;
+          },
+          Udp ({ Udp.src_port; dst_port }, payload) );
+  }
+
+let udp_frame_of_size ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port
+    ~frame_size ~payload_fill =
+  if frame_size < min_udp_frame then
+    invalid_arg
+      (Printf.sprintf "Packet.udp_frame_of_size: %d < minimum %d" frame_size
+         min_udp_frame);
+  let payload = Bytes.make (frame_size - min_udp_frame) '\000' in
+  payload_fill payload;
+  udp ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ~payload ()
+
+let tcp ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port ?(ttl = 64)
+    ?(ident = 0) ?(seq = 0l) ?(ack_seq = 0l) ?(flags = Tcp.no_flags)
+    ?(window = 65535) ~payload () =
+  {
+    eth =
+      { Ethernet.dst = dst_mac; src = src_mac; ethertype = Ethernet.ethertype_ipv4 };
+    l3 =
+      Ipv4
+        ( {
+            Ipv4.tos = 0;
+            ident;
+            dont_fragment = true;
+            ttl;
+            proto = Ipv4.proto_tcp;
+            src = src_ip;
+            dst = dst_ip;
+          },
+          Tcp ({ Tcp.src_port; dst_port; seq; ack_seq; flags; window }, payload)
+        );
+  }
+
+let arp ~src_mac ~dst_mac payload =
+  {
+    eth =
+      { Ethernet.dst = dst_mac; src = src_mac; ethertype = Ethernet.ethertype_arp };
+    l3 = Arp payload;
+  }
+
+type headers = {
+  h_eth : Ethernet.t;
+  h_ipv4 : Ipv4.t option;
+  h_l4_ports : (int * int) option;
+}
+
+let peek_headers buf =
+  match Ethernet.read buf 0 with
+  | Error _ as e -> e
+  | Ok eth ->
+      if eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then
+        Ok { h_eth = eth; h_ipv4 = None; h_l4_ports = None }
+      else begin
+        match Ipv4.read buf Ethernet.size with
+        | Error _ as e -> e
+        | Ok (ip, _payload_len) ->
+            let l4_off = Ethernet.size + Ipv4.size in
+            let ports =
+              if
+                (ip.Ipv4.proto = Ipv4.proto_udp || ip.Ipv4.proto = Ipv4.proto_tcp)
+                && l4_off + 4 <= Bytes.length buf
+              then
+                Some
+                  ( Bytes.get_uint16_be buf l4_off,
+                    Bytes.get_uint16_be buf (l4_off + 2) )
+              else None
+            in
+            Ok { h_eth = eth; h_ipv4 = Some ip; h_l4_ports = ports }
+      end
+
+let peek_flow_key buf =
+  match peek_headers buf with
+  | Error _ -> None
+  | Ok { h_ipv4 = Some ip; h_l4_ports = Some (src_port, dst_port); _ } ->
+      Some
+        (Flow_key.make ~proto:ip.Ipv4.proto ~src_ip:ip.Ipv4.src
+           ~dst_ip:ip.Ipv4.dst ~src_port ~dst_port)
+  | Ok _ -> None
+
+let equal_l4 a b =
+  match (a, b) with
+  | Udp (ha, pa), Udp (hb, pb) -> Udp.equal ha hb && Bytes.equal pa pb
+  | Tcp (ha, pa), Tcp (hb, pb) -> Tcp.equal ha hb && Bytes.equal pa pb
+  | Raw_l4 (na, pa), Raw_l4 (nb, pb) -> na = nb && Bytes.equal pa pb
+  | (Udp _ | Tcp _ | Raw_l4 _), _ -> false
+
+let equal_l3 a b =
+  match (a, b) with
+  | Ipv4 (ha, la), Ipv4 (hb, lb) -> Ipv4.equal ha hb && equal_l4 la lb
+  | Arp a, Arp b -> Arp.equal a b
+  | Raw_l3 a, Raw_l3 b -> Bytes.equal a b
+  | (Ipv4 _ | Arp _ | Raw_l3 _), _ -> false
+
+let equal a b = Ethernet.equal a.eth b.eth && equal_l3 a.l3 b.l3
+
+let pp fmt t =
+  match t.l3 with
+  | Ipv4 (ip, Udp (udp, payload)) ->
+      Format.fprintf fmt "%a %a %a len=%d" Ethernet.pp t.eth Ipv4.pp ip Udp.pp
+        udp (Bytes.length payload)
+  | Ipv4 (ip, Tcp (tcp, payload)) ->
+      Format.fprintf fmt "%a %a %a len=%d" Ethernet.pp t.eth Ipv4.pp ip Tcp.pp
+        tcp (Bytes.length payload)
+  | Ipv4 (ip, Raw_l4 (proto, payload)) ->
+      Format.fprintf fmt "%a %a l4proto=%d len=%d" Ethernet.pp t.eth Ipv4.pp ip
+        proto (Bytes.length payload)
+  | Arp arp -> Format.fprintf fmt "%a %a" Ethernet.pp t.eth Arp.pp arp
+  | Raw_l3 payload ->
+      Format.fprintf fmt "%a raw len=%d" Ethernet.pp t.eth (Bytes.length payload)

@@ -1,0 +1,109 @@
+(** Whole Ethernet frames: construction, binary encoding, parsing.
+
+    A [Packet.t] is a structured view of a frame. [encode] produces the
+    exact on-wire bytes — the byte counts that drive every
+    control-path-load number in the reproduction — and [decode] parses
+    them back (used when a [packet_out] carries a full packet that the
+    switch must re-forward). *)
+
+type l4 =
+  | Udp of Udp.t * Bytes.t  (** header, application payload *)
+  | Tcp of Tcp.t * Bytes.t
+  | Raw_l4 of int * Bytes.t
+      (** unparsed transport: protocol number, payload bytes *)
+
+type l3 =
+  | Ipv4 of Ipv4.t * l4
+  | Arp of Arp.t
+  | Raw_l3 of Bytes.t  (** unparsed network payload *)
+
+type t = { eth : Ethernet.t; l3 : l3 }
+
+val size : t -> int
+(** Exact encoded size in bytes (without recomputing the encoding). *)
+
+val encode : t -> Bytes.t
+(** Serialize to wire format, computing all checksums. *)
+
+val decode : Bytes.t -> (t, string) result
+(** Parse a frame. Transport layers of IPv4 packets are parsed for UDP
+    and TCP; other protocols come back as [Raw_l4]. *)
+
+val flow_key : t -> Flow_key.t option
+(** The 5-tuple, if the packet is IPv4 UDP or TCP. *)
+
+val udp :
+  src_mac:Mac.t ->
+  dst_mac:Mac.t ->
+  src_ip:Ip.t ->
+  dst_ip:Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?ident:int ->
+  payload:Bytes.t ->
+  unit ->
+  t
+(** Build a UDP-in-IPv4-in-Ethernet frame. *)
+
+val udp_frame_of_size :
+  src_mac:Mac.t ->
+  dst_mac:Mac.t ->
+  src_ip:Ip.t ->
+  dst_ip:Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  frame_size:int ->
+  payload_fill:(Bytes.t -> unit) ->
+  t
+(** Build a UDP frame whose total encoded size is exactly [frame_size]
+    bytes (the paper uses 1000-byte frames). [payload_fill] writes the
+    application payload in place (e.g. a pktgen-style tag). Raises
+    [Invalid_argument] if [frame_size] is smaller than the combined
+    headers (42 bytes). *)
+
+val tcp :
+  src_mac:Mac.t ->
+  dst_mac:Mac.t ->
+  src_ip:Ip.t ->
+  dst_ip:Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  ?ttl:int ->
+  ?ident:int ->
+  ?seq:int32 ->
+  ?ack_seq:int32 ->
+  ?flags:Tcp.flags ->
+  ?window:int ->
+  payload:Bytes.t ->
+  unit ->
+  t
+
+val arp : src_mac:Mac.t -> dst_mac:Mac.t -> Arp.t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val min_udp_frame : int
+(** Header overhead of a UDP frame: Ethernet + IPv4 + UDP = 42 bytes. *)
+
+(** {2 Header peeking}
+
+    A buffered [packet_in] carries only the first [miss_send_len] bytes
+    of the frame, so the controller cannot run the validating
+    {!decode} (payload checksums cannot be verified on a truncated
+    frame). {!peek_headers} parses just the protocol headers. *)
+
+type headers = {
+  h_eth : Ethernet.t;
+  h_ipv4 : Ipv4.t option;
+  h_l4_ports : (int * int) option;  (** (src, dst) for UDP/TCP *)
+}
+
+val peek_headers : Bytes.t -> (headers, string) result
+(** Parse Ethernet, and when present IPv4 and L4 port, headers from a
+    possibly-truncated frame prefix. The IPv4 header checksum is still
+    verified (it lies within the prefix); payload integrity is not. *)
+
+val peek_flow_key : Bytes.t -> Flow_key.t option
+(** The 5-tuple from a possibly-truncated frame prefix. *)

@@ -1,0 +1,60 @@
+type t = { src_port : int; dst_port : int }
+
+let size = 8
+
+let pseudo_header_sum ~src_ip ~dst_ip ~proto ~l4_len =
+  let buf = Bytes.create 12 in
+  Ip.write src_ip buf 0;
+  Ip.write dst_ip buf 4;
+  Bytes.set_uint8 buf 8 0;
+  Bytes.set_uint8 buf 9 proto;
+  Bytes.set_uint16_be buf 10 l4_len;
+  Checksum.sum buf 0 12
+
+let write t ~src_ip ~dst_ip ~payload buf off =
+  let len = size + Bytes.length payload in
+  Bytes.set_uint16_be buf off t.src_port;
+  Bytes.set_uint16_be buf (off + 2) t.dst_port;
+  Bytes.set_uint16_be buf (off + 4) len;
+  Bytes.set_uint16_be buf (off + 6) 0;
+  let pseudo =
+    pseudo_header_sum ~src_ip ~dst_ip ~proto:Ipv4.proto_udp ~l4_len:len
+  in
+  let body = Checksum.sum buf off len in
+  let csum = Checksum.finish (Checksum.add pseudo body) in
+  (* RFC 768: a computed checksum of zero is transmitted as all ones. *)
+  let csum = if csum = 0 then 0xFFFF else csum in
+  Bytes.set_uint16_be buf (off + 6) csum
+
+let read buf off ~len ~src_ip ~dst_ip =
+  if len < size || off + len > Bytes.length buf then
+    Error "Udp.read: truncated datagram"
+  else begin
+    let wire_len = Bytes.get_uint16_be buf (off + 4) in
+    if wire_len <> len then Error "Udp.read: length field mismatch"
+    else begin
+      let wire_csum = Bytes.get_uint16_be buf (off + 6) in
+      let ok =
+        if wire_csum = 0 then true (* checksum not used *)
+        else begin
+          let pseudo =
+            pseudo_header_sum ~src_ip ~dst_ip ~proto:Ipv4.proto_udp ~l4_len:len
+          in
+          let body = Checksum.sum buf off len in
+          Checksum.add pseudo body = 0xFFFF
+        end
+      in
+      if not ok then Error "Udp.read: bad checksum"
+      else
+        Ok
+          ( {
+              src_port = Bytes.get_uint16_be buf off;
+              dst_port = Bytes.get_uint16_be buf (off + 2);
+            },
+            len - size )
+    end
+  end
+
+let equal a b = a.src_port = b.src_port && a.dst_port = b.dst_port
+
+let pp fmt t = Format.fprintf fmt "udp{%d -> %d}" t.src_port t.dst_port

@@ -1,0 +1,1 @@
+lib/openflow/of_action.ml: Bytes Ethernet Format Int32 Ip Ipv4 List Mac Of_wire Packet Printf Result Sdn_net Tcp Udp

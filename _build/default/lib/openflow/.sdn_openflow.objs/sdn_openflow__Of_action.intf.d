@@ -1,0 +1,1 @@
+lib/openflow/of_action.mli: Bytes Format Ip Mac Packet Sdn_net

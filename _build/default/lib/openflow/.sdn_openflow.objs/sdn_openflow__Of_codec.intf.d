@@ -1,0 +1,1 @@
+lib/openflow/of_codec.mli: Bytes Format Of_config Of_error Of_ext Of_features Of_flow_mod Of_flow_removed Of_packet_in Of_packet_out Of_port_status Of_stats Of_wire

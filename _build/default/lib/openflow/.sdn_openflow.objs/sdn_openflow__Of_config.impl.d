@@ -1,0 +1,1 @@
+lib/openflow/of_config.ml: Bytes Format Of_packet_in

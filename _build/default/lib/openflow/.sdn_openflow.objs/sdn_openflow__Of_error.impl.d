@@ -1,0 +1,1 @@
+lib/openflow/of_error.ml: Bytes Format Printf

@@ -1,0 +1,1 @@
+lib/openflow/of_error.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/openflow/of_ext.ml: Bytes Float Format Int32 Printf

@@ -1,0 +1,1 @@
+lib/openflow/of_features.ml: Bytes Format Int32 Int64 List Mac Sdn_net String

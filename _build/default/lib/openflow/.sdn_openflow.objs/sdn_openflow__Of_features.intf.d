@@ -1,0 +1,1 @@
+lib/openflow/of_features.mli: Bytes Format Mac Sdn_net

@@ -1,0 +1,1 @@
+lib/openflow/of_flow_mod.ml: Bytes Format Int32 Int64 List Of_action Of_match Of_wire Printf

@@ -1,0 +1,1 @@
+lib/openflow/of_flow_removed.ml: Bytes Format Int32 Int64 Of_match Printf

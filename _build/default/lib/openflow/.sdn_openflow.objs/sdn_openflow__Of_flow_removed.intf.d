@@ -1,0 +1,1 @@
+lib/openflow/of_flow_removed.mli: Bytes Format Of_match

@@ -1,0 +1,1 @@
+lib/openflow/of_match.ml: Arp Bytes Ethernet Flow_key Format Int32 Ip Ipv4 Mac Option Packet Sdn_net Tcp Udp

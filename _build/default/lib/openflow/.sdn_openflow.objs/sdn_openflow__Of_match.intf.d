@@ -1,0 +1,1 @@
+lib/openflow/of_match.mli: Bytes Flow_key Format Ip Mac Packet Sdn_net

@@ -1,0 +1,1 @@
+lib/openflow/of_packet_in.mli: Bytes Format

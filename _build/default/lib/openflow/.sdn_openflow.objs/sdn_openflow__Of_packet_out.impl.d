@@ -1,0 +1,1 @@
+lib/openflow/of_packet_out.ml: Bytes Format Int32 List Of_action Of_wire

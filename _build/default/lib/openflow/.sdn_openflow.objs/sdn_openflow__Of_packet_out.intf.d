@@ -1,0 +1,1 @@
+lib/openflow/of_packet_out.mli: Bytes Format Of_action

@@ -1,0 +1,1 @@
+lib/openflow/of_port_status.ml: Bytes Format Int32 Of_features Printf

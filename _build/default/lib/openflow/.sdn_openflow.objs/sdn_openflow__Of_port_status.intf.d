@@ -1,0 +1,1 @@
+lib/openflow/of_port_status.mli: Bytes Format Of_features

@@ -1,0 +1,1 @@
+lib/openflow/of_stats.mli: Bytes Format Of_action Of_match

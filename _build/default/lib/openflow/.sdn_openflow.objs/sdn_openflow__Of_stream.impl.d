@@ -1,0 +1,1 @@
+lib/openflow/of_stream.ml: Bytes List Of_codec Of_wire Printf

@@ -1,0 +1,1 @@
+lib/openflow/of_stream.mli: Bytes Of_codec

@@ -1,0 +1,1 @@
+lib/openflow/of_wire.ml: Bytes Format Int32 Printf

@@ -1,0 +1,49 @@
+(** OpenFlow 1.0 actions. *)
+
+open Sdn_net
+
+type t =
+  | Output of { port : int; max_len : int }
+      (** Forward out a port; [max_len] bounds the bytes sent to the
+          controller when [port = CONTROLLER]. *)
+  | Set_vlan_vid of int
+  | Set_vlan_pcp of int
+  | Strip_vlan
+  | Set_dl_src of Mac.t
+  | Set_dl_dst of Mac.t
+  | Set_nw_src of Ip.t
+  | Set_nw_dst of Ip.t
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+  | Enqueue of { port : int; queue_id : int32 }
+
+val output : ?max_len:int -> int -> t
+(** [output port] with [max_len] defaulting to 0xFFFF. *)
+
+val size : t -> int
+(** Encoded size (8 or 16 bytes; always a multiple of 8). *)
+
+val list_size : t list -> int
+
+val write_list : t list -> Bytes.t -> int -> int
+(** Serialize consecutively; returns the offset past the last action. *)
+
+val read_list : Bytes.t -> int -> len:int -> (t list, string) result
+(** Parse exactly [len] bytes of actions starting at the offset. *)
+
+type output_spec = { out_port : int; queue_id : int32 option }
+(** One forwarding decision: a port, and the egress queue when the
+    action was [Enqueue]. *)
+
+val apply : t list -> Packet.t -> Packet.t * int list
+(** Apply header rewrites in order and collect output ports. The port
+    list preserves action order. *)
+
+val apply_full : t list -> Packet.t -> Packet.t * output_spec list
+(** Like {!apply} but keeps the queue assignment of [Enqueue] actions,
+    for switches with QoS egress scheduling. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,47 @@
+(** OpenFlow 1.0 [ERROR] message body. *)
+
+type error_type =
+  | Hello_failed
+  | Bad_request
+  | Bad_action
+  | Flow_mod_failed
+  | Port_mod_failed
+  | Queue_op_failed
+
+type t = {
+  error_type : error_type;
+  code : int;
+  data : Bytes.t;  (** at least 64 bytes of the offending message *)
+}
+
+(** Codes for [Flow_mod_failed], the type the switch model raises. *)
+module Flow_mod_failed_code : sig
+  val all_tables_full : int
+  val overlap : int
+  val eperm : int
+  val bad_emerg_timeout : int
+  val bad_command : int
+  val unsupported : int
+end
+
+(** Codes for [Bad_request]. *)
+module Bad_request_code : sig
+  val bad_version : int
+  val bad_type : int
+  val bad_stat : int
+  val bad_vendor : int
+  val bad_subtype : int
+  val eperm : int
+  val bad_len : int
+  val buffer_empty : int
+  val buffer_unknown : int
+end
+
+val make : error_type:error_type -> code:int -> ?data:Bytes.t -> unit -> t
+
+val body_size : t -> int
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Vendor (experimenter) extension carrying the paper's
+    flow-granularity buffer protocol.
+
+    The mechanism itself mostly reuses standard messages — the shared
+    [buffer_id] rides in ordinary [PACKET_IN] / [PACKET_OUT] — but the
+    paper notes the OpenFlow protocol "needs to be extended" for the
+    switch-side behaviour. This module defines that extension as a
+    proper OF 1.0 [VENDOR] message family:
+
+    - the controller enables or disables flow-granularity buffering on
+      a switch and configures the re-request timeout of Algorithm 1
+      (line 12);
+    - the controller can query buffer-pool statistics, which the
+      monitoring example uses to plot buffer utilization live. *)
+
+type stats = {
+  units_in_use : int;
+  units_total : int;
+  flows_buffered : int;  (** flows currently holding a buffer unit *)
+  packets_buffered : int;  (** packets across all chained units *)
+  resends : int;  (** timeout-triggered repeated PACKET_INs *)
+}
+
+type t =
+  | Flow_buffer_enable of { timeout : float }
+      (** [timeout] in seconds; encoded as whole milliseconds. *)
+  | Flow_buffer_disable
+  | Flow_buffer_stats_request
+  | Flow_buffer_stats_reply of stats
+
+val vendor_id : int32
+(** The experimenter id this reproduction registers for itself. *)
+
+val body_size : t -> int
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+open Sdn_net
+
+type phy_port = { port_no : int; hw_addr : Mac.t; name : string }
+
+type t = {
+  datapath_id : int64;
+  n_buffers : int32;
+  n_tables : int;
+  capabilities : int32;
+  actions : int32;
+  ports : phy_port list;
+}
+
+(* OFPC_FLOW_STATS | OFPC_TABLE_STATS | OFPC_PORT_STATS *)
+let default_capabilities = 0x7l
+
+(* Output action bit. *)
+let default_actions = 0x1l
+
+let make ~datapath_id ~n_buffers ~n_tables ~ports =
+  {
+    datapath_id;
+    n_buffers = Int32.of_int n_buffers;
+    n_tables;
+    capabilities = default_capabilities;
+    actions = default_actions;
+    ports;
+  }
+
+let phy_port_size = 48
+
+let fixed_body = 8 + 4 + 1 + 3 + 4 + 4
+
+let body_size t = fixed_body + (phy_port_size * List.length t.ports)
+
+let write_port p buf off =
+  Bytes.fill buf off phy_port_size '\000';
+  Bytes.set_uint16_be buf off p.port_no;
+  Mac.write p.hw_addr buf (off + 2);
+  let name_len = min (String.length p.name) 15 in
+  Bytes.blit_string p.name 0 buf (off + 8) name_len
+  (* config/state/curr/advertised/supported/peer stay zero *)
+
+let read_port buf off =
+  let raw_name = Bytes.sub_string buf (off + 8) 16 in
+  let name =
+    match String.index_opt raw_name '\000' with
+    | Some i -> String.sub raw_name 0 i
+    | None -> raw_name
+  in
+  { port_no = Bytes.get_uint16_be buf off; hw_addr = Mac.read buf (off + 2); name }
+
+let write_body t buf off =
+  Bytes.set_int64_be buf off t.datapath_id;
+  Bytes.set_int32_be buf (off + 8) t.n_buffers;
+  Bytes.set_uint8 buf (off + 12) t.n_tables;
+  Bytes.set_uint8 buf (off + 13) 0;
+  Bytes.set_uint16_be buf (off + 14) 0;
+  Bytes.set_int32_be buf (off + 16) t.capabilities;
+  Bytes.set_int32_be buf (off + 20) t.actions;
+  List.iteri
+    (fun i p -> write_port p buf (off + fixed_body + (i * phy_port_size)))
+    t.ports
+
+let read_body buf off ~len =
+  if len < fixed_body then Error "Of_features.read_body: truncated"
+  else if (len - fixed_body) mod phy_port_size <> 0 then
+    Error "Of_features.read_body: ragged port list"
+  else begin
+    let n_ports = (len - fixed_body) / phy_port_size in
+    let ports =
+      List.init n_ports (fun i ->
+          read_port buf (off + fixed_body + (i * phy_port_size)))
+    in
+    Ok
+      {
+        datapath_id = Bytes.get_int64_be buf off;
+        n_buffers = Bytes.get_int32_be buf (off + 8);
+        n_tables = Bytes.get_uint8 buf (off + 12);
+        capabilities = Bytes.get_int32_be buf (off + 16);
+        actions = Bytes.get_int32_be buf (off + 20);
+        ports;
+      }
+  end
+
+let equal_port a b =
+  a.port_no = b.port_no && Mac.equal a.hw_addr b.hw_addr && a.name = b.name
+
+let equal a b =
+  Int64.equal a.datapath_id b.datapath_id
+  && Int32.equal a.n_buffers b.n_buffers
+  && a.n_tables = b.n_tables
+  && Int32.equal a.capabilities b.capabilities
+  && Int32.equal a.actions b.actions
+  && List.length a.ports = List.length b.ports
+  && List.for_all2 equal_port a.ports b.ports
+
+let pp fmt t =
+  Format.fprintf fmt "features{dpid=%Ld buffers=%ld tables=%d ports=%d}"
+    t.datapath_id t.n_buffers t.n_tables (List.length t.ports)

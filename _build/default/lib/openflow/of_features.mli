@@ -1,0 +1,41 @@
+(** OpenFlow 1.0 [FEATURES_REPLY] (switch handshake).
+
+    [n_buffers] advertises the size of the packet buffer pool — the
+    quantity the paper varies (0 / 16 / 256). *)
+
+open Sdn_net
+
+type phy_port = {
+  port_no : int;
+  hw_addr : Mac.t;
+  name : string;  (** at most 15 bytes; NUL-padded on the wire *)
+}
+
+type t = {
+  datapath_id : int64;
+  n_buffers : int32;
+  n_tables : int;
+  capabilities : int32;
+  actions : int32;
+  ports : phy_port list;
+}
+
+val make :
+  datapath_id:int64 -> n_buffers:int -> n_tables:int -> ports:phy_port list -> t
+(** Capabilities/actions are filled with the flow-stats and
+    output-action bits this implementation supports. *)
+
+val phy_port_size : int
+(** 48 bytes. *)
+
+val write_port : phy_port -> Bytes.t -> int -> unit
+(** Serialize one ofp_phy_port (config/state/feature words zeroed). *)
+
+val read_port : Bytes.t -> int -> phy_port
+
+val body_size : t -> int
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

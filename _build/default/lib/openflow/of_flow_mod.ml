@@ -1,0 +1,124 @@
+type command = Add | Modify | Modify_strict | Delete | Delete_strict
+
+type t = {
+  match_ : Of_match.t;
+  cookie : int64;
+  command : command;
+  idle_timeout : int;
+  hard_timeout : int;
+  priority : int;
+  buffer_id : int32;
+  out_port : int;
+  send_flow_rem : bool;
+  check_overlap : bool;
+  actions : Of_action.t list;
+}
+
+let add ?(cookie = 0L) ?(idle_timeout = 5) ?(hard_timeout = 0) ?(priority = 1)
+    ?(buffer_id = Of_wire.no_buffer) ~match_ ~actions () =
+  {
+    match_;
+    cookie;
+    command = Add;
+    idle_timeout;
+    hard_timeout;
+    priority;
+    buffer_id;
+    out_port = Of_wire.Port.none;
+    send_flow_rem = false;
+    check_overlap = false;
+    actions;
+  }
+
+let command_to_int = function
+  | Add -> 0
+  | Modify -> 1
+  | Modify_strict -> 2
+  | Delete -> 3
+  | Delete_strict -> 4
+
+let command_of_int = function
+  | 0 -> Ok Add
+  | 1 -> Ok Modify
+  | 2 -> Ok Modify_strict
+  | 3 -> Ok Delete
+  | 4 -> Ok Delete_strict
+  | n -> Error (Printf.sprintf "Of_flow_mod: unknown command %d" n)
+
+let fixed_body = Of_match.size + 8 + 2 + 2 + 2 + 2 + 4 + 2 + 2 (* = 64 *)
+
+let body_size t = fixed_body + Of_action.list_size t.actions
+
+let write_body t buf off =
+  Of_match.write t.match_ buf off;
+  let o = off + Of_match.size in
+  Bytes.set_int64_be buf o t.cookie;
+  Bytes.set_uint16_be buf (o + 8) (command_to_int t.command);
+  Bytes.set_uint16_be buf (o + 10) t.idle_timeout;
+  Bytes.set_uint16_be buf (o + 12) t.hard_timeout;
+  Bytes.set_uint16_be buf (o + 14) t.priority;
+  Bytes.set_int32_be buf (o + 16) t.buffer_id;
+  Bytes.set_uint16_be buf (o + 20) t.out_port;
+  let flags =
+    (if t.send_flow_rem then 1 else 0) lor if t.check_overlap then 2 else 0
+  in
+  Bytes.set_uint16_be buf (o + 22) flags;
+  ignore (Of_action.write_list t.actions buf (o + 24))
+
+let read_body buf off ~len =
+  if len < fixed_body then Error "Of_flow_mod.read_body: truncated"
+  else begin
+    match Of_match.read buf off with
+    | Error _ as e -> e
+    | Ok match_ -> (
+        let o = off + Of_match.size in
+        match command_of_int (Bytes.get_uint16_be buf (o + 8)) with
+        | Error _ as e -> e
+        | Ok command -> (
+            let flags = Bytes.get_uint16_be buf (o + 22) in
+            match
+              Of_action.read_list buf (o + 24) ~len:(len - fixed_body)
+            with
+            | Error _ as e -> e
+            | Ok actions ->
+                Ok
+                  {
+                    match_;
+                    cookie = Bytes.get_int64_be buf o;
+                    command;
+                    idle_timeout = Bytes.get_uint16_be buf (o + 10);
+                    hard_timeout = Bytes.get_uint16_be buf (o + 12);
+                    priority = Bytes.get_uint16_be buf (o + 14);
+                    buffer_id = Bytes.get_int32_be buf (o + 16);
+                    out_port = Bytes.get_uint16_be buf (o + 20);
+                    send_flow_rem = flags land 1 <> 0;
+                    check_overlap = flags land 2 <> 0;
+                    actions;
+                  }))
+  end
+
+let equal a b =
+  Of_match.equal a.match_ b.match_
+  && Int64.equal a.cookie b.cookie
+  && a.command = b.command && a.idle_timeout = b.idle_timeout
+  && a.hard_timeout = b.hard_timeout && a.priority = b.priority
+  && Int32.equal a.buffer_id b.buffer_id
+  && a.out_port = b.out_port && a.send_flow_rem = b.send_flow_rem
+  && a.check_overlap = b.check_overlap
+  && List.length a.actions = List.length b.actions
+  && List.for_all2 Of_action.equal a.actions b.actions
+
+let pp_command fmt c =
+  Format.pp_print_string fmt
+    (match c with
+    | Add -> "ADD"
+    | Modify -> "MODIFY"
+    | Modify_strict -> "MODIFY_STRICT"
+    | Delete -> "DELETE"
+    | Delete_strict -> "DELETE_STRICT")
+
+let pp fmt t =
+  Format.fprintf fmt
+    "flow_mod{%a %a prio=%d idle=%d hard=%d buffer=%ld actions=[%a]}" pp_command
+    t.command Of_match.pp t.match_ t.priority t.idle_timeout t.hard_timeout
+    t.buffer_id Of_action.pp_list t.actions

@@ -1,0 +1,44 @@
+(** OpenFlow 1.0 [FLOW_MOD] message body.
+
+    Note the [buffer_id] field: a [FLOW_MOD] carrying a valid buffer id
+    both installs the rule and applies it to the buffered packet — one
+    of the two ways the controller releases a buffered miss-match
+    packet (the other being [PACKET_OUT]). *)
+
+type command = Add | Modify | Modify_strict | Delete | Delete_strict
+
+type t = {
+  match_ : Of_match.t;
+  cookie : int64;
+  command : command;
+  idle_timeout : int;  (** seconds; 0 = never expire on idleness *)
+  hard_timeout : int;  (** seconds; 0 = never expire *)
+  priority : int;
+  buffer_id : int32;  (** {!Of_wire.no_buffer} when none *)
+  out_port : int;  (** filter for [Delete]; {!Of_wire.Port.none} otherwise *)
+  send_flow_rem : bool;
+  check_overlap : bool;
+  actions : Of_action.t list;
+}
+
+val add :
+  ?cookie:int64 ->
+  ?idle_timeout:int ->
+  ?hard_timeout:int ->
+  ?priority:int ->
+  ?buffer_id:int32 ->
+  match_:Of_match.t ->
+  actions:Of_action.t list ->
+  unit ->
+  t
+(** An [Add] with Floodlight-like defaults (priority 1, idle timeout
+    5 s, no hard timeout). *)
+
+val body_size : t -> int
+(** Bytes after the common header (64 + actions). *)
+
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type reason = Idle_timeout | Hard_timeout | Delete
+
+type t = {
+  match_ : Of_match.t;
+  cookie : int64;
+  priority : int;
+  reason : reason;
+  duration_sec : int32;
+  duration_nsec : int32;
+  idle_timeout : int;
+  packet_count : int64;
+  byte_count : int64;
+}
+
+let body_size = Of_match.size + 8 + 2 + 1 + 1 + 4 + 4 + 2 + 2 + 8 + 8 (* 80 *)
+
+let reason_to_int = function Idle_timeout -> 0 | Hard_timeout -> 1 | Delete -> 2
+
+let reason_of_int = function
+  | 0 -> Ok Idle_timeout
+  | 1 -> Ok Hard_timeout
+  | 2 -> Ok Delete
+  | n -> Error (Printf.sprintf "Of_flow_removed: unknown reason %d" n)
+
+let write_body t buf off =
+  Of_match.write t.match_ buf off;
+  let o = off + Of_match.size in
+  Bytes.set_int64_be buf o t.cookie;
+  Bytes.set_uint16_be buf (o + 8) t.priority;
+  Bytes.set_uint8 buf (o + 10) (reason_to_int t.reason);
+  Bytes.set_uint8 buf (o + 11) 0;
+  Bytes.set_int32_be buf (o + 12) t.duration_sec;
+  Bytes.set_int32_be buf (o + 16) t.duration_nsec;
+  Bytes.set_uint16_be buf (o + 20) t.idle_timeout;
+  Bytes.set_uint16_be buf (o + 22) 0;
+  Bytes.set_int64_be buf (o + 24) t.packet_count;
+  Bytes.set_int64_be buf (o + 32) t.byte_count
+
+let read_body buf off ~len =
+  if len < body_size then Error "Of_flow_removed.read_body: truncated"
+  else begin
+    match Of_match.read buf off with
+    | Error _ as e -> e
+    | Ok match_ -> (
+        let o = off + Of_match.size in
+        match reason_of_int (Bytes.get_uint8 buf (o + 10)) with
+        | Error _ as e -> e
+        | Ok reason ->
+            Ok
+              {
+                match_;
+                cookie = Bytes.get_int64_be buf o;
+                priority = Bytes.get_uint16_be buf (o + 8);
+                reason;
+                duration_sec = Bytes.get_int32_be buf (o + 12);
+                duration_nsec = Bytes.get_int32_be buf (o + 16);
+                idle_timeout = Bytes.get_uint16_be buf (o + 20);
+                packet_count = Bytes.get_int64_be buf (o + 24);
+                byte_count = Bytes.get_int64_be buf (o + 32);
+              })
+  end
+
+let equal a b =
+  Of_match.equal a.match_ b.match_
+  && Int64.equal a.cookie b.cookie
+  && a.priority = b.priority && a.reason = b.reason
+  && Int32.equal a.duration_sec b.duration_sec
+  && Int32.equal a.duration_nsec b.duration_nsec
+  && a.idle_timeout = b.idle_timeout
+  && Int64.equal a.packet_count b.packet_count
+  && Int64.equal a.byte_count b.byte_count
+
+let reason_to_string = function
+  | Idle_timeout -> "IDLE_TIMEOUT"
+  | Hard_timeout -> "HARD_TIMEOUT"
+  | Delete -> "DELETE"
+
+let pp fmt t =
+  Format.fprintf fmt "flow_removed{%a reason=%s pkts=%Ld}" Of_match.pp t.match_
+    (reason_to_string t.reason) t.packet_count

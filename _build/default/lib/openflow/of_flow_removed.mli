@@ -1,0 +1,30 @@
+(** OpenFlow 1.0 [FLOW_REMOVED] message body.
+
+    Sent by the switch when a rule whose [FLOW_MOD] set the
+    [send_flow_rem] flag leaves the table — by idle timeout, hard
+    timeout or deletion. This is how a controller can watch the
+    rule-eviction dynamics the paper's Section VI.B discussion turns
+    on (an idle TCP connection losing its rule while still open). *)
+
+type reason = Idle_timeout | Hard_timeout | Delete
+
+type t = {
+  match_ : Of_match.t;
+  cookie : int64;
+  priority : int;
+  reason : reason;
+  duration_sec : int32;
+  duration_nsec : int32;
+  idle_timeout : int;
+  packet_count : int64;
+  byte_count : int64;
+}
+
+val body_size : int
+(** 80 bytes. *)
+
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,270 @@
+open Sdn_net
+
+type t = {
+  in_port : int option;
+  dl_src : Mac.t option;
+  dl_dst : Mac.t option;
+  dl_vlan : int option;
+  dl_vlan_pcp : int option;
+  dl_type : int option;
+  nw_tos : int option;
+  nw_proto : int option;
+  nw_src : (Ip.t * int) option;
+  nw_dst : (Ip.t * int) option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let size = 40
+
+(* Wildcard bit positions, per ofp_flow_wildcards. *)
+let wc_in_port = 1 lsl 0
+let wc_dl_vlan = 1 lsl 1
+let wc_dl_src = 1 lsl 2
+let wc_dl_dst = 1 lsl 3
+let wc_dl_type = 1 lsl 4
+let wc_nw_proto = 1 lsl 5
+let wc_tp_src = 1 lsl 6
+let wc_tp_dst = 1 lsl 7
+let nw_src_shift = 8
+let nw_dst_shift = 14
+let wc_dl_vlan_pcp = 1 lsl 20
+let wc_nw_tos = 1 lsl 21
+
+let wildcard_all =
+  {
+    in_port = None;
+    dl_src = None;
+    dl_dst = None;
+    dl_vlan = None;
+    dl_vlan_pcp = None;
+    dl_type = None;
+    nw_tos = None;
+    nw_proto = None;
+    nw_src = None;
+    nw_dst = None;
+    tp_src = None;
+    tp_dst = None;
+  }
+
+let exact_of_packet ?in_port (pkt : Packet.t) =
+  let base =
+    {
+      wildcard_all with
+      in_port;
+      dl_src = Some pkt.Packet.eth.Ethernet.src;
+      dl_dst = Some pkt.Packet.eth.Ethernet.dst;
+      dl_type = Some pkt.Packet.eth.Ethernet.ethertype;
+    }
+  in
+  match pkt.Packet.l3 with
+  | Packet.Ipv4 (ip, l4) -> (
+      let with_ip =
+        {
+          base with
+          nw_tos = Some ip.Ipv4.tos;
+          nw_proto = Some ip.Ipv4.proto;
+          nw_src = Some (ip.Ipv4.src, 32);
+          nw_dst = Some (ip.Ipv4.dst, 32);
+        }
+      in
+      match l4 with
+      | Packet.Udp (udp, _) ->
+          {
+            with_ip with
+            tp_src = Some udp.Udp.src_port;
+            tp_dst = Some udp.Udp.dst_port;
+          }
+      | Packet.Tcp (tcp, _) ->
+          {
+            with_ip with
+            tp_src = Some tcp.Tcp.src_port;
+            tp_dst = Some tcp.Tcp.dst_port;
+          }
+      | Packet.Raw_l4 _ -> with_ip)
+  | Packet.Arp arp ->
+      (* OF 1.0 reuses nw fields for ARP addresses and nw_proto for the
+         opcode. *)
+      {
+        base with
+        nw_proto = Some (match arp.Arp.oper with Arp.Request -> 1 | Arp.Reply -> 2);
+        nw_src = Some (arp.Arp.sender_ip, 32);
+        nw_dst = Some (arp.Arp.target_ip, 32);
+      }
+  | Packet.Raw_l3 _ -> base
+
+let of_flow_key (key : Flow_key.t) =
+  {
+    wildcard_all with
+    dl_type = Some Ethernet.ethertype_ipv4;
+    nw_proto = Some key.Flow_key.proto;
+    nw_src = Some (key.Flow_key.src_ip, 32);
+    nw_dst = Some (key.Flow_key.dst_ip, 32);
+    tp_src = Some key.Flow_key.src_port;
+    tp_dst = Some key.Flow_key.dst_port;
+  }
+
+let matches t ~in_port (pkt : Packet.t) =
+  let pkt_as_match = exact_of_packet ~in_port pkt in
+  let opt_eq eq a b =
+    match (a, b) with
+    | None, _ -> true
+    | Some expected, Some actual -> eq expected actual
+    | Some _, None -> false
+  in
+  let ip_field a b =
+    match (a, b) with
+    | None, _ -> true
+    | Some (prefix, bits), Some (addr, _) -> Ip.matches_prefix ~prefix ~bits addr
+    | Some _, None -> false
+  in
+  opt_eq ( = ) t.in_port pkt_as_match.in_port
+  && opt_eq Mac.equal t.dl_src pkt_as_match.dl_src
+  && opt_eq Mac.equal t.dl_dst pkt_as_match.dl_dst
+  && opt_eq ( = ) t.dl_vlan pkt_as_match.dl_vlan
+  && opt_eq ( = ) t.dl_vlan_pcp pkt_as_match.dl_vlan_pcp
+  && opt_eq ( = ) t.dl_type pkt_as_match.dl_type
+  && opt_eq ( = ) t.nw_tos pkt_as_match.nw_tos
+  && opt_eq ( = ) t.nw_proto pkt_as_match.nw_proto
+  && ip_field t.nw_src pkt_as_match.nw_src
+  && ip_field t.nw_dst pkt_as_match.nw_dst
+  && opt_eq ( = ) t.tp_src pkt_as_match.tp_src
+  && opt_eq ( = ) t.tp_dst pkt_as_match.tp_dst
+
+let subsumes ~general ~specific =
+  let field g s eq =
+    match (g, s) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some gv, Some sv -> eq gv sv
+  in
+  let prefix_field g s =
+    match (g, s) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some (gp, gb), Some (sp, sb) ->
+        gb <= sb && Ip.matches_prefix ~prefix:gp ~bits:gb sp
+  in
+  field general.in_port specific.in_port ( = )
+  && field general.dl_src specific.dl_src Mac.equal
+  && field general.dl_dst specific.dl_dst Mac.equal
+  && field general.dl_vlan specific.dl_vlan ( = )
+  && field general.dl_vlan_pcp specific.dl_vlan_pcp ( = )
+  && field general.dl_type specific.dl_type ( = )
+  && field general.nw_tos specific.nw_tos ( = )
+  && field general.nw_proto specific.nw_proto ( = )
+  && prefix_field general.nw_src specific.nw_src
+  && prefix_field general.nw_dst specific.nw_dst
+  && field general.tp_src specific.tp_src ( = )
+  && field general.tp_dst specific.tp_dst ( = )
+
+let wildcards_of t =
+  let bit b = function None -> b | Some _ -> 0 in
+  let prefix_bits shift = function
+    | None -> 63 lsl shift (* all bits of the 6-bit field; >= 32 means ignore *)
+    | Some (_, bits) -> (32 - bits) lsl shift
+  in
+  bit wc_in_port t.in_port
+  lor bit wc_dl_vlan t.dl_vlan
+  lor bit wc_dl_src t.dl_src
+  lor bit wc_dl_dst t.dl_dst
+  lor bit wc_dl_type t.dl_type
+  lor bit wc_nw_proto t.nw_proto
+  lor bit wc_tp_src t.tp_src
+  lor bit wc_tp_dst t.tp_dst
+  lor prefix_bits nw_src_shift t.nw_src
+  lor prefix_bits nw_dst_shift t.nw_dst
+  lor bit wc_dl_vlan_pcp t.dl_vlan_pcp
+  lor bit wc_nw_tos t.nw_tos
+
+let write t buf off =
+  Bytes.fill buf off size '\000';
+  Bytes.set_int32_be buf off (Int32.of_int (wildcards_of t));
+  let set_u16 o v = Bytes.set_uint16_be buf (off + o) v in
+  let set_u8 o v = Bytes.set_uint8 buf (off + o) v in
+  set_u16 4 (Option.value t.in_port ~default:0);
+  (match t.dl_src with Some m -> Mac.write m buf (off + 6) | None -> ());
+  (match t.dl_dst with Some m -> Mac.write m buf (off + 12) | None -> ());
+  set_u16 18 (Option.value t.dl_vlan ~default:0);
+  set_u8 20 (Option.value t.dl_vlan_pcp ~default:0);
+  (* pad at 21 *)
+  set_u16 22 (Option.value t.dl_type ~default:0);
+  set_u8 24 (Option.value t.nw_tos ~default:0);
+  set_u8 25 (Option.value t.nw_proto ~default:0);
+  (* pad at 26-27 *)
+  (match t.nw_src with Some (ip, _) -> Ip.write ip buf (off + 28) | None -> ());
+  (match t.nw_dst with Some (ip, _) -> Ip.write ip buf (off + 32) | None -> ());
+  set_u16 36 (Option.value t.tp_src ~default:0);
+  set_u16 38 (Option.value t.tp_dst ~default:0)
+
+let read buf off =
+  if off + size > Bytes.length buf then Error "Of_match.read: truncated"
+  else begin
+    let wildcards = Int32.to_int (Bytes.get_int32_be buf off) land 0x3FFFFF in
+    let get_u16 o = Bytes.get_uint16_be buf (off + o) in
+    let get_u8 o = Bytes.get_uint8 buf (off + o) in
+    let plain bit value = if wildcards land bit <> 0 then None else Some value in
+    let prefix shift o =
+      let wc = (wildcards lsr shift) land 0x3F in
+      if wc >= 32 then None else Some (Ip.read buf (off + o), 32 - wc)
+    in
+    Ok
+      {
+        in_port = plain wc_in_port (get_u16 4);
+        dl_src = plain wc_dl_src (Mac.read buf (off + 6));
+        dl_dst = plain wc_dl_dst (Mac.read buf (off + 12));
+        dl_vlan = plain wc_dl_vlan (get_u16 18);
+        dl_vlan_pcp = plain wc_dl_vlan_pcp (get_u8 20);
+        dl_type = plain wc_dl_type (get_u16 22);
+        nw_tos = plain wc_nw_tos (get_u8 24);
+        nw_proto = plain wc_nw_proto (get_u8 25);
+        nw_src = prefix nw_src_shift 28;
+        nw_dst = prefix nw_dst_shift 32;
+        tp_src = plain wc_tp_src (get_u16 36);
+        tp_dst = plain wc_tp_dst (get_u16 38);
+      }
+  end
+
+let equal a b =
+  let opt_eq eq x y =
+    match (x, y) with
+    | None, None -> true
+    | Some u, Some v -> eq u v
+    | None, Some _ | Some _, None -> false
+  in
+  let ip_eq (ia, ba) (ib, bb) = Ip.equal ia ib && ba = bb in
+  opt_eq ( = ) a.in_port b.in_port
+  && opt_eq Mac.equal a.dl_src b.dl_src
+  && opt_eq Mac.equal a.dl_dst b.dl_dst
+  && opt_eq ( = ) a.dl_vlan b.dl_vlan
+  && opt_eq ( = ) a.dl_vlan_pcp b.dl_vlan_pcp
+  && opt_eq ( = ) a.dl_type b.dl_type
+  && opt_eq ( = ) a.nw_tos b.nw_tos
+  && opt_eq ( = ) a.nw_proto b.nw_proto
+  && opt_eq ip_eq a.nw_src b.nw_src
+  && opt_eq ip_eq a.nw_dst b.nw_dst
+  && opt_eq ( = ) a.tp_src b.tp_src
+  && opt_eq ( = ) a.tp_dst b.tp_dst
+
+let pp fmt t =
+  let field name pp_v = function
+    | None -> ()
+    | Some v -> Format.fprintf fmt "%s=%a " name pp_v v
+  in
+  let pp_int fmt = Format.fprintf fmt "%d" in
+  let pp_hex fmt = Format.fprintf fmt "0x%04x" in
+  let pp_prefix fmt (ip, bits) = Format.fprintf fmt "%a/%d" Ip.pp ip bits in
+  Format.fprintf fmt "match{";
+  field "in_port" pp_int t.in_port;
+  field "dl_src" Mac.pp t.dl_src;
+  field "dl_dst" Mac.pp t.dl_dst;
+  field "dl_vlan" pp_int t.dl_vlan;
+  field "dl_vlan_pcp" pp_int t.dl_vlan_pcp;
+  field "dl_type" pp_hex t.dl_type;
+  field "nw_tos" pp_int t.nw_tos;
+  field "nw_proto" pp_int t.nw_proto;
+  field "nw_src" pp_prefix t.nw_src;
+  field "nw_dst" pp_prefix t.nw_dst;
+  field "tp_src" pp_int t.tp_src;
+  field "tp_dst" pp_int t.tp_dst;
+  Format.fprintf fmt "}"

@@ -1,0 +1,67 @@
+type t = {
+  buffer_id : int32;
+  in_port : int;
+  actions : Of_action.t list;
+  data : Bytes.t;
+}
+
+let release ~buffer_id ~out_port =
+  {
+    buffer_id;
+    in_port = Of_wire.Port.none;
+    actions = [ Of_action.output out_port ];
+    data = Bytes.empty;
+  }
+
+let full ~frame ~in_port ~out_port =
+  {
+    buffer_id = Of_wire.no_buffer;
+    in_port;
+    actions = [ Of_action.output out_port ];
+    data = Bytes.copy frame;
+  }
+
+let fixed_body = 4 + 2 + 2
+
+let body_size t =
+  fixed_body + Of_action.list_size t.actions + Bytes.length t.data
+
+let write_body t buf off =
+  Bytes.set_int32_be buf off t.buffer_id;
+  Bytes.set_uint16_be buf (off + 4) t.in_port;
+  Bytes.set_uint16_be buf (off + 6) (Of_action.list_size t.actions);
+  let o = Of_action.write_list t.actions buf (off + fixed_body) in
+  Bytes.blit t.data 0 buf o (Bytes.length t.data)
+
+let read_body buf off ~len =
+  if len < fixed_body then Error "Of_packet_out.read_body: truncated"
+  else begin
+    let actions_len = Bytes.get_uint16_be buf (off + 6) in
+    if fixed_body + actions_len > len then
+      Error "Of_packet_out.read_body: actions overrun"
+    else begin
+      match Of_action.read_list buf (off + fixed_body) ~len:actions_len with
+      | Error _ as e -> e
+      | Ok actions ->
+          let data_off = off + fixed_body + actions_len in
+          let data_len = len - fixed_body - actions_len in
+          Ok
+            {
+              buffer_id = Bytes.get_int32_be buf off;
+              in_port = Bytes.get_uint16_be buf (off + 4);
+              actions;
+              data = Bytes.sub buf data_off data_len;
+            }
+    end
+  end
+
+let equal a b =
+  Int32.equal a.buffer_id b.buffer_id
+  && a.in_port = b.in_port
+  && List.length a.actions = List.length b.actions
+  && List.for_all2 Of_action.equal a.actions b.actions
+  && Bytes.equal a.data b.data
+
+let pp fmt t =
+  Format.fprintf fmt "packet_out{buffer=%ld in_port=%d actions=[%a] data=%dB}"
+    t.buffer_id t.in_port Of_action.pp_list t.actions (Bytes.length t.data)

@@ -1,0 +1,29 @@
+(** OpenFlow 1.0 [PACKET_OUT] message body.
+
+    With a valid [buffer_id] the message merely names the stored packet
+    and the actions to apply — a few bytes. With
+    [buffer_id = NO_BUFFER] it must carry the whole frame back to the
+    switch, which is the expensive controller-to-switch direction the
+    paper measures in Figs. 2(b) and 9(b). *)
+
+type t = {
+  buffer_id : int32;
+  in_port : int;  (** {!Of_wire.Port.none} if not meaningful *)
+  actions : Of_action.t list;
+  data : Bytes.t;  (** must be empty when [buffer_id] is valid *)
+}
+
+val release : buffer_id:int32 -> out_port:int -> t
+(** The small message releasing a buffered packet through a port. *)
+
+val full : frame:Bytes.t -> in_port:int -> out_port:int -> t
+(** The large message carrying the full frame (no-buffer case). *)
+
+val body_size : t -> int
+(** 8 + actions + data. *)
+
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

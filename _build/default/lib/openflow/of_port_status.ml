@@ -1,0 +1,46 @@
+type reason = Add | Delete | Modify
+
+type t = { reason : reason; port : Of_features.phy_port; link_down : bool }
+
+let body_size = 8 + Of_features.phy_port_size
+
+let reason_to_int = function Add -> 0 | Delete -> 1 | Modify -> 2
+
+let reason_of_int = function
+  | 0 -> Ok Add
+  | 1 -> Ok Delete
+  | 2 -> Ok Modify
+  | n -> Error (Printf.sprintf "Of_port_status: unknown reason %d" n)
+
+(* OFPPS_LINK_DOWN is bit 0 of the port state field, which lives at
+   offset 36 of ofp_phy_port; the shared phy_port codec zeroes it, so
+   this module patches the bit in after writing the port. *)
+let state_offset = 36
+
+let write_body t buf off =
+  Bytes.set_uint8 buf off (reason_to_int t.reason);
+  Bytes.fill buf (off + 1) 7 '\000';
+  Of_features.write_port t.port buf (off + 8);
+  if t.link_down then
+    Bytes.set_int32_be buf (off + 8 + state_offset) 1l
+
+let read_body buf off ~len =
+  if len < body_size then Error "Of_port_status.read_body: truncated"
+  else begin
+    match reason_of_int (Bytes.get_uint8 buf off) with
+    | Error _ as e -> e
+    | Ok reason ->
+        let port = Of_features.read_port buf (off + 8) in
+        let state = Bytes.get_int32_be buf (off + 8 + state_offset) in
+        Ok { reason; port; link_down = Int32.logand state 1l <> 0l }
+  end
+
+let equal a b =
+  a.reason = b.reason && a.link_down = b.link_down
+  && a.port.Of_features.port_no = b.port.Of_features.port_no
+  && a.port.Of_features.name = b.port.Of_features.name
+
+let pp fmt t =
+  Format.fprintf fmt "port_status{port=%d %s%s}" t.port.Of_features.port_no
+    (match t.reason with Add -> "add" | Delete -> "delete" | Modify -> "modify")
+    (if t.link_down then " link-down" else "")

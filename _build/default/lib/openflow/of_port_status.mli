@@ -1,0 +1,23 @@
+(** OpenFlow 1.0 [PORT_STATUS] message body — the switch's asynchronous
+    notification that a port was added, removed, or changed state.
+    The failure-injection tests use it: a downed egress port strands
+    installed rules, the controller flushes them, and subsequent
+    packets become miss-match packets again (with all the buffer
+    dynamics the paper studies). *)
+
+type reason = Add | Delete | Modify
+
+type t = {
+  reason : reason;
+  port : Of_features.phy_port;
+  link_down : bool;  (** OFPPS_LINK_DOWN state bit *)
+}
+
+val body_size : int
+(** 8 + 48 bytes. *)
+
+val write_body : t -> Bytes.t -> int -> unit
+val read_body : Bytes.t -> int -> len:int -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

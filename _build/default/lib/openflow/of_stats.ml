@@ -1,0 +1,373 @@
+type request =
+  | Desc_request
+  | Flow_request of { match_ : Of_match.t; table_id : int; out_port : int }
+  | Aggregate_request of { match_ : Of_match.t; table_id : int; out_port : int }
+  | Port_request of { port_no : int }
+
+type flow_stats = {
+  table_id : int;
+  match_ : Of_match.t;
+  duration_sec : int32;
+  duration_nsec : int32;
+  priority : int;
+  idle_timeout : int;
+  hard_timeout : int;
+  cookie : int64;
+  packet_count : int64;
+  byte_count : int64;
+  actions : Of_action.t list;
+}
+
+type port_stats = {
+  port_no : int;
+  rx_packets : int64;
+  tx_packets : int64;
+  rx_bytes : int64;
+  tx_bytes : int64;
+  rx_dropped : int64;
+  tx_dropped : int64;
+  rx_errors : int64;
+  tx_errors : int64;
+}
+
+type desc = {
+  mfr_desc : string;
+  hw_desc : string;
+  sw_desc : string;
+  serial_num : string;
+  dp_desc : string;
+}
+
+type reply =
+  | Desc_reply of desc
+  | Flow_reply of flow_stats list
+  | Aggregate_reply of {
+      packet_count : int64;
+      byte_count : int64;
+      flow_count : int32;
+    }
+  | Port_reply of port_stats list
+
+let stats_type_desc = 0
+let stats_type_flow = 1
+let stats_type_aggregate = 2
+let stats_type_port = 4
+
+let flow_request_size = Of_match.size + 4
+let port_request_size = 8
+let flow_entry_fixed = 88
+let port_entry_size = 104
+let aggregate_reply_size = 24
+let desc_reply_size = 256 + 256 + 256 + 32 + 256
+
+(* Requests and replies share a 4-byte (type, flags) preamble. *)
+let preamble = 4
+
+let request_body_size = function
+  | Desc_request -> preamble
+  | Flow_request _ | Aggregate_request _ -> preamble + flow_request_size
+  | Port_request _ -> preamble + port_request_size
+
+let write_match_request ~stats_type ~match_ ~table_id ~out_port buf off =
+  Bytes.set_uint16_be buf off stats_type;
+  Bytes.set_uint16_be buf (off + 2) 0;
+  Of_match.write match_ buf (off + preamble);
+  Bytes.set_uint8 buf (off + preamble + Of_match.size) table_id;
+  Bytes.set_uint8 buf (off + preamble + Of_match.size + 1) 0;
+  Bytes.set_uint16_be buf (off + preamble + Of_match.size + 2) out_port
+
+let write_request_body r buf off =
+  match r with
+  | Desc_request ->
+      Bytes.set_uint16_be buf off stats_type_desc;
+      Bytes.set_uint16_be buf (off + 2) 0
+  | Flow_request { match_; table_id; out_port } ->
+      write_match_request ~stats_type:stats_type_flow ~match_ ~table_id
+        ~out_port buf off
+  | Aggregate_request { match_; table_id; out_port } ->
+      write_match_request ~stats_type:stats_type_aggregate ~match_ ~table_id
+        ~out_port buf off
+  | Port_request { port_no } ->
+      Bytes.set_uint16_be buf off stats_type_port;
+      Bytes.set_uint16_be buf (off + 2) 0;
+      Bytes.fill buf (off + preamble) port_request_size '\000';
+      Bytes.set_uint16_be buf (off + preamble) port_no
+
+let read_match_request buf off ~len ~make =
+  if len < preamble + flow_request_size then
+    Error "Of_stats: truncated flow/aggregate request"
+  else begin
+    match Of_match.read buf (off + preamble) with
+    | Error _ as e -> e
+    | Ok match_ ->
+        let table_id = Bytes.get_uint8 buf (off + preamble + Of_match.size) in
+        let out_port =
+          Bytes.get_uint16_be buf (off + preamble + Of_match.size + 2)
+        in
+        Ok (make match_ table_id out_port)
+  end
+
+let read_request_body buf off ~len =
+  if len < preamble then Error "Of_stats: truncated request"
+  else begin
+    let stats_type = Bytes.get_uint16_be buf off in
+    if stats_type = stats_type_desc then Ok Desc_request
+    else if stats_type = stats_type_flow then
+      read_match_request buf off ~len ~make:(fun match_ table_id out_port ->
+          Flow_request { match_; table_id; out_port })
+    else if stats_type = stats_type_aggregate then
+      read_match_request buf off ~len ~make:(fun match_ table_id out_port ->
+          Aggregate_request { match_; table_id; out_port })
+    else if stats_type = stats_type_port then begin
+      if len < preamble + port_request_size then
+        Error "Of_stats: truncated port request"
+      else Ok (Port_request { port_no = Bytes.get_uint16_be buf (off + preamble) })
+    end
+    else Error (Printf.sprintf "Of_stats: unknown stats type %d" stats_type)
+  end
+
+let flow_entry_size fs = flow_entry_fixed + Of_action.list_size fs.actions
+
+let reply_body_size = function
+  | Desc_reply _ -> preamble + desc_reply_size
+  | Flow_reply entries ->
+      preamble + List.fold_left (fun acc e -> acc + flow_entry_size e) 0 entries
+  | Aggregate_reply _ -> preamble + aggregate_reply_size
+  | Port_reply entries -> preamble + (port_entry_size * List.length entries)
+
+let write_padded_string s width buf off =
+  Bytes.fill buf off width '\000';
+  Bytes.blit_string s 0 buf off (min (String.length s) (width - 1))
+
+let read_padded_string buf off width =
+  let raw = Bytes.sub_string buf off width in
+  match String.index_opt raw '\000' with
+  | Some i -> String.sub raw 0 i
+  | None -> raw
+
+let write_flow_entry fs buf off =
+  let n = flow_entry_size fs in
+  Bytes.fill buf off n '\000';
+  Bytes.set_uint16_be buf off n;
+  Bytes.set_uint8 buf (off + 2) fs.table_id;
+  Of_match.write fs.match_ buf (off + 4);
+  let o = off + 4 + Of_match.size in
+  Bytes.set_int32_be buf o fs.duration_sec;
+  Bytes.set_int32_be buf (o + 4) fs.duration_nsec;
+  Bytes.set_uint16_be buf (o + 8) fs.priority;
+  Bytes.set_uint16_be buf (o + 10) fs.idle_timeout;
+  Bytes.set_uint16_be buf (o + 12) fs.hard_timeout;
+  (* 6 bytes pad *)
+  Bytes.set_int64_be buf (o + 20) fs.cookie;
+  Bytes.set_int64_be buf (o + 28) fs.packet_count;
+  Bytes.set_int64_be buf (o + 36) fs.byte_count;
+  ignore (Of_action.write_list fs.actions buf (o + 44))
+
+let read_flow_entry buf off =
+  let entry_len = Bytes.get_uint16_be buf off in
+  if entry_len < flow_entry_fixed || off + entry_len > Bytes.length buf then
+    Error "Of_stats: bad flow entry length"
+  else begin
+    match Of_match.read buf (off + 4) with
+    | Error _ as e -> e
+    | Ok match_ -> (
+        let o = off + 4 + Of_match.size in
+        match
+          Of_action.read_list buf (o + 44) ~len:(entry_len - flow_entry_fixed)
+        with
+        | Error _ as e -> e
+        | Ok actions ->
+            Ok
+              ( {
+                  table_id = Bytes.get_uint8 buf (off + 2);
+                  match_;
+                  duration_sec = Bytes.get_int32_be buf o;
+                  duration_nsec = Bytes.get_int32_be buf (o + 4);
+                  priority = Bytes.get_uint16_be buf (o + 8);
+                  idle_timeout = Bytes.get_uint16_be buf (o + 10);
+                  hard_timeout = Bytes.get_uint16_be buf (o + 12);
+                  cookie = Bytes.get_int64_be buf (o + 20);
+                  packet_count = Bytes.get_int64_be buf (o + 28);
+                  byte_count = Bytes.get_int64_be buf (o + 36);
+                  actions;
+                },
+                off + entry_len ))
+  end
+
+let write_port_entry ps buf off =
+  Bytes.fill buf off port_entry_size '\000';
+  Bytes.set_uint16_be buf off ps.port_no;
+  let set i v = Bytes.set_int64_be buf (off + 8 + (i * 8)) v in
+  set 0 ps.rx_packets;
+  set 1 ps.tx_packets;
+  set 2 ps.rx_bytes;
+  set 3 ps.tx_bytes;
+  set 4 ps.rx_dropped;
+  set 5 ps.tx_dropped;
+  set 6 ps.rx_errors;
+  set 7 ps.tx_errors
+
+let read_port_entry buf off =
+  let get i = Bytes.get_int64_be buf (off + 8 + (i * 8)) in
+  {
+    port_no = Bytes.get_uint16_be buf off;
+    rx_packets = get 0;
+    tx_packets = get 1;
+    rx_bytes = get 2;
+    tx_bytes = get 3;
+    rx_dropped = get 4;
+    tx_dropped = get 5;
+    rx_errors = get 6;
+    tx_errors = get 7;
+  }
+
+let write_reply_body r buf off =
+  match r with
+  | Desc_reply d ->
+      Bytes.set_uint16_be buf off stats_type_desc;
+      Bytes.set_uint16_be buf (off + 2) 0;
+      let o = off + preamble in
+      write_padded_string d.mfr_desc 256 buf o;
+      write_padded_string d.hw_desc 256 buf (o + 256);
+      write_padded_string d.sw_desc 256 buf (o + 512);
+      write_padded_string d.serial_num 32 buf (o + 768);
+      write_padded_string d.dp_desc 256 buf (o + 800)
+  | Flow_reply entries ->
+      Bytes.set_uint16_be buf off stats_type_flow;
+      Bytes.set_uint16_be buf (off + 2) 0;
+      let _ =
+        List.fold_left
+          (fun o e ->
+            write_flow_entry e buf o;
+            o + flow_entry_size e)
+          (off + preamble) entries
+      in
+      ()
+  | Aggregate_reply { packet_count; byte_count; flow_count } ->
+      Bytes.set_uint16_be buf off stats_type_aggregate;
+      Bytes.set_uint16_be buf (off + 2) 0;
+      Bytes.set_int64_be buf (off + preamble) packet_count;
+      Bytes.set_int64_be buf (off + preamble + 8) byte_count;
+      Bytes.set_int32_be buf (off + preamble + 16) flow_count;
+      Bytes.set_int32_be buf (off + preamble + 20) 0l
+  | Port_reply entries ->
+      Bytes.set_uint16_be buf off stats_type_port;
+      Bytes.set_uint16_be buf (off + 2) 0;
+      List.iteri
+        (fun i e -> write_port_entry e buf (off + preamble + (i * port_entry_size)))
+        entries
+
+let read_reply_body buf off ~len =
+  if len < preamble then Error "Of_stats: truncated reply"
+  else begin
+    let stats_type = Bytes.get_uint16_be buf off in
+    let body_off = off + preamble in
+    let body_len = len - preamble in
+    if stats_type = stats_type_desc then begin
+      if body_len < desc_reply_size then Error "Of_stats: truncated desc reply"
+      else
+        Ok
+          (Desc_reply
+             {
+               mfr_desc = read_padded_string buf body_off 256;
+               hw_desc = read_padded_string buf (body_off + 256) 256;
+               sw_desc = read_padded_string buf (body_off + 512) 256;
+               serial_num = read_padded_string buf (body_off + 768) 32;
+               dp_desc = read_padded_string buf (body_off + 800) 256;
+             })
+    end
+    else if stats_type = stats_type_flow then begin
+      let stop = off + len in
+      let rec loop acc o =
+        if o = stop then Ok (Flow_reply (List.rev acc))
+        else if o > stop then Error "Of_stats: flow entries overrun"
+        else begin
+          match read_flow_entry buf o with
+          | Ok (e, next) -> loop (e :: acc) next
+          | Error _ as e -> e
+        end
+      in
+      loop [] body_off
+    end
+    else if stats_type = stats_type_aggregate then begin
+      if body_len < aggregate_reply_size then
+        Error "Of_stats: truncated aggregate reply"
+      else
+        Ok
+          (Aggregate_reply
+             {
+               packet_count = Bytes.get_int64_be buf body_off;
+               byte_count = Bytes.get_int64_be buf (body_off + 8);
+               flow_count = Bytes.get_int32_be buf (body_off + 16);
+             })
+    end
+    else if stats_type = stats_type_port then begin
+      if body_len mod port_entry_size <> 0 then
+        Error "Of_stats: ragged port reply"
+      else begin
+        let n = body_len / port_entry_size in
+        let entries =
+          List.init n (fun i -> read_port_entry buf (body_off + (i * port_entry_size)))
+        in
+        Ok (Port_reply entries)
+      end
+    end
+    else Error (Printf.sprintf "Of_stats: unknown stats type %d" stats_type)
+  end
+
+let equal_request a b =
+  match (a, b) with
+  | Desc_request, Desc_request -> true
+  | Flow_request x, Flow_request y ->
+      Of_match.equal x.match_ y.match_
+      && x.table_id = y.table_id && x.out_port = y.out_port
+  | Aggregate_request x, Aggregate_request y ->
+      Of_match.equal x.match_ y.match_
+      && x.table_id = y.table_id && x.out_port = y.out_port
+  | Port_request x, Port_request y -> x.port_no = y.port_no
+  | (Desc_request | Flow_request _ | Aggregate_request _ | Port_request _), _ ->
+      false
+
+let equal_flow_stats a b =
+  a.table_id = b.table_id
+  && Of_match.equal a.match_ b.match_
+  && Int32.equal a.duration_sec b.duration_sec
+  && Int32.equal a.duration_nsec b.duration_nsec
+  && a.priority = b.priority && a.idle_timeout = b.idle_timeout
+  && a.hard_timeout = b.hard_timeout
+  && Int64.equal a.cookie b.cookie
+  && Int64.equal a.packet_count b.packet_count
+  && Int64.equal a.byte_count b.byte_count
+  && List.length a.actions = List.length b.actions
+  && List.for_all2 Of_action.equal a.actions b.actions
+
+let equal_reply a b =
+  match (a, b) with
+  | Desc_reply x, Desc_reply y -> x = y
+  | Flow_reply x, Flow_reply y ->
+      List.length x = List.length y && List.for_all2 equal_flow_stats x y
+  | Aggregate_reply x, Aggregate_reply y ->
+      Int64.equal x.packet_count y.packet_count
+      && Int64.equal x.byte_count y.byte_count
+      && Int32.equal x.flow_count y.flow_count
+  | Port_reply x, Port_reply y -> x = y
+  | (Desc_reply _ | Flow_reply _ | Aggregate_reply _ | Port_reply _), _ -> false
+
+let pp_request fmt = function
+  | Desc_request -> Format.pp_print_string fmt "stats_request{desc}"
+  | Flow_request { match_; _ } ->
+      Format.fprintf fmt "stats_request{flow %a}" Of_match.pp match_
+  | Aggregate_request { match_; _ } ->
+      Format.fprintf fmt "stats_request{aggregate %a}" Of_match.pp match_
+  | Port_request { port_no } ->
+      Format.fprintf fmt "stats_request{port %a}" Of_wire.Port.pp port_no
+
+let pp_reply fmt = function
+  | Desc_reply d -> Format.fprintf fmt "stats_reply{desc sw=%s}" d.sw_desc
+  | Flow_reply entries ->
+      Format.fprintf fmt "stats_reply{flow n=%d}" (List.length entries)
+  | Aggregate_reply { packet_count; byte_count; flow_count } ->
+      Format.fprintf fmt "stats_reply{aggregate pkts=%Ld bytes=%Ld flows=%ld}"
+        packet_count byte_count flow_count
+  | Port_reply entries ->
+      Format.fprintf fmt "stats_reply{port n=%d}" (List.length entries)

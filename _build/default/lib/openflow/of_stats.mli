@@ -1,0 +1,68 @@
+(** OpenFlow 1.0 statistics messages (DESC, FLOW, AGGREGATE, PORT).
+
+    Used by the monitoring examples and by tests that cross-check the
+    switch's flow-table counters against link-level observations. *)
+
+type request =
+  | Desc_request
+  | Flow_request of { match_ : Of_match.t; table_id : int; out_port : int }
+  | Aggregate_request of { match_ : Of_match.t; table_id : int; out_port : int }
+  | Port_request of { port_no : int }
+      (** [port_no = Of_wire.Port.none] requests all ports. *)
+
+type flow_stats = {
+  table_id : int;
+  match_ : Of_match.t;
+  duration_sec : int32;
+  duration_nsec : int32;
+  priority : int;
+  idle_timeout : int;
+  hard_timeout : int;
+  cookie : int64;
+  packet_count : int64;
+  byte_count : int64;
+  actions : Of_action.t list;
+}
+
+type port_stats = {
+  port_no : int;
+  rx_packets : int64;
+  tx_packets : int64;
+  rx_bytes : int64;
+  tx_bytes : int64;
+  rx_dropped : int64;
+  tx_dropped : int64;
+  rx_errors : int64;
+  tx_errors : int64;
+}
+
+type desc = {
+  mfr_desc : string;
+  hw_desc : string;
+  sw_desc : string;
+  serial_num : string;
+  dp_desc : string;
+}
+
+type reply =
+  | Desc_reply of desc
+  | Flow_reply of flow_stats list
+  | Aggregate_reply of {
+      packet_count : int64;
+      byte_count : int64;
+      flow_count : int32;
+    }
+  | Port_reply of port_stats list
+
+val request_body_size : request -> int
+val write_request_body : request -> Bytes.t -> int -> unit
+val read_request_body : Bytes.t -> int -> len:int -> (request, string) result
+
+val reply_body_size : reply -> int
+val write_reply_body : reply -> Bytes.t -> int -> unit
+val read_reply_body : Bytes.t -> int -> len:int -> (reply, string) result
+
+val equal_request : request -> request -> bool
+val equal_reply : reply -> reply -> bool
+val pp_request : Format.formatter -> request -> unit
+val pp_reply : Format.formatter -> reply -> unit

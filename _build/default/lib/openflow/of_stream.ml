@@ -1,0 +1,103 @@
+type t = {
+  mutable buffer : Bytes.t;
+  mutable start : int;  (** first unconsumed byte *)
+  mutable stop : int;  (** one past the last valid byte *)
+  mutable corrupt : string option;
+}
+
+let create () =
+  { buffer = Bytes.create 4096; start = 0; stop = 0; corrupt = None }
+
+let buffered_bytes t = t.stop - t.start
+
+let ensure_room t extra =
+  let used = buffered_bytes t in
+  if t.stop + extra <= Bytes.length t.buffer then ()
+  else if used + extra <= Bytes.length t.buffer then begin
+    (* Compact in place. *)
+    Bytes.blit t.buffer t.start t.buffer 0 used;
+    t.start <- 0;
+    t.stop <- used
+  end
+  else begin
+    let capacity = ref (2 * Bytes.length t.buffer) in
+    while used + extra > !capacity do
+      capacity := 2 * !capacity
+    done;
+    let bigger = Bytes.create !capacity in
+    Bytes.blit t.buffer t.start bigger 0 used;
+    t.buffer <- bigger;
+    t.start <- 0;
+    t.stop <- used
+  end
+
+let input_sub t chunk ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length chunk then
+    invalid_arg "Of_stream.input_sub: slice out of bounds";
+  ensure_room t len;
+  Bytes.blit chunk pos t.buffer t.stop len;
+  t.stop <- t.stop + len
+
+let input t chunk = input_sub t chunk ~pos:0 ~len:(Bytes.length chunk)
+
+type event = Message of int32 * Of_codec.msg | Awaiting | Corrupt of string
+
+let next t =
+  match t.corrupt with
+  | Some msg -> Corrupt msg
+  | None ->
+      if buffered_bytes t < Of_wire.header_size then Awaiting
+      else begin
+        (* Peek the length field; the header is self-delimiting. *)
+        let version = Bytes.get_uint8 t.buffer t.start in
+        if version <> Of_wire.version then begin
+          let msg = Printf.sprintf "bad version byte 0x%02x" version in
+          t.corrupt <- Some msg;
+          Corrupt msg
+        end
+        else begin
+          let length = Bytes.get_uint16_be t.buffer (t.start + 2) in
+          if length < Of_wire.header_size then begin
+            let msg = Printf.sprintf "length field %d below header size" length in
+            t.corrupt <- Some msg;
+            Corrupt msg
+          end
+          else if buffered_bytes t < length then Awaiting
+          else begin
+            let message = Bytes.sub t.buffer t.start length in
+            match Of_codec.decode message with
+            | Ok (xid, msg) ->
+                t.start <- t.start + length;
+                if t.start = t.stop then begin
+                  t.start <- 0;
+                  t.stop <- 0
+                end;
+                Message (xid, msg)
+            | Error e ->
+                t.corrupt <- Some e;
+                Corrupt e
+          end
+        end
+      end
+
+let drain t =
+  let rec loop acc =
+    match next t with
+    | Message (xid, msg) -> loop ((xid, msg) :: acc)
+    | Awaiting -> Ok (List.rev acc)
+    | Corrupt e -> Error e
+  in
+  loop []
+
+let encode_batch messages =
+  let encoded = List.map (fun (xid, msg) -> Of_codec.encode ~xid msg) messages in
+  let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 encoded in
+  let out = Bytes.create total in
+  let _ =
+    List.fold_left
+      (fun off b ->
+        Bytes.blit b 0 out off (Bytes.length b);
+        off + Bytes.length b)
+      0 encoded
+  in
+  out

@@ -1,0 +1,47 @@
+(** Message framing over a byte stream.
+
+    Real OpenFlow sessions run over TCP: the receiver sees arbitrary
+    chunks in which messages coalesce and split. This module
+    reassembles the stream back into whole messages using the length
+    field of the common header, and conversely coalesces a batch of
+    messages into one contiguous buffer (as a sender's socket write
+    would).
+
+    The simulated control channel in this repository delivers whole
+    messages, so the framing layer is not on the hot path — it exists
+    so the codec is usable against a real socket, and its tests pin the
+    wire format's self-delimiting property. *)
+
+type t
+(** Reassembly state for one direction of one session. *)
+
+val create : unit -> t
+
+val input : t -> Bytes.t -> unit
+(** Append a received chunk (any size, including empty). *)
+
+val input_sub : t -> Bytes.t -> pos:int -> len:int -> unit
+(** Append a slice of a larger buffer. *)
+
+type event =
+  | Message of int32 * Of_codec.msg  (** a complete, decoded message *)
+  | Awaiting  (** need more bytes *)
+  | Corrupt of string
+      (** undecodable framing; the stream cannot be resynchronized and
+          the session must be torn down, as a real agent would *)
+
+val next : t -> event
+(** Extract the next complete message, if any. After [Corrupt] every
+    subsequent call returns the same [Corrupt]. *)
+
+val drain : t -> ((int32 * Of_codec.msg) list, string) result
+(** All currently complete messages; [Error] if corruption was hit
+    (messages decoded before the corruption are lost — use {!next} to
+    recover them one by one). *)
+
+val buffered_bytes : t -> int
+(** Bytes received but not yet consumed by {!next}. *)
+
+val encode_batch : (int32 * Of_codec.msg) list -> Bytes.t
+(** Concatenate encodings, oldest first — what a sender's buffered
+    socket write puts on the wire. *)

@@ -1,0 +1,75 @@
+(** OpenFlow 1.0 wire-level basics: protocol constants, the common
+    8-byte message header, and reserved port numbers.
+
+    All multi-byte fields are big-endian, as on the wire. *)
+
+val version : int
+(** OpenFlow 1.0 = 0x01. *)
+
+val header_size : int
+(** 8 bytes. *)
+
+val no_buffer : int32
+(** [0xffffffff] — the [buffer_id] value meaning "packet not buffered;
+    full frame travels inside the message". *)
+
+val max_xid : int32
+
+(** Reserved/virtual port numbers (OF 1.0, 16-bit port space). *)
+module Port : sig
+  val max_physical : int
+  (** 0xff00 — largest physical port number. *)
+
+  val in_port : int
+  val table : int
+  val normal : int
+  val flood : int
+  val all : int
+  val controller : int
+  val local : int
+  val none : int
+
+  val pp : Format.formatter -> int -> unit
+  (** Prints reserved ports symbolically. *)
+end
+
+(** The message-type byte of the common header. *)
+module Msg_type : sig
+  type t =
+    | Hello
+    | Error
+    | Echo_request
+    | Echo_reply
+    | Vendor
+    | Features_request
+    | Features_reply
+    | Get_config_request
+    | Get_config_reply
+    | Set_config
+    | Packet_in
+    | Flow_removed
+    | Port_status
+    | Packet_out
+    | Flow_mod
+    | Port_mod
+    | Stats_request
+    | Stats_reply
+    | Barrier_request
+    | Barrier_reply
+
+  val to_int : t -> int
+  val of_int : int -> (t, string) result
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+type header = { msg_type : Msg_type.t; length : int; xid : int32 }
+(** The common header with the version byte implied ({!version}). *)
+
+val write_header : header -> Bytes.t -> unit
+(** Serialize at offset 0 of a buffer that is at least
+    {!header_size} long. *)
+
+val read_header : Bytes.t -> (header, string) result
+(** Parse the header at offset 0; checks version, type and that
+    [length] does not exceed the buffer. *)

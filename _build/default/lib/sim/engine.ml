@@ -1,0 +1,72 @@
+type handle = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable processed : int;
+  queue : handle Heap.t;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(now = 0.0) () =
+  {
+    clock = now;
+    seq = 0;
+    processed = 0;
+    queue = Heap.create ~capacity:1024 ~cmp:compare_events ();
+  }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let ev = { time; seq = t.seq; action; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ev;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.clock +. delay) action
+
+let cancel handle = handle.cancelled <- true
+
+let is_cancelled handle = handle.cancelled
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      if ev.cancelled then step t
+      else begin
+        t.clock <- ev.time;
+        t.processed <- t.processed + 1;
+        ev.action ();
+        true
+      end
+
+let rec run ?until t =
+  match until with
+  | None -> if step t then run ?until t
+  | Some limit -> (
+      match Heap.peek t.queue with
+      | None -> if t.clock < limit then t.clock <- limit
+      | Some ev when ev.time > limit -> t.clock <- limit
+      | Some _ ->
+          let _ran = step t in
+          run ~until:limit t)
+
+let pending t = Heap.length t.queue
+
+let processed t = t.processed

@@ -1,0 +1,84 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) ~cmp () =
+  let capacity = max capacity 1 in
+  { cmp; data = Array.make capacity None; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let get t i =
+  match t.data.(i) with
+  | Some x -> x
+  | None -> assert false
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp (get t i) (get t parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- Some x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t =
+  Array.fill t.data 0 t.size None;
+  t.size <- 0
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  !acc

@@ -1,0 +1,40 @@
+(** Array-backed binary min-heap.
+
+    The heap is generic in its element type; the ordering is fixed at
+    creation time by a comparison function. Used by {!Engine} as the
+    pending-event queue, and reusable for any priority-queue need. *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (smallest first).
+    [capacity] is the initial size of the backing array (default 64);
+    the heap grows automatically. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it, or [None] if empty. O(1). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element, or [None] if empty. O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (the backing array is kept). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate over the elements in unspecified (heap) order. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified (heap) order. *)

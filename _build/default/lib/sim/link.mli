@@ -1,0 +1,67 @@
+(** Point-to-point unidirectional link with serialization and
+    propagation delay.
+
+    A link is a FIFO: a message of [size] bytes occupies the wire for
+    [size * 8 / bandwidth] seconds once the wire is free, then arrives
+    at the receiver [propagation] seconds later. The payload type is
+    generic: data-plane links carry tagged packets, the control channel
+    carries encoded OpenFlow messages, and the switch-internal
+    ASIC-to-CPU bus carries transfer descriptors.
+
+    Links keep byte and message counters; the control-path-load metric
+    (paper Figs. 2 and 9) is computed from these, and an optional
+    capture hook plays the role of [tcpdump] on the interface. *)
+
+type 'a t
+(** A unidirectional link delivering values of type ['a]. *)
+
+val create :
+  Engine.t ->
+  name:string ->
+  bandwidth_bps:float ->
+  propagation_s:float ->
+  ?capture:(time:float -> size:int -> 'a -> unit) ->
+  ?loss:float * Rng.t ->
+  receiver:('a -> unit) ->
+  unit ->
+  'a t
+(** [create engine ~name ~bandwidth_bps ~propagation_s ~receiver ()] is
+    an idle link. [capture], if given, observes every message at the
+    instant its transmission begins (what a sniffer on the sending
+    interface sees). [receiver] is invoked at delivery time.
+
+    [loss], if given, drops each message independently with the given
+    probability (drawn from the given generator) — the message still
+    occupies the wire, it just never arrives. Used to model an
+    unreliable control channel, the failure case the flow-granularity
+    mechanism's re-request timeout exists for. *)
+
+val send : 'a t -> size:int -> 'a -> unit
+(** Enqueue a message of [size] bytes for transmission. Returns
+    immediately; delivery happens via the engine. *)
+
+val name : _ t -> string
+
+val bandwidth_bps : _ t -> float
+
+val bytes_sent : _ t -> int
+(** Total bytes accepted for transmission since the last
+    {!reset_counters}. *)
+
+val messages_sent : _ t -> int
+
+val busy_until : _ t -> float
+(** Virtual time at which the wire becomes free; [<= now] means idle. *)
+
+val backlog_bytes : _ t -> int
+(** Bytes accepted but whose transmission has not yet finished. *)
+
+val utilization : _ t -> since:float -> until_:float -> float
+(** Fraction of [\[since, until_\]] the wire was busy, in [\[0, 1\]]
+    (estimated from bytes sent; exact for a continuously-backlogged
+    link). *)
+
+val messages_lost : _ t -> int
+(** Messages dropped by the loss model since creation. *)
+
+val reset_counters : _ t -> unit

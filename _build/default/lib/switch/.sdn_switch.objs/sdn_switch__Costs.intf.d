@@ -1,0 +1,1 @@
+lib/switch/costs.mli:

@@ -1,0 +1,1 @@
+lib/switch/egress_queue.ml: Array Bytes Engine Int32 Link List Option Queue Sdn_sim Stats

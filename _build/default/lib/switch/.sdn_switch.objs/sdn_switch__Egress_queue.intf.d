@@ -1,0 +1,1 @@
+lib/switch/egress_queue.mli: Bytes Engine Link Sdn_sim Stats

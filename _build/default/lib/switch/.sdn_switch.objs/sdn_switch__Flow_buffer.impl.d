@@ -1,0 +1,1 @@
+lib/switch/flow_buffer.ml: Array Bytes Engine Flow_key Int32 List Sdn_net Sdn_sim Timeseries

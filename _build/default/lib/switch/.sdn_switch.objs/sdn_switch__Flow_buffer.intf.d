@@ -1,0 +1,1 @@
+lib/switch/flow_buffer.mli: Bytes Engine Flow_key Sdn_net Sdn_sim

@@ -1,0 +1,1 @@
+lib/switch/flow_entry.mli: Format Of_action Of_flow_mod Of_flow_removed Of_match Of_stats Sdn_openflow

@@ -1,0 +1,1 @@
+lib/switch/flow_table.ml: Ethernet Flow_entry Flow_key Hashtbl List Of_action Of_match Of_wire Packet Sdn_net Sdn_openflow

@@ -1,0 +1,1 @@
+lib/switch/flow_table.mli: Flow_entry Of_match Of_stats Packet Sdn_net Sdn_openflow

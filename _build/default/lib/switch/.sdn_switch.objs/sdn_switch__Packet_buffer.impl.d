@@ -1,0 +1,1 @@
+lib/switch/packet_buffer.ml: Array Bytes Engine Int32 List Sdn_sim Timeseries

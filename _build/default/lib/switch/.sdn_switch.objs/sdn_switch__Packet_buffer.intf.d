@@ -1,0 +1,1 @@
+lib/switch/packet_buffer.mli: Bytes Engine Sdn_sim

@@ -1,0 +1,1 @@
+lib/switch/switch.mli: Bytes Costs Cpu Egress_queue Engine Flow_table Link Of_ext Rng Sdn_openflow Sdn_sim

@@ -1,0 +1,52 @@
+type t = {
+  kernel_cores : int;
+  userspace_cores : int;
+  kernel_rx_cost : float;
+  kernel_fwd_cost : float;
+  kernel_upcall_cost : float;
+  upcall_base_cost : float;
+  upcall_per_byte : float;
+  buffer_alloc_cost : float;
+  flow_buffer_first_cost : float;
+  flow_buffer_append_cost : float;
+  pkt_out_base_cost : float;
+  pkt_out_per_byte : float;
+  flow_mod_install_cost : float;
+  flow_mod_apply_latency : float;
+  release_per_packet_cost : float;
+  bus_bandwidth_bps : float;
+  bus_descriptor_bytes : int;
+  amortization_floor : float;
+  amortization_scale : int;
+  service_noise_sigma : float;
+}
+
+let default =
+  {
+    kernel_cores = 2;
+    userspace_cores = 2;
+    kernel_rx_cost = 8e-6;
+    kernel_fwd_cost = 12e-6;
+    kernel_upcall_cost = 45e-6;
+    upcall_base_cost = 170e-6;
+    upcall_per_byte = 12e-9;
+    buffer_alloc_cost = 24e-6;
+    flow_buffer_first_cost = 26e-6;
+    flow_buffer_append_cost = 8e-6;
+    pkt_out_base_cost = 25e-6;
+    pkt_out_per_byte = 12e-9;
+    flow_mod_install_cost = 20e-6;
+    flow_mod_apply_latency = 0.2e-3;
+    release_per_packet_cost = 10e-6;
+    bus_bandwidth_bps = 150e6;
+    bus_descriptor_bytes = 32;
+    amortization_floor = 0.25;
+    amortization_scale = 6;
+    service_noise_sigma = 0.08;
+  }
+
+let amortization t ~queue_len =
+  let q = float_of_int (max 0 queue_len) in
+  let scale = float_of_int (max 1 t.amortization_scale) in
+  t.amortization_floor
+  +. ((1.0 -. t.amortization_floor) /. (1.0 +. (q /. scale)))

@@ -1,0 +1,64 @@
+(** Switch-side resource cost model.
+
+    The paper's testbed switch is Open vSwitch on a commodity PC; the
+    behaviours it measures are driven by three contended resources,
+    each of which appears here as an explicit parameter group:
+
+    - the {b kernel datapath} (per-packet receive/forward cost; every
+      packet pays it, hit or miss);
+    - the {b userspace slow path} (per-miss upcall processing, with
+      batch amortization — Open vSwitch handles upcalls in batches, so
+      per-packet cost falls under load, which produces the
+      rise-then-flatten switch-usage curve of the paper's Fig. 4);
+    - the {b ASIC/kernel-to-userspace bus}, a half-duplex channel of
+      limited bandwidth. Without a buffer the full frame crosses it
+      twice (up inside the upcall, down inside the [PACKET_OUT]),
+      which is what makes the no-buffer switch delay blow up past
+      ~70 Mbps in the paper's Fig. 7.
+
+    All times are seconds, sizes bytes, bandwidths bits/second.
+    [Sdn_core.Calibration] documents how the default values were fitted
+    to the paper's reported curves. *)
+
+type t = {
+  kernel_cores : int;
+  userspace_cores : int;
+  kernel_rx_cost : float;  (** per packet: receive + flow-table lookup *)
+  kernel_fwd_cost : float;  (** per packet: egress handling *)
+  kernel_upcall_cost : float;  (** per miss: kernel side of the upcall *)
+  upcall_base_cost : float;  (** per miss reaching userspace *)
+  upcall_per_byte : float;  (** per byte copied into the PACKET_IN *)
+  buffer_alloc_cost : float;  (** packet-granularity: store + id assignment *)
+  flow_buffer_first_cost : float;
+      (** flow-granularity: map probe + insert + id derivation for the
+          first packet of a flow (Algorithm 1, lines 6-9) *)
+  flow_buffer_append_cost : float;
+      (** flow-granularity: chaining a subsequent packet (line 11) *)
+  pkt_out_base_cost : float;  (** userspace handling of a PACKET_OUT *)
+  pkt_out_per_byte : float;  (** per byte of frame data carried in it *)
+  flow_mod_install_cost : float;  (** userspace handling of a FLOW_MOD *)
+  flow_mod_apply_latency : float;
+      (** delay between FLOW_MOD processing and the rule actually
+          taking effect in the datapath (table programming latency;
+          He et al. measure milliseconds on real switches). During
+          this window subsequent packets of the flow still miss —
+          which is why, at high rates, many packets of an Exp-B flow
+          trigger their own requests under packet granularity. *)
+  release_per_packet_cost : float;
+      (** per buffered packet handed back to the datapath on release *)
+  bus_bandwidth_bps : float;  (** half-duplex ASIC <-> CPU channel *)
+  bus_descriptor_bytes : int;  (** fixed per-transfer overhead on the bus *)
+  amortization_floor : float;
+      (** lower bound of the batching speed-up factor (0 < f <= 1) *)
+  amortization_scale : int;
+      (** queue length at which half the possible speed-up is reached *)
+  service_noise_sigma : float;
+      (** lognormal sigma jittering every service time *)
+}
+
+val default : t
+(** Values calibrated against the paper's testbed curves; see
+    [Sdn_core.Calibration]. *)
+
+val amortization : t -> queue_len:int -> float
+(** The batching factor: [floor + (1 - floor) / (1 + queue/scale)]. *)

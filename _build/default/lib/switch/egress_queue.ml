@@ -1,0 +1,189 @@
+open Sdn_sim
+
+type policy = Fifo | Strict_priority | Drr of { quantum : int }
+
+type queue_config = {
+  queue_id : int32;
+  priority : int;
+  weight : int;
+  capacity : int;
+}
+
+let default_queue = { queue_id = 0l; priority = 0; weight = 1; capacity = 512 }
+
+type class_queue = {
+  config : queue_config;
+  frames : (float * Bytes.t) Queue.t;  (** enqueue time, frame *)
+  mutable deficit : int;  (** DRR byte credit *)
+  mutable sent : int;
+  mutable dropped : int;
+  delays : Stats.t;
+}
+
+type t = {
+  engine : Engine.t;
+  link : Bytes.t Link.t;
+  policy : policy;
+  classes : class_queue array;  (** strict-priority order, best first *)
+  mutable drr_cursor : int;
+  mutable drr_visit_credited : bool;
+  mutable pump_armed : bool;
+}
+
+let create engine ~link ~policy ~queues =
+  if queues = [] then invalid_arg "Egress_queue.create: no queues";
+  let ids = List.map (fun q -> q.queue_id) queues in
+  if List.length (List.sort_uniq Int32.compare ids) <> List.length ids then
+    invalid_arg "Egress_queue.create: duplicate queue ids";
+  List.iter
+    (fun q ->
+      if q.weight <= 0 then invalid_arg "Egress_queue.create: weight must be positive";
+      if q.capacity <= 0 then invalid_arg "Egress_queue.create: capacity must be positive")
+    queues;
+  let sorted =
+    List.sort (fun a b -> compare b.priority a.priority) queues
+  in
+  {
+    engine;
+    link;
+    policy;
+    classes =
+      Array.of_list
+        (List.map
+           (fun config ->
+             {
+               config;
+               frames = Queue.create ();
+               deficit = 0;
+               sent = 0;
+               dropped = 0;
+               delays = Stats.create ();
+             })
+           sorted);
+    drr_cursor = 0;
+    drr_visit_credited = false;
+    pump_armed = false;
+  }
+
+let class_for t queue_id =
+  let found = ref t.classes.(0) in
+  Array.iter
+    (fun c -> if Int32.equal c.config.queue_id queue_id then found := c)
+    t.classes;
+  !found
+
+let backlog t =
+  Array.fold_left (fun acc c -> acc + Queue.length c.frames) 0 t.classes
+
+(* Pick the next class to serve, or None if everything is empty. *)
+let next_class t =
+  match t.policy with
+  | Fifo | Strict_priority ->
+      (* Classes are stored best-priority-first; FIFO has one queue. *)
+      let found = ref None in
+      Array.iter
+        (fun c -> if !found = None && not (Queue.is_empty c.frames) then found := Some c)
+        t.classes;
+      !found
+  | Drr { quantum } ->
+      let n = Array.length t.classes in
+      if backlog t = 0 then None
+      else begin
+        (* Classic deficit round robin (Shreedhar & Varghese): each
+           visit to a non-empty class credits it quantum * weight ONCE;
+           the class is served while its deficit covers its head frame,
+           then the cursor moves on. A class may need several rounds of
+           credit for a large frame, so the hunt is bounded generously
+           and falls back to the first non-empty class if exceeded. *)
+        let advance () =
+          t.drr_cursor <- (t.drr_cursor + 1) mod n;
+          t.drr_visit_credited <- false
+        in
+        let max_steps = n * ((16_000 / max 1 quantum) + 2) in
+        let rec hunt steps =
+          if steps > max_steps then begin
+            let found = ref None in
+            Array.iter
+              (fun c ->
+                if !found = None && not (Queue.is_empty c.frames) then
+                  found := Some c)
+              t.classes;
+            !found
+          end
+          else begin
+            let c = t.classes.(t.drr_cursor) in
+            if Queue.is_empty c.frames then begin
+              c.deficit <- 0;
+              advance ();
+              hunt (steps + 1)
+            end
+            else begin
+              if not t.drr_visit_credited then begin
+                c.deficit <- c.deficit + (quantum * c.config.weight);
+                t.drr_visit_credited <- true
+              end;
+              let _, head = Queue.peek c.frames in
+              if c.deficit >= Bytes.length head then Some c
+              else begin
+                advance ();
+                hunt (steps + 1)
+              end
+            end
+          end
+        in
+        hunt 0
+      end
+
+let rec pump t =
+  let now = Engine.now t.engine in
+  let busy_until = Link.busy_until t.link in
+  if busy_until > now then arm_at t busy_until
+  else begin
+    match next_class t with
+    | None -> ()
+    | Some c ->
+        let enqueued_at, frame = Queue.pop c.frames in
+        (match t.policy with
+        | Drr _ ->
+            c.deficit <- c.deficit - Bytes.length frame;
+            if Queue.is_empty c.frames then begin
+              (* The class emptied mid-visit: reset and move on. *)
+              c.deficit <- 0;
+              t.drr_cursor <-
+                (t.drr_cursor + 1) mod Array.length t.classes;
+              t.drr_visit_credited <- false
+            end
+        | Fifo | Strict_priority -> ());
+        c.sent <- c.sent + 1;
+        Stats.add c.delays (now -. enqueued_at);
+        Link.send t.link ~size:(Bytes.length frame) frame;
+        (* The wire is now busy until this frame finishes; come back. *)
+        if backlog t > 0 then arm_at t (Link.busy_until t.link)
+  end
+
+and arm_at t time =
+  if not t.pump_armed then begin
+    t.pump_armed <- true;
+    ignore
+      (Engine.schedule_at t.engine time (fun () ->
+           t.pump_armed <- false;
+           pump t))
+  end
+
+let send t ~queue_id frame =
+  let c = class_for t (Option.value queue_id ~default:0l) in
+  if Queue.length c.frames >= c.config.capacity then
+    c.dropped <- c.dropped + 1
+  else begin
+    Queue.push (Engine.now t.engine, frame) c.frames;
+    pump t
+  end
+
+let queued t ~queue_id = Queue.length (class_for t queue_id).frames
+let sent t ~queue_id = (class_for t queue_id).sent
+let dropped t ~queue_id = (class_for t queue_id).dropped
+
+let total_dropped t =
+  Array.fold_left (fun acc c -> acc + c.dropped) 0 t.classes
+
+let queue_delay_stats t ~queue_id = (class_for t queue_id).delays

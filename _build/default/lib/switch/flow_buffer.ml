@@ -1,0 +1,177 @@
+open Sdn_sim
+open Sdn_net
+
+type unit_state = {
+  key : Flow_key.t;
+  mutable frames_rev : Bytes.t list;
+  mutable resend_count : int;
+  mutable resend_handle : Engine.handle option;
+}
+
+type slot_state = Free | Held of unit_state | Reclaiming
+
+type slot = { mutable state : slot_state; mutable generation : int }
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  reclaim_lag : float;
+  resend_timeout : float;
+  max_resends : int;
+  on_resend : buffer_id:int32 -> key:Flow_key.t -> first_frame:Bytes.t -> unit;
+  slots : slot array;
+  mutable free : int list;
+  by_key : int Flow_key.Table.t;  (** flow -> slot index (the buffer_id map) *)
+  mutable in_use : int;
+  mutable packets : int;
+  occupancy : Timeseries.Weighted.w;
+  mutable allocations : int;
+  mutable alloc_failures : int;
+  mutable resends : int;
+  mutable drops : int;
+  mutable stale_takes : int;
+}
+
+type add_result = First of int32 | Appended of int32 | No_space
+
+type take_result = Taken of Bytes.t list | Unknown_id
+
+let id_of ~generation ~slot =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (generation land 0x7FFF)) 16)
+    (Int32.of_int (slot land 0xFFFF))
+
+let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
+let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
+
+let create engine ~capacity ~reclaim_lag ~resend_timeout ~max_resends ~on_resend
+    () =
+  if capacity <= 0 || capacity > 0xFFFF then
+    invalid_arg "Flow_buffer.create: capacity out of range";
+  {
+    engine;
+    capacity;
+    reclaim_lag;
+    resend_timeout;
+    max_resends;
+    on_resend;
+    slots = Array.init capacity (fun _ -> { state = Free; generation = 0 });
+    free = List.init capacity (fun i -> i);
+    by_key = Flow_key.Table.create 64;
+    in_use = 0;
+    packets = 0;
+    occupancy =
+      Timeseries.Weighted.create ~start:(Engine.now engine) ~initial:0.0 ();
+    allocations = 0;
+    alloc_failures = 0;
+    resends = 0;
+    drops = 0;
+    stale_takes = 0;
+  }
+
+let note_occupancy t =
+  Timeseries.Weighted.update t.occupancy ~time:(Engine.now t.engine)
+    ~value:(float_of_int t.in_use)
+
+let release_slot t i =
+  let slot = t.slots.(i) in
+  slot.state <- Free;
+  slot.generation <- (slot.generation + 1) land 0x7FFF;
+  t.free <- i :: t.free;
+  t.in_use <- t.in_use - 1;
+  note_occupancy t
+
+let drop_unit t i (u : unit_state) =
+  (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
+  t.drops <- t.drops + List.length u.frames_rev;
+  t.packets <- t.packets - List.length u.frames_rev;
+  Flow_key.Table.remove t.by_key u.key;
+  release_slot t i
+
+let rec arm_resend t i (u : unit_state) ~generation =
+  let handle =
+    Engine.schedule t.engine ~delay:t.resend_timeout (fun () ->
+        let slot = t.slots.(i) in
+        match slot.state with
+        | Held held when slot.generation = generation && held == u ->
+            if u.resend_count >= t.max_resends then drop_unit t i u
+            else begin
+              u.resend_count <- u.resend_count + 1;
+              t.resends <- t.resends + 1;
+              (match List.rev u.frames_rev with
+              | first :: _ ->
+                  t.on_resend ~buffer_id:(id_of ~generation ~slot:i) ~key:u.key
+                    ~first_frame:first
+              | [] -> ());
+              arm_resend t i u ~generation
+            end
+        | Held _ | Free | Reclaiming -> ())
+  in
+  u.resend_handle <- Some handle
+
+let add t ~key ~frame =
+  match Flow_key.Table.find_opt t.by_key key with
+  | Some i -> (
+      let slot = t.slots.(i) in
+      match slot.state with
+      | Held u ->
+          u.frames_rev <- frame :: u.frames_rev;
+          t.packets <- t.packets + 1;
+          Appended (id_of ~generation:slot.generation ~slot:i)
+      | Free | Reclaiming ->
+          (* The map should never point at a non-held slot. *)
+          assert false)
+  | None -> (
+      match t.free with
+      | [] ->
+          t.alloc_failures <- t.alloc_failures + 1;
+          No_space
+      | i :: rest ->
+          t.free <- rest;
+          let slot = t.slots.(i) in
+          let u =
+            { key; frames_rev = [ frame ]; resend_count = 0; resend_handle = None }
+          in
+          slot.state <- Held u;
+          Flow_key.Table.add t.by_key key i;
+          t.in_use <- t.in_use + 1;
+          t.packets <- t.packets + 1;
+          t.allocations <- t.allocations + 1;
+          note_occupancy t;
+          arm_resend t i u ~generation:slot.generation;
+          First (id_of ~generation:slot.generation ~slot:i))
+
+let take_all t id =
+  let i = slot_of_id id in
+  if i < 0 || i >= t.capacity then Unknown_id
+  else begin
+    let slot = t.slots.(i) in
+    match slot.state with
+    | Held u when slot.generation = generation_of_id id ->
+        (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
+        let frames = List.rev u.frames_rev in
+        t.packets <- t.packets - List.length frames;
+        Flow_key.Table.remove t.by_key u.key;
+        slot.state <- Reclaiming;
+        ignore
+          (Engine.schedule t.engine ~delay:t.reclaim_lag (fun () ->
+               match slot.state with
+               | Reclaiming -> release_slot t i
+               | Free | Held _ -> ()));
+        Taken frames
+    | Held _ | Free | Reclaiming ->
+        t.stale_takes <- t.stale_takes + 1;
+        Unknown_id
+  end
+
+let capacity t = t.capacity
+let units_in_use t = t.in_use
+let packets_buffered t = t.packets
+let flows_buffered t = Flow_key.Table.length t.by_key
+let mean_units_in_use t ~until = Timeseries.Weighted.mean t.occupancy ~until
+let max_units_in_use t = int_of_float (Timeseries.Weighted.max_value t.occupancy)
+let allocations t = t.allocations
+let alloc_failures t = t.alloc_failures
+let resends t = t.resends
+let drops t = t.drops
+let stale_takes t = t.stale_takes

@@ -1,0 +1,68 @@
+(** Flow-granularity buffer — the paper's proposed mechanism
+    (Section V, Algorithms 1 and 2).
+
+    One buffer unit holds {e all} miss-match packets of one flow and
+    carries a single [buffer_id], derived from the flow's 5-tuple. The
+    first packet of a flow allocates the unit and triggers exactly one
+    [PACKET_IN]; subsequent miss-match packets of the same flow are
+    chained onto the unit silently. When the [PACKET_OUT] arrives, the
+    whole chain is released at once, so units recycle far faster than
+    in the packet-granularity scheme — the paper's 71.6% improvement in
+    buffer-utilization efficiency (Fig. 13).
+
+    If the controller has not answered within [resend_timeout], the
+    switch re-sends the request ("After a timeout period, if the switch
+    doesn't receive the control operation messages, it will send
+    another request message", Section V.A; Algorithm 1 lines 12-13).
+    After [max_resends] unanswered requests the chain is dropped. *)
+
+open Sdn_sim
+open Sdn_net
+
+type t
+
+type add_result =
+  | First of int32
+      (** unit allocated; the caller must send the (single) PACKET_IN *)
+  | Appended of int32  (** chained silently; no PACKET_IN *)
+  | No_space  (** every unit in use; caller falls back to no-buffer *)
+
+type take_result =
+  | Taken of Bytes.t list  (** all chained frames, in arrival order *)
+  | Unknown_id
+
+val create :
+  Engine.t ->
+  capacity:int ->
+  reclaim_lag:float ->
+  resend_timeout:float ->
+  max_resends:int ->
+  on_resend:(buffer_id:int32 -> key:Flow_key.t -> first_frame:Bytes.t -> unit) ->
+  unit ->
+  t
+(** [on_resend] is invoked by the timeout machinery; the switch wires
+    it to PACKET_IN regeneration. *)
+
+val add : t -> key:Flow_key.t -> frame:Bytes.t -> add_result
+(** Algorithm 1, lines 5-11. *)
+
+val take_all : t -> int32 -> take_result
+(** Algorithm 2, lines 2-10: release every chained packet and free the
+    unit (after the reclaim lag). *)
+
+val capacity : t -> int
+
+val units_in_use : t -> int
+val packets_buffered : t -> int
+val flows_buffered : t -> int
+val mean_units_in_use : t -> until:float -> float
+val max_units_in_use : t -> int
+
+val allocations : t -> int
+val alloc_failures : t -> int
+val resends : t -> int
+val drops : t -> int
+(** Chains abandoned after [max_resends] unanswered requests
+    (packets). *)
+
+val stale_takes : t -> int

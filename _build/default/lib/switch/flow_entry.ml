@@ -1,0 +1,93 @@
+open Sdn_openflow
+
+type t = {
+  match_ : Of_match.t;
+  priority : int;
+  actions : Of_action.t list;
+  cookie : int64;
+  idle_timeout : float;
+  hard_timeout : float;
+  send_flow_rem : bool;
+  installed_at : float;
+  mutable last_used : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+}
+
+let of_flow_mod (fm : Of_flow_mod.t) ~now =
+  {
+    match_ = fm.Of_flow_mod.match_;
+    priority = fm.Of_flow_mod.priority;
+    actions = fm.Of_flow_mod.actions;
+    cookie = fm.Of_flow_mod.cookie;
+    idle_timeout = float_of_int fm.Of_flow_mod.idle_timeout;
+    hard_timeout = float_of_int fm.Of_flow_mod.hard_timeout;
+    send_flow_rem = fm.Of_flow_mod.send_flow_rem;
+    installed_at = now;
+    last_used = now;
+    packets = 0L;
+    bytes = 0L;
+  }
+
+let touch t ~now ~bytes =
+  t.last_used <- now;
+  t.packets <- Int64.add t.packets 1L;
+  t.bytes <- Int64.add t.bytes (Int64.of_int bytes)
+
+let is_expired t ~now =
+  (t.idle_timeout > 0.0 && now -. t.last_used >= t.idle_timeout)
+  || (t.hard_timeout > 0.0 && now -. t.installed_at >= t.hard_timeout)
+
+let expires_at t =
+  let idle =
+    if t.idle_timeout > 0.0 then t.last_used +. t.idle_timeout else infinity
+  in
+  let hard =
+    if t.hard_timeout > 0.0 then t.installed_at +. t.hard_timeout else infinity
+  in
+  Float.min idle hard
+
+let to_stats t ~now =
+  let duration = Float.max 0.0 (now -. t.installed_at) in
+  let sec = int_of_float duration in
+  let nsec = int_of_float ((duration -. float_of_int sec) *. 1e9) in
+  {
+    Of_stats.table_id = 0;
+    match_ = t.match_;
+    duration_sec = Int32.of_int sec;
+    duration_nsec = Int32.of_int nsec;
+    priority = t.priority;
+    idle_timeout = int_of_float t.idle_timeout;
+    hard_timeout = int_of_float t.hard_timeout;
+    cookie = t.cookie;
+    packet_count = t.packets;
+    byte_count = t.bytes;
+    actions = t.actions;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "entry{%a prio=%d pkts=%Ld bytes=%Ld}" Of_match.pp
+    t.match_ t.priority t.packets t.bytes
+
+let expiry_reason t ~now =
+  if t.hard_timeout > 0.0 && now -. t.installed_at >= t.hard_timeout then
+    Some Of_flow_removed.Hard_timeout
+  else if t.idle_timeout > 0.0 && now -. t.last_used >= t.idle_timeout then
+    Some Of_flow_removed.Idle_timeout
+  else None
+
+let to_flow_removed t ~now ~reason =
+  let duration = Float.max 0.0 (now -. t.installed_at) in
+  let sec = int_of_float duration in
+  let nsec = int_of_float ((duration -. float_of_int sec) *. 1e9) in
+  {
+    Of_flow_removed.match_ = t.match_;
+    cookie = t.cookie;
+    priority = t.priority;
+    reason;
+    duration_sec = Int32.of_int sec;
+    duration_nsec = Int32.of_int nsec;
+    idle_timeout = int_of_float t.idle_timeout;
+    packet_count = t.packets;
+    byte_count = t.bytes;
+  }

@@ -1,0 +1,44 @@
+(** One installed flow-table rule with its counters and timeouts. *)
+
+open Sdn_openflow
+
+type t = {
+  match_ : Of_match.t;
+  priority : int;
+  actions : Of_action.t list;
+  cookie : int64;
+  idle_timeout : float;  (** seconds; 0 = no idle expiry *)
+  hard_timeout : float;  (** seconds; 0 = no hard expiry *)
+  send_flow_rem : bool;  (** notify the controller on removal *)
+  installed_at : float;
+  mutable last_used : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+}
+
+val of_flow_mod : Of_flow_mod.t -> now:float -> t
+(** Build an entry from an [Add]/[Modify] message at installation
+    time. *)
+
+val touch : t -> now:float -> bytes:int -> unit
+(** Update counters for a matched packet. *)
+
+val is_expired : t -> now:float -> bool
+(** True once the idle or hard timeout has elapsed. *)
+
+val expires_at : t -> float
+(** Earliest instant the entry can expire, given current [last_used];
+    [infinity] if it never expires. *)
+
+val to_stats : t -> now:float -> Of_stats.flow_stats
+(** Render as an OpenFlow flow-stats record. *)
+
+val expiry_reason : t -> now:float -> Of_flow_removed.reason option
+(** Which timeout (if any) has elapsed; hard timeouts take precedence
+    when both have, as in the OpenFlow specification. *)
+
+val to_flow_removed :
+  t -> now:float -> reason:Of_flow_removed.reason -> Of_flow_removed.t
+(** Render as the FLOW_REMOVED notification body. *)
+
+val pp : Format.formatter -> t -> unit

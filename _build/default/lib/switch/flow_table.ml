@@ -1,0 +1,219 @@
+open Sdn_net
+open Sdn_openflow
+
+type insert_result =
+  | Installed
+  | Replaced
+  | Evicted of Flow_entry.t
+  | Table_full
+
+type t = {
+  capacity : int;
+  eviction : bool;
+  by_uid : (int, Flow_entry.t) Hashtbl.t;
+  exact : int list ref Flow_key.Table.t;
+  mutable wildcard_uids : int list;
+  mutable next_uid : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable evictions : int;
+  mutable expirations : int;
+}
+
+let create ?(eviction = true) ~capacity () =
+  if capacity <= 0 then invalid_arg "Flow_table.create: capacity";
+  {
+    capacity;
+    eviction;
+    by_uid = Hashtbl.create 64;
+    exact = Flow_key.Table.create 64;
+    wildcard_uids = [];
+    next_uid = 0;
+    lookups = 0;
+    hits = 0;
+    evictions = 0;
+    expirations = 0;
+  }
+
+let length t = Hashtbl.length t.by_uid
+let capacity t = t.capacity
+
+(* A match is hash-indexable when it pins the whole IPv4 5-tuple; other
+   fields (in_port, MACs) only narrow it further and are re-verified at
+   lookup time. *)
+let index_key (m : Of_match.t) =
+  match
+    (m.Of_match.dl_type, m.Of_match.nw_proto, m.Of_match.nw_src,
+     m.Of_match.nw_dst, m.Of_match.tp_src, m.Of_match.tp_dst)
+  with
+  | Some dl_type, Some proto, Some (src_ip, 32), Some (dst_ip, 32),
+    Some src_port, Some dst_port
+    when dl_type = Ethernet.ethertype_ipv4 ->
+      Some (Flow_key.make ~proto ~src_ip ~dst_ip ~src_port ~dst_port)
+  | _, _, _, _, _, _ -> None
+
+let index_add t key uid =
+  match Flow_key.Table.find_opt t.exact key with
+  | Some uids -> uids := uid :: !uids
+  | None -> Flow_key.Table.add t.exact key (ref [ uid ])
+
+let index_remove t key uid =
+  match Flow_key.Table.find_opt t.exact key with
+  | None -> ()
+  | Some uids ->
+      uids := List.filter (fun u -> u <> uid) !uids;
+      if !uids = [] then Flow_key.Table.remove t.exact key
+
+let remove_uid t uid =
+  match Hashtbl.find_opt t.by_uid uid with
+  | None -> ()
+  | Some entry ->
+      Hashtbl.remove t.by_uid uid;
+      (match index_key entry.Flow_entry.match_ with
+      | Some key -> index_remove t key uid
+      | None -> t.wildcard_uids <- List.filter (fun u -> u <> uid) t.wildcard_uids)
+
+let add_entry t entry =
+  let uid = t.next_uid in
+  t.next_uid <- t.next_uid + 1;
+  Hashtbl.add t.by_uid uid entry;
+  (match index_key entry.Flow_entry.match_ with
+  | Some key -> index_add t key uid
+  | None -> t.wildcard_uids <- uid :: t.wildcard_uids);
+  uid
+
+let find_identical t (entry : Flow_entry.t) =
+  Hashtbl.fold
+    (fun uid (e : Flow_entry.t) acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if
+            e.Flow_entry.priority = entry.Flow_entry.priority
+            && Of_match.equal e.Flow_entry.match_ entry.Flow_entry.match_
+          then Some uid
+          else None)
+    t.by_uid None
+
+let eviction_victim t =
+  (* Least-recently-used among the minimal-priority entries. *)
+  Hashtbl.fold
+    (fun uid (e : Flow_entry.t) acc ->
+      match acc with
+      | None -> Some (uid, e)
+      | Some (_, best) ->
+          if
+            e.Flow_entry.priority < best.Flow_entry.priority
+            || (e.Flow_entry.priority = best.Flow_entry.priority
+               && e.Flow_entry.last_used < best.Flow_entry.last_used)
+          then Some (uid, e)
+          else acc)
+    t.by_uid None
+
+let insert t entry =
+  match find_identical t entry with
+  | Some uid ->
+      remove_uid t uid;
+      ignore (add_entry t entry);
+      Replaced
+  | None ->
+      if Hashtbl.length t.by_uid < t.capacity then begin
+        ignore (add_entry t entry);
+        Installed
+      end
+      else if not t.eviction then Table_full
+      else begin
+        match eviction_victim t with
+        | None -> Table_full (* capacity 0 is rejected at create *)
+        | Some (uid, victim) ->
+            remove_uid t uid;
+            t.evictions <- t.evictions + 1;
+            ignore (add_entry t entry);
+            Evicted victim
+      end
+
+let candidates t pkt =
+  let exact =
+    match Packet.flow_key pkt with
+    | None -> []
+    | Some key -> (
+        match Flow_key.Table.find_opt t.exact key with
+        | None -> []
+        | Some uids -> !uids)
+  in
+  List.rev_append exact t.wildcard_uids
+
+let lookup t ~in_port pkt =
+  t.lookups <- t.lookups + 1;
+  let best =
+    List.fold_left
+      (fun acc uid ->
+        match Hashtbl.find_opt t.by_uid uid with
+        | None -> acc
+        | Some entry ->
+            if not (Of_match.matches entry.Flow_entry.match_ ~in_port pkt) then
+              acc
+            else begin
+              match acc with
+              | None -> Some entry
+              | Some (current : Flow_entry.t) ->
+                  if entry.Flow_entry.priority > current.Flow_entry.priority
+                  then Some entry
+                  else acc
+            end)
+      None (candidates t pkt)
+  in
+  (match best with Some _ -> t.hits <- t.hits + 1 | None -> ());
+  best
+
+let entry_outputs_to (e : Flow_entry.t) port =
+  List.exists
+    (function
+      | Of_action.Output { port = p; _ } -> p = port
+      | Of_action.Enqueue { port = p; _ } -> p = port
+      | Of_action.Set_vlan_vid _ | Of_action.Set_vlan_pcp _
+      | Of_action.Strip_vlan | Of_action.Set_dl_src _ | Of_action.Set_dl_dst _
+      | Of_action.Set_nw_src _ | Of_action.Set_nw_dst _ | Of_action.Set_nw_tos _
+      | Of_action.Set_tp_src _ | Of_action.Set_tp_dst _ ->
+          false)
+    e.Flow_entry.actions
+
+let delete t ~strict ?(out_port = Of_wire.Port.none) ~match_ ~priority () =
+  let doomed =
+    Hashtbl.fold
+      (fun uid (e : Flow_entry.t) acc ->
+        let match_ok =
+          if strict then
+            e.Flow_entry.priority = priority
+            && Of_match.equal e.Flow_entry.match_ match_
+          else Of_match.subsumes ~general:match_ ~specific:e.Flow_entry.match_
+        in
+        let port_ok =
+          out_port = Of_wire.Port.none || entry_outputs_to e out_port
+        in
+        if match_ok && port_ok then uid :: acc else acc)
+      t.by_uid []
+  in
+  List.iter (remove_uid t) doomed;
+  List.length doomed
+
+let expire t ~now =
+  let doomed =
+    Hashtbl.fold
+      (fun uid (e : Flow_entry.t) acc ->
+        if Flow_entry.is_expired e ~now then (uid, e) :: acc else acc)
+      t.by_uid []
+  in
+  List.iter (fun (uid, _) -> remove_uid t uid) doomed;
+  t.expirations <- t.expirations + List.length doomed;
+  List.map snd doomed
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_uid []
+
+let to_stats t ~now = List.map (Flow_entry.to_stats ~now) (entries t)
+
+let lookups t = t.lookups
+let hits t = t.hits
+let misses t = t.lookups - t.hits
+let evictions t = t.evictions
+let expirations t = t.expirations

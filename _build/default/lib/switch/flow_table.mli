@@ -1,0 +1,57 @@
+(** The switch's flow table: priority matching, capacity with optional
+    LRU eviction, idle/hard timeout expiry.
+
+    Exact 5-tuple rules (the kind a reactive controller installs per
+    flow) are hash-indexed so lookup stays O(1) even with a thousand
+    installed rules; wildcarded rules take a linear scan. The paper's
+    root-cause discussion — rules being "kicked out from the size
+    limited flow table" — is modelled by [capacity] and eviction. *)
+
+open Sdn_net
+open Sdn_openflow
+
+type t
+
+type insert_result =
+  | Installed
+  | Replaced  (** an entry with equal match and priority was overwritten *)
+  | Evicted of Flow_entry.t  (** installed after evicting this entry *)
+  | Table_full  (** rejected: table at capacity and eviction disabled *)
+
+val create : ?eviction:bool -> capacity:int -> unit -> t
+(** [eviction] defaults to [true]: at capacity the least-recently-used
+    entry of minimal priority is displaced, as the paper's discussion
+    of TCP rule-eviction assumes. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val insert : t -> Flow_entry.t -> insert_result
+
+val lookup : t -> in_port:int -> Packet.t -> Flow_entry.t option
+(** Highest-priority matching entry, if any. Does not touch counters;
+    callers decide when a lookup constitutes a forwarding use. *)
+
+val delete :
+  t -> strict:bool -> ?out_port:int -> match_:Of_match.t -> priority:int -> unit -> int
+(** OpenFlow [Delete]/[Delete_strict]: remove matching entries, return
+    how many were removed. Non-strict removes every entry subsumed by
+    [match_]; strict requires equal match and priority. When
+    [out_port] names a physical port, only entries with an output or
+    enqueue action to that port qualify (the filter a controller uses
+    to flush rules after a port failure). *)
+
+val expire : t -> now:float -> Flow_entry.t list
+(** Remove and return entries whose idle or hard timeout has elapsed. *)
+
+val entries : t -> Flow_entry.t list
+
+val to_stats : t -> now:float -> Of_stats.flow_stats list
+
+(** Lifetime counters. *)
+
+val lookups : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val expirations : t -> int

@@ -1,0 +1,120 @@
+open Sdn_sim
+
+type slot_state =
+  | Free
+  | Held of { frame : Bytes.t; expiry_handle : Engine.handle }
+  | Reclaiming
+
+type slot = { mutable state : slot_state; mutable generation : int }
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  expiry : float;
+  reclaim_lag : float;
+  slots : slot array;
+  mutable free : int list;
+  mutable in_use : int;
+  occupancy : Timeseries.Weighted.w;
+  mutable allocations : int;
+  mutable alloc_failures : int;
+  mutable expired : int;
+  mutable stale_takes : int;
+}
+
+type take_result = Taken of Bytes.t | Unknown_id
+
+(* buffer_id layout: generation in the high bits, slot index in the low
+   16. Generations disambiguate a reused slot from a stale id. *)
+let id_of ~generation ~slot =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (generation land 0x7FFF)) 16)
+    (Int32.of_int (slot land 0xFFFF))
+
+let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
+let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
+
+let create engine ~capacity ~expiry ~reclaim_lag () =
+  if capacity <= 0 || capacity > 0xFFFF then
+    invalid_arg "Packet_buffer.create: capacity out of range";
+  {
+    engine;
+    capacity;
+    expiry;
+    reclaim_lag;
+    slots = Array.init capacity (fun _ -> { state = Free; generation = 0 });
+    free = List.init capacity (fun i -> i);
+    in_use = 0;
+    occupancy =
+      Timeseries.Weighted.create ~start:(Engine.now engine) ~initial:0.0 ();
+    allocations = 0;
+    alloc_failures = 0;
+    expired = 0;
+    stale_takes = 0;
+  }
+
+let note_occupancy t =
+  Timeseries.Weighted.update t.occupancy ~time:(Engine.now t.engine)
+    ~value:(float_of_int t.in_use)
+
+let release_slot t i =
+  let slot = t.slots.(i) in
+  slot.state <- Free;
+  slot.generation <- (slot.generation + 1) land 0x7FFF;
+  t.free <- i :: t.free;
+  t.in_use <- t.in_use - 1;
+  note_occupancy t
+
+let alloc t ~frame =
+  match t.free with
+  | [] ->
+      t.alloc_failures <- t.alloc_failures + 1;
+      None
+  | i :: rest ->
+      t.free <- rest;
+      let slot = t.slots.(i) in
+      let generation = slot.generation in
+      let expiry_handle =
+        Engine.schedule t.engine ~delay:t.expiry (fun () ->
+            (* Still held by the same allocation? Then nobody released
+               it in time: drop the packet. *)
+            match slot.state with
+            | Held _ when slot.generation = generation ->
+                t.expired <- t.expired + 1;
+                release_slot t i
+            | Held _ | Free | Reclaiming -> ())
+      in
+      slot.state <- Held { frame; expiry_handle };
+      t.in_use <- t.in_use + 1;
+      t.allocations <- t.allocations + 1;
+      note_occupancy t;
+      Some (id_of ~generation ~slot:i)
+
+let take t id =
+  let i = slot_of_id id in
+  if i < 0 || i >= t.capacity then Unknown_id
+  else begin
+    let slot = t.slots.(i) in
+    match slot.state with
+    | Held { frame; expiry_handle } when slot.generation = generation_of_id id ->
+        Engine.cancel expiry_handle;
+        slot.state <- Reclaiming;
+        ignore
+          (Engine.schedule t.engine ~delay:t.reclaim_lag (fun () ->
+               match slot.state with
+               | Reclaiming -> release_slot t i
+               | Free | Held _ -> ()));
+        Taken frame
+    | Held _ | Free | Reclaiming ->
+        t.stale_takes <- t.stale_takes + 1;
+        Unknown_id
+  end
+
+let capacity t = t.capacity
+let in_use t = t.in_use
+let mean_in_use t ~until = Timeseries.Weighted.mean t.occupancy ~until
+let max_in_use t = int_of_float (Timeseries.Weighted.max_value t.occupancy)
+let allocations t = t.allocations
+let alloc_failures t = t.alloc_failures
+let expired t = t.expired
+let stale_takes t = t.stale_takes

@@ -1,0 +1,715 @@
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+
+type mechanism = No_buffer | Packet_granularity | Flow_granularity
+
+let mechanism_to_string = function
+  | No_buffer -> "no-buffer"
+  | Packet_granularity -> "packet-granularity"
+  | Flow_granularity -> "flow-granularity"
+
+type config = {
+  datapath_id : int64;
+  mechanism : mechanism;
+  buffer_capacity : int;
+  miss_send_len : int;
+  buffer_expiry : float;
+  reclaim_lag : float;
+  resend_timeout : float;
+  max_resends : int;
+  flow_table_capacity : int;
+  flow_table_eviction : bool;
+  table_sweep_interval : float;
+}
+
+let default_config =
+  {
+    datapath_id = 0x00_00_00_00_00_00_00_01L;
+    mechanism = Packet_granularity;
+    buffer_capacity = 256;
+    miss_send_len = Of_packet_in.default_miss_send_len;
+    buffer_expiry = 1.0;
+    reclaim_lag = 3.2e-3;
+    resend_timeout = 50e-3;
+    max_resends = 3;
+    flow_table_capacity = 2048;
+    flow_table_eviction = true;
+    table_sweep_interval = 1.0;
+  }
+
+type counters = {
+  frames_received : int;
+  frames_forwarded : int;
+  frames_dropped : int;
+  table_misses : int;
+  pkt_ins_sent : int;
+  pkt_in_resends : int;
+  full_packet_fallbacks : int;
+  pkt_outs_handled : int;
+  flow_mods_handled : int;
+  errors_sent : int;
+  decode_failures : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  costs : Costs.t;
+  mutable mechanism : mechanism;
+  mutable miss_send_len : int;
+  kernel : Cpu.t;
+  userspace : Cpu.t;
+  bus : (unit -> unit) Link.t option ref;
+  table : Flow_table.t;
+  mutable pkt_pool : Packet_buffer.t option;
+  mutable flow_pool : Flow_buffer.t option;
+  ports : (int, Bytes.t Link.t) Hashtbl.t;
+  port_schedulers : (int, Egress_queue.t) Hashtbl.t;
+  down_ports : (int, unit) Hashtbl.t;
+  mutable controller_link : Bytes.t Link.t option;
+  mutable next_xid : int32;
+  (* mutable counter fields *)
+  mutable frames_received : int;
+  mutable frames_forwarded : int;
+  mutable frames_dropped : int;
+  mutable table_misses : int;
+  mutable pkt_ins_sent : int;
+  mutable pkt_in_resends : int;
+  mutable full_packet_fallbacks : int;
+  mutable pkt_outs_handled : int;
+  mutable flow_mods_handled : int;
+  mutable errors_sent : int;
+  mutable decode_failures : int;
+}
+
+let fresh_xid t =
+  let xid = t.next_xid in
+  t.next_xid <-
+    (if Int32.equal t.next_xid Int32.max_int then 1l else Int32.add t.next_xid 1l);
+  xid
+
+let make_pkt_pool t =
+  Packet_buffer.create t.engine ~capacity:t.config.buffer_capacity
+    ~expiry:t.config.buffer_expiry ~reclaim_lag:t.config.reclaim_lag ()
+
+(* The flow pool's resend callback needs the switch, so it is created
+   lazily once [t] exists. *)
+let rec ensure_flow_pool t =
+  match t.flow_pool with
+  | Some pool -> pool
+  | None ->
+      let pool =
+        Flow_buffer.create t.engine ~capacity:t.config.buffer_capacity
+          ~reclaim_lag:t.config.reclaim_lag
+          ~resend_timeout:t.config.resend_timeout
+          ~max_resends:t.config.max_resends
+          ~on_resend:(fun ~buffer_id ~key:_ ~first_frame ->
+            t.pkt_in_resends <- t.pkt_in_resends + 1;
+            (* The repeated request retraces the miss path: bus, then
+               userspace, then the control link (Algorithm 1 line 13). *)
+            send_pkt_in t ~buffer_id ~frame:first_frame ~in_port:1
+              ~truncate:(Some t.miss_send_len) ~extra_cost:0.0)
+          ()
+      in
+      t.flow_pool <- Some pool;
+      pool
+
+and ensure_pkt_pool t =
+  match t.pkt_pool with
+  | Some pool -> pool
+  | None ->
+      let pool = make_pkt_pool t in
+      t.pkt_pool <- Some pool;
+      pool
+
+(* Transfer [bytes] across the half-duplex ASIC<->CPU bus, then run
+   [k]. The bus is the contended resource behind the paper's Fig. 7. *)
+and bus_transfer t ~bytes k =
+  match !(t.bus) with
+  | Some bus -> Link.send bus ~size:(bytes + t.costs.Costs.bus_descriptor_bytes) k
+  | None -> k ()
+
+and send_to_controller ?xid t msg =
+  match t.controller_link with
+  | Some link ->
+      (* Replies echo the request's transaction id, per the OpenFlow
+         specification; switch-initiated messages get fresh ids. *)
+      let xid = match xid with Some x -> x | None -> fresh_xid t in
+      let encoded = Of_codec.encode ~xid msg in
+      Link.send link ~size:(Bytes.length encoded) encoded
+  | None -> ()
+
+(* Generate a PACKET_IN: bus crossing (carrying [truncate] bytes of the
+   frame, or all of it), then userspace processing, then the control
+   link. *)
+and send_pkt_in t ~buffer_id ~frame ~in_port ~truncate ~extra_cost =
+  let carried =
+    match truncate with
+    | None -> Bytes.length frame
+    | Some n -> min n (Bytes.length frame)
+  in
+  bus_transfer t ~bytes:carried (fun () ->
+      let work =
+        t.costs.Costs.upcall_base_cost
+        +. (t.costs.Costs.upcall_per_byte *. float_of_int carried)
+        +. extra_cost
+      in
+      Cpu.submit t.userspace ~work_s:work (fun () ->
+          let pkt_in =
+            Of_packet_in.make ~buffer_id ~in_port
+              ~reason:Of_packet_in.No_match ~frame
+              ~miss_send_len:truncate
+          in
+          t.pkt_ins_sent <- t.pkt_ins_sent + 1;
+          send_to_controller t (Of_codec.Packet_in pkt_in)))
+
+let forward_frame t ~port ~queue_id frame =
+  if Hashtbl.mem t.down_ports port then
+    t.frames_dropped <- t.frames_dropped + 1
+  else
+  match Hashtbl.find_opt t.port_schedulers port with
+  | Some scheduler ->
+      t.frames_forwarded <- t.frames_forwarded + 1;
+      Egress_queue.send scheduler ~queue_id frame
+  | None -> (
+      match Hashtbl.find_opt t.ports port with
+      | Some link ->
+          t.frames_forwarded <- t.frames_forwarded + 1;
+          Link.send link ~size:(Bytes.length frame) frame
+      | None -> t.frames_dropped <- t.frames_dropped + 1)
+
+let resolve_outputs t ~in_port outputs =
+  let all_but_ingress queue_id =
+    Hashtbl.fold
+      (fun p _ acc ->
+        if p = in_port || Hashtbl.mem t.down_ports p then acc
+        else { Of_action.out_port = p; queue_id } :: acc)
+      t.ports []
+  in
+  List.concat_map
+    (fun (o : Of_action.output_spec) ->
+      let p = o.Of_action.out_port in
+      if p = Of_wire.Port.flood || p = Of_wire.Port.all then
+        all_but_ingress o.Of_action.queue_id
+      else if p = Of_wire.Port.in_port then
+        [ { o with Of_action.out_port = in_port } ]
+      else if p = Of_wire.Port.controller || p = Of_wire.Port.none then []
+      else [ o ])
+    outputs
+
+(* Egress of a data-plane frame: one kernel forwarding job, then the
+   port link. *)
+let egress t ~in_port ~actions pkt frame =
+  let rewritten, outputs = Of_action.apply_full actions pkt in
+  let frame =
+    (* Re-encode only if an action rewrote a header. *)
+    if rewritten == pkt then frame else Packet.encode rewritten
+  in
+  let outputs = resolve_outputs t ~in_port outputs in
+  if outputs = [] then t.frames_dropped <- t.frames_dropped + 1
+  else
+    Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_fwd_cost (fun () ->
+        List.iter
+          (fun (o : Of_action.output_spec) ->
+            forward_frame t ~port:o.Of_action.out_port
+              ~queue_id:o.Of_action.queue_id frame)
+          outputs)
+
+(* ---- Miss handling, per mechanism ---- *)
+
+let miss_no_buffer t ~in_port frame =
+  t.full_packet_fallbacks <- t.full_packet_fallbacks + 1;
+  send_pkt_in t ~buffer_id:Of_wire.no_buffer ~frame ~in_port ~truncate:None
+    ~extra_cost:0.0
+
+let miss_packet_granularity t ~in_port frame =
+  let pool = ensure_pkt_pool t in
+  match Packet_buffer.alloc pool ~frame with
+  | None -> miss_no_buffer t ~in_port frame
+  | Some buffer_id ->
+      send_pkt_in t ~buffer_id ~frame ~in_port
+        ~truncate:(Some t.miss_send_len)
+        ~extra_cost:t.costs.Costs.buffer_alloc_cost
+
+let miss_flow_granularity t ~in_port pkt frame =
+  match Packet.flow_key pkt with
+  | None ->
+      (* Non-flow traffic (e.g. ARP) cannot share a buffer unit; it is
+         handled like an unbuffered miss. *)
+      miss_no_buffer t ~in_port frame
+  | Some key -> (
+      let pool = ensure_flow_pool t in
+      match Flow_buffer.add pool ~key ~frame with
+      | Flow_buffer.No_space -> miss_no_buffer t ~in_port frame
+      | Flow_buffer.First buffer_id ->
+          send_pkt_in t ~buffer_id ~frame ~in_port
+            ~truncate:(Some t.miss_send_len)
+            ~extra_cost:t.costs.Costs.flow_buffer_first_cost
+      | Flow_buffer.Appended _ ->
+          (* Algorithm 1 line 11: buffered silently, but the chaining
+             work still occupies the datapath CPU, which is what delays
+             PACKET_IN generation in the paper's Fig. 12(a). *)
+          Cpu.submit t.kernel ~work_s:t.costs.Costs.flow_buffer_append_cost
+            (fun () -> ()))
+
+let handle_miss t ~in_port pkt frame =
+  t.table_misses <- t.table_misses + 1;
+  (* The kernel side of the upcall (packet copy out of the datapath)
+     runs before the transfer crosses the bus. *)
+  Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_upcall_cost (fun () ->
+      match t.mechanism with
+      | No_buffer -> miss_no_buffer t ~in_port frame
+      | Packet_granularity -> miss_packet_granularity t ~in_port frame
+      | Flow_granularity -> miss_flow_granularity t ~in_port pkt frame)
+
+let handle_frame t ~in_port frame =
+  t.frames_received <- t.frames_received + 1;
+  Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_rx_cost (fun () ->
+      match Packet.decode frame with
+      | Error _ ->
+          t.decode_failures <- t.decode_failures + 1;
+          t.frames_dropped <- t.frames_dropped + 1
+      | Ok pkt -> (
+          match Flow_table.lookup t.table ~in_port pkt with
+          | Some entry ->
+              Flow_entry.touch entry ~now:(Engine.now t.engine)
+                ~bytes:(Bytes.length frame);
+              egress t ~in_port ~actions:entry.Flow_entry.actions pkt frame
+          | None -> handle_miss t ~in_port pkt frame))
+
+(* ---- Controller-to-switch message handling ---- *)
+
+let send_error ?xid t ~error_type ~code ~offending =
+  t.errors_sent <- t.errors_sent + 1;
+  let data = Bytes.sub offending 0 (min 64 (Bytes.length offending)) in
+  send_to_controller ?xid t
+    (Of_codec.Error_msg (Of_error.make ~error_type ~code ~data ()))
+
+(* Release one buffered frame to the datapath: descriptor-sized bus
+   crossing, buffer bookkeeping, then kernel forwarding. *)
+let release_buffered t ~actions frame =
+  bus_transfer t ~bytes:0 (fun () ->
+      Cpu.submit t.kernel ~work_s:t.costs.Costs.release_per_packet_cost
+        (fun () ->
+          match Packet.decode frame with
+          | Error _ -> t.decode_failures <- t.decode_failures + 1
+          | Ok pkt -> egress t ~in_port:0 ~actions pkt frame))
+
+(* Release a whole flow-granularity chain (Algorithm 2 lines 4-10). *)
+let release_chain t ~actions frames =
+  bus_transfer t ~bytes:0 (fun () ->
+      let rec forward_next = function
+        | [] -> ()
+        | frame :: rest ->
+            Cpu.submit t.kernel
+              ~work_s:t.costs.Costs.release_per_packet_cost (fun () ->
+                (match Packet.decode frame with
+                | Error _ -> t.decode_failures <- t.decode_failures + 1
+                | Ok pkt -> egress t ~in_port:0 ~actions pkt frame);
+                forward_next rest)
+      in
+      forward_next frames)
+
+let apply_buffer_release t ~buffer_id ~actions ~offending =
+  if Int32.equal buffer_id Of_wire.no_buffer then ()
+  else begin
+    match t.mechanism with
+    | Packet_granularity | No_buffer -> (
+        match t.pkt_pool with
+        | None ->
+            send_error t ~error_type:Of_error.Bad_request
+              ~code:Of_error.Bad_request_code.buffer_empty ~offending
+        | Some pool -> (
+            match Packet_buffer.take pool buffer_id with
+            | Packet_buffer.Taken frame -> release_buffered t ~actions frame
+            | Packet_buffer.Unknown_id ->
+                send_error t ~error_type:Of_error.Bad_request
+                  ~code:Of_error.Bad_request_code.buffer_unknown ~offending))
+    | Flow_granularity -> (
+        match t.flow_pool with
+        | None ->
+            send_error t ~error_type:Of_error.Bad_request
+              ~code:Of_error.Bad_request_code.buffer_empty ~offending
+        | Some pool -> (
+            match Flow_buffer.take_all pool buffer_id with
+            | Flow_buffer.Taken frames -> release_chain t ~actions frames
+            | Flow_buffer.Unknown_id ->
+                send_error t ~error_type:Of_error.Bad_request
+                  ~code:Of_error.Bad_request_code.buffer_unknown ~offending))
+  end
+
+let handle_flow_mod t (fm : Of_flow_mod.t) ~offending =
+  t.flow_mods_handled <- t.flow_mods_handled + 1;
+  let work = t.costs.Costs.flow_mod_install_cost in
+  Cpu.submit t.userspace ~work_s:work (fun () ->
+      match fm.Of_flow_mod.command with
+      | Of_flow_mod.Add | Of_flow_mod.Modify | Of_flow_mod.Modify_strict ->
+          (* The rule takes effect only after the datapath programming
+             latency; packets arriving in between still miss. The
+             buffered packet (if the FLOW_MOD names one) is released
+             immediately, as OVS does. *)
+          ignore
+            (Engine.schedule t.engine
+               ~delay:t.costs.Costs.flow_mod_apply_latency (fun () ->
+                 let entry =
+                   Flow_entry.of_flow_mod fm ~now:(Engine.now t.engine)
+                 in
+                 match Flow_table.insert t.table entry with
+                 | Flow_table.Installed | Flow_table.Replaced
+                 | Flow_table.Evicted _ ->
+                     ()
+                 | Flow_table.Table_full ->
+                     send_error t ~error_type:Of_error.Flow_mod_failed
+                       ~code:Of_error.Flow_mod_failed_code.all_tables_full
+                       ~offending));
+          apply_buffer_release t ~buffer_id:fm.Of_flow_mod.buffer_id
+            ~actions:fm.Of_flow_mod.actions ~offending
+      | Of_flow_mod.Delete ->
+          ignore
+            (Flow_table.delete t.table ~strict:false
+               ~out_port:fm.Of_flow_mod.out_port ~match_:fm.Of_flow_mod.match_
+               ~priority:fm.Of_flow_mod.priority ())
+      | Of_flow_mod.Delete_strict ->
+          ignore
+            (Flow_table.delete t.table ~strict:true
+               ~out_port:fm.Of_flow_mod.out_port ~match_:fm.Of_flow_mod.match_
+               ~priority:fm.Of_flow_mod.priority ()))
+
+let handle_packet_out t (po : Of_packet_out.t) ~offending =
+  t.pkt_outs_handled <- t.pkt_outs_handled + 1;
+  let data_len = Bytes.length po.Of_packet_out.data in
+  let work =
+    t.costs.Costs.pkt_out_base_cost
+    +. (t.costs.Costs.pkt_out_per_byte *. float_of_int data_len)
+  in
+  Cpu.submit t.userspace ~work_s:work (fun () ->
+      if Int32.equal po.Of_packet_out.buffer_id Of_wire.no_buffer then begin
+        if data_len = 0 then
+          send_error t ~error_type:Of_error.Bad_request
+            ~code:Of_error.Bad_request_code.bad_len ~offending
+        else begin
+          (* The full frame must cross the bus back to the datapath. *)
+          let frame = po.Of_packet_out.data in
+          bus_transfer t ~bytes:data_len (fun () ->
+              match Packet.decode frame with
+              | Error _ -> t.decode_failures <- t.decode_failures + 1
+              | Ok pkt ->
+                  egress t ~in_port:po.Of_packet_out.in_port
+                    ~actions:po.Of_packet_out.actions pkt frame)
+        end
+      end
+      else
+        apply_buffer_release t ~buffer_id:po.Of_packet_out.buffer_id
+          ~actions:po.Of_packet_out.actions ~offending)
+
+let buffer_stats t =
+  match (t.mechanism, t.pkt_pool, t.flow_pool) with
+  | Flow_granularity, _, Some pool ->
+      {
+        Of_ext.units_in_use = Flow_buffer.units_in_use pool;
+        units_total = Flow_buffer.capacity pool;
+        flows_buffered = Flow_buffer.flows_buffered pool;
+        packets_buffered = Flow_buffer.packets_buffered pool;
+        resends = Flow_buffer.resends pool;
+      }
+  | (Packet_granularity | No_buffer), Some pool, _ ->
+      {
+        Of_ext.units_in_use = Packet_buffer.in_use pool;
+        units_total = Packet_buffer.capacity pool;
+        flows_buffered = 0;
+        packets_buffered = Packet_buffer.in_use pool;
+        resends = 0;
+      }
+  | Flow_granularity, _, None | (Packet_granularity | No_buffer), None, _ ->
+      {
+        Of_ext.units_in_use = 0;
+        units_total = t.config.buffer_capacity;
+        flows_buffered = 0;
+        packets_buffered = 0;
+        resends = 0;
+      }
+
+let handle_vendor t ~xid (v : Of_ext.t) =
+  match v with
+  | Of_ext.Flow_buffer_enable _ -> t.mechanism <- Flow_granularity
+  | Of_ext.Flow_buffer_disable -> t.mechanism <- Packet_granularity
+  | Of_ext.Flow_buffer_stats_request ->
+      send_to_controller ~xid t
+        (Of_codec.Vendor (Of_ext.Flow_buffer_stats_reply (buffer_stats t)))
+  | Of_ext.Flow_buffer_stats_reply _ -> ()
+
+let features_reply t =
+  let ports =
+    Hashtbl.fold
+      (fun port _ acc ->
+        {
+          Of_features.port_no = port;
+          hw_addr = Mac.of_octets 0x02 0 0 0 0 port;
+          name = Printf.sprintf "eth%d" port;
+        }
+        :: acc)
+      t.ports []
+  in
+  Of_features.make ~datapath_id:t.config.datapath_id
+    ~n_buffers:
+      (match t.mechanism with No_buffer -> 0 | _ -> t.config.buffer_capacity)
+    ~n_tables:1 ~ports
+
+let handle_stats_request t ~xid (req : Of_stats.request) =
+  let now = Engine.now t.engine in
+  let reply =
+    match req with
+    | Of_stats.Desc_request ->
+        Of_stats.Desc_reply
+          {
+            Of_stats.mfr_desc = "sdn-buffer reproduction";
+            hw_desc = "simulated datapath";
+            sw_desc = "sdn_switch (OCaml)";
+            serial_num = "0";
+            dp_desc = mechanism_to_string t.mechanism;
+          }
+    | Of_stats.Flow_request _ -> Of_stats.Flow_reply (Flow_table.to_stats t.table ~now)
+    | Of_stats.Aggregate_request _ ->
+        let entries = Flow_table.entries t.table in
+        let packets, bytes =
+          List.fold_left
+            (fun (p, b) (e : Flow_entry.t) ->
+              (Int64.add p e.Flow_entry.packets, Int64.add b e.Flow_entry.bytes))
+            (0L, 0L) entries
+        in
+        Of_stats.Aggregate_reply
+          {
+            packet_count = packets;
+            byte_count = bytes;
+            flow_count = Int32.of_int (List.length entries);
+          }
+    | Of_stats.Port_request { port_no } ->
+        let one port (link : Bytes.t Link.t) =
+          {
+            Of_stats.port_no = port;
+            rx_packets = 0L;
+            tx_packets = Int64.of_int (Link.messages_sent link);
+            rx_bytes = 0L;
+            tx_bytes = Int64.of_int (Link.bytes_sent link);
+            rx_dropped = 0L;
+            tx_dropped = 0L;
+            rx_errors = 0L;
+            tx_errors = 0L;
+          }
+        in
+        let entries =
+          if port_no = Of_wire.Port.none || port_no = Of_wire.Port.all then
+            Hashtbl.fold (fun p l acc -> one p l :: acc) t.ports []
+          else begin
+            match Hashtbl.find_opt t.ports port_no with
+            | Some l -> [ one port_no l ]
+            | None -> []
+          end
+        in
+        Of_stats.Port_reply entries
+  in
+  send_to_controller ~xid t (Of_codec.Stats_reply reply)
+
+let handle_of_message t buf =
+  match Of_codec.decode buf with
+  | Error _ ->
+      t.decode_failures <- t.decode_failures + 1;
+      send_error t ~error_type:Of_error.Bad_request
+        ~code:Of_error.Bad_request_code.bad_type ~offending:buf
+  | Ok (xid, msg) -> (
+      match msg with
+      | Of_codec.Flow_mod fm -> handle_flow_mod t fm ~offending:buf
+      | Of_codec.Packet_out po -> handle_packet_out t po ~offending:buf
+      | Of_codec.Hello -> send_to_controller t Of_codec.Hello
+      | Of_codec.Echo_request payload ->
+          send_to_controller ~xid t (Of_codec.Echo_reply payload)
+      | Of_codec.Features_request ->
+          send_to_controller ~xid t (Of_codec.Features_reply (features_reply t))
+      | Of_codec.Barrier_request ->
+          send_to_controller ~xid t Of_codec.Barrier_reply
+      | Of_codec.Vendor v -> handle_vendor t ~xid v
+      | Of_codec.Stats_request req -> handle_stats_request t ~xid req
+      | Of_codec.Get_config_request ->
+          send_to_controller ~xid t
+            (Of_codec.Get_config_reply
+               { Of_config.flags = 0; miss_send_len = t.miss_send_len })
+      | Of_codec.Set_config c ->
+          (* The controller configures how much of a buffered packet
+             rides in the PACKET_IN (paper, Section IV). *)
+          t.miss_send_len <- max 0 (min 0xFFFF c.Of_config.miss_send_len)
+      | Of_codec.Echo_reply _ | Of_codec.Features_reply _
+      | Of_codec.Get_config_reply _ | Of_codec.Packet_in _
+      | Of_codec.Flow_removed _ | Of_codec.Port_status _
+      | Of_codec.Stats_reply _
+      | Of_codec.Barrier_reply | Of_codec.Error_msg _ ->
+          (* Controller-bound messages are ignored if echoed back. *)
+          ())
+
+let create engine ~config ~costs ~rng () =
+  let noise () =
+    Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
+  in
+  let amortize ~queue_len = Costs.amortization costs ~queue_len in
+  let mechanism =
+    if config.buffer_capacity = 0 then No_buffer else config.mechanism
+  in
+  let t =
+    {
+      engine;
+      config;
+      costs;
+      mechanism;
+      miss_send_len = config.miss_send_len;
+      kernel =
+        Cpu.create engine ~name:"switch-kernel" ~cores:costs.Costs.kernel_cores
+          ~noise ();
+      userspace =
+        Cpu.create engine ~name:"switch-userspace"
+          ~cores:costs.Costs.userspace_cores ~service_scale:amortize ~noise ();
+      bus = ref None;
+      table =
+        Flow_table.create ~eviction:config.flow_table_eviction
+          ~capacity:config.flow_table_capacity ();
+      pkt_pool = None;
+      flow_pool = None;
+      ports = Hashtbl.create 8;
+      port_schedulers = Hashtbl.create 8;
+      down_ports = Hashtbl.create 4;
+      controller_link = None;
+      (* Each datapath gets its own xid block so transaction ids stay
+         unique controller-wide in multi-switch topologies (the delay
+         tracker pairs responses by xid). *)
+      next_xid =
+        Int32.add 1l
+          (Int32.shift_left
+             (Int32.of_int (Int64.to_int (Int64.rem config.datapath_id 1024L)))
+             20);
+      frames_received = 0;
+      frames_forwarded = 0;
+      frames_dropped = 0;
+      table_misses = 0;
+      pkt_ins_sent = 0;
+      pkt_in_resends = 0;
+      full_packet_fallbacks = 0;
+      pkt_outs_handled = 0;
+      flow_mods_handled = 0;
+      errors_sent = 0;
+      decode_failures = 0;
+    }
+  in
+  (* The internal bus delivers transfer-completion thunks. *)
+  t.bus :=
+    Some
+      (Link.create engine ~name:"asic-cpu-bus"
+         ~bandwidth_bps:costs.Costs.bus_bandwidth_bps ~propagation_s:0.0
+         ~receiver:(fun k -> k ())
+         ());
+  (* Pre-create the pool matching the configured mechanism so occupancy
+     statistics start at time zero. *)
+  (match t.mechanism with
+  | Packet_granularity -> ignore (ensure_pkt_pool t)
+  | Flow_granularity -> ignore (ensure_flow_pool t)
+  | No_buffer -> ());
+  t
+
+let start t =
+  let rec sweep () =
+    let now = Engine.now t.engine in
+    let expired = Flow_table.expire t.table ~now in
+    (* Rules installed with the send_flow_rem flag notify the
+       controller of their demise. *)
+    List.iter
+      (fun (entry : Flow_entry.t) ->
+        if entry.Flow_entry.send_flow_rem then begin
+          let reason =
+            Option.value
+              (Flow_entry.expiry_reason entry ~now)
+              ~default:Of_flow_removed.Idle_timeout
+          in
+          send_to_controller t
+            (Of_codec.Flow_removed (Flow_entry.to_flow_removed entry ~now ~reason))
+        end)
+      expired;
+    ignore (Engine.schedule t.engine ~delay:t.config.table_sweep_interval sweep)
+  in
+  ignore (Engine.schedule t.engine ~delay:t.config.table_sweep_interval sweep)
+
+let config t = t.config
+let mechanism t = t.mechanism
+let miss_send_len t = t.miss_send_len
+let set_port t ~port link = Hashtbl.replace t.ports port link
+
+let set_port_state t ~port ~up =
+  let was_down = Hashtbl.mem t.down_ports port in
+  if up then Hashtbl.remove t.down_ports port
+  else Hashtbl.replace t.down_ports port ();
+  if was_down <> not up then begin
+    (* Notify the controller asynchronously, as a real switch does. *)
+    let port_desc =
+      {
+        Of_features.port_no = port;
+        hw_addr = Mac.of_octets 0x02 0 0 0 0 port;
+        name = Printf.sprintf "eth%d" port;
+      }
+    in
+    send_to_controller t
+      (Of_codec.Port_status
+         {
+           Of_port_status.reason = Of_port_status.Modify;
+           port = port_desc;
+           link_down = not up;
+         })
+  end
+
+let port_is_up t ~port = not (Hashtbl.mem t.down_ports port)
+
+let set_port_scheduler t ~port ~policy ~queues =
+  match Hashtbl.find_opt t.ports port with
+  | None -> invalid_arg "Switch.set_port_scheduler: no such port"
+  | Some link ->
+      Hashtbl.replace t.port_schedulers port
+        (Egress_queue.create t.engine ~link ~policy ~queues)
+
+let port_scheduler t ~port = Hashtbl.find_opt t.port_schedulers port
+let set_controller_link t link = t.controller_link <- Some link
+let kernel_cpu t = t.kernel
+let userspace_cpu t = t.userspace
+let flow_table t = t.table
+
+let counters t =
+  {
+    frames_received = t.frames_received;
+    frames_forwarded = t.frames_forwarded;
+    frames_dropped = t.frames_dropped;
+    table_misses = t.table_misses;
+    pkt_ins_sent = t.pkt_ins_sent;
+    pkt_in_resends = t.pkt_in_resends;
+    full_packet_fallbacks = t.full_packet_fallbacks;
+    pkt_outs_handled = t.pkt_outs_handled;
+    flow_mods_handled = t.flow_mods_handled;
+    errors_sent = t.errors_sent;
+    decode_failures = t.decode_failures;
+  }
+
+let buffer_units_in_use t =
+  match (t.mechanism, t.pkt_pool, t.flow_pool) with
+  | Flow_granularity, _, Some pool -> Flow_buffer.units_in_use pool
+  | (Packet_granularity | No_buffer), Some pool, _ -> Packet_buffer.in_use pool
+  | _, _, _ -> 0
+
+let buffer_mean_in_use t ~until =
+  match (t.mechanism, t.pkt_pool, t.flow_pool) with
+  | Flow_granularity, _, Some pool -> Flow_buffer.mean_units_in_use pool ~until
+  | (Packet_granularity | No_buffer), Some pool, _ ->
+      Packet_buffer.mean_in_use pool ~until
+  | _, _, _ -> 0.0
+
+let buffer_max_in_use t =
+  match (t.mechanism, t.pkt_pool, t.flow_pool) with
+  | Flow_granularity, _, Some pool -> Flow_buffer.max_units_in_use pool
+  | (Packet_granularity | No_buffer), Some pool, _ -> Packet_buffer.max_in_use pool
+  | _, _, _ -> 0
+
+let cpu_busy_core_seconds t =
+  Cpu.busy_core_seconds t.kernel +. Cpu.busy_core_seconds t.userspace

@@ -1,0 +1,129 @@
+(** The OpenFlow switch model.
+
+    Wires together the flow table, the buffer pools, the kernel and
+    userspace CPUs and the ASIC-to-CPU bus, and implements the three
+    miss-handling mechanisms the paper compares:
+
+    - {b No_buffer}: every miss-match packet travels entirely to the
+      controller inside the [PACKET_IN], and comes back entirely inside
+      the [PACKET_OUT];
+    - {b Packet_granularity}: the default OpenFlow buffer — each
+      miss-match packet is stored locally, gets its own [buffer_id] and
+      still triggers its own [PACKET_IN] (now carrying only
+      [miss_send_len] bytes);
+    - {b Flow_granularity}: the paper's mechanism — all miss-match
+      packets of one flow share a unit and a [buffer_id]; only the
+      first triggers a [PACKET_IN]; one [PACKET_OUT] releases the whole
+      chain (Algorithms 1 and 2).
+
+    Both buffered mechanisms fall back to the no-buffer behaviour when
+    the pool is exhausted, exactly as the paper observes for buffer-16
+    above ~30 Mbps.
+
+    The mechanism can also be switched at runtime by the controller
+    through the {!Sdn_openflow.Of_ext} vendor messages. *)
+
+open Sdn_sim
+open Sdn_openflow
+
+type mechanism = No_buffer | Packet_granularity | Flow_granularity
+
+val mechanism_to_string : mechanism -> string
+
+type config = {
+  datapath_id : int64;
+  mechanism : mechanism;
+  buffer_capacity : int;  (** units (0 forces [No_buffer]) *)
+  miss_send_len : int;  (** PACKET_IN data bytes when buffered *)
+  buffer_expiry : float;  (** packet-granularity ageing, seconds *)
+  reclaim_lag : float;  (** deferred unit reclamation, seconds *)
+  resend_timeout : float;  (** flow-granularity re-request period *)
+  max_resends : int;
+  flow_table_capacity : int;
+  flow_table_eviction : bool;
+  table_sweep_interval : float;  (** idle/hard timeout sweep period *)
+}
+
+val default_config : config
+
+type counters = {
+  frames_received : int;
+  frames_forwarded : int;
+  frames_dropped : int;
+  table_misses : int;
+  pkt_ins_sent : int;
+  pkt_in_resends : int;
+  full_packet_fallbacks : int;
+      (** misses handled without a buffer unit (pool empty / non-flow
+          packet under flow granularity / no-buffer mode) *)
+  pkt_outs_handled : int;
+  flow_mods_handled : int;
+  errors_sent : int;
+  decode_failures : int;
+}
+
+type t
+
+val create : Engine.t -> config:config -> costs:Costs.t -> rng:Rng.t -> unit -> t
+(** The switch starts unwired; attach ports and the controller link
+    before injecting traffic. *)
+
+val config : t -> config
+val mechanism : t -> mechanism
+
+val miss_send_len : t -> int
+(** Current PACKET_IN truncation length; starts at the configured value
+    and is updated by SET_CONFIG from the controller. *)
+
+val set_port : t -> port:int -> Bytes.t Link.t -> unit
+(** Attach the egress link of a data port (ports are 1-based, as in
+    OpenFlow). *)
+
+val set_port_scheduler :
+  t ->
+  port:int ->
+  policy:Egress_queue.policy ->
+  queues:Egress_queue.queue_config list ->
+  unit
+(** Put a QoS egress scheduler in front of a port (the port must
+    already be attached). Frames are classified by the [Enqueue]
+    action's queue id; plain [Output] goes to queue 0. *)
+
+val port_scheduler : t -> port:int -> Egress_queue.t option
+
+val set_port_state : t -> port:int -> up:bool -> unit
+(** Fail or restore a port (failure injection). Frames forwarded to a
+    down port are dropped, floods skip it, and the controller receives
+    a [PORT_STATUS] notification on every transition. *)
+
+val port_is_up : t -> port:int -> bool
+
+val set_controller_link : t -> Bytes.t Link.t -> unit
+(** Attach the switch-to-controller half of the control channel. *)
+
+val handle_frame : t -> in_port:int -> Bytes.t -> unit
+(** Deliver an ingress frame (wired as the receiver of host links). *)
+
+val handle_of_message : t -> Bytes.t -> unit
+(** Deliver a controller-to-switch OpenFlow message (wired as the
+    receiver of the control link). *)
+
+val start : t -> unit
+(** Begin periodic housekeeping (flow-table expiry sweep). *)
+
+(** {2 Introspection for measurement} *)
+
+val kernel_cpu : t -> Cpu.t
+val userspace_cpu : t -> Cpu.t
+val flow_table : t -> Flow_table.t
+val counters : t -> counters
+
+val buffer_units_in_use : t -> int
+val buffer_mean_in_use : t -> until:float -> float
+val buffer_max_in_use : t -> int
+val buffer_stats : t -> Of_ext.stats
+(** Unified pool statistics for whichever mechanism is active. *)
+
+val cpu_busy_core_seconds : t -> float
+(** Combined kernel + userspace busy integral — the quantity behind
+    the paper's "switch usages" (CPU percent of the OVS process). *)

@@ -1,0 +1,1 @@
+lib/traffic/addressing.ml: Flow_key Int32 Ip Ipv4 Mac Sdn_net

@@ -1,0 +1,1 @@
+lib/traffic/addressing.mli: Flow_key Ip Mac Sdn_net

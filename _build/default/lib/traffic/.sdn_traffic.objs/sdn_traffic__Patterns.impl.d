@@ -1,0 +1,1 @@
+lib/traffic/patterns.ml: Addressing Bytes Ethernet Int32 Ipv4 List Packet Rng Sdn_net Sdn_sim Tag Tcp Units

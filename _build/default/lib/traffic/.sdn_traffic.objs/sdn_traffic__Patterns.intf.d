@@ -1,0 +1,1 @@
+lib/traffic/patterns.mli: Addressing Bytes Rng Sdn_sim

@@ -1,0 +1,1 @@
+lib/traffic/pktgen.ml: Engine List Patterns Sdn_sim

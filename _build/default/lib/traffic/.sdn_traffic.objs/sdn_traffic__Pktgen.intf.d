@@ -1,0 +1,1 @@
+lib/traffic/pktgen.mli: Bytes Engine Patterns Sdn_sim

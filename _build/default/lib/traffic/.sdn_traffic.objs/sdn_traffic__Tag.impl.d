@@ -1,0 +1,1 @@
+lib/traffic/tag.ml: Bytes Format Int32 Packet Sdn_net

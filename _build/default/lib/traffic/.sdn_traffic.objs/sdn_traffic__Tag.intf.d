@@ -1,0 +1,1 @@
+lib/traffic/tag.mli: Bytes Format

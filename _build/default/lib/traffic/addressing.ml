@@ -1,0 +1,29 @@
+open Sdn_net
+
+type t = {
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  src_ip_base : Ip.t;
+  dst_ip : Ip.t;
+  src_port_base : int;
+  dst_port : int;
+}
+
+let default =
+  {
+    src_mac = Mac.of_octets 0x02 0 0 0 0 0x01;
+    dst_mac = Mac.of_octets 0x02 0 0 0 0 0x02;
+    src_ip_base = Ip.make 10 1 0 0;
+    dst_ip = Ip.make 10 0 0 2;
+    src_port_base = 10000;
+    dst_port = 9;
+  }
+
+let src_ip t ~flow_id =
+  Ip.of_int32 (Int32.add (Ip.to_int32 t.src_ip_base) (Int32.of_int flow_id))
+
+let src_port t ~flow_id = t.src_port_base + (flow_id mod 16384)
+
+let flow_key t ~flow_id =
+  Flow_key.make ~proto:Ipv4.proto_udp ~src_ip:(src_ip t ~flow_id)
+    ~dst_ip:t.dst_ip ~src_port:(src_port t ~flow_id) ~dst_port:t.dst_port

@@ -1,0 +1,29 @@
+(** Address assignment for generated traffic.
+
+    The paper's generator forges source IP addresses to make every
+    packet a new flow; this module derives deterministic, unique
+    5-tuples from flow ids. *)
+
+open Sdn_net
+
+type t = {
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  src_ip_base : Ip.t;  (** flow id is added to this base *)
+  dst_ip : Ip.t;
+  src_port_base : int;
+  dst_port : int;
+}
+
+val default : t
+(** Host1 (10.0.0.1, talking to) Host2 (10.0.0.2), forged sources from
+    10.1.0.0 upward, destination port 9. *)
+
+val src_ip : t -> flow_id:int -> Ip.t
+(** [src_ip_base + flow_id] (32-bit wrap-around). *)
+
+val src_port : t -> flow_id:int -> int
+(** [src_port_base + flow_id mod 16384], keeping ports valid. *)
+
+val flow_key : t -> flow_id:int -> Flow_key.t
+(** The unique UDP 5-tuple of a generated flow. *)

@@ -1,0 +1,220 @@
+open Sdn_sim
+open Sdn_net
+
+type injection = {
+  time : float;
+  in_port : int;
+  flow_id : int;
+  seq : int;
+  frame : Bytes.t;
+}
+
+let spacing ~rate_mbps ~frame_size =
+  if rate_mbps <= 0.0 then invalid_arg "Patterns.spacing: rate must be positive";
+  Units.bytes_to_bits frame_size /. Units.mbps_to_bps rate_mbps
+
+let udp_frame addressing ~flow_id ~seq ~flow_packets ~frame_size =
+  let pkt =
+    Packet.udp_frame_of_size ~src_mac:addressing.Addressing.src_mac
+      ~dst_mac:addressing.Addressing.dst_mac
+      ~src_ip:(Addressing.src_ip addressing ~flow_id)
+      ~dst_ip:addressing.Addressing.dst_ip
+      ~src_port:(Addressing.src_port addressing ~flow_id)
+      ~dst_port:addressing.Addressing.dst_port ~frame_size
+      ~payload_fill:(fun payload ->
+        Tag.write { Tag.flow_id; seq; flow_packets } payload)
+  in
+  Packet.encode pkt
+
+let jittered_gap rng ~gap ~jitter =
+  if jitter <= 0.0 then gap
+  else gap *. (1.0 +. Rng.uniform rng ~lo:(-.jitter) ~hi:jitter)
+
+let exp_a ~rng ?(addressing = Addressing.default) ?(start = 0.0) ?(jitter = 0.02)
+    ~n_flows ~rate_mbps ~frame_size () =
+  if n_flows <= 0 then invalid_arg "Patterns.exp_a: n_flows";
+  let gap = spacing ~rate_mbps ~frame_size in
+  let time = ref start in
+  List.init n_flows (fun flow_id ->
+      let inj =
+        {
+          time = !time;
+          in_port = 1;
+          flow_id;
+          seq = 0;
+          frame = udp_frame addressing ~flow_id ~seq:0 ~flow_packets:1 ~frame_size;
+        }
+      in
+      time := !time +. jittered_gap rng ~gap ~jitter;
+      inj)
+
+let exp_b ~rng ?(addressing = Addressing.default) ?(start = 0.0) ?(jitter = 0.02)
+    ~n_flows ~packets_per_flow ~concurrent ~rate_mbps ~frame_size () =
+  if n_flows <= 0 || packets_per_flow <= 0 || concurrent <= 0 then
+    invalid_arg "Patterns.exp_b: counts must be positive";
+  if n_flows mod concurrent <> 0 then
+    invalid_arg "Patterns.exp_b: n_flows must be a multiple of concurrent";
+  let gap = spacing ~rate_mbps ~frame_size in
+  let time = ref start in
+  let batches = n_flows / concurrent in
+  let acc = ref [] in
+  for batch = 0 to batches - 1 do
+    for seq = 0 to packets_per_flow - 1 do
+      for member = 0 to concurrent - 1 do
+        let flow_id = (batch * concurrent) + member in
+        let inj =
+          {
+            time = !time;
+            in_port = 1;
+            flow_id;
+            seq;
+            frame =
+              udp_frame addressing ~flow_id ~seq
+                ~flow_packets:packets_per_flow ~frame_size;
+          }
+        in
+        acc := inj :: !acc;
+        time := !time +. jittered_gap rng ~gap ~jitter
+      done
+    done
+  done;
+  List.rev !acc
+
+let udp_burst ~rng ?(addressing = Addressing.default) ?(start = 0.0) ~n_packets
+    ~rate_mbps ~frame_size () =
+  if n_packets <= 0 then invalid_arg "Patterns.udp_burst: n_packets";
+  let gap = spacing ~rate_mbps ~frame_size in
+  let time = ref start in
+  List.init n_packets (fun seq ->
+      let inj =
+        {
+          time = !time;
+          in_port = 1;
+          flow_id = 0;
+          seq;
+          frame =
+            udp_frame addressing ~flow_id:0 ~seq ~flow_packets:n_packets
+              ~frame_size;
+        }
+      in
+      time := !time +. jittered_gap rng ~gap ~jitter:0.01;
+      inj)
+
+(* ---- TCP scenarios ---- *)
+
+let tcp_frame addressing ~flow_id ~seq_no ~ack_no ~flags ~payload_len ~reverse =
+  let payload = Bytes.make payload_len '\000' in
+  if payload_len >= Tag.size then
+    Tag.write { Tag.flow_id; seq = Int32.to_int seq_no; flow_packets = 0 } payload;
+  let src_ip = Addressing.src_ip addressing ~flow_id in
+  let src_port = Addressing.src_port addressing ~flow_id in
+  let a = addressing in
+  let pkt =
+    if reverse then
+      Packet.tcp ~src_mac:a.Addressing.dst_mac ~dst_mac:a.Addressing.src_mac
+        ~src_ip:a.Addressing.dst_ip ~dst_ip:src_ip
+        ~src_port:a.Addressing.dst_port ~dst_port:src_port ~seq:seq_no
+        ~ack_seq:ack_no ~flags ~payload ()
+    else
+      Packet.tcp ~src_mac:a.Addressing.src_mac ~dst_mac:a.Addressing.dst_mac
+        ~src_ip ~dst_ip:a.Addressing.dst_ip ~src_port
+        ~dst_port:a.Addressing.dst_port ~seq:seq_no ~ack_seq:ack_no ~flags
+        ~payload ()
+  in
+  Packet.encode pkt
+
+let tcp_handshake ~addressing ~flow_id ~start ~gap =
+  [
+    {
+      time = start;
+      in_port = 1;
+      flow_id;
+      seq = 0;
+      frame =
+        tcp_frame addressing ~flow_id ~seq_no:0l ~ack_no:0l ~flags:Tcp.flags_syn
+          ~payload_len:0 ~reverse:false;
+    };
+    {
+      time = start +. gap;
+      in_port = 2;
+      flow_id;
+      seq = 1;
+      frame =
+        tcp_frame addressing ~flow_id ~seq_no:0l ~ack_no:1l
+          ~flags:Tcp.flags_syn_ack ~payload_len:0 ~reverse:true;
+    };
+    {
+      time = start +. (2.0 *. gap);
+      in_port = 1;
+      flow_id;
+      seq = 2;
+      frame =
+        tcp_frame addressing ~flow_id ~seq_no:1l ~ack_no:1l ~flags:Tcp.flags_ack
+          ~payload_len:0 ~reverse:false;
+    };
+  ]
+
+let tcp_data_burst ~rng ~addressing ~flow_id ~start ~gap ~jitter ~n ~first_seq
+    ~payload_len =
+  let time = ref start in
+  List.init n (fun i ->
+      let seq_no = Int32.of_int (1 + (i * payload_len)) in
+      let inj =
+        {
+          time = !time;
+          in_port = 1;
+          flow_id;
+          seq = first_seq + i;
+          frame =
+            tcp_frame addressing ~flow_id ~seq_no ~ack_no:1l
+              ~flags:Tcp.flags_psh_ack ~payload_len ~reverse:false;
+        }
+      in
+      time := !time +. jittered_gap rng ~gap ~jitter;
+      inj)
+
+let data_payload_len ~frame_size =
+  max Tag.size (frame_size - Ethernet.size - Ipv4.size - Tcp.size)
+
+let tcp_handshake_then_data ~rng ?(addressing = Addressing.default)
+    ?(start = 0.0) ~flow_id ~data_packets ~rate_mbps ~frame_size () =
+  let gap = spacing ~rate_mbps ~frame_size in
+  let handshake = tcp_handshake ~addressing ~flow_id ~start ~gap in
+  let data =
+    tcp_data_burst ~rng ~addressing ~flow_id
+      ~start:(start +. (3.0 *. gap))
+      ~gap ~jitter:0.01 ~n:data_packets ~first_seq:3
+      ~payload_len:(data_payload_len ~frame_size)
+  in
+  handshake @ data
+
+let tcp_idle_resume ~rng ?(addressing = Addressing.default) ?(start = 0.0)
+    ~flow_id ~first_burst ~idle_gap ~second_burst ~rate_mbps ~frame_size () =
+  let gap = spacing ~rate_mbps ~frame_size in
+  let payload_len = data_payload_len ~frame_size in
+  let handshake = tcp_handshake ~addressing ~flow_id ~start ~gap in
+  let burst1 =
+    tcp_data_burst ~rng ~addressing ~flow_id
+      ~start:(start +. (3.0 *. gap))
+      ~gap ~jitter:0.01 ~n:first_burst ~first_seq:3 ~payload_len
+  in
+  let burst1_end =
+    match List.rev burst1 with [] -> start +. (3.0 *. gap) | last :: _ -> last.time
+  in
+  let burst2 =
+    tcp_data_burst ~rng ~addressing ~flow_id
+      ~start:(burst1_end +. idle_gap)
+      ~gap ~jitter:0.01 ~n:second_burst
+      ~first_seq:(3 + first_burst)
+      ~payload_len
+  in
+  handshake @ burst1 @ burst2
+
+let total_bytes injections =
+  List.fold_left (fun acc inj -> acc + Bytes.length inj.frame) 0 injections
+
+let duration = function
+  | [] -> 0.0
+  | first :: _ as injections ->
+      let last = List.fold_left (fun _ inj -> inj) first injections in
+      last.time -. first.time

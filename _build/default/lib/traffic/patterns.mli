@@ -1,0 +1,103 @@
+(** Workload patterns.
+
+    Each pattern produces a deterministic list of timed frame
+    injections; {!Pktgen} schedules them into the engine. Rates follow
+    the paper's convention: frames of [frame_size] bytes sent
+    back-to-back at the given application rate, with a small seeded
+    jitter so repetitions differ. *)
+
+open Sdn_sim
+
+type injection = {
+  time : float;
+  in_port : int;  (** switch port the frame enters *)
+  flow_id : int;
+  seq : int;
+  frame : Bytes.t;
+}
+
+val spacing : rate_mbps:float -> frame_size:int -> float
+(** Inter-frame gap achieving the sending rate. *)
+
+val exp_a :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  ?jitter:float ->
+  n_flows:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** Section IV workload: [n_flows] single-packet UDP flows (forged
+    source addresses), evenly spaced at the sending rate. The paper
+    uses 1000 flows of 1000-byte frames. [jitter] is the uniform
+    fraction of the spacing applied to each gap (default 0.02). *)
+
+val exp_b :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  ?jitter:float ->
+  n_flows:int ->
+  packets_per_flow:int ->
+  concurrent:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** Section V workload: [n_flows] flows of [packets_per_flow] packets,
+    sent in batches of [concurrent] flows whose packets interleave in
+    cross sequence (f1 p1, f2 p1, ..., f5 p1, f1 p2, ...); the next
+    batch starts when the previous one has been fully sent. The paper
+    uses 50 flows x 20 packets in batches of 5. *)
+
+val udp_burst :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  n_packets:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** Section VI.A motivation: one UDP flow suddenly emitting
+    [n_packets] back-to-back — every packet a miss until the rule
+    lands. *)
+
+(** TCP scenarios for the Section VI.B discussion. *)
+
+val tcp_handshake_then_data :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  flow_id:int ->
+  data_packets:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** SYN / SYN-ACK / ACK (small frames, the reverse direction entering
+    on port 2), then [data_packets] full-size data segments from the
+    initiator. *)
+
+val tcp_idle_resume :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  flow_id:int ->
+  first_burst:int ->
+  idle_gap:float ->
+  second_burst:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** The rule-eviction scenario: a burst of data, an idle period longer
+    than the rule's idle timeout (during which the rule is kicked out
+    of the table), then a resumed burst on the {e same} established
+    connection — whose packets are misses again. *)
+
+val total_bytes : injection list -> int
+val duration : injection list -> float
+(** Time between the first and last injection. *)

@@ -1,0 +1,36 @@
+open Sdn_sim
+
+type stats = { injected : int; bytes : int; first : float; last : float }
+
+let schedule engine ~inject injections =
+  List.iter
+    (fun (inj : Patterns.injection) ->
+      ignore
+        (Engine.schedule_at engine inj.Patterns.time (fun () ->
+             inject ~in_port:inj.Patterns.in_port inj.Patterns.frame)))
+    injections
+
+let stats_of injections =
+  match injections with
+  | [] -> { injected = 0; bytes = 0; first = 0.0; last = 0.0 }
+  | first_inj :: _ ->
+      let last_inj =
+        List.fold_left (fun _ inj -> inj) first_inj injections
+      in
+      {
+        injected = List.length injections;
+        bytes = Patterns.total_bytes injections;
+        first = first_inj.Patterns.time;
+        last = last_inj.Patterns.time;
+      }
+
+let offered_rate_mbps stats =
+  let span = stats.last -. stats.first in
+  if span <= 0.0 || stats.injected <= 1 then 0.0
+  else begin
+    (* The last frame still needs its own serialization slot; include
+       it so the rate matches the plan's nominal rate. *)
+    let mean_gap = span /. float_of_int (stats.injected - 1) in
+    Sdn_sim.Units.bps_to_mbps
+      (Sdn_sim.Units.bytes_to_bits stats.bytes /. (span +. mean_gap))
+  end

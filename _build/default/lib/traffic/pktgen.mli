@@ -1,0 +1,15 @@
+(** Scheduler turning a {!Patterns} injection plan into engine events —
+    the stand-in for the paper's pktgen host. *)
+
+open Sdn_sim
+
+type stats = { injected : int; bytes : int; first : float; last : float }
+
+val schedule :
+  Engine.t -> inject:(in_port:int -> Bytes.t -> unit) -> Patterns.injection list -> unit
+(** Arrange for each frame to be delivered to [inject] at its time. *)
+
+val stats_of : Patterns.injection list -> stats
+
+val offered_rate_mbps : stats -> float
+(** Application-level sending rate implied by the plan. *)

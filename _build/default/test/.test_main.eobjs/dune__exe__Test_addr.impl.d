@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest Bytes Ip List Mac Printf Result Sdn_net Sdn_sim Units

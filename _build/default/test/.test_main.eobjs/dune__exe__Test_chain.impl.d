@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Chain Config Experiment Printf Sdn_core

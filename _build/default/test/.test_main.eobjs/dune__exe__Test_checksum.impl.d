@@ -1,0 +1,1 @@
+test/test_checksum.ml: Alcotest Bytes Checksum QCheck QCheck_alcotest Sdn_net

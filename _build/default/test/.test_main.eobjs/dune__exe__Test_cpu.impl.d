@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Engine List Sdn_sim

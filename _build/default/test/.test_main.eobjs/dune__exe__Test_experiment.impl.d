@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Calibration Config Experiment List Printf Sdn_core

@@ -1,0 +1,1 @@
+test/test_flow_buffer.ml: Alcotest Bytes Engine Flow_buffer Flow_key Int32 Ip List Printf QCheck QCheck_alcotest Sdn_net Sdn_sim Sdn_switch

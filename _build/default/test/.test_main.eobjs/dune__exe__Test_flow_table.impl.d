@@ -1,0 +1,1 @@
+test/test_flow_table.ml: Alcotest Bytes Flow_entry Flow_table Ip List Mac Of_action Of_flow_mod Of_match Of_stats Option Packet QCheck QCheck_alcotest Sdn_net Sdn_openflow Sdn_switch

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Engine Link List Sdn_sim

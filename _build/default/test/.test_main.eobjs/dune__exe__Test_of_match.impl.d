@@ -1,0 +1,1 @@
+test/test_of_match.ml: Alcotest Arp Bytes Ethernet Ip Mac Of_match Option Packet QCheck QCheck_alcotest Sdn_net Sdn_openflow

@@ -1,0 +1,1 @@
+test/test_of_stream.ml: Alcotest Bytes Int32 Ip List Mac Of_action Of_codec Of_flow_mod Of_match Of_packet_in Of_packet_out Of_stream Packet QCheck QCheck_alcotest Sdn_net Sdn_openflow Sdn_sim

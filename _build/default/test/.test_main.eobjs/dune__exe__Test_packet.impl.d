@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Arp Bytes Ethernet Flow_key Ip Ipv4 Mac Option Packet QCheck QCheck_alcotest Result Sdn_net Tcp

@@ -1,0 +1,1 @@
+test/test_packet_buffer.ml: Alcotest Bytes Engine Int32 List Option Packet_buffer Printf QCheck QCheck_alcotest Sdn_sim Sdn_switch

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bytes Config Experiment Hashtbl Ip List Mac Of_action Of_flow_mod Of_match Option Packet Printf QCheck QCheck_alcotest Sdn_core Sdn_net Sdn_openflow Sdn_switch

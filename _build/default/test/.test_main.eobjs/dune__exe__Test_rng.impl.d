@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Int64 Rng Sdn_sim Stats

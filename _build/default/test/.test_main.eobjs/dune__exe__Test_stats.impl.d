@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Sdn_sim Stats Timeseries

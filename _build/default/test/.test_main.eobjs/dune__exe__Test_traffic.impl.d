@@ -1,0 +1,1 @@
+test/test_traffic.ml: Addressing Alcotest Bytes Engine Flow_key List Option Packet Patterns Pktgen Printf Rng Sdn_net Sdn_sim Sdn_traffic Tag Tcp

@@ -1,0 +1,97 @@
+(* Tests for the multi-switch chain scenario and the controller's
+   multi-session support. *)
+
+open Sdn_core
+
+let config ?(mechanism = Config.Packet_granularity) ?(buffer = 256)
+    ?(n_flows = 100) () =
+  {
+    Config.default with
+    Config.mechanism;
+    buffer_capacity = buffer;
+    rate_mbps = 30.0;
+    workload = Config.Exp_a { n_flows };
+    seed = 5;
+  }
+
+let test_single_switch_matches_paper_setup () =
+  let r = Chain.run (config ()) ~n_switches:1 in
+  Alcotest.(check int) "one request per flow" 100 r.Chain.pkt_ins;
+  Alcotest.(check int) "all delivered" 100 r.Chain.packets_out
+
+let test_requests_scale_with_hops () =
+  let r1 = Chain.run (config ()) ~n_switches:1 in
+  let r3 = Chain.run (config ()) ~n_switches:3 in
+  Alcotest.(check int) "3x the requests" (3 * r1.Chain.pkt_ins) r3.Chain.pkt_ins;
+  Alcotest.(check bool) "more control load" true
+    (r3.Chain.ctrl_load_up_mbps > 2.0 *. r1.Chain.ctrl_load_up_mbps);
+  Alcotest.(check int) "still all delivered" 100 r3.Chain.packets_out
+
+let test_setup_delay_grows_with_hops () =
+  let r1 = Chain.run (config ()) ~n_switches:1 in
+  let r4 = Chain.run (config ()) ~n_switches:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-hop delay accumulates (%.2f vs %.2f ms)"
+       (r1.Chain.setup_delay.Experiment.mean *. 1e3)
+       (r4.Chain.setup_delay.Experiment.mean *. 1e3))
+    true
+    (r4.Chain.setup_delay.Experiment.mean
+     > 2.0 *. r1.Chain.setup_delay.Experiment.mean);
+  Alcotest.(check int) "every flow measured end-to-end" 100
+    r4.Chain.setup_delay.Experiment.count
+
+let test_buffer_beats_no_buffer_across_hops () =
+  let nb = Chain.run (config ~mechanism:Config.No_buffer ~buffer:0 ()) ~n_switches:3 in
+  let b = Chain.run (config ()) ~n_switches:3 in
+  Alcotest.(check bool) "load reduced on every hop" true
+    (b.Chain.ctrl_load_up_mbps < 0.3 *. nb.Chain.ctrl_load_up_mbps);
+  Alcotest.(check bool) "setup delay no worse" true
+    (b.Chain.setup_delay.Experiment.mean
+     <= nb.Chain.setup_delay.Experiment.mean +. 0.5e-3)
+
+let test_flow_granularity_in_chain () =
+  let cfg =
+    {
+      (config ~mechanism:Config.Flow_granularity ()) with
+      Config.workload = Config.Exp_b { n_flows = 10; packets_per_flow = 10; concurrent = 5 };
+      rate_mbps = 80.0;
+    }
+  in
+  let r = Chain.run cfg ~n_switches:2 in
+  Alcotest.(check int) "all packets across both hops" 100 r.Chain.packets_out;
+  (* Each hop buffers the flow's in-flight packets and asks once per
+     install round: far fewer than one request per packet per hop. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "request suppression holds per hop (%d)" r.Chain.pkt_ins)
+    true
+    (r.Chain.pkt_ins < 100)
+
+let test_rejects_empty_chain () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Chain.build (config ()) ~n_switches:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_reproducible () =
+  let a = Chain.run (config ()) ~n_switches:2 in
+  let b = Chain.run (config ()) ~n_switches:2 in
+  Alcotest.(check (float 0.0)) "same setup mean" a.Chain.setup_delay.Experiment.mean
+    b.Chain.setup_delay.Experiment.mean;
+  Alcotest.(check int) "same requests" a.Chain.pkt_ins b.Chain.pkt_ins
+
+let suite =
+  [
+    Alcotest.test_case "single switch sanity" `Quick
+      test_single_switch_matches_paper_setup;
+    Alcotest.test_case "requests scale with hop count" `Quick
+      test_requests_scale_with_hops;
+    Alcotest.test_case "setup delay accumulates per hop" `Quick
+      test_setup_delay_grows_with_hops;
+    Alcotest.test_case "buffering wins across hops" `Quick
+      test_buffer_beats_no_buffer_across_hops;
+    Alcotest.test_case "flow granularity in a chain" `Quick
+      test_flow_granularity_in_chain;
+    Alcotest.test_case "rejects empty chain" `Quick test_rejects_empty_chain;
+    Alcotest.test_case "chain runs are reproducible" `Quick test_chain_reproducible;
+  ]

@@ -1,0 +1,79 @@
+(* Tests for the RFC 1071 Internet checksum. *)
+
+open Sdn_net
+
+let test_rfc1071_example () =
+  (* The classic example from RFC 1071 section 3. *)
+  let buf =
+    Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7"
+  in
+  Alcotest.(check int) "running sum" 0xddf2 (Checksum.sum buf 0 8);
+  Alcotest.(check int) "checksum" (lnot 0xddf2 land 0xFFFF)
+    (Checksum.over buf 0 8)
+
+let test_odd_length_padded () =
+  let buf = Bytes.of_string "\xab" in
+  (* A single byte is treated as 0xab00. *)
+  Alcotest.(check int) "sum" 0xab00 (Checksum.sum buf 0 1)
+
+let test_verify_self_checksummed_region () =
+  let buf = Bytes.make 12 '\000' in
+  Bytes.set_uint16_be buf 0 0x1234;
+  Bytes.set_uint16_be buf 2 0xabcd;
+  Bytes.set_uint16_be buf 8 0x0001;
+  let csum = Checksum.over buf 0 12 in
+  Bytes.set_uint16_be buf 4 csum;
+  Alcotest.(check bool) "verifies" true (Checksum.verify buf 0 12);
+  Bytes.set_uint16_be buf 8 0x0002;
+  Alcotest.(check bool) "corruption detected" false (Checksum.verify buf 0 12)
+
+let test_add_carries () =
+  Alcotest.(check int) "end-around carry" 2 (Checksum.add 0xFFFF 2);
+  Alcotest.(check int) "no carry" 0x0005 (Checksum.add 2 3)
+
+let test_bounds_checked () =
+  let buf = Bytes.create 4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Checksum.sum buf 2 4);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_incremental_split =
+  (* Summing a region equals combining the sums of an even-length
+     prefix and the remaining suffix. *)
+  QCheck.Test.make ~name:"checksum splits at even offsets" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 2 64)) small_int)
+    (fun (s, k) ->
+      let buf = Bytes.of_string s in
+      let n = Bytes.length buf in
+      let split = min (2 * (k mod ((n / 2) + 1))) n in
+      let whole = Checksum.sum buf 0 n in
+      let parts =
+        Checksum.add (Checksum.sum buf 0 split)
+          (Checksum.sum buf split (n - split))
+      in
+      whole = parts)
+
+let prop_detects_single_flip =
+  QCheck.Test.make ~name:"single 16-bit word flip changes checksum" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (int_bound 7))
+    (fun (s, word) ->
+      let buf = Bytes.of_string s in
+      let before = Checksum.over buf 0 16 in
+      let v = Bytes.get_uint16_be buf (2 * word) in
+      Bytes.set_uint16_be buf (2 * word) (v lxor 0x5555);
+      let after = Checksum.over buf 0 16 in
+      before <> after)
+
+let suite =
+  [
+    Alcotest.test_case "RFC 1071 example" `Quick test_rfc1071_example;
+    Alcotest.test_case "odd trailing byte" `Quick test_odd_length_padded;
+    Alcotest.test_case "verify self-checksummed region" `Quick
+      test_verify_self_checksummed_region;
+    Alcotest.test_case "carry folding in add" `Quick test_add_carries;
+    Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+    QCheck_alcotest.to_alcotest prop_incremental_split;
+    QCheck_alcotest.to_alcotest prop_detects_single_flip;
+  ]

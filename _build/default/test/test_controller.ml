@@ -1,0 +1,216 @@
+(* Behavioural tests of the controller: response pairs, xid echoing,
+   release strategies, apps. *)
+
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+open Sdn_controller
+
+let mac1 = Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Mac.of_octets 0x02 0 0 0 0 2
+let ip1 = Ip.make 10 0 0 1
+let ip2 = Ip.make 10 0 0 2
+
+let hosts = [ (ip1, mac1, 1); (ip2, mac2, 2) ]
+
+let quiet_costs = { Costs.default with Costs.service_noise_sigma = 0.0 }
+
+let frame ?(dst_ip = ip2) ?(size = 200) () =
+  Packet.encode
+    (Packet.udp_frame_of_size ~src_mac:mac1 ~dst_mac:mac2 ~src_ip:ip1 ~dst_ip
+       ~src_port:1000 ~dst_port:9 ~frame_size:size ~payload_fill:(fun _ -> ()))
+
+type harness = {
+  engine : Engine.t;
+  controller : Controller.t;
+  to_switch : (int32 * Of_codec.msg) list ref;
+}
+
+let make_harness ?release_strategy ?(app = Apps.forwarding ~hosts ()) () =
+  let engine = Engine.create () in
+  let controller =
+    Controller.create engine ~app ~costs:quiet_costs ~rng:(Rng.of_int 1)
+      ?release_strategy ()
+  in
+  let to_switch = ref [] in
+  let link =
+    Link.create engine ~name:"down" ~bandwidth_bps:1e9 ~propagation_s:0.0
+      ~receiver:(fun buf ->
+        match Of_codec.decode buf with
+        | Ok decoded -> to_switch := decoded :: !to_switch
+        | Error e -> Alcotest.fail e)
+      ()
+  in
+  Controller.set_switch_link controller link;
+  { engine; controller; to_switch }
+
+let deliver h msg ~xid =
+  Controller.handle_message h.controller (Of_codec.encode ~xid msg)
+
+let messages h = List.rev !(h.to_switch)
+
+let pkt_in_of ?(buffered = true) f =
+  Of_packet_in.make
+    ~buffer_id:(if buffered then 7l else Of_wire.no_buffer)
+    ~in_port:1 ~reason:Of_packet_in.No_match ~frame:f
+    ~miss_send_len:(if buffered then Some 128 else None)
+
+let test_buffered_request_gets_pair () =
+  let h = make_harness () in
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:99l;
+  Engine.run h.engine;
+  match messages h with
+  | [ (x1, Of_codec.Flow_mod fm); (x2, Of_codec.Packet_out po) ] ->
+      Alcotest.(check int32) "flow_mod echoes xid" 99l x1;
+      Alcotest.(check int32) "packet_out echoes xid" 99l x2;
+      Alcotest.(check int32) "flow_mod does not carry the buffer" Of_wire.no_buffer
+        fm.Of_flow_mod.buffer_id;
+      Alcotest.(check int32) "packet_out names the buffer" 7l
+        po.Of_packet_out.buffer_id;
+      Alcotest.(check int) "packet_out carries no data" 0
+        (Bytes.length po.Of_packet_out.data);
+      (match po.Of_packet_out.actions with
+      | [ Of_action.Output { port = 2; _ } ] -> ()
+      | _ -> Alcotest.fail "expected output to port 2 (host2)");
+      (* The installed rule matches the flow's 5-tuple. *)
+      Alcotest.(check bool) "match pins the 5-tuple" true
+        (fm.Of_flow_mod.match_.Of_match.tp_src = Some 1000)
+  | l -> Alcotest.fail (Printf.sprintf "expected pair, got %d messages" (List.length l))
+
+let test_unbuffered_request_carries_data_back () =
+  let h = make_harness () in
+  let f = frame ~size:300 () in
+  deliver h (Of_codec.Packet_in (pkt_in_of ~buffered:false f)) ~xid:5l;
+  Engine.run h.engine;
+  match messages h with
+  | [ _; (_, Of_codec.Packet_out po) ] ->
+      Alcotest.(check int32) "NO_BUFFER" Of_wire.no_buffer po.Of_packet_out.buffer_id;
+      Alcotest.(check int) "full frame inside" 300 (Bytes.length po.Of_packet_out.data)
+  | _ -> Alcotest.fail "expected flow_mod + packet_out"
+
+let test_flow_mod_release_strategy () =
+  let h = make_harness ~release_strategy:`Flow_mod_release () in
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:3l;
+  Engine.run h.engine;
+  match messages h with
+  | [ (_, Of_codec.Flow_mod fm) ] ->
+      Alcotest.(check int32) "buffer released via flow_mod" 7l
+        fm.Of_flow_mod.buffer_id
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected a single flow_mod, got %d messages" (List.length l))
+
+let test_unroutable_floods () =
+  let h = make_harness () in
+  let f = frame ~dst_ip:(Ip.make 203 0 113 9) () in
+  (* Unknown destination IP and a known dst MAC: still routed by MAC.
+     Make the MAC unknown too. *)
+  let unroutable =
+    Packet.encode
+      (Packet.udp_frame_of_size ~src_mac:mac1
+         ~dst_mac:(Mac.of_octets 0xde 0xad 0 0 0 1)
+         ~src_ip:ip1 ~dst_ip:(Ip.make 203 0 113 9) ~src_port:1 ~dst_port:2
+         ~frame_size:100 ~payload_fill:(fun _ -> ()))
+  in
+  ignore f;
+  deliver h (Of_codec.Packet_in (pkt_in_of unroutable)) ~xid:1l;
+  Engine.run h.engine;
+  match messages h with
+  | [ (_, Of_codec.Packet_out po) ] -> (
+      match po.Of_packet_out.actions with
+      | [ Of_action.Output { port; _ } ] ->
+          Alcotest.(check int) "flood" Of_wire.Port.flood port
+      | _ -> Alcotest.fail "expected a single output action")
+  | _ -> Alcotest.fail "expected a flood packet_out and no flow_mod"
+
+let test_dropper_app_releases_buffer () =
+  let h = make_harness ~app:(Apps.dropper ()) () in
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:1l;
+  Engine.run h.engine;
+  (match messages h with
+  | [ (_, Of_codec.Packet_out po) ] ->
+      Alcotest.(check (list reject)) "no actions = drop" []
+        (List.map (fun _ -> ()) po.Of_packet_out.actions)
+  | _ -> Alcotest.fail "expected an empty packet_out releasing the buffer");
+  Alcotest.(check int) "drop counted" 1
+    (Controller.counters h.controller).Controller.drops_decided
+
+let test_learning_switch_learns () =
+  let h = make_harness ~app:(Apps.learning_switch ()) () in
+  (* First, a packet from mac1 on port 1 teaches the mapping; its
+     destination is unknown, so it floods. *)
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:1l;
+  Engine.run h.engine;
+  (match messages h with
+  | [ (_, Of_codec.Packet_out po) ] -> (
+      match po.Of_packet_out.actions with
+      | [ Of_action.Output { port; _ } ] ->
+          Alcotest.(check int) "floods unknown" Of_wire.Port.flood port
+      | _ -> Alcotest.fail "expected one action")
+  | _ -> Alcotest.fail "expected flood first");
+  h.to_switch := [];
+  (* Then the reverse direction: dst mac1 is now known on port 1. *)
+  let reverse =
+    Packet.encode
+      (Packet.udp_frame_of_size ~src_mac:mac2 ~dst_mac:mac1 ~src_ip:ip2
+         ~dst_ip:ip1 ~src_port:9 ~dst_port:1000 ~frame_size:100
+         ~payload_fill:(fun _ -> ()))
+  in
+  deliver h
+    (Of_codec.Packet_in
+       (Of_packet_in.make ~buffer_id:9l ~in_port:2 ~reason:Of_packet_in.No_match
+          ~frame:reverse ~miss_send_len:(Some 128)))
+    ~xid:2l;
+  Engine.run h.engine;
+  match messages h with
+  | [ (_, Of_codec.Flow_mod _); (_, Of_codec.Packet_out po) ] -> (
+      match po.Of_packet_out.actions with
+      | [ Of_action.Output { port = 1; _ } ] -> ()
+      | _ -> Alcotest.fail "expected learned output to port 1")
+  | _ -> Alcotest.fail "expected install + release"
+
+let test_echo_reply () =
+  let h = make_harness () in
+  deliver h (Of_codec.Echo_request (Bytes.of_string "abc")) ~xid:44l;
+  Engine.run h.engine;
+  match messages h with
+  | [ (xid, Of_codec.Echo_reply payload) ] ->
+      Alcotest.(check int32) "xid" 44l xid;
+      Alcotest.(check bytes) "payload" (Bytes.of_string "abc") payload
+  | _ -> Alcotest.fail "expected an echo reply"
+
+let test_start_handshake () =
+  let h = make_harness () in
+  Controller.start h.controller ~enable_flow_buffer:0.05 ();
+  Engine.run h.engine;
+  let kinds =
+    List.map (fun (_, m) -> Of_wire.Msg_type.to_string (Of_codec.msg_type m)) (messages h)
+  in
+  Alcotest.(check (list string)) "handshake" [ "HELLO"; "FEATURES_REQUEST"; "VENDOR" ] kinds
+
+let test_counters () =
+  let h = make_harness () in
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:1l;
+  deliver h (Of_codec.Packet_in (pkt_in_of (frame ()))) ~xid:2l;
+  Engine.run h.engine;
+  let c = Controller.counters h.controller in
+  Alcotest.(check int) "pkt_ins" 2 c.Controller.pkt_ins_received;
+  Alcotest.(check int) "flow_mods" 2 c.Controller.flow_mods_sent;
+  Alcotest.(check int) "pkt_outs" 2 c.Controller.pkt_outs_sent
+
+let suite =
+  [
+    Alcotest.test_case "buffered request gets flow_mod + small packet_out" `Quick
+      test_buffered_request_gets_pair;
+    Alcotest.test_case "unbuffered request carries the frame back" `Quick
+      test_unbuffered_request_carries_data_back;
+    Alcotest.test_case "flow_mod release strategy (ablation)" `Quick
+      test_flow_mod_release_strategy;
+    Alcotest.test_case "unroutable destination floods" `Quick test_unroutable_floods;
+    Alcotest.test_case "dropper app releases buffer" `Quick
+      test_dropper_app_releases_buffer;
+    Alcotest.test_case "learning switch learns" `Quick test_learning_switch_learns;
+    Alcotest.test_case "echo reply" `Quick test_echo_reply;
+    Alcotest.test_case "handshake on start" `Quick test_start_handshake;
+    Alcotest.test_case "counters" `Quick test_counters;
+  ]

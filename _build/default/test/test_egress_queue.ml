@@ -1,0 +1,248 @@
+(* Tests for the QoS egress scheduler (the paper's future-work
+   extension): FIFO, strict priority, deficit round robin, tail drop,
+   delay accounting, and the switch/controller integration. *)
+
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+open Sdn_switch
+
+let frame_of_size n = Bytes.make n 'x'
+
+type harness = {
+  engine : Engine.t;
+  link : Bytes.t Link.t;
+  delivered : Bytes.t list ref;
+}
+
+(* A slow link (1 Mbps) so frames queue up behind the first one. *)
+let make_harness ?(bandwidth = 1e6) () =
+  let engine = Engine.create () in
+  let delivered = ref [] in
+  let link =
+    Link.create engine ~name:"wire" ~bandwidth_bps:bandwidth ~propagation_s:0.0
+      ~receiver:(fun frame -> delivered := frame :: !delivered)
+      ()
+  in
+  { engine; link; delivered }
+
+let q ~id ~priority ~weight =
+  { Egress_queue.default_queue with Egress_queue.queue_id = id; priority; weight }
+
+let test_fifo_order () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Fifo
+      ~queues:[ Egress_queue.default_queue ]
+  in
+  let frames = List.init 5 (fun i -> Bytes.make 100 (Char.chr (65 + i))) in
+  List.iter (fun f -> Egress_queue.send eq ~queue_id:None f) frames;
+  Engine.run h.engine;
+  Alcotest.(check (list bytes)) "arrival order" frames (List.rev !(h.delivered))
+
+let test_strict_priority_preempts_queue () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link
+      ~policy:Egress_queue.Strict_priority
+      ~queues:[ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:10 ~weight:1 ]
+  in
+  (* Fill the low-priority queue; the first frame grabs the wire. *)
+  let bulk = List.init 4 (fun i -> Bytes.make 1000 (Char.chr (97 + i))) in
+  List.iter (fun f -> Egress_queue.send eq ~queue_id:(Some 0l) f) bulk;
+  (* A high-priority frame arrives while the wire is busy: it must be
+     the NEXT frame on the wire, jumping the bulk backlog. *)
+  let urgent = Bytes.make 100 '!' in
+  ignore
+    (Engine.schedule_at h.engine 0.001 (fun () ->
+         Egress_queue.send eq ~queue_id:(Some 1l) urgent));
+  Engine.run h.engine;
+  match List.rev !(h.delivered) with
+  | first :: second :: _ ->
+      Alcotest.(check bytes) "first is the in-flight bulk frame" (List.hd bulk) first;
+      Alcotest.(check bytes) "urgent jumps the backlog" urgent second
+  | _ -> Alcotest.fail "expected deliveries"
+
+let test_drr_byte_fairness () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link
+      ~policy:(Egress_queue.Drr { quantum = 500 })
+      ~queues:[ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:0 ~weight:3 ]
+  in
+  (* Keep both classes permanently backlogged with equal-size frames;
+     class 1 (weight 3) should get ~3x the throughput. *)
+  for _ = 1 to 40 do
+    Egress_queue.send eq ~queue_id:(Some 0l) (frame_of_size 500);
+    Egress_queue.send eq ~queue_id:(Some 1l) (frame_of_size 500)
+  done;
+  (* Run long enough for ~32 frames (16 ms at 1 Mbps / 500 B = 4 ms
+     per frame... 500 B = 4 ms, so 8 s drains all; stop mid-way). *)
+  Engine.run ~until:0.08 h.engine;
+  let s0 = Egress_queue.sent eq ~queue_id:0l in
+  let s1 = Egress_queue.sent eq ~queue_id:1l in
+  Alcotest.(check bool)
+    (Printf.sprintf "weight-proportional service (%d vs %d)" s0 s1)
+    true
+    (s1 >= 2 * s0 && s1 <= 4 * max 1 s0)
+
+let test_drr_starvation_free () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link
+      ~policy:(Egress_queue.Drr { quantum = 500 })
+      ~queues:[ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:0 ~weight:100 ]
+  in
+  for _ = 1 to 20 do
+    Egress_queue.send eq ~queue_id:(Some 0l) (frame_of_size 500);
+    Egress_queue.send eq ~queue_id:(Some 1l) (frame_of_size 500)
+  done;
+  Engine.run ~until:0.1 h.engine;
+  Alcotest.(check bool) "light class still served" true
+    (Egress_queue.sent eq ~queue_id:0l > 0)
+
+let test_tail_drop () =
+  let h = make_harness () in
+  let small =
+    { Egress_queue.default_queue with Egress_queue.capacity = 3 }
+  in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Fifo
+      ~queues:[ small ]
+  in
+  (* One frame on the wire + 3 queued; the rest tail-drop. *)
+  for _ = 1 to 10 do
+    Egress_queue.send eq ~queue_id:None (frame_of_size 1000)
+  done;
+  Alcotest.(check int) "drops counted" 6 (Egress_queue.dropped eq ~queue_id:0l);
+  Engine.run h.engine;
+  Alcotest.(check int) "survivors delivered" 4 (List.length !(h.delivered))
+
+let test_unknown_queue_uses_first () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Strict_priority
+      ~queues:[ q ~id:7l ~priority:1 ~weight:1 ]
+  in
+  Egress_queue.send eq ~queue_id:(Some 99l) (frame_of_size 100);
+  Engine.run h.engine;
+  Alcotest.(check int) "classified into the only queue" 1
+    (Egress_queue.sent eq ~queue_id:7l)
+
+let test_queue_delay_stats () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Fifo
+      ~queues:[ Egress_queue.default_queue ]
+  in
+  (* 1000 B at 1 Mbps = 8 ms wire time; the second frame waits 8 ms. *)
+  Egress_queue.send eq ~queue_id:None (frame_of_size 1000);
+  Egress_queue.send eq ~queue_id:None (frame_of_size 1000);
+  Engine.run h.engine;
+  let stats = Egress_queue.queue_delay_stats eq ~queue_id:0l in
+  Alcotest.(check int) "two samples" 2 (Stats.count stats);
+  Alcotest.(check (float 1e-9)) "first never waited" 0.0 (Stats.min stats);
+  Alcotest.(check (float 1e-6)) "second waited one frame" 8e-3 (Stats.max stats)
+
+let test_validation () =
+  let h = make_harness () in
+  Alcotest.(check bool) "no queues" true
+    (try
+       ignore
+         (Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Fifo
+            ~queues:[]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate ids" true
+    (try
+       ignore
+         (Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Fifo
+            ~queues:[ q ~id:1l ~priority:0 ~weight:1; q ~id:1l ~priority:1 ~weight:1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Switch integration: Enqueue actions route into classes ---- *)
+
+let test_switch_enqueue_action_classifies () =
+  let engine = Engine.create () in
+  let costs =
+    { Costs.default with Costs.service_noise_sigma = 0.0; flow_mod_apply_latency = 1e-6 }
+  in
+  let switch =
+    Switch.create engine ~config:Switch.default_config ~costs ~rng:(Rng.of_int 1) ()
+  in
+  let delivered = ref 0 in
+  let out_link =
+    Link.create engine ~name:"out" ~bandwidth_bps:1e6 ~propagation_s:0.0
+      ~receiver:(fun (_ : Bytes.t) -> incr delivered)
+      ()
+  in
+  let ctrl =
+    Link.create engine ~name:"ctrl" ~bandwidth_bps:1e9 ~propagation_s:0.0
+      ~receiver:(fun (_ : Bytes.t) -> ())
+      ()
+  in
+  Switch.set_port switch ~port:2 out_link;
+  Switch.set_controller_link switch ctrl;
+  Switch.set_port_scheduler switch ~port:2 ~policy:Egress_queue.Strict_priority
+    ~queues:[ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:5 ~weight:1 ];
+  (* Install a rule whose action enqueues into class 1. *)
+  let mac1 = Mac.of_octets 2 0 0 0 0 1 and mac2 = Mac.of_octets 2 0 0 0 0 2 in
+  let pkt =
+    Packet.udp_frame_of_size ~src_mac:mac1 ~dst_mac:mac2
+      ~src_ip:(Ip.make 10 0 0 1) ~dst_ip:(Ip.make 10 0 0 2) ~src_port:5
+      ~dst_port:9 ~frame_size:400 ~payload_fill:(fun _ -> ())
+  in
+  let fm =
+    Of_flow_mod.add
+      ~match_:(Of_match.of_flow_key (Option.get (Packet.flow_key pkt)))
+      ~actions:[ Of_action.Enqueue { port = 2; queue_id = 1l } ]
+      ()
+  in
+  Switch.handle_of_message switch (Of_codec.encode ~xid:1l (Of_codec.Flow_mod fm));
+  Engine.run ~until:0.01 engine;
+  Switch.handle_frame switch ~in_port:1 (Packet.encode pkt);
+  Engine.run ~until:0.1 engine;
+  Alcotest.(check int) "delivered" 1 !delivered;
+  let scheduler = Option.get (Switch.port_scheduler switch ~port:2) in
+  Alcotest.(check int) "went through class 1" 1
+    (Egress_queue.sent scheduler ~queue_id:1l);
+  Alcotest.(check int) "not class 0" 0 (Egress_queue.sent scheduler ~queue_id:0l)
+
+let prop_work_conserving =
+  QCheck.Test.make ~name:"scheduler is work-conserving and lossless under capacity"
+    ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 30) (int_range 0 2)))
+    (fun classes ->
+      let h = make_harness ~bandwidth:1e9 () in
+      let eq =
+        Egress_queue.create h.engine ~link:h.link
+          ~policy:(Egress_queue.Drr { quantum = 300 })
+          ~queues:
+            [ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:1 ~weight:2;
+              q ~id:2l ~priority:2 ~weight:3 ]
+      in
+      List.iter
+        (fun c ->
+          Egress_queue.send eq ~queue_id:(Some (Int32.of_int c)) (frame_of_size 200))
+        classes;
+      Engine.run h.engine;
+      List.length !(h.delivered) = List.length classes
+      && Egress_queue.backlog eq = 0 && Egress_queue.total_dropped eq = 0)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "strict priority preempts backlog" `Quick
+      test_strict_priority_preempts_queue;
+    Alcotest.test_case "DRR byte fairness" `Quick test_drr_byte_fairness;
+    Alcotest.test_case "DRR starvation-free" `Quick test_drr_starvation_free;
+    Alcotest.test_case "tail drop at capacity" `Quick test_tail_drop;
+    Alcotest.test_case "unknown queue id uses first class" `Quick
+      test_unknown_queue_uses_first;
+    Alcotest.test_case "per-class delay statistics" `Quick test_queue_delay_stats;
+    Alcotest.test_case "configuration validation" `Quick test_validation;
+    Alcotest.test_case "switch Enqueue action classifies" `Quick
+      test_switch_enqueue_action_classifies;
+    QCheck_alcotest.to_alcotest prop_work_conserving;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the discrete-event engine. *)
+
+open Sdn_sim
+
+let test_runs_in_time_order () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  ignore (Engine.schedule_at engine 3.0 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule_at engine 2.0 (fun () -> order := 2 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_fifo_tie_break () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at engine 1.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_clock_advances () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule_at engine 0.5 (fun () -> seen := Engine.now engine :: !seen));
+  ignore (Engine.schedule_at engine 1.5 (fun () -> seen := Engine.now engine :: !seen));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-12))) "clock at event times" [ 0.5; 1.5 ]
+    (List.rev !seen)
+
+let test_schedule_relative () =
+  let engine = Engine.create ~now:10.0 () in
+  let fired_at = ref 0.0 in
+  ignore (Engine.schedule engine ~delay:2.0 (fun () -> fired_at := Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check (float 1e-12)) "relative delay" 12.0 !fired_at
+
+let test_rejects_past () =
+  let engine = Engine.create ~now:5.0 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Engine.schedule_at engine 4.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay raises" true
+    (try
+       ignore (Engine.schedule engine ~delay:(-1.0) (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let handle = Engine.schedule_at engine 1.0 (fun () -> fired := true) in
+  Engine.cancel handle;
+  Alcotest.(check bool) "marked cancelled" true (Engine.is_cancelled handle);
+  Engine.run engine;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_events_schedule_events () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Engine.schedule engine ~delay:0.1 (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 10;
+  Engine.run engine;
+  Alcotest.(check int) "all chained events ran" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock" 1.0 (Engine.now engine)
+
+let test_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at engine t (fun () -> fired := t :: !fired)))
+    [ 1.0; 2.0; 3.0 ];
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (list (float 1e-12))) "only events before limit" [ 1.0; 2.0 ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-12)) "clock advanced to limit" 2.5 (Engine.now engine);
+  Alcotest.(check int) "one pending" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-12))) "rest runs later" [ 1.0; 2.0; 3.0 ]
+    (List.rev !fired)
+
+let test_run_until_idle_advances_clock () =
+  let engine = Engine.create () in
+  Engine.run ~until:7.0 engine;
+  Alcotest.(check (float 1e-12)) "clock" 7.0 (Engine.now engine)
+
+let test_processed_counter () =
+  let engine = Engine.create () in
+  for _ = 1 to 4 do
+    ignore (Engine.schedule engine ~delay:0.1 (fun () -> ()))
+  done;
+  let cancelled = Engine.schedule engine ~delay:0.2 (fun () -> ()) in
+  Engine.cancel cancelled;
+  Engine.run engine;
+  Alcotest.(check int) "processed excludes cancelled" 4 (Engine.processed engine)
+
+let test_step () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> ()));
+  Alcotest.(check bool) "step runs one" true (Engine.step engine);
+  Alcotest.(check bool) "then empty" false (Engine.step engine)
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+    Alcotest.test_case "FIFO tie-break" `Quick test_fifo_tie_break;
+    Alcotest.test_case "clock advances to event times" `Quick test_clock_advances;
+    Alcotest.test_case "relative scheduling" `Quick test_schedule_relative;
+    Alcotest.test_case "rejects past times" `Quick test_rejects_past;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "events schedule events" `Quick test_events_schedule_events;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "run ~until with empty queue" `Quick
+      test_run_until_idle_advances_clock;
+    Alcotest.test_case "processed counter" `Quick test_processed_counter;
+    Alcotest.test_case "single step" `Quick test_step;
+  ]

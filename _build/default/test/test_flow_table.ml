@@ -1,0 +1,192 @@
+(* Tests for the flow table: priority lookup, replacement, deletion,
+   timeouts, eviction, counters. *)
+
+open Sdn_net
+open Sdn_openflow
+open Sdn_switch
+
+let mac1 = Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Mac.of_octets 0x02 0 0 0 0 2
+let ip2 = Ip.make 10 0 0 2
+
+let udp_pkt ~src_port =
+  Packet.udp ~src_mac:mac1 ~dst_mac:mac2 ~src_ip:(Ip.make 10 0 0 1) ~dst_ip:ip2
+    ~src_port ~dst_port:9 ~payload:(Bytes.of_string "x") ()
+
+let entry_for ?(priority = 1) ?(idle = 0) ?(hard = 0) ~out_port pkt ~now =
+  let match_ = Of_match.of_flow_key (Option.get (Packet.flow_key pkt)) in
+  Flow_entry.of_flow_mod
+    (Of_flow_mod.add ~priority ~idle_timeout:idle ~hard_timeout:hard ~match_
+       ~actions:[ Of_action.output out_port ] ())
+    ~now
+
+let wildcard_entry ?(priority = 0) ~out_port ~now () =
+  Flow_entry.of_flow_mod
+    (Of_flow_mod.add ~priority ~match_:Of_match.wildcard_all
+       ~actions:[ Of_action.output out_port ] ())
+    ~now
+
+let out_port_of entry =
+  match entry.Flow_entry.actions with
+  | [ Of_action.Output { port; _ } ] -> port
+  | _ -> -1
+
+let test_miss_on_empty () =
+  let table = Flow_table.create ~capacity:10 () in
+  Alcotest.(check bool) "miss" true
+    (Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:1) = None);
+  Alcotest.(check int) "lookups" 1 (Flow_table.lookups table);
+  Alcotest.(check int) "misses" 1 (Flow_table.misses table)
+
+let test_insert_and_hit () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Alcotest.(check int) "right entry" 2 (out_port_of e)
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "other flow misses" true
+    (Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:2) = None)
+
+let test_priority_wins () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (wildcard_entry ~priority:0 ~out_port:9 ~now:0.0 ()));
+  ignore (Flow_table.insert table (entry_for ~priority:5 ~out_port:2 pkt ~now:0.0));
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Alcotest.(check int) "high priority" 2 (out_port_of e)
+  | None -> Alcotest.fail "expected hit");
+  (* A different flow falls through to the wildcard. *)
+  match Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:7) with
+  | Some e -> Alcotest.(check int) "wildcard" 9 (out_port_of e)
+  | None -> Alcotest.fail "expected wildcard hit"
+
+let test_replace_same_match_priority () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  let result = Flow_table.insert table (entry_for ~out_port:3 pkt ~now:1.0) in
+  Alcotest.(check bool) "replaced" true (result = Flow_table.Replaced);
+  Alcotest.(check int) "length" 1 (Flow_table.length table);
+  match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Alcotest.(check int) "new actions" 3 (out_port_of e)
+  | None -> Alcotest.fail "expected hit"
+
+let test_capacity_eviction () =
+  let table = Flow_table.create ~eviction:true ~capacity:3 () in
+  for p = 1 to 3 do
+    ignore (Flow_table.insert table (entry_for ~out_port:2 (udp_pkt ~src_port:p) ~now:(float_of_int p)))
+  done;
+  (* Touch flows 2 and 3 so flow 1 is LRU. *)
+  List.iter
+    (fun p ->
+      match Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:p) with
+      | Some e -> Flow_entry.touch e ~now:10.0 ~bytes:100
+      | None -> Alcotest.fail "expected hit")
+    [ 2; 3 ];
+  let result = Flow_table.insert table (entry_for ~out_port:2 (udp_pkt ~src_port:4) ~now:11.0) in
+  (match result with
+  | Flow_table.Evicted victim ->
+      (* The evicted entry is the untouched one (flow 1). *)
+      Alcotest.(check bool) "victim is LRU" true
+        (Of_match.matches victim.Flow_entry.match_ ~in_port:1 (udp_pkt ~src_port:1))
+  | _ -> Alcotest.fail "expected eviction");
+  Alcotest.(check int) "length stays at capacity" 3 (Flow_table.length table);
+  Alcotest.(check int) "eviction counted" 1 (Flow_table.evictions table);
+  Alcotest.(check bool) "evicted flow now misses" true
+    (Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:1) = None)
+
+let test_table_full_without_eviction () =
+  let table = Flow_table.create ~eviction:false ~capacity:1 () in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 (udp_pkt ~src_port:1) ~now:0.0));
+  let result = Flow_table.insert table (entry_for ~out_port:2 (udp_pkt ~src_port:2) ~now:0.0) in
+  Alcotest.(check bool) "rejected" true (result = Flow_table.Table_full)
+
+let test_idle_timeout_expiry () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~idle:5 ~out_port:2 pkt ~now:0.0));
+  Alcotest.(check int) "not expired yet" 0
+    (List.length (Flow_table.expire table ~now:4.9));
+  (* A touch at 4 pushes idle expiry to 9. *)
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Flow_entry.touch e ~now:4.0 ~bytes:100
+  | None -> Alcotest.fail "hit expected");
+  Alcotest.(check int) "still alive at 8" 0
+    (List.length (Flow_table.expire table ~now:8.0));
+  Alcotest.(check int) "expires at 9" 1
+    (List.length (Flow_table.expire table ~now:9.0));
+  Alcotest.(check int) "expirations counter" 1 (Flow_table.expirations table);
+  Alcotest.(check bool) "gone" true (Flow_table.lookup table ~in_port:1 pkt = None)
+
+let test_hard_timeout_expiry () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~hard:3 ~out_port:2 pkt ~now:0.0));
+  (* Touching does not save a hard-timed-out rule. *)
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Flow_entry.touch e ~now:2.9 ~bytes:100
+  | None -> Alcotest.fail "hit expected");
+  Alcotest.(check int) "hard expiry" 1 (List.length (Flow_table.expire table ~now:3.0))
+
+let test_delete_strict_and_loose () =
+  let table = Flow_table.create ~capacity:10 () in
+  let p1 = udp_pkt ~src_port:1 and p2 = udp_pkt ~src_port:2 in
+  ignore (Flow_table.insert table (entry_for ~priority:1 ~out_port:2 p1 ~now:0.0));
+  ignore (Flow_table.insert table (entry_for ~priority:2 ~out_port:2 p2 ~now:0.0));
+  (* Strict delete with wrong priority removes nothing. *)
+  let m1 = Of_match.of_flow_key (Option.get (Packet.flow_key p1)) in
+  Alcotest.(check int) "strict wrong priority" 0
+    (Flow_table.delete table ~strict:true ~match_:m1 ~priority:9 ());
+  Alcotest.(check int) "strict right priority" 1
+    (Flow_table.delete table ~strict:true ~match_:m1 ~priority:1 ());
+  (* Loose delete with a wildcard removes the rest. *)
+  Alcotest.(check int) "loose wildcard" 1
+    (Flow_table.delete table ~strict:false ~match_:Of_match.wildcard_all ~priority:0 ());
+  Alcotest.(check int) "empty" 0 (Flow_table.length table)
+
+let test_stats_counters () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e ->
+      Flow_entry.touch e ~now:1.0 ~bytes:1000;
+      Flow_entry.touch e ~now:2.0 ~bytes:1000
+  | None -> Alcotest.fail "hit");
+  match Flow_table.to_stats table ~now:3.0 with
+  | [ stats ] ->
+      Alcotest.(check int64) "packets" 2L stats.Of_stats.packet_count;
+      Alcotest.(check int64) "bytes" 2000L stats.Of_stats.byte_count;
+      Alcotest.(check int32) "duration" 3l stats.Of_stats.duration_sec
+  | _ -> Alcotest.fail "expected one stats entry"
+
+let prop_inserted_flow_is_found =
+  QCheck.Test.make ~name:"every inserted 5-tuple rule is found" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 1 60000))
+    (fun ports ->
+      let ports = List.sort_uniq compare ports in
+      let table = Flow_table.create ~capacity:100 () in
+      List.iter
+        (fun p -> ignore (Flow_table.insert table (entry_for ~out_port:2 (udp_pkt ~src_port:p) ~now:0.0)))
+        ports;
+      List.for_all
+        (fun p -> Flow_table.lookup table ~in_port:1 (udp_pkt ~src_port:p) <> None)
+        ports)
+
+let suite =
+  [
+    Alcotest.test_case "miss on empty table" `Quick test_miss_on_empty;
+    Alcotest.test_case "insert and hit" `Quick test_insert_and_hit;
+    Alcotest.test_case "priority wins" `Quick test_priority_wins;
+    Alcotest.test_case "replace on equal match+priority" `Quick
+      test_replace_same_match_priority;
+    Alcotest.test_case "LRU eviction at capacity" `Quick test_capacity_eviction;
+    Alcotest.test_case "table full without eviction" `Quick
+      test_table_full_without_eviction;
+    Alcotest.test_case "idle timeout" `Quick test_idle_timeout_expiry;
+    Alcotest.test_case "hard timeout" `Quick test_hard_timeout_expiry;
+    Alcotest.test_case "strict and loose delete" `Quick test_delete_strict_and_loose;
+    Alcotest.test_case "per-rule counters" `Quick test_stats_counters;
+    QCheck_alcotest.to_alcotest prop_inserted_flow_is_found;
+  ]

@@ -1,0 +1,105 @@
+(* Unit and property tests for the binary min-heap. *)
+
+open Sdn_sim
+
+let make () = Heap.create ~cmp:compare ()
+
+let test_empty () =
+  let h = make () in
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_pop_exn_empty () =
+  let h = make () in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = make () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let drained = List.init 7 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_peek_does_not_remove () =
+  let h = make () in
+  Heap.push h 2;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "length unchanged" 2 (Heap.length h)
+
+let test_growth_beyond_capacity () =
+  let h = Heap.create ~capacity:2 ~cmp:compare () in
+  for i = 100 downto 1 do
+    Heap.push h i
+  done;
+  Alcotest.(check int) "length" 100 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.peek h)
+
+let test_clear () =
+  let h = make () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Heap.length h);
+  Heap.push h 7;
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Heap.pop h)
+
+let test_custom_comparator () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Heap.push h) [ 1; 3; 2 ];
+  Alcotest.(check (option int)) "max-heap" (Some 3) (Heap.pop h)
+
+let test_to_list_contents () =
+  let h = make () in
+  List.iter (Heap.push h) [ 4; 2; 7 ];
+  Alcotest.(check (list int)) "contents" [ 2; 4; 7 ]
+    (List.sort compare (Heap.to_list h))
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = make () in
+      List.iter (Heap.push h) xs;
+      let drained = List.filter_map (fun _ -> Heap.pop h) xs in
+      drained = List.sort compare xs)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop preserves min property"
+    ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = make () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Heap.push h v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else begin
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | None, _ :: _ | Some _, [] -> false
+          end)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop_exn on empty raises" `Quick test_pop_exn_empty;
+    Alcotest.test_case "pops in sorted order" `Quick test_ordering;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "grows beyond capacity" `Quick test_growth_beyond_capacity;
+    Alcotest.test_case "clear then reuse" `Quick test_clear;
+    Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+    Alcotest.test_case "to_list contents" `Quick test_to_list_contents;
+    QCheck_alcotest.to_alcotest prop_heap_sort;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

@@ -1,0 +1,32 @@
+(* Test entry point: one Alcotest run over every module's suite. *)
+
+let () =
+  Alcotest.run "sdn-buffer"
+    [
+      ("sim.heap", Test_heap.suite);
+      ("sim.rng", Test_rng.suite);
+      ("sim.stats", Test_stats.suite);
+      ("sim.engine", Test_engine.suite);
+      ("sim.link", Test_link.suite);
+      ("sim.cpu", Test_cpu.suite);
+      ("net.addresses", Test_addr.suite);
+      ("net.checksum", Test_checksum.suite);
+      ("net.packet", Test_packet.suite);
+      ("openflow.match", Test_of_match.suite);
+      ("openflow.codec", Test_of_codec.suite);
+      ("openflow.stream", Test_of_stream.suite);
+      ("switch.flow_table", Test_flow_table.suite);
+      ("switch.packet_buffer", Test_packet_buffer.suite);
+      ("switch.flow_buffer", Test_flow_buffer.suite);
+      ("switch.behaviour", Test_switch.suite);
+      ("controller", Test_controller.suite);
+      ("traffic", Test_traffic.suite);
+      ("measure", Test_measure.suite);
+      ("integration", Test_experiment.suite);
+      ("extensions", Test_extensions.suite);
+      ("switch.egress_queue", Test_egress_queue.suite);
+      ("chain", Test_chain.suite);
+      ("harness", Test_harness.suite);
+      ("properties", Test_properties.suite);
+      ("failures", Test_failures.suite);
+    ]

@@ -1,0 +1,164 @@
+(* Tests for capture classification, delay pairing, and report
+   formatting. *)
+
+open Sdn_sim
+open Sdn_net
+open Sdn_openflow
+open Sdn_measure
+open Sdn_traffic
+
+let mac1 = Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Mac.of_octets 0x02 0 0 0 0 2
+let ip1 = Ip.make 10 0 0 1
+let ip2 = Ip.make 10 0 0 2
+
+let tagged_frame ~flow_id ~seq ~flow_packets =
+  Packet.encode
+    (Packet.udp_frame_of_size ~src_mac:mac1 ~dst_mac:mac2
+       ~src_ip:(Ip.make 10 1 0 flow_id) ~dst_ip:ip2 ~src_port:(1000 + flow_id)
+       ~dst_port:9 ~frame_size:200
+       ~payload_fill:(fun payload ->
+         Tag.write { Tag.flow_id; seq; flow_packets } payload))
+
+let pkt_in_bytes ~xid ~buffer_id frame =
+  Of_codec.encode ~xid
+    (Of_codec.Packet_in
+       (Of_packet_in.make ~buffer_id ~in_port:1 ~reason:Of_packet_in.No_match
+          ~frame ~miss_send_len:(Some 128)))
+
+let flow_mod_bytes ~xid =
+  Of_codec.encode ~xid
+    (Of_codec.Flow_mod
+       (Of_flow_mod.add ~match_:Of_match.wildcard_all
+          ~actions:[ Of_action.output 2 ] ()))
+
+let pkt_out_bytes ~xid =
+  Of_codec.encode ~xid
+    (Of_codec.Packet_out (Of_packet_out.release ~buffer_id:1l ~out_port:2))
+
+let test_capture_counts_by_type_and_direction () =
+  let cap = Capture.create ~encap_overhead:66 () in
+  let pkt_in = pkt_in_bytes ~xid:1l ~buffer_id:1l (tagged_frame ~flow_id:0 ~seq:0 ~flow_packets:1) in
+  Capture.observe cap Capture.To_controller ~time:0.0 pkt_in;
+  Capture.observe cap Capture.To_switch ~time:0.001 (flow_mod_bytes ~xid:1l);
+  Capture.observe cap Capture.To_switch ~time:0.002 (pkt_out_bytes ~xid:1l);
+  Alcotest.(check int) "up messages" 1 (Capture.messages cap Capture.To_controller);
+  Alcotest.(check int) "down messages" 2 (Capture.messages cap Capture.To_switch);
+  Alcotest.(check int) "up payload" (Bytes.length pkt_in)
+    (Capture.payload_bytes cap Capture.To_controller);
+  Alcotest.(check int) "up wire includes encap" (Bytes.length pkt_in + 66)
+    (Capture.bytes cap Capture.To_controller);
+  Alcotest.(check int) "pkt_in classified" 1
+    (Capture.messages_of_type cap Capture.To_controller Of_wire.Msg_type.Packet_in);
+  Alcotest.(check int) "flow_mod classified" 1
+    (Capture.messages_of_type cap Capture.To_switch Of_wire.Msg_type.Flow_mod);
+  Alcotest.(check (option (float 1e-12))) "first time" (Some 0.001)
+    (Capture.first_time cap Capture.To_switch);
+  Alcotest.(check (option (float 1e-12))) "last time" (Some 0.002)
+    (Capture.last_time cap Capture.To_switch)
+
+let test_capture_load () =
+  let cap = Capture.create ~encap_overhead:0 () in
+  (* 125000 bytes in 1 s = 1 Mbps. *)
+  let chunk = Of_codec.encode ~xid:1l (Of_codec.Echo_request (Bytes.make 124992 'x')) in
+  Capture.observe cap Capture.To_controller ~time:0.0 chunk;
+  Alcotest.(check (float 1e-9)) "1 Mbps" 1.0
+    (Capture.load_mbps cap Capture.To_controller ~window:1.0)
+
+let test_delay_setup_and_forwarding () =
+  let d = Delay.create () in
+  let f0 = tagged_frame ~flow_id:0 ~seq:0 ~flow_packets:2 in
+  let f1 = tagged_frame ~flow_id:0 ~seq:1 ~flow_packets:2 in
+  Delay.on_switch_ingress d ~time:1.0 f0;
+  Delay.on_switch_ingress d ~time:1.1 f1;
+  Delay.on_switch_egress d ~time:1.25 f0;
+  Alcotest.(check int) "not complete yet" 0 (Delay.flows_completed d);
+  Delay.on_switch_egress d ~time:1.4 f1;
+  Alcotest.(check int) "complete" 1 (Delay.flows_completed d);
+  let setup = Delay.flow_setup_delays d in
+  Alcotest.(check int) "one setup sample" 1 (Stats.count setup);
+  Alcotest.(check (float 1e-9)) "setup = first out - first in" 0.25
+    (Stats.mean setup);
+  let fwd = Delay.flow_forwarding_delays d in
+  Alcotest.(check (float 1e-9)) "forwarding = last out - first in" 0.4
+    (Stats.mean fwd)
+
+let test_single_packet_flow_has_no_forwarding_delay () =
+  let d = Delay.create () in
+  let f = tagged_frame ~flow_id:3 ~seq:0 ~flow_packets:1 in
+  Delay.on_switch_ingress d ~time:0.0 f;
+  Delay.on_switch_egress d ~time:0.01 f;
+  Alcotest.(check int) "setup recorded" 1 (Stats.count (Delay.flow_setup_delays d));
+  Alcotest.(check int) "no forwarding sample" 0
+    (Stats.count (Delay.flow_forwarding_delays d))
+
+let test_controller_delay_pairing () =
+  let d = Delay.create () in
+  let frame = tagged_frame ~flow_id:0 ~seq:0 ~flow_packets:1 in
+  Delay.on_switch_ingress d ~time:0.0 frame;
+  Delay.on_to_controller d ~time:0.001 (pkt_in_bytes ~xid:10l ~buffer_id:1l frame);
+  (* The first response with the same xid closes the pair... *)
+  Delay.on_to_switch d ~time:0.0025 (flow_mod_bytes ~xid:10l);
+  (* ...and the second does not double count. *)
+  Delay.on_to_switch d ~time:0.003 (pkt_out_bytes ~xid:10l);
+  let cd = Delay.controller_delays d in
+  Alcotest.(check int) "one pair" 1 (Stats.count cd);
+  Alcotest.(check (float 1e-9)) "delay" 0.0015 (Stats.mean cd);
+  (* Switch delay = setup - controller delay, recorded on completion. *)
+  Delay.on_switch_egress d ~time:0.004 frame;
+  let sd = Delay.switch_delays d in
+  Alcotest.(check (float 1e-9)) "switch delay" (0.004 -. 0.0015) (Stats.mean sd)
+
+let test_unmatched_response_counted () =
+  let d = Delay.create () in
+  Delay.on_to_switch d ~time:0.0 (flow_mod_bytes ~xid:555l);
+  Alcotest.(check int) "unmatched" 1 (Delay.unmatched_responses d)
+
+let test_sampler_gauge () =
+  let engine = Engine.create () in
+  let v = ref 0.0 in
+  let series = Sampler.gauge engine ~dt:0.1 ~until:0.55 (fun () -> !v) in
+  ignore (Engine.schedule_at engine 0.25 (fun () -> v := 5.0));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check int) "five samples" 5 (Timeseries.length series);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Timeseries.max_value series)
+
+let test_sampler_cpu_utilization () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine ~name:"c" ~cores:1 () in
+  let series = Sampler.cpu_utilization engine ~dt:0.1 ~until:0.5 [ cpu ] in
+  (* Busy 0.05 s in the first 0.1 s window -> 50%. *)
+  Cpu.submit cpu ~work_s:0.05 (fun () -> ());
+  ignore (Engine.schedule_at engine 0.6 (fun () -> ()));
+  Engine.run engine;
+  let values = Timeseries.values series in
+  Alcotest.(check (float 1e-6)) "first window 50%" 50.0 values.(0);
+  Alcotest.(check (float 1e-6)) "second window idle" 0.0 values.(1)
+
+let test_report_table_and_csv () =
+  let header = [ "a"; "bbb" ] and rows = [ [ "1"; "2" ]; [ "33"; "4" ] ] in
+  let table = Report.table ~header ~rows in
+  Alcotest.(check bool) "contains separator" true
+    (String.split_on_char '\n' table |> List.length = 4);
+  let csv = Report.csv ~header ~rows:[ [ "x,y"; "z" ] ] in
+  Alcotest.(check string) "escapes commas" "a,bbb\n\"x,y\",z\n" csv;
+  Alcotest.(check string) "ms formatting" "1.500" (Report.fmt_ms 1.5e-3)
+
+let suite =
+  [
+    Alcotest.test_case "capture counts by type and direction" `Quick
+      test_capture_counts_by_type_and_direction;
+    Alcotest.test_case "capture load" `Quick test_capture_load;
+    Alcotest.test_case "setup and forwarding delays" `Quick
+      test_delay_setup_and_forwarding;
+    Alcotest.test_case "single-packet flow: no forwarding sample" `Quick
+      test_single_packet_flow_has_no_forwarding_delay;
+    Alcotest.test_case "controller delay pairing by xid" `Quick
+      test_controller_delay_pairing;
+    Alcotest.test_case "unmatched responses counted" `Quick
+      test_unmatched_response_counted;
+    Alcotest.test_case "gauge sampler" `Quick test_sampler_gauge;
+    Alcotest.test_case "cpu utilization sampler" `Quick test_sampler_cpu_utilization;
+    Alcotest.test_case "report table and csv" `Quick test_report_table_and_csv;
+  ]

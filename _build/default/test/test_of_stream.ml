@@ -1,0 +1,157 @@
+(* Tests for OpenFlow message framing over a byte stream. *)
+
+open Sdn_net
+open Sdn_openflow
+
+let mac1 = Mac.of_octets 0x02 0 0 0 0 1
+let mac2 = Mac.of_octets 0x02 0 0 0 0 2
+
+let sample_messages =
+  let frame =
+    Packet.encode
+      (Packet.udp_frame_of_size ~src_mac:mac1 ~dst_mac:mac2
+         ~src_ip:(Ip.make 10 0 0 1) ~dst_ip:(Ip.make 10 0 0 2) ~src_port:1
+         ~dst_port:9 ~frame_size:300 ~payload_fill:(fun _ -> ()))
+  in
+  [
+    (1l, Of_codec.Hello);
+    ( 2l,
+      Of_codec.Packet_in
+        (Of_packet_in.make ~buffer_id:9l ~in_port:1
+           ~reason:Of_packet_in.No_match ~frame ~miss_send_len:(Some 128)) );
+    ( 3l,
+      Of_codec.Flow_mod
+        (Of_flow_mod.add ~match_:Of_match.wildcard_all
+           ~actions:[ Of_action.output 2 ] ()) );
+    (4l, Of_codec.Packet_out (Of_packet_out.release ~buffer_id:9l ~out_port:2));
+    (5l, Of_codec.Echo_request (Bytes.of_string "ping"));
+    (6l, Of_codec.Barrier_reply);
+  ]
+
+let check_messages what expected actual =
+  Alcotest.(check int) (what ^ ": count") (List.length expected) (List.length actual);
+  List.iter2
+    (fun (xid, msg) (xid', msg') ->
+      Alcotest.(check int32) (what ^ ": xid") xid xid';
+      Alcotest.(check bool) (what ^ ": payload") true (Of_codec.equal msg msg'))
+    expected actual
+
+let test_whole_messages () =
+  let stream = Of_stream.create () in
+  List.iter
+    (fun (xid, msg) -> Of_stream.input stream (Of_codec.encode ~xid msg))
+    sample_messages;
+  match Of_stream.drain stream with
+  | Ok messages -> check_messages "whole" sample_messages messages
+  | Error e -> Alcotest.fail e
+
+let test_coalesced_single_chunk () =
+  let stream = Of_stream.create () in
+  Of_stream.input stream (Of_stream.encode_batch sample_messages);
+  match Of_stream.drain stream with
+  | Ok messages ->
+      check_messages "coalesced" sample_messages messages;
+      Alcotest.(check int) "nothing left" 0 (Of_stream.buffered_bytes stream)
+  | Error e -> Alcotest.fail e
+
+let test_byte_at_a_time () =
+  let stream = Of_stream.create () in
+  let wire = Of_stream.encode_batch sample_messages in
+  let got = ref [] in
+  Bytes.iter
+    (fun c ->
+      Of_stream.input stream (Bytes.make 1 c);
+      match Of_stream.next stream with
+      | Of_stream.Message (xid, msg) -> got := (xid, msg) :: !got
+      | Of_stream.Awaiting -> ()
+      | Of_stream.Corrupt e -> Alcotest.fail e)
+    wire;
+  check_messages "dribbled" sample_messages (List.rev !got)
+
+let test_awaiting_mid_header_and_mid_body () =
+  let stream = Of_stream.create () in
+  let one = Of_codec.encode ~xid:9l (Of_codec.Echo_request (Bytes.of_string "abcdef")) in
+  Of_stream.input_sub stream one ~pos:0 ~len:3;
+  Alcotest.(check bool) "mid-header" true (Of_stream.next stream = Of_stream.Awaiting);
+  Of_stream.input_sub stream one ~pos:3 ~len:7;
+  Alcotest.(check bool) "mid-body" true (Of_stream.next stream = Of_stream.Awaiting);
+  Of_stream.input_sub stream one ~pos:10 ~len:(Bytes.length one - 10);
+  match Of_stream.next stream with
+  | Of_stream.Message (9l, Of_codec.Echo_request p) ->
+      Alcotest.(check bytes) "payload" (Bytes.of_string "abcdef") p
+  | _ -> Alcotest.fail "expected the echo request"
+
+let test_corruption_detected_and_sticky () =
+  let stream = Of_stream.create () in
+  let bad = Of_codec.encode ~xid:1l Of_codec.Hello in
+  Bytes.set_uint8 bad 0 0x09 (* wrong version *);
+  Of_stream.input stream bad;
+  (match Of_stream.next stream with
+  | Of_stream.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected corruption");
+  (* The stream stays dead even if valid bytes follow. *)
+  Of_stream.input stream (Of_codec.encode ~xid:2l Of_codec.Hello);
+  match Of_stream.next stream with
+  | Of_stream.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption must be sticky"
+
+let test_bad_length_field () =
+  let stream = Of_stream.create () in
+  let bad = Of_codec.encode ~xid:1l Of_codec.Hello in
+  Bytes.set_uint16_be bad 2 4 (* below header size *);
+  Of_stream.input stream bad;
+  match Of_stream.next stream with
+  | Of_stream.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected corruption on bad length"
+
+let prop_reassembly_at_random_boundaries =
+  QCheck.Test.make ~name:"reassembly across random chunk boundaries" ~count:150
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 0 1000000) (list_size (int_range 1 12) (int_range 1 64))))
+    (fun (seed, sizes) ->
+      (* Build a message list from the sizes (echo payloads of varied
+         length), chop the wire at pseudo-random boundaries derived
+         from [seed], and reassemble. *)
+      let messages =
+        List.mapi
+          (fun i n -> (Int32.of_int (i + 1), Of_codec.Echo_request (Bytes.make n 'x')))
+          sizes
+      in
+      let wire = Of_stream.encode_batch messages in
+      let rng = Sdn_sim.Rng.of_int seed in
+      let stream = Of_stream.create () in
+      let got = ref [] in
+      let pos = ref 0 in
+      while !pos < Bytes.length wire do
+        let chunk = min (1 + Sdn_sim.Rng.int rng 40) (Bytes.length wire - !pos) in
+        Of_stream.input_sub stream wire ~pos:!pos ~len:chunk;
+        pos := !pos + chunk;
+        let rec pull () =
+          match Of_stream.next stream with
+          | Of_stream.Message (xid, msg) ->
+              got := (xid, msg) :: !got;
+              pull ()
+          | Of_stream.Awaiting -> ()
+          | Of_stream.Corrupt _ -> ()
+        in
+        pull ()
+      done;
+      let got = List.rev !got in
+      List.length got = List.length messages
+      && List.for_all2
+           (fun (x, m) (x', m') -> Int32.equal x x' && Of_codec.equal m m')
+           messages got
+      && Of_stream.buffered_bytes stream = 0)
+
+let suite =
+  [
+    Alcotest.test_case "whole messages" `Quick test_whole_messages;
+    Alcotest.test_case "coalesced chunk" `Quick test_coalesced_single_chunk;
+    Alcotest.test_case "byte at a time" `Quick test_byte_at_a_time;
+    Alcotest.test_case "awaiting mid header/body" `Quick
+      test_awaiting_mid_header_and_mid_body;
+    Alcotest.test_case "corruption detected and sticky" `Quick
+      test_corruption_detected_and_sticky;
+    Alcotest.test_case "bad length field" `Quick test_bad_length_field;
+    QCheck_alcotest.to_alcotest prop_reassembly_at_random_boundaries;
+  ]

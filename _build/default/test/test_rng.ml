@@ -1,0 +1,131 @@
+(* Tests for the deterministic SplitMix64 generator. *)
+
+open Sdn_sim
+
+let test_determinism () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.of_int 1 and b = Rng.of_int 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_is_independent () =
+  let a = Rng.of_int 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  let xa = Rng.next_int64 a in
+  let xb = Rng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Rng.next_int64 a);
+  (* advancing a does not advance b *)
+  let xa2 = Rng.next_int64 a and xb2 = Rng.next_int64 b in
+  Alcotest.(check bool) "then diverges by position" false (Int64.equal xa2 xb2)
+
+let test_split_independence () =
+  let a = Rng.of_int 5 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bad_bound () =
+  let rng = Rng.of_int 1 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_float_bounds () =
+  let rng = Rng.of_int 13 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_uniform_mean () =
+  let rng = Rng.of_int 17 in
+  let s = Stats.create ~keep_samples:false () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Rng.uniform rng ~lo:2.0 ~hi:4.0)
+  done;
+  Alcotest.(check bool) "mean near 3" true (abs_float (Stats.mean s -. 3.0) < 0.05)
+
+let test_exponential_mean () =
+  let rng = Rng.of_int 19 in
+  let s = Stats.create ~keep_samples:false () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Rng.exponential rng ~mean:0.5)
+  done;
+  Alcotest.(check bool) "mean near 0.5" true
+    (abs_float (Stats.mean s -. 0.5) < 0.03)
+
+let test_gaussian_moments () =
+  let rng = Rng.of_int 23 in
+  let s = Stats.create ~keep_samples:false () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Rng.gaussian rng ~mu:1.0 ~sigma:2.0)
+  done;
+  Alcotest.(check bool) "mean near 1" true (abs_float (Stats.mean s -. 1.0) < 0.1);
+  Alcotest.(check bool) "sd near 2" true (abs_float (Stats.stddev s -. 2.0) < 0.1)
+
+let test_lognormal_median () =
+  let rng = Rng.of_int 29 in
+  let values =
+    Array.init 10_001 (fun _ -> Rng.lognormal_factor rng ~sigma:0.3)
+  in
+  Array.sort compare values;
+  let median = values.(5000) in
+  Alcotest.(check bool) "median near 1" true (abs_float (median -. 1.0) < 0.05);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "positive" true (v > 0.0))
+    values
+
+let test_shuffle_permutation () =
+  let rng = Rng.of_int 31 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick test_determinism;
+    Alcotest.test_case "distinct seeds differ" `Quick test_distinct_seeds;
+    Alcotest.test_case "copy independence" `Quick test_copy_is_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_bad_bound;
+    Alcotest.test_case "int_in inclusive range" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "lognormal median and positivity" `Quick
+      test_lognormal_median;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+  ]

@@ -1,0 +1,139 @@
+(* Tests for streaming statistics and time series. *)
+
+open Sdn_sim
+
+let feq ?(eps = 1e-9) what expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" what expected actual)
+    true
+    (abs_float (expected -. actual) <= eps)
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  feq "mean" 0.0 (Stats.mean s);
+  feq "variance" 0.0 (Stats.variance s)
+
+let test_single () =
+  let s = Stats.create () in
+  Stats.add s 4.0;
+  feq "mean" 4.0 (Stats.mean s);
+  feq "min" 4.0 (Stats.min s);
+  feq "max" 4.0 (Stats.max s);
+  feq "variance" 0.0 (Stats.variance s)
+
+let test_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  feq "mean" 5.0 (Stats.mean s);
+  (* Unbiased sample variance of this classic set is 32/7. *)
+  feq ~eps:1e-9 "variance" (32.0 /. 7.0) (Stats.variance s);
+  feq "min" 2.0 (Stats.min s);
+  feq "max" 9.0 (Stats.max s);
+  feq "sum" 40.0 (Stats.sum s)
+
+let test_percentiles () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  feq "median" 3.0 (Stats.median s);
+  feq "p0" 1.0 (Stats.percentile s 0.0);
+  feq "p100" 5.0 (Stats.percentile s 100.0);
+  feq "p25" 2.0 (Stats.percentile s 25.0);
+  feq "p62.5 interpolates" 3.5 (Stats.percentile s 62.5)
+
+let test_percentile_errors () =
+  let s = Stats.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: no samples")
+    (fun () -> ignore (Stats.percentile s 50.0));
+  Stats.add s 1.0;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile s 101.0));
+  let unkept = Stats.create ~keep_samples:false () in
+  Stats.add unkept 1.0;
+  Alcotest.check_raises "samples not kept"
+    (Invalid_argument "Stats.percentile: samples were not kept") (fun () ->
+      ignore (Stats.percentile unkept 50.0))
+
+let test_merge_matches_combined () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let xs = [ 1.0; 5.0; 2.5 ] and ys = [ 10.0; -3.0; 4.0; 4.0 ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add whole) (xs @ ys);
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged);
+  feq ~eps:1e-9 "mean" (Stats.mean whole) (Stats.mean merged);
+  feq ~eps:1e-9 "variance" (Stats.variance whole) (Stats.variance merged);
+  feq "min" (Stats.min whole) (Stats.min merged);
+  feq "max" (Stats.max whole) (Stats.max merged)
+
+let test_clear () =
+  let s = Stats.create () in
+  Stats.add s 3.0;
+  Stats.clear s;
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Stats.add s 7.0;
+  feq "reusable" 7.0 (Stats.mean s)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford matches naive mean/variance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+        /. (n -. 1.0)
+      in
+      let close a b =
+        abs_float (a -. b) <= 1e-6 *. (1.0 +. abs_float a +. abs_float b)
+      in
+      close mean (Stats.mean s) && close var (Stats.variance s))
+
+let test_timeseries_basics () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0.0 ~value:1.0;
+  Timeseries.add ts ~time:1.0 ~value:3.0;
+  Timeseries.add ts ~time:2.0 ~value:2.0;
+  Alcotest.(check int) "length" 3 (Timeseries.length ts);
+  feq "mean" 2.0 (Timeseries.mean ts);
+  feq "max" 3.0 (Timeseries.max_value ts);
+  let points = Timeseries.points ts in
+  Alcotest.(check int) "points" 3 (Array.length points);
+  feq "first time" 0.0 (fst points.(0))
+
+let test_weighted_mean () =
+  (* Signal: 0 on [0,1), 10 on [1,3), 4 on [3,4]. *)
+  let w = Timeseries.Weighted.create () in
+  Timeseries.Weighted.update w ~time:1.0 ~value:10.0;
+  Timeseries.Weighted.update w ~time:3.0 ~value:4.0;
+  feq "time-weighted mean" ((0.0 +. 20.0 +. 4.0) /. 4.0)
+    (Timeseries.Weighted.mean w ~until:4.0);
+  feq "max" 10.0 (Timeseries.Weighted.max_value w);
+  feq "current" 4.0 (Timeseries.Weighted.current w)
+
+let test_weighted_rejects_backwards_time () =
+  let w = Timeseries.Weighted.create () in
+  Timeseries.Weighted.update w ~time:2.0 ~value:1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeseries.Weighted.update: time went backwards")
+    (fun () -> Timeseries.Weighted.update w ~time:1.0 ~value:0.0)
+
+let suite =
+  [
+    Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "single sample" `Quick test_single;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "percentiles" `Quick test_percentiles;
+    Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "merge equals combined" `Quick test_merge_matches_combined;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+    Alcotest.test_case "timeseries basics" `Quick test_timeseries_basics;
+    Alcotest.test_case "time-weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "weighted rejects backwards time" `Quick
+      test_weighted_rejects_backwards_time;
+  ]
