@@ -52,6 +52,29 @@ let rates_arg =
     & opt (list float) Sweep.default_rates
     & info [ "rates" ] ~docv:"R1,R2,..." ~doc:"Sending rates to sweep (Mbps).")
 
+let faults_conv =
+  let parse s =
+    match Sdn_sim.Faults.spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt spec =
+    Format.pp_print_string fmt (Sdn_sim.Faults.spec_to_string spec)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Sdn_sim.Faults.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Control-channel fault plan: comma-separated $(b,loss=P), \
+           $(b,burst=PGB:PBG:LBAD[:LGOOD]), $(b,jitter=S) and \
+           $(b,outage=T0-T1[+T0-T1...]). The plan is driven by the run's \
+           seed: the same seed and spec reproduce the same fault schedule \
+           message for message.")
+
 let workload_arg =
   let workload_conv =
     let parse = function
@@ -78,7 +101,7 @@ let workload_arg =
               cross-sequence) or burst.")
 
 let run_cmd =
-  let run mechanism buffer rate seed workload =
+  let run mechanism buffer rate seed workload faults =
     let config =
       {
         Config.default with
@@ -87,6 +110,7 @@ let run_cmd =
         rate_mbps = rate;
         seed;
         workload;
+        faults;
       }
     in
     let result = Experiment.run config in
@@ -95,10 +119,34 @@ let run_cmd =
   let term =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
-      $ workload_arg)
+      $ workload_arg $ faults_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its metrics.")
+    term
+
+let chaos_cmd =
+  let loss_rates_arg =
+    Arg.(
+      value
+      & opt (list float) Chaos.default_loss_rates
+      & info [ "loss-rates" ] ~docv:"P1,P2,..."
+          ~doc:"Control-channel loss rates to sweep.")
+  in
+  let run seed rate loss_rates faults =
+    let base = { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults } in
+    let points = Chaos.run ~loss_rates ~base () in
+    Chaos.print_report points
+  in
+  let term =
+    Term.(const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep control-channel loss against every buffer mechanism and \
+          report flow-completion ratio and recovery latency. Deterministic: \
+          the same seed yields a byte-identical report.")
     term
 
 let figure_cmd =
@@ -175,4 +223,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group default_info
-          [ run_cmd; figure_cmd; all_cmd; export_cmd; calibration_cmd ]))
+          [ run_cmd; chaos_cmd; figure_cmd; all_cmd; export_cmd; calibration_cmd ]))

@@ -114,7 +114,8 @@ let () =
   Sdn_switch.Switch.set_controller_link switch to_controller;
   Sdn_controller.Controller.set_switch_link controller to_switch;
   Sdn_switch.Switch.start switch;
-  Sdn_controller.Controller.start controller ~enable_flow_buffer:0.05 ();
+  Sdn_controller.Controller.start controller
+    ~enable_flow_buffer:(Sdn_openflow.Of_ext.default_backoff ~timeout:0.05) ();
   (* The polling loop: two real OpenFlow requests every 50 ms. *)
   let next_xid = ref 0x7000_0000l in
   let poll () =

@@ -292,9 +292,9 @@ let start_switch t ~switch ?enable_flow_buffer ?miss_send_len () =
         (Of_codec.Set_config { Of_config.flags = 0; miss_send_len = n })
   | None -> ());
   match enable_flow_buffer with
-  | Some timeout ->
+  | Some backoff ->
       send t ~switch ~xid:(fresh_xid t)
-        (Of_codec.Vendor (Of_ext.Flow_buffer_enable { timeout }))
+        (Of_codec.Vendor (Of_ext.Flow_buffer_enable backoff))
   | None -> ()
 
 let start t ?enable_flow_buffer ?miss_send_len () =

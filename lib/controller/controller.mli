@@ -60,15 +60,25 @@ val handle_message_from : t -> switch:int -> Bytes.t -> unit
     on that session's link. *)
 
 val start_switch :
-  t -> switch:int -> ?enable_flow_buffer:float -> ?miss_send_len:int -> unit -> unit
+  t ->
+  switch:int ->
+  ?enable_flow_buffer:Sdn_openflow.Of_ext.backoff ->
+  ?miss_send_len:int ->
+  unit ->
+  unit
 (** Hand-shake one switch session. *)
 
-val start : t -> ?enable_flow_buffer:float -> ?miss_send_len:int -> unit -> unit
+val start :
+  t ->
+  ?enable_flow_buffer:Sdn_openflow.Of_ext.backoff ->
+  ?miss_send_len:int ->
+  unit ->
+  unit
 (** Run the handshake: HELLO then FEATURES_REQUEST; when
     [miss_send_len] is given, configure the switch's PACKET_IN
     truncation via SET_CONFIG; when [enable_flow_buffer] is given, also
     send the vendor message turning on flow-granularity buffering with
-    that re-request timeout. *)
+    that re-request backoff policy. *)
 
 val install_proactive :
   t -> ?switch:int -> Sdn_openflow.Of_flow_mod.t list -> unit

@@ -149,7 +149,14 @@ let build (config : Config.t) ~n_switches =
   for i = 0 to n_switches - 1 do
     let enable_flow_buffer =
       match config.Config.mechanism with
-      | Config.Flow_granularity -> Some config.Config.resend_timeout
+      | Config.Flow_granularity ->
+          Some
+            {
+              Sdn_openflow.Of_ext.timeout = config.Config.resend_timeout;
+              multiplier = config.Config.resend_multiplier;
+              cap = config.Config.resend_cap;
+              max_resends = config.Config.max_resends;
+            }
       | Config.No_buffer | Config.Packet_granularity -> None
     in
     Sdn_controller.Controller.start_switch controller ~switch:i

@@ -1,0 +1,120 @@
+(* The chaos scenario: sweep control-channel loss rate against buffer
+   mechanism and report how each mechanism survives an unreliable
+   control channel — flow-completion ratio, packet delivery, re-request
+   effort and time-to-recovery. Everything here is driven by the
+   deterministic fault plans of {!Sdn_sim.Faults}, so two runs with the
+   same seed produce byte-identical reports. *)
+
+open Sdn_sim
+open Sdn_measure
+
+type point = {
+  config : Config.t;
+  loss_rate : float;
+  result : Experiment.result;
+}
+
+let default_loss_rates = [ 0.0; 0.05; 0.1; 0.2 ]
+
+let default_mechanisms =
+  [ Config.No_buffer; Config.Packet_granularity; Config.Flow_granularity ]
+
+(* Multi-packet flows are the interesting workload under control loss:
+   a lost buffer release strands the whole tail of a chain, which is
+   exactly what the re-request mechanism must recover. *)
+let default_base ~seed =
+  Config.exp_b ~mechanism:Config.Flow_granularity ~rate_mbps:20.0 ~seed
+
+let point_config ~base ~mechanism ~loss_rate =
+  let faults = { base.Config.faults with Faults.loss_rate } in
+  {
+    base with
+    Config.mechanism;
+    buffer_capacity =
+      (if mechanism = Config.No_buffer then 0 else base.Config.buffer_capacity);
+    control_loss_rate = 0.0;
+    faults;
+  }
+
+let run ?(mechanisms = default_mechanisms) ?(loss_rates = default_loss_rates)
+    ~base () =
+  List.concat_map
+    (fun mechanism ->
+      List.map
+        (fun loss_rate ->
+          let config = point_config ~base ~mechanism ~loss_rate in
+          { config; loss_rate; result = Experiment.run config })
+        loss_rates)
+    mechanisms
+
+let mechanism_name = function
+  | Config.No_buffer -> "no-buffer"
+  | Config.Packet_granularity -> "packet-granularity"
+  | Config.Flow_granularity -> "flow-granularity"
+
+let completion_ratio (r : Experiment.result) =
+  if r.Experiment.flows_started = 0 then 1.0
+  else
+    float_of_int r.Experiment.flows_completed
+    /. float_of_int r.Experiment.flows_started
+
+let row p =
+  let r = p.result in
+  [
+    mechanism_name p.config.Config.mechanism;
+    Printf.sprintf "%.0f%%" (p.loss_rate *. 100.0);
+    Printf.sprintf "%d/%d" r.Experiment.flows_completed
+      r.Experiment.flows_started;
+    Printf.sprintf "%.1f%%" (completion_ratio r *. 100.0);
+    Printf.sprintf "%d/%d" r.Experiment.packets_out r.Experiment.packets_in;
+    string_of_int r.Experiment.pkt_in_resends;
+    string_of_int r.Experiment.flows_recovered;
+    string_of_int r.Experiment.flows_abandoned;
+    (if r.Experiment.recovery_delay.Experiment.count = 0 then "-"
+     else Report.fmt_ms r.Experiment.recovery_delay.Experiment.mean);
+    (if r.Experiment.recovery_delay.Experiment.count = 0 then "-"
+     else Report.fmt_ms r.Experiment.recovery_delay.Experiment.max);
+  ]
+
+let header =
+  [
+    "mechanism";
+    "loss";
+    "flows";
+    "completion";
+    "packets";
+    "resends";
+    "recovered";
+    "abandoned";
+    "t_rec mean (ms)";
+    "t_rec max (ms)";
+  ]
+
+let recovery_histogram points =
+  let stats = Stats.create () in
+  List.iter
+    (fun p ->
+      Array.iter (Stats.add stats) p.result.Experiment.recovery_delay_samples)
+    points;
+  if Stats.count stats = 0 then None
+  else
+    Some
+      (Report.histogram ~bins:8
+         ~fmt:(fun s -> Printf.sprintf "%.1fms" (s *. 1e3))
+         stats)
+
+let report points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "chaos: control-channel loss sweep (deterministic fault plans)\n\n";
+  Buffer.add_string buf (Report.table ~header ~rows:(List.map row points));
+  Buffer.add_char buf '\n';
+  (match recovery_histogram points with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string buf "\ntime-to-recovery histogram (all points)\n";
+      Buffer.add_string buf h;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let print_report points = print_string (report points)

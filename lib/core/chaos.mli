@@ -1,0 +1,46 @@
+(** The chaos scenario: control-channel loss rate swept against buffer
+    mechanism. Each point runs one full {!Experiment} with the
+    control-channel fault plan's independent loss set to the point's
+    rate, and the report compares flow-completion ratio, packet
+    delivery, re-request effort and time-to-recovery across
+    mechanisms. All randomness comes from the seed in the base
+    configuration, so two runs with the same seed produce
+    byte-identical reports. *)
+
+type point = {
+  config : Config.t;  (** the exact configuration the point ran *)
+  loss_rate : float;  (** independent loss applied to both control legs *)
+  result : Experiment.result;
+}
+
+val default_loss_rates : float list
+(** [0; 0.05; 0.1; 0.2] *)
+
+val default_mechanisms : Config.mechanism list
+(** no-buffer, packet-granularity, flow-granularity. *)
+
+val default_base : seed:int -> Config.t
+(** Exp-B (50 flows x 20 packets) at 20 Mbps: multi-packet flows whose
+    buffered tails make control-channel loss visible. *)
+
+val point_config :
+  base:Config.t -> mechanism:Config.mechanism -> loss_rate:float -> Config.t
+(** The configuration a sweep point runs: [base] with the mechanism
+    substituted and the fault plan's independent loss set to
+    [loss_rate] (any burst/jitter/outage in [base.faults] is kept). *)
+
+val run :
+  ?mechanisms:Config.mechanism list ->
+  ?loss_rates:float list ->
+  base:Config.t ->
+  unit ->
+  point list
+(** Run the sweep: one experiment per mechanism x loss rate, in
+    deterministic order (mechanisms outer, loss rates inner). *)
+
+val report : point list -> string
+(** Deterministic plain-text report: one table row per point plus a
+    time-to-recovery histogram aggregated over every point that
+    recovered at least one flow. *)
+
+val print_report : point list -> unit

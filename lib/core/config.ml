@@ -23,8 +23,13 @@ type t = {
   seed : int;
   release_strategy : Sdn_controller.Controller.release_strategy;
   control_loss_rate : float;
+  faults : Sdn_sim.Faults.spec;
   miss_send_len : int;
   resend_timeout : float;
+  resend_multiplier : float;
+  resend_cap : float;
+  resend_jitter : float;
+  max_resends : int;
   flow_table_capacity : int;
   rule_idle_timeout : int;
   qos : qos option;
@@ -43,8 +48,13 @@ let default =
     seed = 1;
     release_strategy = `Pair;
     control_loss_rate = 0.0;
+    faults = Sdn_sim.Faults.none;
     miss_send_len = 128;
     resend_timeout = 50e-3;
+    resend_multiplier = 2.0;
+    resend_cap = 400e-3;
+    resend_jitter = 0.1;
+    max_resends = 3;
     flow_table_capacity = 2048;
     rule_idle_timeout = 5;
     qos = None;

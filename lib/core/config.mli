@@ -33,12 +33,26 @@ type t = {
   release_strategy : Sdn_controller.Controller.release_strategy;
   control_loss_rate : float;
       (** probability that a control-channel message (either direction)
-          is lost; 0 on the paper's wired testbed *)
+          is lost; 0 on the paper's wired testbed. Shorthand for a
+          [faults] spec with only independent loss; merged into
+          [faults] by the scenario builder. *)
+  faults : Sdn_sim.Faults.spec;
+      (** richer control-channel fault plan (bursts, jitter, outages);
+          each direction gets its own deterministic plan instance *)
   miss_send_len : int;
       (** bytes of a buffered packet carried in the PACKET_IN (128 in
           OpenFlow 1.0 and in the paper) *)
   resend_timeout : float;
-      (** flow-granularity re-request period, seconds *)
+      (** flow-granularity base re-request delay, seconds *)
+  resend_multiplier : float;
+      (** re-request delay growth per unanswered request (1 = the
+          paper's fixed period) *)
+  resend_cap : float;  (** upper bound on the re-request delay, seconds *)
+  resend_jitter : float;
+      (** uniform multiplicative jitter fraction on each re-request
+          delay, in [\[0, 1)] *)
+  max_resends : int;
+      (** unanswered re-requests before a buffered chain is abandoned *)
   flow_table_capacity : int;
   rule_idle_timeout : int;  (** seconds, for installed rules *)
   qos : qos option;

@@ -41,6 +41,10 @@ type result = {
   buffer_max_in_use : int;
   flows_started : int;
   flows_completed : int;
+  flows_recovered : int;
+  flows_abandoned : int;
+  recovery_delay : summary;
+  recovery_delay_samples : float array;
   packets_in : int;
   packets_out : int;
   packets_dropped : int;
@@ -115,6 +119,12 @@ let run (config : Config.t) =
     buffer_max_in_use = Sdn_switch.Switch.buffer_max_in_use switch;
     flows_started = Delay.flows_started delay;
     flows_completed = Delay.flows_completed delay;
+    flows_recovered = Sdn_switch.Switch.flows_recovered switch;
+    flows_abandoned = Sdn_switch.Switch.flows_abandoned switch;
+    recovery_delay =
+      summary_of_stats (Sdn_switch.Switch.recovery_delays switch);
+    recovery_delay_samples =
+      Stats.samples (Sdn_switch.Switch.recovery_delays switch);
     packets_in = Delay.packets_in delay;
     packets_out = Delay.packets_out delay;
     packets_dropped = counters.Sdn_switch.Switch.frames_dropped;
@@ -146,6 +156,13 @@ let pp_result fmt r =
     r.buffer_mean_in_use r.buffer_max_in_use;
   Format.fprintf fmt "flows                : %d started, %d completed@,"
     r.flows_started r.flows_completed;
+  if r.flows_recovered > 0 || r.flows_abandoned > 0 then begin
+    Format.fprintf fmt "recovery             : %d recovered, %d abandoned@,"
+      r.flows_recovered r.flows_abandoned;
+    if r.recovery_delay.count > 0 then
+      Format.fprintf fmt "time to recovery     : %a@," pp_summary_ms
+        r.recovery_delay
+  end;
   Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
     r.packets_in r.packets_out r.packets_dropped;
   Format.fprintf fmt "@]"

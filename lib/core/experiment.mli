@@ -35,6 +35,14 @@ type result = {
   buffer_max_in_use : int;
   flows_started : int;
   flows_completed : int;
+  flows_recovered : int;
+      (** flow-granularity chains released after >= 1 re-request *)
+  flows_abandoned : int;
+      (** flow-granularity chains dropped after exhausting resends *)
+  recovery_delay : summary;
+      (** first miss to release, recovered flows only; seconds *)
+  recovery_delay_samples : float array;
+      (** raw time-to-recovery samples, for histograms *)
   packets_in : int;
   packets_out : int;
   packets_dropped : int;

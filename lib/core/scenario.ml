@@ -14,6 +14,8 @@ type t = {
   to_host2 : Bytes.t Link.t;
   to_controller : Bytes.t Link.t;
   to_switch : Bytes.t Link.t;
+  faults_up : Faults.t;
+  faults_down : Faults.t;
   traffic_rng : Rng.t;
   mutable host1_received : int;
   mutable host2_received : int;
@@ -38,6 +40,10 @@ let build (config : Config.t) =
       buffer_capacity = max 1 config.Config.buffer_capacity;
       miss_send_len = config.Config.miss_send_len;
       resend_timeout = config.Config.resend_timeout;
+      resend_multiplier = config.Config.resend_multiplier;
+      resend_cap = config.Config.resend_cap;
+      resend_jitter = config.Config.resend_jitter;
+      max_resends = config.Config.max_resends;
       flow_table_capacity = config.Config.flow_table_capacity;
     }
   in
@@ -72,10 +78,19 @@ let build (config : Config.t) =
       ~costs:config.Config.controller_costs ~rng:controller_rng
       ~release_strategy:config.Config.release_strategy ()
   in
-  let control_loss =
-    if config.Config.control_loss_rate > 0.0 then
-      Some (config.Config.control_loss_rate, Rng.split root_rng)
-    else None
+  (* The legacy [control_loss_rate] knob folds into the fault plan's
+     independent-loss field; each direction of the control channel gets
+     its own plan (and RNG stream) so the schedules are independent but
+     both derived from the run seed. *)
+  let fault_spec =
+    let spec = config.Config.faults in
+    if config.Config.control_loss_rate > 0.0 && spec.Faults.loss_rate = 0.0
+    then { spec with Faults.loss_rate = config.Config.control_loss_rate }
+    else spec
+  in
+  let faults_up = Faults.create ~spec:fault_spec ~rng:(Rng.split root_rng) () in
+  let faults_down =
+    Faults.create ~spec:fault_spec ~rng:(Rng.split root_rng) ()
   in
   let scenario = ref None in
   let get () = Option.get !scenario in
@@ -127,7 +142,7 @@ let build (config : Config.t) =
   let to_controller =
     Link.create engine ~name:"switch->controller"
       ~bandwidth_bps:Calibration.control_link_bandwidth_bps
-      ~propagation_s:Calibration.control_link_latency ?loss:control_loss
+      ~propagation_s:Calibration.control_link_latency ~faults:faults_up
       ~capture:(fun ~time ~size:_ buf ->
         Capture.observe capture Capture.To_controller ~time buf;
         Delay.on_to_controller delay ~time buf)
@@ -137,7 +152,7 @@ let build (config : Config.t) =
   let to_switch =
     Link.create engine ~name:"controller->switch"
       ~bandwidth_bps:Calibration.control_link_bandwidth_bps
-      ~propagation_s:Calibration.control_link_latency ?loss:control_loss
+      ~propagation_s:Calibration.control_link_latency ~faults:faults_down
       ~capture:(fun ~time ~size:_ buf ->
         Capture.observe capture Capture.To_switch ~time buf)
       ~receiver:(fun buf ->
@@ -159,7 +174,14 @@ let build (config : Config.t) =
   Sdn_switch.Switch.start switch;
   let enable_flow_buffer =
     match config.Config.mechanism with
-    | Config.Flow_granularity -> Some config.Config.resend_timeout
+    | Config.Flow_granularity ->
+        Some
+          {
+            Sdn_openflow.Of_ext.timeout = config.Config.resend_timeout;
+            multiplier = config.Config.resend_multiplier;
+            cap = config.Config.resend_cap;
+            max_resends = config.Config.max_resends;
+          }
     | Config.No_buffer | Config.Packet_granularity -> None
   in
   Sdn_controller.Controller.start controller ?enable_flow_buffer
@@ -177,6 +199,8 @@ let build (config : Config.t) =
       to_host2;
       to_controller;
       to_switch;
+      faults_up;
+      faults_down;
       traffic_rng;
       host1_received = 0;
       host2_received = 0;

@@ -27,6 +27,8 @@ type t = {
   to_host2 : Bytes.t Link.t;  (** switch port 2 egress *)
   to_controller : Bytes.t Link.t;
   to_switch : Bytes.t Link.t;
+  faults_up : Faults.t;  (** fault plan on the switch-to-controller leg *)
+  faults_down : Faults.t;  (** fault plan on the controller-to-switch leg *)
   traffic_rng : Rng.t;
   mutable host1_received : int;
   mutable host2_received : int;

@@ -37,6 +37,42 @@ let write_csv ~path ~header ~rows =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (csv ~header ~rows))
 
+let histogram ?(bins = 8) ?(width = 40) ?(fmt = fun v -> Printf.sprintf "%g" v)
+    stats =
+  let samples = Sdn_sim.Stats.samples stats in
+  if Array.length samples = 0 then "(no samples)"
+  else begin
+    let lo = Array.fold_left Float.min samples.(0) samples in
+    let hi = Array.fold_left Float.max samples.(0) samples in
+    let bins = max 1 bins in
+    (* A degenerate range (all samples equal) collapses to one bucket. *)
+    let span = hi -. lo in
+    let bins = if span <= 0.0 then 1 else bins in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun v ->
+        let i =
+          if span <= 0.0 then 0
+          else Stdlib.min (bins - 1) (int_of_float ((v -. lo) /. span *. float_of_int bins))
+        in
+        counts.(i) <- counts.(i) + 1)
+      samples;
+    let peak = Array.fold_left max 1 counts in
+    let rows =
+      List.init bins (fun i ->
+          let b_lo = lo +. (span *. float_of_int i /. float_of_int bins) in
+          let b_hi = lo +. (span *. float_of_int (i + 1) /. float_of_int bins) in
+          let bar_len = counts.(i) * width / peak in
+          [
+            Printf.sprintf "[%s, %s%c" (fmt b_lo) (fmt b_hi)
+              (if i = bins - 1 then ']' else ')');
+            String.make bar_len '#';
+            string_of_int counts.(i);
+          ])
+    in
+    table ~header:[ "bucket"; ""; "count" ] ~rows
+  end
+
 let fmt_ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
 let fmt_mbps v = Printf.sprintf "%.2f" v
 let fmt_pct v = Printf.sprintf "%.1f" v

@@ -9,6 +9,14 @@ val csv : header:string list -> rows:string list list -> string
 
 val write_csv : path:string -> header:string list -> rows:string list list -> unit
 
+val histogram :
+  ?bins:int -> ?width:int -> ?fmt:(float -> string) -> Sdn_sim.Stats.t -> string
+(** Deterministic ASCII histogram of the retained samples: equal-width
+    buckets between the sample min and max, one row per bucket with a
+    ['#'] bar scaled so the fullest bucket spans [width] characters.
+    [fmt] renders bucket edges (default ["%g"]). Returns
+    ["(no samples)"] for an empty accumulator. *)
+
 val fmt_ms : float -> string
 (** Seconds rendered as milliseconds, 3 decimals. *)
 

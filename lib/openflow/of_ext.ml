@@ -6,8 +6,18 @@ type stats = {
   resends : int;
 }
 
+type backoff = {
+  timeout : float;
+  multiplier : float;
+  cap : float;
+  max_resends : int;
+}
+
+let default_backoff ~timeout =
+  { timeout; multiplier = 1.0; cap = timeout; max_resends = 3 }
+
 type t =
-  | Flow_buffer_enable of { timeout : float }
+  | Flow_buffer_enable of backoff
   | Flow_buffer_disable
   | Flow_buffer_stats_request
   | Flow_buffer_stats_reply of stats
@@ -23,9 +33,15 @@ let subtype_stats_reply = 3
 let preamble = 8
 
 let body_size = function
-  | Flow_buffer_enable _ -> preamble + 4
+  | Flow_buffer_enable _ -> preamble + 16
   | Flow_buffer_disable | Flow_buffer_stats_request -> preamble
   | Flow_buffer_stats_reply _ -> preamble + 20
+
+(* Durations ride as milliseconds and the multiplier as thousandths,
+   all in 32-bit fields: enough range and precision for any plausible
+   re-request policy without floats on the wire. *)
+let to_milli x = Int32.of_int (int_of_float (Float.round (x *. 1000.0)))
+let of_milli v = float_of_int (Int32.to_int v) /. 1000.0
 
 let write_body t buf off =
   Bytes.set_int32_be buf off vendor_id;
@@ -38,9 +54,11 @@ let write_body t buf off =
   in
   Bytes.set_int32_be buf (off + 4) (Int32.of_int subtype);
   match t with
-  | Flow_buffer_enable { timeout } ->
-      let timeout_ms = int_of_float (Float.round (timeout *. 1000.0)) in
-      Bytes.set_int32_be buf (off + preamble) (Int32.of_int timeout_ms)
+  | Flow_buffer_enable b ->
+      Bytes.set_int32_be buf (off + preamble) (to_milli b.timeout);
+      Bytes.set_int32_be buf (off + preamble + 4) (to_milli b.multiplier);
+      Bytes.set_int32_be buf (off + preamble + 8) (to_milli b.cap);
+      Bytes.set_int32_be buf (off + preamble + 12) (Int32.of_int b.max_resends)
   | Flow_buffer_disable | Flow_buffer_stats_request -> ()
   | Flow_buffer_stats_reply s ->
       let set i v = Bytes.set_int32_be buf (off + preamble + (i * 4)) (Int32.of_int v) in
@@ -59,10 +77,17 @@ let read_body buf off ~len =
     else begin
       let subtype = Int32.to_int (Bytes.get_int32_be buf (off + 4)) in
       if subtype = subtype_enable then begin
-        if len < preamble + 4 then Error "Of_ext.read_body: truncated enable"
+        if len < preamble + 16 then Error "Of_ext.read_body: truncated enable"
         else begin
-          let timeout_ms = Int32.to_int (Bytes.get_int32_be buf (off + preamble)) in
-          Ok (Flow_buffer_enable { timeout = float_of_int timeout_ms /. 1000.0 })
+          let field i = Bytes.get_int32_be buf (off + preamble + (i * 4)) in
+          Ok
+            (Flow_buffer_enable
+               {
+                 timeout = of_milli (field 0);
+                 multiplier = of_milli (field 1);
+                 cap = of_milli (field 2);
+                 max_resends = Int32.to_int (field 3);
+               })
         end
       end
       else if subtype = subtype_disable then Ok Flow_buffer_disable
@@ -87,9 +112,13 @@ let read_body buf off ~len =
   end
 
 let equal a b =
+  let close x y = Float.abs (x -. y) < 0.001 in
   match (a, b) with
   | Flow_buffer_enable x, Flow_buffer_enable y ->
-      Float.abs (x.timeout -. y.timeout) < 0.001
+      close x.timeout y.timeout
+      && close x.multiplier y.multiplier
+      && close x.cap y.cap
+      && x.max_resends = y.max_resends
   | Flow_buffer_disable, Flow_buffer_disable -> true
   | Flow_buffer_stats_request, Flow_buffer_stats_request -> true
   | Flow_buffer_stats_reply x, Flow_buffer_stats_reply y -> x = y
@@ -99,8 +128,10 @@ let equal a b =
       false
 
 let pp fmt = function
-  | Flow_buffer_enable { timeout } ->
-      Format.fprintf fmt "flow_buffer_enable{timeout=%.3fs}" timeout
+  | Flow_buffer_enable b ->
+      Format.fprintf fmt
+        "flow_buffer_enable{timeout=%.3fs x%.2f cap=%.3fs max_resends=%d}"
+        b.timeout b.multiplier b.cap b.max_resends
   | Flow_buffer_disable -> Format.pp_print_string fmt "flow_buffer_disable"
   | Flow_buffer_stats_request ->
       Format.pp_print_string fmt "flow_buffer_stats_request"

@@ -5,6 +5,7 @@ type 'a t = {
   propagation_s : float;
   capture : (time:float -> size:int -> 'a -> unit) option;
   loss : (float * Rng.t) option;
+  faults : Faults.t option;
   receiver : 'a -> unit;
   mutable busy_until : float;
   mutable bytes_sent : int;
@@ -13,8 +14,8 @@ type 'a t = {
   mutable backlog_bytes : int;
 }
 
-let create engine ~name ~bandwidth_bps ~propagation_s ?capture ?loss ~receiver
-    () =
+let create engine ~name ~bandwidth_bps ~propagation_s ?capture ?loss ?faults
+    ~receiver () =
   if bandwidth_bps <= 0.0 then invalid_arg "Link.create: bandwidth must be positive";
   if propagation_s < 0.0 then invalid_arg "Link.create: negative propagation";
   (match loss with
@@ -28,6 +29,7 @@ let create engine ~name ~bandwidth_bps ~propagation_s ?capture ?loss ~receiver
     propagation_s;
     capture;
     loss;
+    faults;
     receiver;
     busy_until = Engine.now engine;
     bytes_sent = 0;
@@ -53,7 +55,18 @@ let send t ~size payload =
     | Some (rate, rng) -> rate > 0.0 && Rng.float rng 1.0 < rate
     | None -> false
   in
-  let deliver_at = t.busy_until +. t.propagation_s in
+  (* The fault plan is consulted once per message even when the legacy
+     loss model already dropped it, so the fault schedule stays a pure
+     function of (seed, spec, message sequence). *)
+  let lost, jitter_s =
+    match t.faults with
+    | None -> (lost, 0.0)
+    | Some plan -> (
+        match Faults.judge plan ~now with
+        | Faults.Drop _ -> (true, 0.0)
+        | Faults.Deliver { jitter_s } -> (lost, jitter_s))
+  in
+  let deliver_at = t.busy_until +. t.propagation_s +. jitter_s in
   ignore
     (Engine.schedule_at t.engine deliver_at (fun () ->
          t.backlog_bytes <- t.backlog_bytes - size;

@@ -22,6 +22,7 @@ val create :
   propagation_s:float ->
   ?capture:(time:float -> size:int -> 'a -> unit) ->
   ?loss:float * Rng.t ->
+  ?faults:Faults.t ->
   receiver:('a -> unit) ->
   unit ->
   'a t
@@ -34,7 +35,15 @@ val create :
     probability (drawn from the given generator) — the message still
     occupies the wire, it just never arrives. Used to model an
     unreliable control channel, the failure case the flow-granularity
-    mechanism's re-request timeout exists for. *)
+    mechanism's re-request timeout exists for.
+
+    [faults], if given, is a richer fault plan ({!Faults}) judged once
+    per message at the instant {!send} is called: it can drop the
+    message (independent loss, a Gilbert–Elliott burst, or a scheduled
+    outage window) or delay its delivery by a bounded jitter, which
+    reorders messages in flight. Dropped messages still occupy the
+    wire. [faults] composes with [loss]: a message survives only if
+    both models deliver it. *)
 
 val send : 'a t -> size:int -> 'a -> unit
 (** Enqueue a message of [size] bytes for transmission. Returns

@@ -3,6 +3,7 @@ open Sdn_net
 
 type unit_state = {
   key : Flow_key.t;
+  first_miss_time : float;
   mutable frames_rev : Bytes.t list;
   mutable resend_count : int;
   mutable resend_handle : Engine.handle option;
@@ -16,8 +17,12 @@ type t = {
   engine : Engine.t;
   capacity : int;
   reclaim_lag : float;
-  resend_timeout : float;
-  max_resends : int;
+  mutable resend_timeout : float;
+  mutable resend_multiplier : float;
+  mutable resend_cap : float;
+  mutable resend_jitter : float;
+  mutable max_resends : int;
+  rng : Rng.t option;
   on_resend : buffer_id:int32 -> key:Flow_key.t -> first_frame:Bytes.t -> unit;
   slots : slot array;
   mutable free : int list;
@@ -29,6 +34,9 @@ type t = {
   mutable alloc_failures : int;
   mutable resends : int;
   mutable drops : int;
+  mutable abandoned_flows : int;
+  mutable recovered_flows : int;
+  recovery_delays : Stats.t;
   mutable stale_takes : int;
 }
 
@@ -44,16 +52,27 @@ let id_of ~generation ~slot =
 let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
 let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
 
-let create engine ~capacity ~reclaim_lag ~resend_timeout ~max_resends ~on_resend
-    () =
+let create engine ~capacity ~reclaim_lag ~resend_timeout
+    ?(resend_multiplier = 1.0) ?(resend_cap = infinity)
+    ?(resend_jitter = 0.0) ?rng ~max_resends ~on_resend () =
   if capacity <= 0 || capacity > 0xFFFF then
     invalid_arg "Flow_buffer.create: capacity out of range";
+  if resend_multiplier < 1.0 then
+    invalid_arg "Flow_buffer.create: multiplier below 1";
+  if resend_jitter < 0.0 || resend_jitter >= 1.0 then
+    invalid_arg "Flow_buffer.create: jitter fraction out of [0, 1)";
+  if resend_jitter > 0.0 && rng = None then
+    invalid_arg "Flow_buffer.create: jitter needs an rng";
   {
     engine;
     capacity;
     reclaim_lag;
     resend_timeout;
+    resend_multiplier;
+    resend_cap;
+    resend_jitter;
     max_resends;
+    rng;
     on_resend;
     slots = Array.init capacity (fun _ -> { state = Free; generation = 0 });
     free = List.init capacity (fun i -> i);
@@ -66,8 +85,32 @@ let create engine ~capacity ~reclaim_lag ~resend_timeout ~max_resends ~on_resend
     alloc_failures = 0;
     resends = 0;
     drops = 0;
+    abandoned_flows = 0;
+    recovered_flows = 0;
+    recovery_delays = Stats.create ();
     stale_takes = 0;
   }
+
+let set_backoff t ~resend_timeout ~resend_multiplier ~resend_cap ~max_resends =
+  if resend_multiplier >= 1.0 then begin
+    t.resend_timeout <- resend_timeout;
+    t.resend_multiplier <- resend_multiplier;
+    t.resend_cap <- resend_cap;
+    t.max_resends <- max_resends
+  end
+
+(* Delay before re-request number [attempt] (0-based): exponential in
+   the attempt, capped, with optional multiplicative jitter so that a
+   thundering herd of timed-out flows desynchronises. *)
+let resend_delay t ~attempt =
+  let base =
+    t.resend_timeout *. (t.resend_multiplier ** float_of_int attempt)
+  in
+  let capped = Float.min base t.resend_cap in
+  match (t.rng, t.resend_jitter) with
+  | Some rng, j when j > 0.0 ->
+      capped *. (1.0 +. Rng.uniform rng ~lo:(-.j) ~hi:j)
+  | _ -> capped
 
 let note_occupancy t =
   Timeseries.Weighted.update t.occupancy ~time:(Engine.now t.engine)
@@ -84,13 +127,15 @@ let release_slot t i =
 let drop_unit t i (u : unit_state) =
   (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
   t.drops <- t.drops + List.length u.frames_rev;
+  t.abandoned_flows <- t.abandoned_flows + 1;
   t.packets <- t.packets - List.length u.frames_rev;
   Flow_key.Table.remove t.by_key u.key;
   release_slot t i
 
 let rec arm_resend t i (u : unit_state) ~generation =
   let handle =
-    Engine.schedule t.engine ~delay:t.resend_timeout (fun () ->
+    Engine.schedule t.engine ~delay:(resend_delay t ~attempt:u.resend_count)
+      (fun () ->
         let slot = t.slots.(i) in
         match slot.state with
         | Held held when slot.generation = generation && held == u ->
@@ -130,7 +175,13 @@ let add t ~key ~frame =
           t.free <- rest;
           let slot = t.slots.(i) in
           let u =
-            { key; frames_rev = [ frame ]; resend_count = 0; resend_handle = None }
+            {
+              key;
+              first_miss_time = Engine.now t.engine;
+              frames_rev = [ frame ];
+              resend_count = 0;
+              resend_handle = None;
+            }
           in
           slot.state <- Held u;
           Flow_key.Table.add t.by_key key i;
@@ -149,6 +200,14 @@ let take_all t id =
     match slot.state with
     | Held u when slot.generation = generation_of_id id ->
         (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
+        if u.resend_count > 0 then begin
+          (* The flow survived at least one unanswered request: its
+             whole wait is the time-to-recovery the chaos report
+             histograms. *)
+          t.recovered_flows <- t.recovered_flows + 1;
+          Stats.add t.recovery_delays
+            (Engine.now t.engine -. u.first_miss_time)
+        end;
         let frames = List.rev u.frames_rev in
         t.packets <- t.packets - List.length frames;
         Flow_key.Table.remove t.by_key u.key;
@@ -174,4 +233,7 @@ let allocations t = t.allocations
 let alloc_failures t = t.alloc_failures
 let resends t = t.resends
 let drops t = t.drops
+let abandoned_flows t = t.abandoned_flows
+let recovered_flows t = t.recovered_flows
+let recovery_delays t = t.recovery_delays
 let stale_takes t = t.stale_takes

@@ -14,7 +14,13 @@
     switch re-sends the request ("After a timeout period, if the switch
     doesn't receive the control operation messages, it will send
     another request message", Section V.A; Algorithm 1 lines 12-13).
-    After [max_resends] unanswered requests the chain is dropped. *)
+    Successive re-requests back off exponentially: the n-th waits
+    [timeout * multiplier^n], capped at [resend_cap], with optional
+    multiplicative jitter so simultaneous timeouts desynchronise. After
+    [max_resends] unanswered requests the chain is abandoned. The pool
+    keeps recovery accounting — flows recovered after at least one
+    resend, flows abandoned, and a time-to-recovery distribution — for
+    the chaos scenario's reliability report. *)
 
 open Sdn_sim
 open Sdn_net
@@ -36,12 +42,35 @@ val create :
   capacity:int ->
   reclaim_lag:float ->
   resend_timeout:float ->
+  ?resend_multiplier:float ->
+  ?resend_cap:float ->
+  ?resend_jitter:float ->
+  ?rng:Sdn_sim.Rng.t ->
   max_resends:int ->
   on_resend:(buffer_id:int32 -> key:Flow_key.t -> first_frame:Bytes.t -> unit) ->
   unit ->
   t
 (** [on_resend] is invoked by the timeout machinery; the switch wires
-    it to PACKET_IN regeneration. *)
+    it to PACKET_IN regeneration.
+
+    [resend_multiplier] (default 1: the paper's fixed period) grows the
+    delay before each successive re-request; [resend_cap] (default
+    unbounded) caps it; [resend_jitter] (default 0, must be in
+    [\[0, 1)]) perturbs each delay by a uniform factor in
+    [\[1 - j, 1 + j\]], drawn from [rng] — required when jitter is
+    non-zero so the schedule stays seed-deterministic. *)
+
+val set_backoff :
+  t ->
+  resend_timeout:float ->
+  resend_multiplier:float ->
+  resend_cap:float ->
+  max_resends:int ->
+  unit
+(** Reconfigure the re-request policy (the vendor
+    [Flow_buffer_enable] handler). Already-armed timers keep their old
+    delay; the new policy applies from each unit's next arming. A
+    multiplier below 1 is ignored. *)
 
 val add : t -> key:Flow_key.t -> frame:Bytes.t -> add_result
 (** Algorithm 1, lines 5-11. *)
@@ -64,5 +93,16 @@ val resends : t -> int
 val drops : t -> int
 (** Chains abandoned after [max_resends] unanswered requests
     (packets). *)
+
+val abandoned_flows : t -> int
+(** Chains abandoned after [max_resends] unanswered requests (flows). *)
+
+val recovered_flows : t -> int
+(** Flows released after at least one timed-out re-request — the
+    recovery path actually saved them. *)
+
+val recovery_delays : t -> Sdn_sim.Stats.t
+(** Time from a recovered flow's first miss to its release; feeds the
+    chaos report's time-to-recovery histogram. *)
 
 val stale_takes : t -> int

@@ -17,6 +17,9 @@ type config = {
   buffer_expiry : float;
   reclaim_lag : float;
   resend_timeout : float;
+  resend_multiplier : float;
+  resend_cap : float;
+  resend_jitter : float;
   max_resends : int;
   flow_table_capacity : int;
   flow_table_eviction : bool;
@@ -32,6 +35,11 @@ let default_config =
     buffer_expiry = 1.0;
     reclaim_lag = 3.2e-3;
     resend_timeout = 50e-3;
+    (* Exponential backoff with mild jitter: 50, ~100, ~200 ms. The
+       paper's fixed period is multiplier 1 / cap = timeout. *)
+    resend_multiplier = 2.0;
+    resend_cap = 400e-3;
+    resend_jitter = 0.1;
     max_resends = 3;
     flow_table_capacity = 2048;
     flow_table_eviction = true;
@@ -56,6 +64,7 @@ type t = {
   engine : Engine.t;
   config : config;
   costs : Costs.t;
+  resend_rng : Rng.t;
   mutable mechanism : mechanism;
   mutable miss_send_len : int;
   kernel : Cpu.t;
@@ -103,6 +112,9 @@ let rec ensure_flow_pool t =
         Flow_buffer.create t.engine ~capacity:t.config.buffer_capacity
           ~reclaim_lag:t.config.reclaim_lag
           ~resend_timeout:t.config.resend_timeout
+          ~resend_multiplier:t.config.resend_multiplier
+          ~resend_cap:t.config.resend_cap
+          ~resend_jitter:t.config.resend_jitter ~rng:t.resend_rng
           ~max_resends:t.config.max_resends
           ~on_resend:(fun ~buffer_id ~key:_ ~first_frame ->
             t.pkt_in_resends <- t.pkt_in_resends + 1;
@@ -432,7 +444,14 @@ let buffer_stats t =
 
 let handle_vendor t ~xid (v : Of_ext.t) =
   match v with
-  | Of_ext.Flow_buffer_enable _ -> t.mechanism <- Flow_granularity
+  | Of_ext.Flow_buffer_enable b ->
+      t.mechanism <- Flow_granularity;
+      (* The controller dictates the re-request policy; it applies to
+         the live pool from the next timer arming. *)
+      Flow_buffer.set_backoff (ensure_flow_pool t)
+        ~resend_timeout:b.Of_ext.timeout
+        ~resend_multiplier:b.Of_ext.multiplier ~resend_cap:b.Of_ext.cap
+        ~max_resends:b.Of_ext.max_resends
   | Of_ext.Flow_buffer_disable -> t.mechanism <- Packet_granularity
   | Of_ext.Flow_buffer_stats_request ->
       send_to_controller ~xid t
@@ -559,6 +578,9 @@ let create engine ~config ~costs ~rng () =
       engine;
       config;
       costs;
+      (* A dedicated stream for re-request jitter, so backoff draws do
+         not perturb the service-noise sequence. *)
+      resend_rng = Rng.split rng;
       mechanism;
       miss_send_len = config.miss_send_len;
       kernel =
@@ -710,6 +732,21 @@ let buffer_max_in_use t =
   | Flow_granularity, _, Some pool -> Flow_buffer.max_units_in_use pool
   | (Packet_granularity | No_buffer), Some pool, _ -> Packet_buffer.max_in_use pool
   | _, _, _ -> 0
+
+let flows_abandoned t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.abandoned_flows pool
+  | None -> 0
+
+let flows_recovered t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.recovered_flows pool
+  | None -> 0
+
+let recovery_delays t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.recovery_delays pool
+  | None -> Stats.create ()
 
 let cpu_busy_core_seconds t =
   Cpu.busy_core_seconds t.kernel +. Cpu.busy_core_seconds t.userspace

@@ -37,7 +37,14 @@ type config = {
   miss_send_len : int;  (** PACKET_IN data bytes when buffered *)
   buffer_expiry : float;  (** packet-granularity ageing, seconds *)
   reclaim_lag : float;  (** deferred unit reclamation, seconds *)
-  resend_timeout : float;  (** flow-granularity re-request period *)
+  resend_timeout : float;  (** flow-granularity base re-request delay *)
+  resend_multiplier : float;
+      (** growth of the re-request delay per unanswered request (1 =
+          the paper's fixed period) *)
+  resend_cap : float;  (** upper bound on the re-request delay, seconds *)
+  resend_jitter : float;
+      (** uniform multiplicative jitter fraction on each delay, in
+          [\[0, 1)] — desynchronises simultaneous timeouts *)
   max_resends : int;
   flow_table_capacity : int;
   flow_table_eviction : bool;
@@ -123,6 +130,16 @@ val buffer_mean_in_use : t -> until:float -> float
 val buffer_max_in_use : t -> int
 val buffer_stats : t -> Of_ext.stats
 (** Unified pool statistics for whichever mechanism is active. *)
+
+val flows_abandoned : t -> int
+(** Flow-granularity chains dropped after exhausting [max_resends]. *)
+
+val flows_recovered : t -> int
+(** Flow-granularity chains released after at least one re-request. *)
+
+val recovery_delays : t -> Stats.t
+(** Time-to-recovery samples of the recovered flows (empty when the
+    flow pool was never instantiated). *)
 
 val cpu_busy_core_seconds : t -> float
 (** Combined kernel + userspace busy integral — the quantity behind

@@ -181,7 +181,8 @@ let test_echo_reply () =
 
 let test_start_handshake () =
   let h = make_harness () in
-  Controller.start h.controller ~enable_flow_buffer:0.05 ();
+  Controller.start h.controller
+    ~enable_flow_buffer:(Of_ext.default_backoff ~timeout:0.05) ();
   Engine.run h.engine;
   let kinds =
     List.map (fun (_, m) -> Of_wire.Msg_type.to_string (Of_codec.msg_type m)) (messages h)

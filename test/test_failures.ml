@@ -189,6 +189,107 @@ let test_scenario_failure_and_recovery () =
     true
     (scenario.Scenario.host2_received >= 45)
 
+(* {2 Control-channel loss and the re-request recovery path} *)
+
+let lossy_config ~mechanism ~loss_rate ~max_resends =
+  let open Sdn_core in
+  {
+    Config.default with
+    Config.mechanism;
+    buffer_capacity = (if mechanism = Config.No_buffer then 0 else 256);
+    workload = Config.Exp_b { n_flows = 20; packets_per_flow = 10; concurrent = 4 };
+    rate_mbps = 15.0;
+    seed = 21;
+    faults = { Sdn_sim.Faults.none with Sdn_sim.Faults.loss_rate };
+    max_resends;
+  }
+
+(* Under 20% control loss, flow granularity with a sufficient resend
+   budget recovers every flow: the exponential-backoff re-request keeps
+   asking until the release finally gets through. Deterministic seed —
+   no retries, no flakiness. *)
+let test_flow_granularity_survives_loss () =
+  let open Sdn_core in
+  let result =
+    Experiment.run
+      (lossy_config ~mechanism:Config.Flow_granularity ~loss_rate:0.2
+         ~max_resends:12)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "all %d flows complete" result.Experiment.flows_started)
+    result.Experiment.flows_started result.Experiment.flows_completed;
+  Alcotest.(check int) "every packet delivered" result.Experiment.packets_in
+    result.Experiment.packets_out;
+  Alcotest.(check int) "no flow abandoned" 0 result.Experiment.flows_abandoned;
+  Alcotest.(check bool)
+    (Printf.sprintf "loss actually hit the channel (%d lost, %d recovered)"
+       result.Experiment.ctrl_msgs_lost result.Experiment.flows_recovered)
+    true
+    (result.Experiment.ctrl_msgs_lost > 0
+    && result.Experiment.flows_recovered > 0);
+  Alcotest.(check bool) "recovery delays recorded" true
+    (result.Experiment.recovery_delay.Experiment.count
+    = result.Experiment.flows_recovered)
+
+(* With the resend budget exhausted the chain is dropped and the
+   abandonment counter says so. max_resends = 0 means one request and
+   no second chance — under heavy loss some flows must die. *)
+let test_flow_granularity_abandons_when_exhausted () =
+  let open Sdn_core in
+  let result =
+    Experiment.run
+      (lossy_config ~mechanism:Config.Flow_granularity ~loss_rate:0.4
+         ~max_resends:0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "flows abandoned (%d)" result.Experiment.flows_abandoned)
+    true
+    (result.Experiment.flows_abandoned > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "packets lost (%d/%d)" result.Experiment.packets_out
+       result.Experiment.packets_in)
+    true
+    (result.Experiment.packets_out < result.Experiment.packets_in)
+
+(* The mechanisms without re-request machinery have no recovery story:
+   a lost control message means lost packets. *)
+let test_other_mechanisms_lose_packets () =
+  let open Sdn_core in
+  List.iter
+    (fun mechanism ->
+      let result =
+        Experiment.run (lossy_config ~mechanism ~loss_rate:0.2 ~max_resends:12)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s loses packets (%d/%d)" (Config.label result.Experiment.config)
+           result.Experiment.packets_out result.Experiment.packets_in)
+        true
+        (result.Experiment.packets_out < result.Experiment.packets_in);
+      Alcotest.(check int)
+        (Printf.sprintf "%s has no recovery path" (Config.label result.Experiment.config))
+        0 result.Experiment.flows_recovered)
+    [ Config.No_buffer; Config.Packet_granularity ]
+
+(* Same seed, same chaos: the fault schedule is a pure function of the
+   seed, so the whole result record matches run for run. *)
+let test_lossy_run_deterministic () =
+  let open Sdn_core in
+  let run () =
+    let r =
+      Experiment.run
+        (lossy_config ~mechanism:Config.Flow_granularity ~loss_rate:0.2
+           ~max_resends:12)
+    in
+    ( r.Experiment.flows_completed,
+      r.Experiment.packets_out,
+      r.Experiment.pkt_in_resends,
+      r.Experiment.flows_recovered,
+      r.Experiment.ctrl_msgs_lost,
+      r.Experiment.recovery_delay )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical outcomes" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "PORT_STATUS roundtrip" `Quick test_port_status_roundtrip;
@@ -201,4 +302,12 @@ let suite =
       test_delete_with_out_port_filter;
     Alcotest.test_case "end-to-end failure and reactive recovery" `Quick
       test_scenario_failure_and_recovery;
+    Alcotest.test_case "flow granularity survives 20% control loss" `Quick
+      test_flow_granularity_survives_loss;
+    Alcotest.test_case "abandons flows when resends exhausted" `Quick
+      test_flow_granularity_abandons_when_exhausted;
+    Alcotest.test_case "other mechanisms lose packets under loss" `Quick
+      test_other_mechanisms_lose_packets;
+    Alcotest.test_case "lossy runs are deterministic" `Quick
+      test_lossy_run_deterministic;
   ]

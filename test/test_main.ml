@@ -8,12 +8,14 @@ let () =
       ("sim.stats", Test_stats.suite);
       ("sim.engine", Test_engine.suite);
       ("sim.link", Test_link.suite);
+      ("sim.faults", Test_faults.suite);
       ("sim.cpu", Test_cpu.suite);
       ("net.addresses", Test_addr.suite);
       ("net.checksum", Test_checksum.suite);
       ("net.packet", Test_packet.suite);
       ("openflow.match", Test_of_match.suite);
       ("openflow.codec", Test_of_codec.suite);
+      ("openflow.codec-fuzz", Test_of_codec_fuzz.suite);
       ("openflow.stream", Test_of_stream.suite);
       ("switch.flow_table", Test_flow_table.suite);
       ("switch.packet_buffer", Test_packet_buffer.suite);

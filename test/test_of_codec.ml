@@ -162,7 +162,18 @@ let test_stats_port () =
           ]))
 
 let test_vendor_messages () =
-  roundtrip (Of_codec.Vendor (Of_ext.Flow_buffer_enable { timeout = 0.05 }));
+  roundtrip
+    (Of_codec.Vendor
+       (Of_ext.Flow_buffer_enable
+          {
+            Of_ext.timeout = 0.05;
+            multiplier = 2.0;
+            cap = 0.4;
+            max_resends = 5;
+          }));
+  roundtrip
+    (Of_codec.Vendor
+       (Of_ext.Flow_buffer_enable (Of_ext.default_backoff ~timeout:0.05)));
   roundtrip (Of_codec.Vendor Of_ext.Flow_buffer_disable);
   roundtrip (Of_codec.Vendor Of_ext.Flow_buffer_stats_request);
   roundtrip

@@ -248,7 +248,9 @@ let test_vendor_switches_mechanism () =
   let h = make_harness () in
   Alcotest.(check string) "starts packet-granularity" "packet-granularity"
     (Switch.mechanism_to_string (Switch.mechanism h.switch));
-  send_of h (Of_codec.Vendor (Of_ext.Flow_buffer_enable { timeout = 0.05 }));
+  send_of h
+    (Of_codec.Vendor
+       (Of_ext.Flow_buffer_enable (Of_ext.default_backoff ~timeout:0.05)));
   Engine.run h.engine;
   Alcotest.(check string) "flow-granularity enabled" "flow-granularity"
     (Switch.mechanism_to_string (Switch.mechanism h.switch));
