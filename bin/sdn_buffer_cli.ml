@@ -75,6 +75,42 @@ let faults_arg =
            seed: the same seed and spec reproduce the same fault schedule \
            message for message.")
 
+let fail_mode_conv =
+  let parse s =
+    match Sdn_switch.Session.fail_mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Sdn_switch.Session.fail_mode_to_string m)
+  in
+  Arg.conv (parse, print)
+
+let fail_mode_arg =
+  Arg.(
+    value
+    & opt fail_mode_conv Config.Fail_secure
+    & info [ "fail-mode" ] ~docv:"MODE"
+        ~doc:
+          "What the switch does with miss-match traffic while its controller \
+           session is down: $(b,secure) drops it and freezes buffered chains; \
+           $(b,standalone) keeps forwarding through an internal L2 learning \
+           path.")
+
+let echo_interval_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "echo-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Control-session keepalive period on both endpoints. 0 (the \
+           default) disables the liveness machinery entirely.")
+
+let echo_misses_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "echo-misses" ] ~docv:"N"
+        ~doc:"Unanswered keepalives before a session is declared down.")
+
 let workload_arg =
   let workload_conv =
     let parse = function
@@ -101,7 +137,8 @@ let workload_arg =
               cross-sequence) or burst.")
 
 let run_cmd =
-  let run mechanism buffer rate seed workload faults =
+  let run mechanism buffer rate seed workload faults echo_interval echo_misses
+      fail_mode =
     let config =
       {
         Config.default with
@@ -111,6 +148,9 @@ let run_cmd =
         seed;
         workload;
         faults;
+        echo_interval;
+        echo_misses;
+        fail_mode;
       }
     in
     let result = Experiment.run config in
@@ -119,7 +159,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
-      $ workload_arg $ faults_arg)
+      $ workload_arg $ faults_arg $ echo_interval_arg $ echo_misses_arg
+      $ fail_mode_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its metrics.")
@@ -133,20 +174,50 @@ let chaos_cmd =
       & info [ "loss-rates" ] ~docv:"P1,P2,..."
           ~doc:"Control-channel loss rates to sweep.")
   in
-  let run seed rate loss_rates faults =
-    let base = { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults } in
-    let points = Chaos.run ~loss_rates ~base () in
-    Chaos.print_report points
+  let outage_arg =
+    Arg.(
+      value & flag
+      & info [ "outage" ]
+          ~doc:
+            "Run the outage sweep instead of the loss sweep: a scheduled \
+             control-channel blackout against every mechanism and fail mode, \
+             with the echo keepalive armed.")
+  in
+  let durations_arg =
+    Arg.(
+      value
+      & opt (list float) Chaos.default_outage_durations
+      & info [ "durations" ] ~docv:"S1,S2,..."
+          ~doc:"Outage durations to sweep (seconds, with $(b,--outage)).")
+  in
+  let run seed rate loss_rates faults outage durations =
+    if outage then begin
+      let base =
+        { (Chaos.default_outage_base ~seed) with Config.rate_mbps = rate }
+      in
+      let points = Chaos.run_outage ~durations ~base () in
+      Chaos.print_outage_report points
+    end
+    else begin
+      let base =
+        { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults }
+      in
+      let points = Chaos.run ~loss_rates ~base () in
+      Chaos.print_report points
+    end
   in
   let term =
-    Term.(const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg)
+    Term.(
+      const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg
+      $ outage_arg $ durations_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Sweep control-channel loss against every buffer mechanism and \
-          report flow-completion ratio and recovery latency. Deterministic: \
-          the same seed yields a byte-identical report.")
+         "Sweep control-channel faults against every buffer mechanism: \
+          independent loss by default, or a scheduled blackout with \
+          $(b,--outage). Deterministic: the same seed yields a \
+          byte-identical report.")
     term
 
 let figure_cmd =

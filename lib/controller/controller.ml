@@ -1,6 +1,7 @@
 open Sdn_sim
 open Sdn_net
 open Sdn_openflow
+module Session = Sdn_switch.Session
 
 type release_strategy = [ `Pair | `Flow_mod_release ]
 
@@ -10,10 +11,21 @@ type counters = {
   pkt_outs_sent : int;
   drops_decided : int;
   errors_received : int;
+  errors_sent : int;
   echo_requests : int;
   flow_removed_received : int;
   port_changes : int;
   decode_failures : int;
+  switch_downs : int;
+  resyncs : int;
+}
+
+(* Per-switch session state: the liveness tracker plus the handshake
+   parameters remembered so they can be re-pushed verbatim on resync. *)
+type session = {
+  tracker : Session.t;
+  mutable enable_flow_buffer : Of_ext.backoff option;
+  mutable miss_send_len : int option;
 }
 
 type t = {
@@ -23,6 +35,9 @@ type t = {
   release_strategy : release_strategy;
   cpu : Cpu.t;
   links : (int, Bytes.t Link.t) Hashtbl.t;  (** switch id -> downlink *)
+  echo_interval : float;
+  echo_misses : int;
+  sessions : (int, session) Hashtbl.t;
   mutable next_xid : int32;
   (* Sliding window of recently-arrived message bytes, for the GC
      pressure factor. *)
@@ -34,13 +49,16 @@ type t = {
   mutable pkt_outs_sent : int;
   mutable drops_decided : int;
   mutable errors_received : int;
+  mutable errors_sent : int;
   mutable echo_requests : int;
   mutable flow_removed_received : int;
   mutable port_changes : int;
   mutable decode_failures : int;
+  mutable resyncs : int;
 }
 
-let create engine ~app ~costs ~rng ?(release_strategy = `Pair) () =
+let create engine ~app ~costs ~rng ?(release_strategy = `Pair)
+    ?(echo_interval = 0.0) ?(echo_misses = 3) () =
   let noise () =
     Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
   in
@@ -54,6 +72,9 @@ let create engine ~app ~costs ~rng ?(release_strategy = `Pair) () =
       Cpu.create engine ~name:"controller" ~cores:costs.Costs.cores
         ~service_scale:scale ~noise ();
     links = Hashtbl.create 4;
+    echo_interval;
+    echo_misses;
+    sessions = Hashtbl.create 4;
     next_xid = 0x4000_0000l;
     recent = Queue.create ();
     recent_bytes = 0;
@@ -63,10 +84,12 @@ let create engine ~app ~costs ~rng ?(release_strategy = `Pair) () =
     pkt_outs_sent = 0;
     drops_decided = 0;
     errors_received = 0;
+    errors_sent = 0;
     echo_requests = 0;
     flow_removed_received = 0;
     port_changes = 0;
     decode_failures = 0;
+    resyncs = 0;
   }
 
 let fresh_xid t =
@@ -93,6 +116,63 @@ let send t ~switch ~xid msg =
       | Of_codec.Stats_request _ | Of_codec.Stats_reply _
       | Of_codec.Barrier_request | Of_codec.Barrier_reply -> ())
   | None -> ()
+
+let send_error t ~switch ~xid ~error_type ~code ~offending =
+  t.errors_sent <- t.errors_sent + 1;
+  let data = Bytes.sub offending 0 (min 64 (Bytes.length offending)) in
+  let work = t.costs.Costs.parse_base_cost +. t.costs.Costs.encode_base_cost in
+  Cpu.submit t.cpu ~work_s:work (fun () ->
+      send t ~switch ~xid
+        (Of_codec.Error_msg (Of_error.make ~error_type ~code ~data ())))
+
+let do_handshake t ~switch ?enable_flow_buffer ?miss_send_len () =
+  send t ~switch ~xid:(fresh_xid t) Of_codec.Hello;
+  send t ~switch ~xid:(fresh_xid t) Of_codec.Features_request;
+  (match miss_send_len with
+  | Some n ->
+      send t ~switch ~xid:(fresh_xid t)
+        (Of_codec.Set_config { Of_config.flags = 0; miss_send_len = n })
+  | None -> ());
+  match enable_flow_buffer with
+  | Some backoff ->
+      send t ~switch ~xid:(fresh_xid t)
+        (Of_codec.Vendor (Of_ext.Flow_buffer_enable backoff))
+  | None -> ()
+
+(* State resync after an outage: replay the whole handshake with the
+   parameters remembered from [start_switch], so the switch gets its
+   configuration — including the flow-buffer backoff policy — pushed
+   again even if it rebooted into defaults. *)
+let resync t ~switch =
+  match Hashtbl.find_opt t.sessions switch with
+  | None -> ()
+  | Some s ->
+      t.resyncs <- t.resyncs + 1;
+      do_handshake t ~switch ?enable_flow_buffer:s.enable_flow_buffer
+        ?miss_send_len:s.miss_send_len ()
+
+let ensure_session t ~switch =
+  match Hashtbl.find_opt t.sessions switch with
+  | Some s -> s
+  | None ->
+      let tracker =
+        Session.create t.engine
+          ~config:
+            {
+              Session.default_config with
+              Session.echo_interval = t.echo_interval;
+              echo_misses = t.echo_misses;
+            }
+          ~fresh_xid:(fun () -> fresh_xid t)
+          ~send_echo:(fun ~xid ->
+            send t ~switch ~xid (Of_codec.Echo_request Bytes.empty))
+          ~on_down:(fun () -> ())
+          ~on_restore:(fun ~downtime:_ -> resync t ~switch)
+          ()
+      in
+      let s = { tracker; enable_flow_buffer = None; miss_send_len = None } in
+      Hashtbl.add t.sessions switch s;
+      s
 
 (* The match installed for a flow: the 5-tuple when the headers give
    one (hash-indexable at the switch), the exact L2 match otherwise. *)
@@ -241,8 +321,26 @@ let handle_packet_in t ~switch ~xid (pkt_in : Of_packet_in.t) ~msg_bytes =
 
 let handle_message_from t ~switch buf =
   match Of_codec.decode buf with
-  | Error _ -> t.decode_failures <- t.decode_failures + 1
+  | Error _ ->
+      t.decode_failures <- t.decode_failures + 1;
+      (* A buggy switch must learn its frame was rejected: answer with
+         the OFPT_ERROR matching what was wrong with it. *)
+      let error_type, code =
+        match Of_codec.error_kind buf with
+        | Of_codec.Truncated | Of_codec.Bad_body ->
+            (Of_error.Bad_request, Of_error.Bad_request_code.bad_len)
+        | Of_codec.Bad_version _ ->
+            (Of_error.Hello_failed, Of_error.Hello_failed_code.incompatible)
+        | Of_codec.Bad_type _ ->
+            (Of_error.Bad_request, Of_error.Bad_request_code.bad_type)
+      in
+      send_error t ~switch ~xid:(Of_codec.peek_xid buf) ~error_type ~code
+        ~offending:buf
   | Ok (xid, msg) -> (
+      (let s = ensure_session t ~switch in
+       match msg with
+       | Of_codec.Echo_reply _ -> Session.note_echo_reply s.tracker ~xid
+       | _ -> Session.note_activity s.tracker);
       match msg with
       | Of_codec.Packet_in pkt_in ->
           handle_packet_in t ~switch ~xid pkt_in ~msg_bytes:(Bytes.length buf)
@@ -278,24 +376,20 @@ let handle_message_from t ~switch buf =
       | Of_codec.Features_request | Of_codec.Get_config_request
       | Of_codec.Set_config _ | Of_codec.Packet_out _ | Of_codec.Flow_mod _
       | Of_codec.Stats_request _ | Of_codec.Barrier_request ->
-          (* Switch-bound messages should not arrive at the controller. *)
-          t.decode_failures <- t.decode_failures + 1)
+          (* Switch-bound messages should not arrive at the controller;
+             reject them explicitly. *)
+          t.decode_failures <- t.decode_failures + 1;
+          send_error t ~switch ~xid ~error_type:Of_error.Bad_request
+            ~code:Of_error.Bad_request_code.bad_type ~offending:buf)
 
 let handle_message t buf = handle_message_from t ~switch:0 buf
 
 let start_switch t ~switch ?enable_flow_buffer ?miss_send_len () =
-  send t ~switch ~xid:(fresh_xid t) Of_codec.Hello;
-  send t ~switch ~xid:(fresh_xid t) Of_codec.Features_request;
-  (match miss_send_len with
-  | Some n ->
-      send t ~switch ~xid:(fresh_xid t)
-        (Of_codec.Set_config { Of_config.flags = 0; miss_send_len = n })
-  | None -> ());
-  match enable_flow_buffer with
-  | Some backoff ->
-      send t ~switch ~xid:(fresh_xid t)
-        (Of_codec.Vendor (Of_ext.Flow_buffer_enable backoff))
-  | None -> ()
+  let s = ensure_session t ~switch in
+  s.enable_flow_buffer <- enable_flow_buffer;
+  s.miss_send_len <- miss_send_len;
+  do_handshake t ~switch ?enable_flow_buffer ?miss_send_len ();
+  Session.start s.tracker
 
 let start t ?enable_flow_buffer ?miss_send_len () =
   start_switch t ~switch:0 ?enable_flow_buffer ?miss_send_len ()
@@ -319,6 +413,12 @@ let switch_count t = Hashtbl.length t.links
 let cpu t = t.cpu
 let app_name t = t.app.App.name
 
+let switch_session t ~switch =
+  Option.map (fun s -> s.tracker) (Hashtbl.find_opt t.sessions switch)
+
+let switch_downs t =
+  Hashtbl.fold (fun _ s acc -> acc + Session.downs s.tracker) t.sessions 0
+
 let counters t =
   {
     pkt_ins_received = t.pkt_ins_received;
@@ -326,8 +426,11 @@ let counters t =
     pkt_outs_sent = t.pkt_outs_sent;
     drops_decided = t.drops_decided;
     errors_received = t.errors_received;
+    errors_sent = t.errors_sent;
     echo_requests = t.echo_requests;
     flow_removed_received = t.flow_removed_received;
     port_changes = t.port_changes;
     decode_failures = t.decode_failures;
+    switch_downs = switch_downs t;
+    resyncs = t.resyncs;
   }

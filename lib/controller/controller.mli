@@ -22,10 +22,16 @@ type counters = {
   pkt_outs_sent : int;
   drops_decided : int;
   errors_received : int;
+  errors_sent : int;
+      (** OFPT_ERROR replies to malformed or misdirected frames *)
   echo_requests : int;
   flow_removed_received : int;
   port_changes : int;
   decode_failures : int;
+  switch_downs : int;
+      (** switch sessions declared Down by the echo keepalive *)
+  resyncs : int;
+      (** handshake replays pushed after a session recovered *)
 }
 
 type t
@@ -36,9 +42,15 @@ val create :
   costs:Costs.t ->
   rng:Rng.t ->
   ?release_strategy:release_strategy ->
+  ?echo_interval:float ->
+  ?echo_misses:int ->
   unit ->
   t
-(** [release_strategy] defaults to [`Pair]. *)
+(** [release_strategy] defaults to [`Pair]. [echo_interval] (default 0:
+    disabled) enables a per-switch echo keepalive; after [echo_misses]
+    (default 3) unanswered echoes the switch's session is declared Down
+    and, on recovery, the handshake recorded by {!start_switch} is
+    replayed to resync the switch's configuration. *)
 
 val set_switch_link : t -> Bytes.t Link.t -> unit
 (** Attach the controller-to-switch half of the control channel
@@ -85,6 +97,13 @@ val install_proactive :
 (** Push a batch of FLOW_MODs to a switch outside any request/response
     cycle — the proactive provisioning baseline against which the
     paper's reactive flow setup (and all its overhead) is compared. *)
+
+val switch_session : t -> switch:int -> Sdn_switch.Session.t option
+(** The liveness tracker of one switch session (created at
+    [start_switch] or on the switch's first message). *)
+
+val switch_downs : t -> int
+(** Total Down declarations across all switch sessions. *)
 
 val cpu : t -> Cpu.t
 val counters : t -> counters

@@ -118,3 +118,141 @@ let report points =
   Buffer.contents buf
 
 let print_report points = print_string (report points)
+
+(* ------------------------------------------------------------------ *)
+(* Outage sweep: a scheduled control-channel blackout against the
+   session lifecycle.  Where the loss sweep stresses the re-request
+   machinery with i.i.d. drops, the outage sweep kills the channel
+   outright for a window and measures what the echo keepalive detects,
+   how each fail mode degrades, and what the reconnect resyncs. *)
+
+type outage_point = {
+  config : Config.t;
+  fail_mode : Config.fail_mode;
+  duration : float;
+  result : Experiment.result;
+}
+
+let default_outage_durations = [ 0.05; 0.1 ]
+let default_fail_modes = [ Config.Fail_secure; Config.Fail_standalone ]
+
+(* Traffic starts at 0.05s; 0.15s puts the blackout mid-run for the
+   default Exp-B workload so misses arrive while the session is Down. *)
+let outage_start = 0.15
+
+let default_outage_base ~seed =
+  let base =
+    Config.exp_b ~mechanism:Config.Flow_granularity ~rate_mbps:20.0 ~seed
+  in
+  { base with Config.echo_interval = 0.01; echo_misses = 2 }
+
+let outage_point_config ~base ~mechanism ~fail_mode ~duration =
+  let faults =
+    {
+      base.Config.faults with
+      Faults.outages =
+        [ { Faults.start_s = outage_start; stop_s = outage_start +. duration } ];
+    }
+  in
+  {
+    base with
+    Config.mechanism;
+    buffer_capacity =
+      (if mechanism = Config.No_buffer then 0 else base.Config.buffer_capacity);
+    control_loss_rate = 0.0;
+    fail_mode;
+    faults;
+  }
+
+let run_outage ?(mechanisms = default_mechanisms)
+    ?(fail_modes = default_fail_modes)
+    ?(durations = default_outage_durations) ~base () =
+  List.concat_map
+    (fun mechanism ->
+      List.concat_map
+        (fun fail_mode ->
+          List.map
+            (fun duration ->
+              let config =
+                outage_point_config ~base ~mechanism ~fail_mode ~duration
+              in
+              { config; fail_mode; duration; result = Experiment.run config })
+            durations)
+        fail_modes)
+    mechanisms
+
+let fail_mode_name = function
+  | Config.Fail_secure -> "fail-secure"
+  | Config.Fail_standalone -> "fail-standalone"
+
+(* Time from the outage opening to the switch declaring Down; "-" when
+   the keepalive never noticed (outage shorter than the miss budget). *)
+let detect_latency p =
+  let rec first_down = function
+    | [] -> None
+    | (time, state) :: rest ->
+        if state = "down" && time >= outage_start then Some (time -. outage_start)
+        else first_down rest
+  in
+  first_down p.result.Experiment.session_transitions
+
+let outage_row p =
+  let r = p.result in
+  [
+    mechanism_name p.config.Config.mechanism;
+    fail_mode_name p.fail_mode;
+    Printf.sprintf "%.0fms" (p.duration *. 1e3);
+    string_of_int r.Experiment.outage_detections;
+    (match detect_latency p with
+    | None -> "-"
+    | Some d -> Report.fmt_ms d);
+    Report.fmt_ms r.Experiment.session_downtime;
+    Printf.sprintf "%.1f%%" (completion_ratio r *. 100.0);
+    Printf.sprintf "%d/%d" r.Experiment.packets_out r.Experiment.packets_in;
+    string_of_int r.Experiment.standalone_frames;
+    string_of_int r.Experiment.fail_secure_drops;
+    Printf.sprintf "%d/%d/%d" r.Experiment.chains_frozen
+      r.Experiment.chains_resumed r.Experiment.chains_expired;
+    string_of_int r.Experiment.controller_resyncs;
+    string_of_int r.Experiment.outage_false_positives;
+  ]
+
+let outage_header =
+  [
+    "mechanism";
+    "fail mode";
+    "outage";
+    "downs";
+    "t_detect (ms)";
+    "downtime (ms)";
+    "completion";
+    "packets";
+    "standalone";
+    "secure-drop";
+    "froz/res/exp";
+    "resyncs";
+    "false+";
+  ]
+
+let outage_report points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "chaos: control-channel outage sweep (blackout at t=%.3fs, echo \
+        keepalive driven)\n\n"
+       outage_start);
+  Buffer.add_string buf
+    (Report.table ~header:outage_header ~rows:(List.map outage_row points));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "\nsession timelines\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %-15s %5.0fms  %s\n"
+           (mechanism_name p.config.Config.mechanism)
+           (fail_mode_name p.fail_mode) (p.duration *. 1e3)
+           (Report.timeline p.result.Experiment.session_transitions)))
+    points;
+  Buffer.contents buf
+
+let print_outage_report points = print_string (outage_report points)

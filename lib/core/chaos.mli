@@ -44,3 +44,60 @@ val report : point list -> string
     recovered at least one flow. *)
 
 val print_report : point list -> unit
+
+(** {2 Outage sweep}
+
+    A scheduled control-channel blackout swept against buffer mechanism
+    and fail mode. Each point runs with the echo keepalive on, a single
+    outage window opening at {!outage_start}, and the report compares
+    detection latency, downtime, degraded-mode behaviour and recovery
+    across points. Deterministic like the loss sweep. *)
+
+type outage_point = {
+  config : Config.t;  (** the exact configuration the point ran *)
+  fail_mode : Config.fail_mode;
+  duration : float;  (** outage length, seconds *)
+  result : Experiment.result;
+}
+
+val default_outage_durations : float list
+(** [0.05; 0.1] seconds. *)
+
+val default_fail_modes : Config.fail_mode list
+(** fail-secure then fail-standalone. *)
+
+val outage_start : float
+(** When every sweep point's blackout opens (0.15 s — mid-run for the
+    default Exp-B workload). *)
+
+val default_outage_base : seed:int -> Config.t
+(** {!default_base} with the keepalive armed: [echo_interval = 10 ms],
+    [echo_misses = 2], so a blackout is declared Down within ~30 ms. *)
+
+val outage_point_config :
+  base:Config.t ->
+  mechanism:Config.mechanism ->
+  fail_mode:Config.fail_mode ->
+  duration:float ->
+  Config.t
+(** The configuration an outage point runs: [base] with the mechanism
+    and fail mode substituted and the fault plan's outage list replaced
+    by a single [\[outage_start, outage_start + duration)] window. *)
+
+val run_outage :
+  ?mechanisms:Config.mechanism list ->
+  ?fail_modes:Config.fail_mode list ->
+  ?durations:float list ->
+  base:Config.t ->
+  unit ->
+  outage_point list
+(** Run the sweep: one experiment per mechanism x fail mode x duration,
+    in deterministic order (mechanisms outer, durations inner). *)
+
+val outage_report : outage_point list -> string
+(** Deterministic plain-text report: one table row per point (downs,
+    detection latency, downtime, completion, standalone frames,
+    fail-secure drops, frozen/resumed/expired chains, resyncs, false
+    positives) plus each point's session-state timeline. *)
+
+val print_outage_report : outage_point list -> unit

@@ -3,6 +3,10 @@ type mechanism = Sdn_switch.Switch.mechanism =
   | Packet_granularity
   | Flow_granularity
 
+type fail_mode = Sdn_switch.Session.fail_mode =
+  | Fail_secure
+  | Fail_standalone
+
 type workload =
   | Exp_a of { n_flows : int }
   | Exp_b of { n_flows : int; packets_per_flow : int; concurrent : int }
@@ -32,6 +36,9 @@ type t = {
   max_resends : int;
   flow_table_capacity : int;
   rule_idle_timeout : int;
+  echo_interval : float;
+  echo_misses : int;
+  fail_mode : fail_mode;
   qos : qos option;
   egress_bandwidth_bps : float option;
   switch_costs : Sdn_switch.Costs.t;
@@ -57,6 +64,9 @@ let default =
     max_resends = 3;
     flow_table_capacity = 2048;
     rule_idle_timeout = 5;
+    echo_interval = 0.0;
+    echo_misses = 3;
+    fail_mode = Fail_secure;
     qos = None;
     egress_bandwidth_bps = None;
     switch_costs = Calibration.switch_costs;

@@ -5,6 +5,12 @@ type mechanism = Sdn_switch.Switch.mechanism =
   | Packet_granularity
   | Flow_granularity
 
+type fail_mode = Sdn_switch.Session.fail_mode =
+  | Fail_secure
+  | Fail_standalone
+      (** what the switch does with miss-match traffic while its
+          controller session is Down (OpenFlow 1.0 fail modes) *)
+
 type workload =
   | Exp_a of { n_flows : int }
       (** Section IV: single-packet flows with forged sources. *)
@@ -55,6 +61,14 @@ type t = {
       (** unanswered re-requests before a buffered chain is abandoned *)
   flow_table_capacity : int;
   rule_idle_timeout : int;  (** seconds, for installed rules *)
+  echo_interval : float;
+      (** control-session keepalive period on both endpoints, seconds;
+          [<= 0] (the default) disables the liveness machinery and
+          keeps the control channel byte-identical to earlier
+          versions *)
+  echo_misses : int;
+      (** unanswered keepalives before a session is declared Down *)
+  fail_mode : fail_mode;
   qos : qos option;
   egress_bandwidth_bps : float option;
       (** override for the switch-to-host2 link speed (e.g. a slower

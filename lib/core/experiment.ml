@@ -48,6 +48,20 @@ type result = {
   packets_in : int;
   packets_out : int;
   packets_dropped : int;
+  (* Controller-session lifecycle (all zero when echo keepalive is
+     disabled). *)
+  outage_detections : int;
+  outage_false_positives : int;
+  session_downtime : float;
+  session_recovery : summary;
+  session_transitions : (float * string) list;
+  standalone_frames : int;
+  fail_secure_drops : int;
+  chains_frozen : int;
+  chains_resumed : int;
+  chains_expired : int;
+  controller_downs : int;
+  controller_resyncs : int;
 }
 
 (* Injections start after the handshake has settled. *)
@@ -91,6 +105,10 @@ let run (config : Config.t) =
   in
   let observe_window = Float.max 1e-9 (window_end -. plan.Pktgen.first) in
   let counters = Sdn_switch.Switch.counters switch in
+  let session = Sdn_switch.Switch.session switch in
+  let controller_counters =
+    Sdn_controller.Controller.counters scenario.Scenario.controller
+  in
   let controller_cpu =
     Cpu.busy_core_seconds (Sdn_controller.Controller.cpu scenario.Scenario.controller)
   in
@@ -128,6 +146,22 @@ let run (config : Config.t) =
     packets_in = Delay.packets_in delay;
     packets_out = Delay.packets_out delay;
     packets_dropped = counters.Sdn_switch.Switch.frames_dropped;
+    outage_detections = Sdn_switch.Session.downs session;
+    outage_false_positives = Sdn_switch.Session.false_positives session;
+    session_downtime = Sdn_switch.Session.total_downtime session;
+    session_recovery =
+      summary_of_stats (Sdn_switch.Session.recovery_times session);
+    session_transitions =
+      List.map
+        (fun (time, state) -> (time, Sdn_switch.Session.state_to_string state))
+        (Sdn_switch.Session.transitions session);
+    standalone_frames = counters.Sdn_switch.Switch.standalone_frames;
+    fail_secure_drops = counters.Sdn_switch.Switch.fail_secure_drops;
+    chains_frozen = Sdn_switch.Switch.chains_frozen switch;
+    chains_resumed = Sdn_switch.Switch.chains_resumed switch;
+    chains_expired = Sdn_switch.Switch.chains_expired_on_resume switch;
+    controller_downs = controller_counters.Sdn_controller.Controller.switch_downs;
+    controller_resyncs = controller_counters.Sdn_controller.Controller.resyncs;
   }
 
 let pp_summary_ms fmt s =
@@ -162,6 +196,30 @@ let pp_result fmt r =
     if r.recovery_delay.count > 0 then
       Format.fprintf fmt "time to recovery     : %a@," pp_summary_ms
         r.recovery_delay
+  end;
+  if r.outage_detections > 0 || r.outage_false_positives > 0 then begin
+    Format.fprintf fmt
+      "control session      : %d outage(s) detected, %d false positive(s), \
+       downtime %.1fms@,"
+      r.outage_detections r.outage_false_positives
+      (r.session_downtime *. 1e3);
+    if r.session_recovery.count > 0 then
+      Format.fprintf fmt "session recovery     : %a@," pp_summary_ms
+        r.session_recovery;
+    Format.fprintf fmt "session timeline     : %s@,"
+      (Report.timeline r.session_transitions);
+    if r.standalone_frames > 0 then
+      Format.fprintf fmt "standalone forwarding: %d frame(s)@,"
+        r.standalone_frames;
+    if r.fail_secure_drops > 0 then
+      Format.fprintf fmt "fail-secure drops    : %d frame(s)@,"
+        r.fail_secure_drops;
+    if r.chains_frozen > 0 then
+      Format.fprintf fmt
+        "frozen chains        : %d frozen, %d resumed, %d expired@,"
+        r.chains_frozen r.chains_resumed r.chains_expired;
+    Format.fprintf fmt "controller view      : %d down(s), %d resync(s)@,"
+      r.controller_downs r.controller_resyncs
   end;
   Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
     r.packets_in r.packets_out r.packets_dropped;

@@ -46,6 +46,26 @@ type result = {
   packets_in : int;
   packets_out : int;
   packets_dropped : int;
+  outage_detections : int;
+      (** switch-side Down declarations by the echo keepalive *)
+  outage_false_positives : int;
+      (** Down declarations contradicted by a late keepalive reply *)
+  session_downtime : float;  (** cumulative Down/Reconnecting seconds *)
+  session_recovery : summary;  (** Down -> Up durations, seconds *)
+  session_transitions : (float * string) list;
+      (** switch session state timeseries: (time, state name) *)
+  standalone_frames : int;
+      (** miss-match frames carried by the fail-standalone L2 path *)
+  fail_secure_drops : int;
+      (** miss-match frames dropped while Down in fail-secure mode *)
+  chains_frozen : int;  (** chains whose timers froze at session-down *)
+  chains_resumed : int;  (** chains re-requested after reconnect *)
+  chains_expired : int;
+      (** chains whose resend budget was spent before the outage *)
+  controller_downs : int;
+      (** controller-side Down declarations for this switch *)
+  controller_resyncs : int;
+      (** handshake replays (state resync) after recovery *)
 }
 
 val run : Config.t -> result

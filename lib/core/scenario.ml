@@ -45,6 +45,9 @@ let build (config : Config.t) =
       resend_jitter = config.Config.resend_jitter;
       max_resends = config.Config.max_resends;
       flow_table_capacity = config.Config.flow_table_capacity;
+      echo_interval = config.Config.echo_interval;
+      echo_misses = config.Config.echo_misses;
+      fail_mode = config.Config.fail_mode;
     }
   in
   (* buffer_capacity = 0 means the no-buffer configuration. *)
@@ -76,7 +79,9 @@ let build (config : Config.t) =
   let controller =
     Sdn_controller.Controller.create engine ~app
       ~costs:config.Config.controller_costs ~rng:controller_rng
-      ~release_strategy:config.Config.release_strategy ()
+      ~release_strategy:config.Config.release_strategy
+      ~echo_interval:config.Config.echo_interval
+      ~echo_misses:config.Config.echo_misses ()
   in
   (* The legacy [control_loss_rate] knob folds into the fault plan's
      independent-loss field; each direction of the control channel gets

@@ -73,6 +73,14 @@ let histogram ?(bins = 8) ?(width = 40) ?(fmt = fun v -> Printf.sprintf "%g" v)
     table ~header:[ "bucket"; ""; "count" ] ~rows
   end
 
+let timeline transitions =
+  if transitions = [] then "(none)"
+  else
+    String.concat " -> "
+      (List.map
+         (fun (time, state) -> Printf.sprintf "%s@t%.3fs" state time)
+         transitions)
+
 let fmt_ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
 let fmt_mbps v = Printf.sprintf "%.2f" v
 let fmt_pct v = Printf.sprintf "%.1f" v

@@ -17,6 +17,11 @@ val histogram :
     [fmt] renders bucket edges (default ["%g"]). Returns
     ["(no samples)"] for an empty accumulator. *)
 
+val timeline : (float * string) list -> string
+(** Render a state timeseries as ["state@t0.000s -> state@t0.123s ->
+    ..."] — the session-lifecycle rows of the outage report. Returns
+    ["(none)"] for an empty list. *)
+
 val fmt_ms : float -> string
 (** Seconds rendered as milliseconds, 3 decimals. *)
 

@@ -144,6 +144,39 @@ let decode buf =
       | Ok msg -> Ok (header.Of_wire.xid, msg)
       | Error _ as e -> e)
 
+type error_kind =
+  | Truncated
+  | Bad_version of int
+  | Bad_type of int
+  | Bad_body
+
+let error_kind buf =
+  if Bytes.length buf < Of_wire.header_size then Truncated
+  else begin
+    let v = Bytes.get_uint8 buf 0 in
+    if v <> Of_wire.version then Bad_version v
+    else begin
+      match Of_wire.Msg_type.of_int (Bytes.get_uint8 buf 1) with
+      | Error _ -> Bad_type (Bytes.get_uint8 buf 1)
+      | Ok Of_wire.Msg_type.Port_mod -> Bad_type (Bytes.get_uint8 buf 1)
+      | Ok _ ->
+          let length = Bytes.get_uint16_be buf 2 in
+          if length < Of_wire.header_size || length > Bytes.length buf then
+            Truncated
+          else Bad_body
+    end
+  end
+
+let error_kind_to_string = function
+  | Truncated -> "truncated"
+  | Bad_version v -> Printf.sprintf "bad-version(0x%02x)" v
+  | Bad_type n -> Printf.sprintf "bad-type(%d)" n
+  | Bad_body -> "bad-body"
+
+let peek_xid buf =
+  if Bytes.length buf >= Of_wire.header_size then Bytes.get_int32_be buf 4
+  else 0l
+
 let peek_type buf =
   match Of_wire.read_header buf with
   | Ok h -> Ok h.Of_wire.msg_type

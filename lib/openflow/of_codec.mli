@@ -41,5 +41,26 @@ val peek_type : Bytes.t -> (Of_wire.Msg_type.t, string) result
 (** Cheap classification of an encoded message without a full parse —
     what the capture/metrics layer uses per sniffed message. *)
 
+type error_kind =
+  | Truncated  (** buffer shorter than the header, or the length field lies *)
+  | Bad_version of int  (** wire version other than 0x01 *)
+  | Bad_type of int  (** unknown (or unimplemented) message type byte *)
+  | Bad_body  (** header fine, body failed to parse *)
+
+val error_kind : Bytes.t -> error_kind
+(** Classify why [decode] failed on this buffer, by re-inspecting the raw
+    bytes. Only meaningful when [decode] returned [Error _]; endpoints use
+    it to pick the OFPT_ERROR type/code mandated by the 1.0 spec
+    (truncation → [Bad_request]/[bad_len], unknown type →
+    [Bad_request]/[bad_type], version mismatch →
+    [Hello_failed]/[incompatible]). *)
+
+val error_kind_to_string : error_kind -> string
+
+val peek_xid : Bytes.t -> int32
+(** Best-effort xid extraction from a (possibly malformed) buffer: the
+    header xid field when at least 8 bytes are present, [0l] otherwise.
+    Used to echo the offender's xid back inside an OFPT_ERROR. *)
+
 val equal : msg -> msg -> bool
 val pp : Format.formatter -> msg -> unit

@@ -17,6 +17,11 @@ module Flow_mod_failed_code = struct
   let unsupported = 5
 end
 
+module Hello_failed_code = struct
+  let incompatible = 0
+  let eperm = 1
+end
+
 module Bad_request_code = struct
   let bad_version = 0
   let bad_type = 1

@@ -24,6 +24,12 @@ module Flow_mod_failed_code : sig
   val unsupported : int
 end
 
+(** Codes for [Hello_failed]. *)
+module Hello_failed_code : sig
+  val incompatible : int
+  val eperm : int
+end
+
 (** Codes for [Bad_request]. *)
 module Bad_request_code : sig
   val bad_version : int

@@ -38,6 +38,11 @@ type t = {
   mutable recovered_flows : int;
   recovery_delays : Stats.t;
   mutable stale_takes : int;
+  mutable frozen : bool;
+  mutable freezes : int;
+  mutable chains_frozen : int;
+  mutable chains_resumed : int;
+  mutable expired_on_resume : int;
 }
 
 type add_result = First of int32 | Appended of int32 | No_space
@@ -89,6 +94,11 @@ let create engine ~capacity ~reclaim_lag ~resend_timeout
     recovered_flows = 0;
     recovery_delays = Stats.create ();
     stale_takes = 0;
+    frozen = false;
+    freezes = 0;
+    chains_frozen = 0;
+    chains_resumed = 0;
+    expired_on_resume = 0;
   }
 
 let set_backoff t ~resend_timeout ~resend_multiplier ~resend_cap ~max_resends =
@@ -189,7 +199,10 @@ let add t ~key ~frame =
           t.packets <- t.packets + 1;
           t.allocations <- t.allocations + 1;
           note_occupancy t;
-          arm_resend t i u ~generation:slot.generation;
+          (* While frozen (controller session down, fail-secure mode)
+             chains are absorbed silently: no re-request timer burns
+             its budget into a dead link. [resume] arms it later. *)
+          if not t.frozen then arm_resend t i u ~generation:slot.generation;
           First (id_of ~generation:slot.generation ~slot:i))
 
 let take_all t id =
@@ -222,6 +235,52 @@ let take_all t id =
         t.stale_takes <- t.stale_takes + 1;
         Unknown_id
   end
+
+let freeze t =
+  if not t.frozen then begin
+    t.frozen <- true;
+    t.freezes <- t.freezes + 1;
+    Array.iter
+      (fun slot ->
+        match slot.state with
+        | Held u ->
+            (match u.resend_handle with
+            | Some h -> Engine.cancel h
+            | None -> ());
+            u.resend_handle <- None;
+            t.chains_frozen <- t.chains_frozen + 1
+        | Free | Reclaiming -> ())
+      t.slots
+  end
+
+let resume t =
+  if t.frozen then begin
+    t.frozen <- false;
+    (* Index order keeps the post-outage re-request schedule
+       deterministic. Chains that had already spent their whole resend
+       budget before the outage expire here; the rest re-enter the
+       normal backoff machinery at their next attempt number. *)
+    Array.iteri
+      (fun i slot ->
+        match slot.state with
+        | Held u ->
+            if u.resend_count >= t.max_resends then begin
+              t.expired_on_resume <- t.expired_on_resume + 1;
+              drop_unit t i u
+            end
+            else begin
+              t.chains_resumed <- t.chains_resumed + 1;
+              arm_resend t i u ~generation:slot.generation
+            end
+        | Free | Reclaiming -> ())
+      t.slots
+  end
+
+let is_frozen t = t.frozen
+let freezes t = t.freezes
+let chains_frozen t = t.chains_frozen
+let chains_resumed t = t.chains_resumed
+let expired_on_resume t = t.expired_on_resume
 
 let capacity t = t.capacity
 let units_in_use t = t.in_use

@@ -73,7 +73,38 @@ val set_backoff :
     multiplier below 1 is ignored. *)
 
 val add : t -> key:Flow_key.t -> frame:Bytes.t -> add_result
-(** Algorithm 1, lines 5-11. *)
+(** Algorithm 1, lines 5-11. While frozen, a [First] allocation does
+    {e not} arm the re-request timer — the caller also refrains from
+    sending the PACKET_IN, so the chain just accumulates until
+    {!resume}. *)
+
+val freeze : t -> unit
+(** Controller session lost (fail-secure mode): cancel every armed
+    re-request timer so backoff budgets aren't burned into a dead link,
+    and stop arming timers for new chains. Idempotent. *)
+
+val resume : t -> unit
+(** Controller session restored: chains that had already exhausted
+    [max_resends] before the outage are expired (counted in
+    {!expired_on_resume} as well as {!abandoned_flows}); every other
+    held chain re-enters the backoff machinery at its next attempt
+    number, in slot order, so the first re-request goes out one backoff
+    delay after reconnect. Idempotent. *)
+
+val is_frozen : t -> bool
+
+val freezes : t -> int
+(** Number of freeze transitions (outages survived by the pool). *)
+
+val chains_frozen : t -> int
+(** Cumulative chains whose timers were cancelled by {!freeze}. *)
+
+val chains_resumed : t -> int
+(** Cumulative chains re-armed by {!resume}. *)
+
+val expired_on_resume : t -> int
+(** Chains expired at {!resume} because their resend budget was already
+    spent before the outage. *)
 
 val take_all : t -> int32 -> take_result
 (** Algorithm 2, lines 2-10: release every chained packet and free the

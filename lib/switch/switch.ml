@@ -24,6 +24,9 @@ type config = {
   flow_table_capacity : int;
   flow_table_eviction : bool;
   table_sweep_interval : float;
+  echo_interval : float;
+  echo_misses : int;
+  fail_mode : Session.fail_mode;
 }
 
 let default_config =
@@ -44,6 +47,11 @@ let default_config =
     flow_table_capacity = 2048;
     flow_table_eviction = true;
     table_sweep_interval = 1.0;
+    (* Echo keepalive is opt-in: interval 0 keeps the control channel
+       byte-identical to the pre-session behaviour. *)
+    echo_interval = 0.0;
+    echo_misses = 3;
+    fail_mode = Session.Fail_secure;
   }
 
 type counters = {
@@ -57,7 +65,13 @@ type counters = {
   pkt_outs_handled : int;
   flow_mods_handled : int;
   errors_sent : int;
+  errors_received : int;
   decode_failures : int;
+  decode_truncated : int;
+  decode_bad_version : int;
+  decode_bad_type : int;
+  standalone_frames : int;
+  fail_secure_drops : int;
 }
 
 type t = {
@@ -78,6 +92,10 @@ type t = {
   down_ports : (int, unit) Hashtbl.t;
   mutable controller_link : Bytes.t Link.t option;
   mutable next_xid : int32;
+  mutable session : Session.t option;
+  (* MAC -> port map learned only while fail-standalone forwarding is
+     active; reset at each outage so stale locations don't survive. *)
+  standalone_table : (Mac.t, int) Hashtbl.t;
   (* mutable counter fields *)
   mutable frames_received : int;
   mutable frames_forwarded : int;
@@ -89,8 +107,19 @@ type t = {
   mutable pkt_outs_handled : int;
   mutable flow_mods_handled : int;
   mutable errors_sent : int;
+  mutable errors_received : int;
   mutable decode_failures : int;
+  mutable decode_truncated : int;
+  mutable decode_bad_version : int;
+  mutable decode_bad_type : int;
+  mutable standalone_frames : int;
+  mutable fail_secure_drops : int;
 }
+
+let the_session t =
+  match t.session with
+  | Some s -> s
+  | None -> invalid_arg "Switch: session not initialised"
 
 let fresh_xid t =
   let xid = t.next_xid in
@@ -265,15 +294,75 @@ let miss_flow_granularity t ~in_port pkt frame =
           Cpu.submit t.kernel ~work_s:t.costs.Costs.flow_buffer_append_cost
             (fun () -> ()))
 
+(* ---- Degraded miss handling while the controller session is down ---- *)
+
+(* Fail-standalone (OpenFlow 1.0 §6.4): the switch keeps the data plane
+   alive on its own with an internal L2 learning path — learn the source
+   location, forward to the learned destination port or flood. Installed
+   rules keep matching in the fast path; only misses come through here. *)
+let miss_standalone t ~in_port pkt frame =
+  t.standalone_frames <- t.standalone_frames + 1;
+  let eth = pkt.Packet.eth in
+  Hashtbl.replace t.standalone_table eth.Ethernet.src in_port;
+  let outputs =
+    if Mac.is_broadcast eth.Ethernet.dst then
+      [ { Of_action.out_port = Of_wire.Port.flood; queue_id = None } ]
+    else begin
+      match Hashtbl.find_opt t.standalone_table eth.Ethernet.dst with
+      | Some p when p <> in_port ->
+          [ { Of_action.out_port = p; queue_id = None } ]
+      | Some _ -> []
+      | None -> [ { Of_action.out_port = Of_wire.Port.flood; queue_id = None } ]
+    end
+  in
+  let outputs = resolve_outputs t ~in_port outputs in
+  if outputs = [] then t.frames_dropped <- t.frames_dropped + 1
+  else
+    Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_fwd_cost (fun () ->
+        List.iter
+          (fun (o : Of_action.output_spec) ->
+            forward_frame t ~port:o.Of_action.out_port
+              ~queue_id:o.Of_action.queue_id frame)
+          outputs)
+
+(* Fail-secure (OpenFlow 1.0 §6.4): never forward without controller
+   authorization. Flow-granularity chains keep absorbing miss-match
+   packets into the (frozen) pool so nothing already accepted is lost;
+   everything else is dropped until the session recovers. *)
+let miss_fail_secure t ~in_port:_ pkt frame =
+  let drop () =
+    t.fail_secure_drops <- t.fail_secure_drops + 1;
+    t.frames_dropped <- t.frames_dropped + 1
+  in
+  match t.mechanism with
+  | Flow_granularity -> (
+      match Packet.flow_key pkt with
+      | None -> drop ()
+      | Some key -> (
+          let pool = ensure_flow_pool t in
+          if not (Flow_buffer.is_frozen pool) then Flow_buffer.freeze pool;
+          match Flow_buffer.add pool ~key ~frame with
+          | Flow_buffer.No_space -> drop ()
+          | Flow_buffer.First _ | Flow_buffer.Appended _ -> ()))
+  | Packet_granularity | No_buffer -> drop ()
+
 let handle_miss t ~in_port pkt frame =
   t.table_misses <- t.table_misses + 1;
-  (* The kernel side of the upcall (packet copy out of the datapath)
-     runs before the transfer crosses the bus. *)
-  Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_upcall_cost (fun () ->
-      match t.mechanism with
-      | No_buffer -> miss_no_buffer t ~in_port frame
-      | Packet_granularity -> miss_packet_granularity t ~in_port frame
-      | Flow_granularity -> miss_flow_granularity t ~in_port pkt frame)
+  if Session.is_down (the_session t) then
+    (* Controller unreachable: degrade per the configured fail mode
+       instead of emitting PACKET_INs into a dead channel. *)
+    Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_upcall_cost (fun () ->
+        match t.config.fail_mode with
+        | Session.Fail_standalone -> miss_standalone t ~in_port pkt frame
+        | Session.Fail_secure -> miss_fail_secure t ~in_port pkt frame)
+  else
+    (* The kernel side of the upcall (packet copy out of the datapath)
+       runs before the transfer crosses the bus. *)
+    Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_upcall_cost (fun () ->
+        match t.mechanism with
+        | No_buffer -> miss_no_buffer t ~in_port frame
+        | Packet_granularity -> miss_packet_granularity t ~in_port frame
+        | Flow_granularity -> miss_flow_granularity t ~in_port pkt frame)
 
 let handle_frame t ~in_port frame =
   t.frames_received <- t.frames_received + 1;
@@ -534,9 +623,32 @@ let handle_of_message t buf =
   match Of_codec.decode buf with
   | Error _ ->
       t.decode_failures <- t.decode_failures + 1;
-      send_error t ~error_type:Of_error.Bad_request
-        ~code:Of_error.Bad_request_code.bad_type ~offending:buf
+      (* Per the 1.0 spec, the reply code depends on what exactly was
+         wrong with the frame (satellite of the wire-format story):
+         truncation is a length problem, an unknown type byte a type
+         problem, and a foreign version a failed version negotiation. *)
+      let error_type, code =
+        match Of_codec.error_kind buf with
+        | Of_codec.Truncated | Of_codec.Bad_body ->
+            t.decode_truncated <- t.decode_truncated + 1;
+            (Of_error.Bad_request, Of_error.Bad_request_code.bad_len)
+        | Of_codec.Bad_version _ ->
+            t.decode_bad_version <- t.decode_bad_version + 1;
+            (Of_error.Hello_failed, Of_error.Hello_failed_code.incompatible)
+        | Of_codec.Bad_type _ ->
+            t.decode_bad_type <- t.decode_bad_type + 1;
+            (Of_error.Bad_request, Of_error.Bad_request_code.bad_type)
+      in
+      send_error ~xid:(Of_codec.peek_xid buf) t ~error_type ~code
+        ~offending:buf
   | Ok (xid, msg) -> (
+      (* Any well-formed message is proof of liveness; echo replies
+         additionally settle an outstanding keepalive or reconnect
+         probe by xid. A message arriving while Down restores the
+         session (and resumes frozen chains) before being handled. *)
+      (match msg with
+      | Of_codec.Echo_reply _ -> Session.note_echo_reply (the_session t) ~xid
+      | _ -> Session.note_activity (the_session t));
       match msg with
       | Of_codec.Flow_mod fm -> handle_flow_mod t fm ~offending:buf
       | Of_codec.Packet_out po -> handle_packet_out t po ~offending:buf
@@ -557,13 +669,31 @@ let handle_of_message t buf =
           (* The controller configures how much of a buffered packet
              rides in the PACKET_IN (paper, Section IV). *)
           t.miss_send_len <- max 0 (min 0xFFFF c.Of_config.miss_send_len)
+      | Of_codec.Error_msg _ -> t.errors_received <- t.errors_received + 1
       | Of_codec.Echo_reply _ | Of_codec.Features_reply _
       | Of_codec.Get_config_reply _ | Of_codec.Packet_in _
       | Of_codec.Flow_removed _ | Of_codec.Port_status _
-      | Of_codec.Stats_reply _
-      | Of_codec.Barrier_reply | Of_codec.Error_msg _ ->
-          (* Controller-bound messages are ignored if echoed back. *)
+      | Of_codec.Stats_reply _ | Of_codec.Barrier_reply ->
+          (* Controller-bound messages are ignored if echoed back;
+             echo replies were consumed by the session above. *)
           ())
+
+(* Session-down: stop burning re-request budgets into a dead link (the
+   frozen chains survive for the post-reconnect resync), and start
+   standalone forwarding from an empty learning table. *)
+let on_session_down t =
+  (match t.mechanism with
+  | Flow_granularity -> Flow_buffer.freeze (ensure_flow_pool t)
+  | Packet_granularity | No_buffer -> ());
+  Hashtbl.reset t.standalone_table
+
+(* Session restored: thaw the pool — chains that still fit their resend
+   budget re-enter the backoff machinery and re-request; the rest
+   expire. *)
+let on_session_restore t =
+  match t.flow_pool with
+  | Some pool when Flow_buffer.is_frozen pool -> Flow_buffer.resume pool
+  | Some _ | None -> ()
 
 let create engine ~config ~costs ~rng () =
   let noise () =
@@ -617,9 +747,36 @@ let create engine ~config ~costs ~rng () =
       pkt_outs_handled = 0;
       flow_mods_handled = 0;
       errors_sent = 0;
+      errors_received = 0;
       decode_failures = 0;
+      decode_truncated = 0;
+      decode_bad_version = 0;
+      decode_bad_type = 0;
+      standalone_frames = 0;
+      fail_secure_drops = 0;
+      session = None;
+      standalone_table = Hashtbl.create 16;
     }
   in
+  (* The reconnect probe schedule reuses the re-request backoff knobs:
+     both are "retry into a possibly-dead control channel" timers. *)
+  t.session <-
+    Some
+      (Session.create engine
+         ~config:
+           {
+             Session.echo_interval = config.echo_interval;
+             echo_misses = config.echo_misses;
+             reconnect_delay = config.resend_timeout;
+             reconnect_multiplier = Float.max 1.0 config.resend_multiplier;
+             reconnect_cap = config.resend_cap;
+           }
+         ~fresh_xid:(fun () -> fresh_xid t)
+         ~send_echo:(fun ~xid ->
+           send_to_controller ~xid t (Of_codec.Echo_request Bytes.empty))
+         ~on_down:(fun () -> on_session_down t)
+         ~on_restore:(fun ~downtime:_ -> on_session_restore t)
+         ());
   (* The internal bus delivers transfer-completion thunks. *)
   t.bus :=
     Some
@@ -655,7 +812,8 @@ let start t =
       expired;
     ignore (Engine.schedule t.engine ~delay:t.config.table_sweep_interval sweep)
   in
-  ignore (Engine.schedule t.engine ~delay:t.config.table_sweep_interval sweep)
+  ignore (Engine.schedule t.engine ~delay:t.config.table_sweep_interval sweep);
+  Session.start (the_session t)
 
 let config t = t.config
 let mechanism t = t.mechanism
@@ -711,8 +869,16 @@ let counters t =
     pkt_outs_handled = t.pkt_outs_handled;
     flow_mods_handled = t.flow_mods_handled;
     errors_sent = t.errors_sent;
+    errors_received = t.errors_received;
     decode_failures = t.decode_failures;
+    decode_truncated = t.decode_truncated;
+    decode_bad_version = t.decode_bad_version;
+    decode_bad_type = t.decode_bad_type;
+    standalone_frames = t.standalone_frames;
+    fail_secure_drops = t.fail_secure_drops;
   }
+
+let session t = the_session t
 
 let buffer_units_in_use t =
   match (t.mechanism, t.pkt_pool, t.flow_pool) with
@@ -747,6 +913,21 @@ let recovery_delays t =
   match t.flow_pool with
   | Some pool -> Flow_buffer.recovery_delays pool
   | None -> Stats.create ()
+
+let chains_frozen t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.chains_frozen pool
+  | None -> 0
+
+let chains_resumed t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.chains_resumed pool
+  | None -> 0
+
+let chains_expired_on_resume t =
+  match t.flow_pool with
+  | Some pool -> Flow_buffer.expired_on_resume pool
+  | None -> 0
 
 let cpu_busy_core_seconds t =
   Cpu.busy_core_seconds t.kernel +. Cpu.busy_core_seconds t.userspace

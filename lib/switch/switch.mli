@@ -49,6 +49,14 @@ type config = {
   flow_table_capacity : int;
   flow_table_eviction : bool;
   table_sweep_interval : float;  (** idle/hard timeout sweep period *)
+  echo_interval : float;
+      (** keepalive echo period, seconds; [<= 0] disables the liveness
+          machinery entirely (the pre-session behaviour) *)
+  echo_misses : int;
+      (** unanswered echoes before the controller session is declared
+          Down and the switch degrades *)
+  fail_mode : Session.fail_mode;
+      (** what to do with miss-match traffic while Down *)
 }
 
 val default_config : config
@@ -66,7 +74,19 @@ type counters = {
   pkt_outs_handled : int;
   flow_mods_handled : int;
   errors_sent : int;
+  errors_received : int;  (** OFPT_ERROR messages from the controller *)
   decode_failures : int;
+  decode_truncated : int;
+      (** decode failures answered with [Bad_request]/[bad_len] *)
+  decode_bad_version : int;
+      (** decode failures answered with [Hello_failed]/[incompatible] *)
+  decode_bad_type : int;
+      (** decode failures answered with [Bad_request]/[bad_type] *)
+  standalone_frames : int;
+      (** miss-match frames carried by the fail-standalone L2 path *)
+  fail_secure_drops : int;
+      (** miss-match frames dropped (or frozen chains refused for lack
+          of space) while Down in fail-secure mode *)
 }
 
 type t
@@ -116,7 +136,14 @@ val handle_of_message : t -> Bytes.t -> unit
     receiver of the control link). *)
 
 val start : t -> unit
-(** Begin periodic housekeeping (flow-table expiry sweep). *)
+(** Begin periodic housekeeping: the flow-table expiry sweep and — when
+    [echo_interval > 0] — the controller-session keepalive loop. *)
+
+val session : t -> Session.t
+(** The controller-session state machine. While it reports Down, table
+    misses are handled by the configured {!Session.fail_mode} instead
+    of PACKET_INs, and flow-granularity chains are frozen; on restore
+    the chains that still fit their resend budget are re-requested. *)
 
 (** {2 Introspection for measurement} *)
 
@@ -140,6 +167,17 @@ val flows_recovered : t -> int
 val recovery_delays : t -> Stats.t
 (** Time-to-recovery samples of the recovered flows (empty when the
     flow pool was never instantiated). *)
+
+val chains_frozen : t -> int
+(** Cumulative flow-granularity chains frozen at session-down
+    transitions. *)
+
+val chains_resumed : t -> int
+(** Cumulative chains re-armed (re-requested) after session restore. *)
+
+val chains_expired_on_resume : t -> int
+(** Chains whose resend budget was already spent before an outage and
+    which were expired at restore. *)
 
 val cpu_busy_core_seconds : t -> float
 (** Combined kernel + userspace busy integral — the quantity behind

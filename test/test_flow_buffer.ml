@@ -163,6 +163,108 @@ let test_occupancy_tracking () =
   Engine.run ~until:0.1 engine;
   Alcotest.(check int) "drained" 0 (Flow_buffer.units_in_use pool)
 
+let test_expiry_mid_chain () =
+  (* A chain that exhausts its resend budget while packets are still
+     being appended: the whole chain must be dropped exactly once, the
+     unit freed, and a later miss of the same flow must start a fresh
+     chain — no stranded packets, no double release. *)
+  let engine = Engine.create () in
+  let pool = make ~timeout:0.05 ~max_resends:2 engine in
+  let id =
+    match Flow_buffer.add pool ~key:(key 1) ~frame:(frame 0) with
+    | Flow_buffer.First id -> id
+    | _ -> Alcotest.fail "First expected"
+  in
+  (* Appends land between the re-requests (resends fire at 50 ms and
+     100 ms; the drop at 150 ms). *)
+  List.iter
+    (fun (t, i) ->
+      ignore
+        (Engine.schedule_at engine t (fun () ->
+             match Flow_buffer.add pool ~key:(key 1) ~frame:(frame i) with
+             | Flow_buffer.Appended id' ->
+                 Alcotest.(check int32) "appended to the live chain" id id'
+             | _ -> Alcotest.fail "expected Appended")))
+    [ (0.03, 1); (0.08, 2); (0.12, 3) ];
+  Engine.run engine;
+  Alcotest.(check int) "all four packets dropped together" 4
+    (Flow_buffer.drops pool);
+  Alcotest.(check int) "one flow abandoned" 1 (Flow_buffer.abandoned_flows pool);
+  Alcotest.(check int) "unit freed" 0 (Flow_buffer.units_in_use pool);
+  Alcotest.(check int) "no stranded packets" 0
+    (Flow_buffer.packets_buffered pool);
+  (* The expired id must not release anything. *)
+  (match Flow_buffer.take_all pool id with
+  | Flow_buffer.Unknown_id -> ()
+  | Flow_buffer.Taken _ -> Alcotest.fail "release after expiry must fail");
+  (* A new miss of the same flow is a fresh chain with a fresh id. *)
+  match Flow_buffer.add pool ~key:(key 1) ~frame:(frame 4) with
+  | Flow_buffer.First id2 ->
+      Alcotest.(check bool) "fresh id after expiry" true
+        (not (Int32.equal id id2))
+  | _ -> Alcotest.fail "expected a fresh First"
+
+let test_freeze_stops_resends () =
+  let engine = Engine.create () in
+  let resends = ref 0 in
+  let pool =
+    make ~timeout:0.05 ~max_resends:5
+      ~on_resend:(fun ~buffer_id:_ ~key:_ ~first_frame:_ -> incr resends)
+      engine
+  in
+  ignore (Flow_buffer.add pool ~key:(key 1) ~frame:(frame 0));
+  ignore (Engine.schedule_at engine 0.01 (fun () -> Flow_buffer.freeze pool));
+  (* While frozen, new chains accumulate without arming timers. *)
+  ignore
+    (Engine.schedule_at engine 0.02 (fun () ->
+         ignore (Flow_buffer.add pool ~key:(key 2) ~frame:(frame 1))));
+  Engine.run ~until:0.5 engine;
+  Alcotest.(check int) "no resends while frozen" 0 !resends;
+  Alcotest.(check bool) "frozen" true (Flow_buffer.is_frozen pool);
+  Alcotest.(check int) "freeze counted" 1 (Flow_buffer.freezes pool);
+  Alcotest.(check int) "one chain had its timer cancelled" 1
+    (Flow_buffer.chains_frozen pool);
+  (* Resume re-arms both held chains; each re-requests one timeout
+     later. *)
+  Flow_buffer.resume pool;
+  Engine.run ~until:1.0 engine;
+  Alcotest.(check bool) "thawed" false (Flow_buffer.is_frozen pool);
+  Alcotest.(check int) "both chains re-armed" 2
+    (Flow_buffer.chains_resumed pool);
+  Alcotest.(check bool) "re-requests resumed" true (!resends > 0)
+
+let test_resume_expires_spent_chains () =
+  (* A chain whose budget was already spent before the outage must be
+     expired at resume, not re-armed into a fourth life. *)
+  let engine = Engine.create () in
+  let pool = make ~timeout:0.05 ~max_resends:2 engine in
+  ignore (Flow_buffer.add pool ~key:(key 1) ~frame:(frame 0));
+  (* Freeze after both resends have fired (t = 0.05, 0.10) but before
+     the drop at t = 0.15. *)
+  ignore (Engine.schedule_at engine 0.12 (fun () -> Flow_buffer.freeze pool));
+  Engine.run ~until:0.3 engine;
+  Alcotest.(check int) "chain survived the outage frozen" 1
+    (Flow_buffer.units_in_use pool);
+  Flow_buffer.resume pool;
+  Alcotest.(check int) "expired at resume" 1
+    (Flow_buffer.expired_on_resume pool);
+  Alcotest.(check int) "counted as abandoned" 1
+    (Flow_buffer.abandoned_flows pool);
+  Alcotest.(check int) "unit freed" 0 (Flow_buffer.units_in_use pool);
+  Alcotest.(check int) "nothing re-armed" 0 (Flow_buffer.chains_resumed pool)
+
+let test_freeze_resume_idempotent () =
+  let engine = Engine.create () in
+  let pool = make engine in
+  ignore (Flow_buffer.add pool ~key:(key 1) ~frame:(frame 0));
+  Flow_buffer.freeze pool;
+  Flow_buffer.freeze pool;
+  Alcotest.(check int) "one freeze" 1 (Flow_buffer.freezes pool);
+  Alcotest.(check int) "one chain frozen" 1 (Flow_buffer.chains_frozen pool);
+  Flow_buffer.resume pool;
+  Flow_buffer.resume pool;
+  Alcotest.(check int) "one chain resumed" 1 (Flow_buffer.chains_resumed pool)
+
 let prop_chain_preserves_frames =
   QCheck.Test.make ~name:"take_all returns exactly the added frames" ~count:100
     QCheck.(int_range 1 40)
@@ -197,5 +299,13 @@ let suite =
     Alcotest.test_case "release cancels the timer" `Quick
       test_release_cancels_timer;
     Alcotest.test_case "occupancy tracking" `Quick test_occupancy_tracking;
+    Alcotest.test_case "expiry mid-chain strands nothing" `Quick
+      test_expiry_mid_chain;
+    Alcotest.test_case "freeze stops re-requests" `Quick
+      test_freeze_stops_resends;
+    Alcotest.test_case "resume expires spent chains" `Quick
+      test_resume_expires_spent_chains;
+    Alcotest.test_case "freeze/resume idempotent" `Quick
+      test_freeze_resume_idempotent;
     QCheck_alcotest.to_alcotest prop_chain_preserves_frames;
   ]

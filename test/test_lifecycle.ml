@@ -1,0 +1,116 @@
+(* Acceptance tests for the session lifecycle under a mid-run
+   control-channel blackout: fail-standalone keeps the data plane
+   moving, fail-secure preserves buffered chains across the outage, and
+   the whole scenario is seed-deterministic. *)
+
+open Sdn_core
+
+(* 20 flows x 10 packets at 15 Mbps inject from t = 0.05 for about
+   0.1 s; the blackout at [0.069, 0.12) lands mid-run, opening just
+   before a wave of new flows so some chains are caught in flight (and
+   frozen) while later waves miss into the already-Down switch. The
+   5 ms / 2-miss keepalive declares Down ~11 ms in. *)
+let outage_config ~mechanism ~fail_mode ~seed =
+  {
+    Config.default with
+    Config.mechanism;
+    buffer_capacity = 256;
+    rate_mbps = 15.0;
+    workload =
+      Config.Exp_b { n_flows = 20; packets_per_flow = 10; concurrent = 4 };
+    seed;
+    echo_interval = 0.005;
+    echo_misses = 2;
+    fail_mode;
+    (* Generous budget so every chain frozen through the outage still
+       fits its post-reconnect resend allowance. *)
+    max_resends = 12;
+    faults =
+      {
+        Sdn_sim.Faults.none with
+        Sdn_sim.Faults.outages =
+          [ { Sdn_sim.Faults.start_s = 0.069; stop_s = 0.12 } ];
+      };
+  }
+
+let test_standalone_sustains_delivery () =
+  let r =
+    Experiment.run
+      (outage_config ~mechanism:Config.Flow_granularity
+         ~fail_mode:Config.Fail_standalone ~seed:3)
+  in
+  Alcotest.(check bool) "outage detected" true (r.Experiment.outage_detections >= 1);
+  Alcotest.(check int) "no false positives" 0
+    r.Experiment.outage_false_positives;
+  Alcotest.(check bool) "standalone path carried traffic" true
+    (r.Experiment.standalone_frames > 0);
+  Alcotest.(check bool) "handshake replayed" true
+    (r.Experiment.controller_resyncs >= 1);
+  let delivery =
+    float_of_int r.Experiment.packets_out
+    /. float_of_int r.Experiment.packets_in
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery %.1f%% > 90%%" (delivery *. 100.0))
+    true (delivery > 0.9)
+
+let test_fail_secure_preserves_chains () =
+  let r =
+    Experiment.run
+      (outage_config ~mechanism:Config.Flow_granularity
+         ~fail_mode:Config.Fail_secure ~seed:3)
+  in
+  Alcotest.(check bool) "outage detected" true (r.Experiment.outage_detections >= 1);
+  Alcotest.(check bool) "chains froze at session-down" true
+    (r.Experiment.chains_frozen > 0);
+  Alcotest.(check bool) "frozen chains re-requested" true
+    (r.Experiment.chains_resumed >= r.Experiment.chains_frozen);
+  Alcotest.(check int) "no chain lost within the resend budget" 0
+    r.Experiment.flows_abandoned;
+  Alcotest.(check bool) "handshake replayed" true
+    (r.Experiment.controller_resyncs >= 1);
+  (* The point of freezing: after reconnect, completion returns to
+     1.0. *)
+  Alcotest.(check int) "every flow completed"
+    r.Experiment.flows_started r.Experiment.flows_completed
+
+let test_fail_secure_drops_without_chains () =
+  (* Packet-granularity has no flow chains to freeze: fail-secure
+     drops miss-match traffic on the floor while Down. *)
+  let r =
+    Experiment.run
+      (outage_config ~mechanism:Config.Packet_granularity
+         ~fail_mode:Config.Fail_secure ~seed:3)
+  in
+  Alcotest.(check bool) "outage detected" true (r.Experiment.outage_detections >= 1);
+  Alcotest.(check bool) "miss-match traffic dropped" true
+    (r.Experiment.fail_secure_drops > 0);
+  Alcotest.(check bool) "delivery suffered" true
+    (r.Experiment.packets_out < r.Experiment.packets_in);
+  Alcotest.(check int) "drops are accounted" r.Experiment.fail_secure_drops
+    r.Experiment.packets_dropped
+
+let test_outage_run_is_deterministic () =
+  let run () =
+    let r =
+      Experiment.run
+        (outage_config ~mechanism:Config.Flow_granularity
+           ~fail_mode:Config.Fail_standalone ~seed:42)
+    in
+    Format.asprintf "%a" Experiment.pp_result r
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check string) "same seed, byte-identical report" first second
+
+let suite =
+  [
+    Alcotest.test_case "fail-standalone sustains delivery" `Slow
+      test_standalone_sustains_delivery;
+    Alcotest.test_case "fail-secure preserves buffered chains" `Slow
+      test_fail_secure_preserves_chains;
+    Alcotest.test_case "fail-secure drops without chains" `Slow
+      test_fail_secure_drops_without_chains;
+    Alcotest.test_case "outage run is deterministic" `Slow
+      test_outage_run_is_deterministic;
+  ]

@@ -20,6 +20,7 @@ let () =
       ("switch.flow_table", Test_flow_table.suite);
       ("switch.packet_buffer", Test_packet_buffer.suite);
       ("switch.flow_buffer", Test_flow_buffer.suite);
+      ("switch.session", Test_session.suite);
       ("switch.behaviour", Test_switch.suite);
       ("controller", Test_controller.suite);
       ("traffic", Test_traffic.suite);
@@ -31,4 +32,5 @@ let () =
       ("harness", Test_harness.suite);
       ("properties", Test_properties.suite);
       ("failures", Test_failures.suite);
+      ("lifecycle", Test_lifecycle.suite);
     ]
