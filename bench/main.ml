@@ -194,7 +194,9 @@ let run_micro () =
       in
       rows := (name, estimate, r2) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+  in
   Printf.printf "%-50s %14s %8s\n" "benchmark" "ns/run" "r^2";
   List.iter
     (fun (name, est, r2) -> Printf.printf "%-50s %14s %8s\n" name est r2)

@@ -111,6 +111,35 @@ let echo_misses_arg =
     & info [ "echo-misses" ] ~docv:"N"
         ~doc:"Unanswered keepalives before a session is declared down.")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Arm the runtime protocol-invariant checker (buffer conservation, \
+           single PACKET_IN per chain, xid uniqueness, session transitions, \
+           codec round-trip). A clean run prints byte-identically to an \
+           unchecked one; any violation is reported with its event trace and \
+           the command exits 1.")
+
+(* Shared --check epilogue: report every dirty run and fail the command. *)
+let check_exit results =
+  let dirty =
+    List.filter_map
+      (fun (label, (r : Experiment.result)) ->
+        Option.map
+          (fun rep -> (label, r.Experiment.check_violations, rep))
+          r.Experiment.check_report)
+      results
+  in
+  if dirty <> [] then begin
+    List.iter
+      (fun (label, n, rep) ->
+        Printf.eprintf "invariant violations in %s: %d\n%s\n" label n rep)
+      dirty;
+    exit 1
+  end
+
 let workload_arg =
   let workload_conv =
     let parse = function
@@ -138,7 +167,7 @@ let workload_arg =
 
 let run_cmd =
   let run mechanism buffer rate seed workload faults echo_interval echo_misses
-      fail_mode =
+      fail_mode check =
     let config =
       {
         Config.default with
@@ -151,16 +180,18 @@ let run_cmd =
         echo_interval;
         echo_misses;
         fail_mode;
+        check;
       }
     in
     let result = Experiment.run config in
-    Format.printf "%a@." Experiment.pp_result result
+    Format.printf "%a@." Experiment.pp_result result;
+    check_exit [ (Config.label config, result) ]
   in
   let term =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
       $ workload_arg $ faults_arg $ echo_interval_arg $ echo_misses_arg
-      $ fail_mode_arg)
+      $ fail_mode_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its metrics.")
@@ -190,26 +221,43 @@ let chaos_cmd =
       & info [ "durations" ] ~docv:"S1,S2,..."
           ~doc:"Outage durations to sweep (seconds, with $(b,--outage)).")
   in
-  let run seed rate loss_rates faults outage durations =
+  let run seed rate loss_rates faults outage durations check =
     if outage then begin
       let base =
-        { (Chaos.default_outage_base ~seed) with Config.rate_mbps = rate }
+        { (Chaos.default_outage_base ~seed) with Config.rate_mbps = rate; check }
       in
       let points = Chaos.run_outage ~durations ~base () in
-      Chaos.print_outage_report points
+      Chaos.print_outage_report points;
+      check_exit
+        (List.map
+           (fun (p : Chaos.outage_point) ->
+             ( Printf.sprintf "%s/%s/%.0fms"
+                 (Config.label p.Chaos.config)
+                 (Sdn_switch.Session.fail_mode_to_string p.Chaos.fail_mode)
+                 (p.Chaos.duration *. 1e3),
+               p.Chaos.result ))
+           points)
     end
     else begin
       let base =
-        { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults }
+        { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults; check }
       in
       let points = Chaos.run ~loss_rates ~base () in
-      Chaos.print_report points
+      Chaos.print_report points;
+      check_exit
+        (List.map
+           (fun (p : Chaos.point) ->
+             ( Printf.sprintf "%s/loss=%.0f%%"
+                 (Config.label p.Chaos.config)
+                 (p.Chaos.loss_rate *. 100.0),
+               p.Chaos.result ))
+           points)
     end
   in
   let term =
     Term.(
       const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg
-      $ outage_arg $ durations_arg)
+      $ outage_arg $ durations_arg $ check_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

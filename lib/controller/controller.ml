@@ -32,6 +32,7 @@ type t = {
   engine : Engine.t;
   app : App.t;
   costs : Costs.t;
+  check : Sdn_check.Check.t option;
   release_strategy : release_strategy;
   cpu : Cpu.t;
   links : (int, Bytes.t Link.t) Hashtbl.t;  (** switch id -> downlink *)
@@ -57,7 +58,7 @@ type t = {
   mutable resyncs : int;
 }
 
-let create engine ~app ~costs ~rng ?(release_strategy = `Pair)
+let create engine ~app ~costs ~rng ?check ?(release_strategy = `Pair)
     ?(echo_interval = 0.0) ?(echo_misses = 3) () =
   let noise () =
     Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
@@ -67,6 +68,7 @@ let create engine ~app ~costs ~rng ?(release_strategy = `Pair)
     engine;
     app;
     costs;
+    check;
     release_strategy;
     cpu =
       Cpu.create engine ~name:"controller" ~cores:costs.Costs.cores
@@ -99,10 +101,22 @@ let fresh_xid t =
      else Int32.add t.next_xid 1l);
   xid
 
-let send t ~switch ~xid msg =
+(* The checker's xid namespace for one controller->switch channel. *)
+let channel_name switch = Printf.sprintf "ctl/sw-%d" switch
+
+(* [fresh] marks xids this controller allocated itself; replies that
+   echo a request's xid (including the flow_mod + packet_out pair
+   answering one PACKET_IN) are legitimately repeated and exempt from
+   the uniqueness invariant. *)
+let send ?(fresh = false) t ~switch ~xid msg =
   match Hashtbl.find_opt t.links switch with
   | Some link ->
       let encoded = Of_codec.encode ~xid msg in
+      (match t.check with
+      | Some check ->
+          Sdn_check.Check.note_emit check ~time:(Engine.now t.engine)
+            ~session:(channel_name switch) ~fresh ~xid ~msg ~encoded
+      | None -> ());
       Link.send link ~size:(Bytes.length encoded) encoded;
       (match msg with
       | Of_codec.Flow_mod _ -> t.flow_mods_sent <- t.flow_mods_sent + 1
@@ -126,16 +140,16 @@ let send_error t ~switch ~xid ~error_type ~code ~offending =
         (Of_codec.Error_msg (Of_error.make ~error_type ~code ~data ())))
 
 let do_handshake t ~switch ?enable_flow_buffer ?miss_send_len () =
-  send t ~switch ~xid:(fresh_xid t) Of_codec.Hello;
-  send t ~switch ~xid:(fresh_xid t) Of_codec.Features_request;
+  send ~fresh:true t ~switch ~xid:(fresh_xid t) Of_codec.Hello;
+  send ~fresh:true t ~switch ~xid:(fresh_xid t) Of_codec.Features_request;
   (match miss_send_len with
   | Some n ->
-      send t ~switch ~xid:(fresh_xid t)
+      send ~fresh:true t ~switch ~xid:(fresh_xid t)
         (Of_codec.Set_config { Of_config.flags = 0; miss_send_len = n })
   | None -> ());
   match enable_flow_buffer with
   | Some backoff ->
-      send t ~switch ~xid:(fresh_xid t)
+      send ~fresh:true t ~switch ~xid:(fresh_xid t)
         (Of_codec.Vendor (Of_ext.Flow_buffer_enable backoff))
   | None -> ()
 
@@ -156,7 +170,7 @@ let ensure_session t ~switch =
   | Some s -> s
   | None ->
       let tracker =
-        Session.create t.engine
+        Session.create t.engine ?check:t.check ~name:(channel_name switch)
           ~config:
             {
               Session.default_config with
@@ -165,7 +179,7 @@ let ensure_session t ~switch =
             }
           ~fresh_xid:(fun () -> fresh_xid t)
           ~send_echo:(fun ~xid ->
-            send t ~switch ~xid (Of_codec.Echo_request Bytes.empty))
+            send ~fresh:true t ~switch ~xid (Of_codec.Echo_request Bytes.empty))
           ~on_down:(fun () -> ())
           ~on_restore:(fun ~downtime:_ -> resync t ~switch)
           ()
@@ -404,7 +418,7 @@ let install_proactive t ?(switch = 0) flow_mods =
         +. (t.costs.Costs.parse_base_cost /. 2.0)
       in
       Cpu.submit t.cpu ~work_s:work (fun () ->
-          send t ~switch ~xid:(fresh_xid t) (Of_codec.Flow_mod fm)))
+          send ~fresh:true t ~switch ~xid:(fresh_xid t) (Of_codec.Flow_mod fm)))
     flow_mods
 
 let set_switch_link t link = add_switch t ~switch:0 link
@@ -417,6 +431,8 @@ let switch_session t ~switch =
   Option.map (fun s -> s.tracker) (Hashtbl.find_opt t.sessions switch)
 
 let switch_downs t =
+  (* Commutative sum: iteration order cannot change the total.
+     lint: allow hashtbl-order *)
   Hashtbl.fold (fun _ s acc -> acc + Session.downs s.tracker) t.sessions 0
 
 let counters t =

@@ -41,6 +41,7 @@ val create :
   app:App.t ->
   costs:Costs.t ->
   rng:Rng.t ->
+  ?check:Sdn_check.Check.t ->
   ?release_strategy:release_strategy ->
   ?echo_interval:float ->
   ?echo_misses:int ->
@@ -50,7 +51,11 @@ val create :
     disabled) enables a per-switch echo keepalive; after [echo_misses]
     (default 3) unanswered echoes the switch's session is declared Down
     and, on recovery, the handshake recorded by {!start_switch} is
-    replayed to resync the switch's configuration. *)
+    replayed to resync the switch's configuration.
+
+    With [check] armed, every emitted message and every per-switch
+    session transition reports to the invariant checker under channel
+    names ["ctl/sw-<id>"]. *)
 
 val set_switch_link : t -> Bytes.t Link.t -> unit
 (** Attach the controller-to-switch half of the control channel

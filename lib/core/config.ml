@@ -41,6 +41,7 @@ type t = {
   fail_mode : fail_mode;
   qos : qos option;
   egress_bandwidth_bps : float option;
+  check : bool;
   switch_costs : Sdn_switch.Costs.t;
   controller_costs : Sdn_controller.Costs.t;
 }
@@ -69,6 +70,7 @@ let default =
     fail_mode = Fail_secure;
     qos = None;
     egress_bandwidth_bps = None;
+    check = false;
     switch_costs = Calibration.switch_costs;
     controller_costs = Calibration.controller_costs;
   }

@@ -73,6 +73,10 @@ type t = {
   egress_bandwidth_bps : float option;
       (** override for the switch-to-host2 link speed (e.g. a slower
           uplink); [None] keeps the calibrated 100 Mbps *)
+  check : bool;
+      (** arm the runtime protocol-invariant checker ({!Sdn_check})
+          across the switch and controller; off by default (the [--check]
+          CLI flag, always on in the invariant test suites) *)
   switch_costs : Sdn_switch.Costs.t;
   controller_costs : Sdn_controller.Costs.t;
 }

@@ -62,6 +62,8 @@ type result = {
   chains_expired : int;
   controller_downs : int;
   controller_resyncs : int;
+  check_violations : int;
+  check_report : string option;
 }
 
 (* Injections start after the handshake has settled. *)
@@ -162,6 +164,15 @@ let run (config : Config.t) =
     chains_expired = Sdn_switch.Switch.chains_expired_on_resume switch;
     controller_downs = controller_counters.Sdn_controller.Controller.switch_downs;
     controller_resyncs = controller_counters.Sdn_controller.Controller.resyncs;
+    check_violations =
+      (match scenario.Scenario.check with
+      | Some check -> Sdn_check.Check.violation_count check
+      | None -> 0);
+    check_report =
+      (match scenario.Scenario.check with
+      | Some check when Sdn_check.Check.violation_count check > 0 ->
+          Some (Sdn_check.Check.report check)
+      | Some _ | None -> None);
   }
 
 let pp_summary_ms fmt s =
@@ -223,4 +234,12 @@ let pp_result fmt r =
   end;
   Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
     r.packets_in r.packets_out r.packets_dropped;
+  (* Only violations change the report: a clean [--check] run prints
+     byte-identically to an unchecked one, so the CI determinism
+     comparisons still hold. *)
+  (match r.check_report with
+  | Some report ->
+      Format.fprintf fmt "@,invariant violations  : %d@,%s" r.check_violations
+        report
+  | None -> ());
   Format.fprintf fmt "@]"

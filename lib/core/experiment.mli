@@ -66,6 +66,12 @@ type result = {
       (** controller-side Down declarations for this switch *)
   controller_resyncs : int;
       (** handshake replays (state resync) after recovery *)
+  check_violations : int;
+      (** protocol-invariant violations recorded by the runtime checker
+          (always 0 when the config's [check] flag is off) *)
+  check_report : string option;
+      (** the checker's violation report; [None] when clean or
+          unchecked, so clean [--check] output stays byte-identical *)
 }
 
 val run : Config.t -> result

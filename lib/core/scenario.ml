@@ -6,6 +6,7 @@ type t = {
   engine : Engine.t;
   switch : Sdn_switch.Switch.t;
   controller : Sdn_controller.Controller.t;
+  check : Sdn_check.Check.t option;
   capture : Capture.t;
   delay : Delay.t;
   host1_link : Bytes.t Link.t;
@@ -32,6 +33,9 @@ let build (config : Config.t) =
   let controller_rng = Rng.split root_rng in
   let capture = Capture.create ~encap_overhead:Calibration.encap_overhead_bytes () in
   let delay = Delay.create () in
+  let check =
+    if config.Config.check then Some (Sdn_check.Check.create ()) else None
+  in
   let addressing = Sdn_traffic.Addressing.default in
   let switch_config =
     {
@@ -57,7 +61,7 @@ let build (config : Config.t) =
     else switch_config
   in
   let switch =
-    Sdn_switch.Switch.create engine ~config:switch_config
+    Sdn_switch.Switch.create engine ?check ~config:switch_config
       ~costs:config.Config.switch_costs ~rng:switch_rng ()
   in
   let hosts =
@@ -78,7 +82,7 @@ let build (config : Config.t) =
   in
   let controller =
     Sdn_controller.Controller.create engine ~app
-      ~costs:config.Config.controller_costs ~rng:controller_rng
+      ~costs:config.Config.controller_costs ~rng:controller_rng ?check
       ~release_strategy:config.Config.release_strategy
       ~echo_interval:config.Config.echo_interval
       ~echo_misses:config.Config.echo_misses ()
@@ -196,6 +200,7 @@ let build (config : Config.t) =
       engine;
       switch;
       controller;
+      check;
       capture;
       delay;
       host1_link;

@@ -19,6 +19,9 @@ type t = {
   engine : Engine.t;
   switch : Sdn_switch.Switch.t;
   controller : Sdn_controller.Controller.t;
+  check : Sdn_check.Check.t option;
+      (** the runtime invariant checker, armed when the config's
+          [check] flag is set *)
   capture : Capture.t;
   delay : Delay.t;
   host1_link : Bytes.t Link.t;  (** Host1 -> switch port 1 *)

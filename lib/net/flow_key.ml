@@ -10,7 +10,7 @@ let make ~proto ~src_ip ~dst_ip ~src_port ~dst_port =
   { proto; src_ip; dst_ip; src_port; dst_port }
 
 let compare a b =
-  let c = compare a.proto b.proto in
+  let c = Int.compare a.proto b.proto in
   if c <> 0 then c
   else begin
     let c = Ip.compare a.src_ip b.src_ip in
@@ -19,8 +19,8 @@ let compare a b =
       let c = Ip.compare a.dst_ip b.dst_ip in
       if c <> 0 then c
       else begin
-        let c = compare a.src_port b.src_port in
-        if c <> 0 then c else compare a.dst_port b.dst_port
+        let c = Int.compare a.src_port b.src_port in
+        if c <> 0 then c else Int.compare a.dst_port b.dst_port
       end
     end
   end

@@ -19,17 +19,22 @@ let to_string t =
     (component t 3)
 
 let of_string s =
+  let component part =
+    match int_of_string_opt part with
+    | Some o when o >= 0 && o <= 255 -> Ok o
+    | Some _ ->
+        Error (Printf.sprintf "Ip.of_string: component out of range in %S" s)
+    | None -> Error (Printf.sprintf "Ip.of_string: bad component in %S" s)
+  in
   match String.split_on_char '.' s with
   | [ a; b; c; d ] -> (
-      try
-        let parts = List.map int_of_string [ a; b; c; d ] in
-        if List.exists (fun o -> o < 0 || o > 255) parts then
-          Error (Printf.sprintf "Ip.of_string: component out of range in %S" s)
-        else
-          match parts with
-          | [ a; b; c; d ] -> Ok (make a b c d)
-          | _ -> assert false
-      with Failure _ -> Error (Printf.sprintf "Ip.of_string: bad component in %S" s))
+      match (component a, component b, component c, component d) with
+      | Ok a, Ok b, Ok c, Ok d -> Ok (make a b c d)
+      | Error e, _, _, _
+      | _, Error e, _, _
+      | _, _, Error e, _
+      | _, _, _, Error e ->
+          Error e)
   | _ -> Error (Printf.sprintf "Ip.of_string: expected dotted quad in %S" s)
 
 let of_string_exn s =

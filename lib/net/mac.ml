@@ -24,19 +24,24 @@ let to_string t =
     (octet t 2) (octet t 3) (octet t 4) (octet t 5)
 
 let of_string s =
+  let octet part =
+    match int_of_string_opt ("0x" ^ part) with
+    | Some o when o >= 0 && o <= 255 -> Ok o
+    | Some _ ->
+        Error (Printf.sprintf "Mac.of_string: octet out of range in %S" s)
+    | None -> Error (Printf.sprintf "Mac.of_string: bad octet in %S" s)
+  in
   match String.split_on_char ':' s with
   | [ a; b; c; d; e; f ] -> (
-      let parse x = int_of_string ("0x" ^ x) in
-      try
-        let parts = List.map parse [ a; b; c; d; e; f ] in
-        if List.exists (fun o -> o < 0 || o > 255) parts then
-          Error (Printf.sprintf "Mac.of_string: octet out of range in %S" s)
-        else
-          match parts with
-          | [ a; b; c; d; e; f ] -> Ok (of_octets a b c d e f)
-          | _ -> assert false
-      with Failure _ ->
-        Error (Printf.sprintf "Mac.of_string: bad octet in %S" s))
+      match (octet a, octet b, octet c, octet d, octet e, octet f) with
+      | Ok a, Ok b, Ok c, Ok d, Ok e, Ok f -> Ok (of_octets a b c d e f)
+      | Error e, _, _, _, _, _
+      | _, Error e, _, _, _, _
+      | _, _, Error e, _, _, _
+      | _, _, _, Error e, _, _
+      | _, _, _, _, Error e, _
+      | _, _, _, _, _, Error e ->
+          Error e)
   | _ -> Error (Printf.sprintf "Mac.of_string: expected 6 octets in %S" s)
 
 let of_string_exn s =

@@ -15,7 +15,11 @@ let is_empty t = t.size = 0
 let get t i =
   match t.data.(i) with
   | Some x -> x
-  | None -> assert false
+  | None ->
+      (* Unreachable: callers only index below [size], and every cell
+         below [size] is [Some] — push fills the next cell before
+         incrementing, pop clears only the last cell after shrinking. *)
+      assert false (* lint: allow partial-exit *)
 
 let grow t =
   let data = Array.make (2 * Array.length t.data) None in

@@ -69,7 +69,7 @@ let percentile t p =
   if t.sample_count = 0 then invalid_arg "Stats.percentile: no samples";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = samples t in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin

@@ -41,7 +41,7 @@ let create engine ~link ~policy ~queues =
       if q.capacity <= 0 then invalid_arg "Egress_queue.create: capacity must be positive")
     queues;
   let sorted =
-    List.sort (fun a b -> compare b.priority a.priority) queues
+    List.sort (fun a b -> Int.compare b.priority a.priority) queues
   in
   {
     engine;

@@ -15,6 +15,8 @@ type slot = { mutable state : slot_state; mutable generation : int }
 
 type t = {
   engine : Engine.t;
+  check : Sdn_check.Check.t option;
+  pool_name : string;
   capacity : int;
   reclaim_lag : float;
   mutable resend_timeout : float;
@@ -57,8 +59,8 @@ let id_of ~generation ~slot =
 let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
 let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
 
-let create engine ~capacity ~reclaim_lag ~resend_timeout
-    ?(resend_multiplier = 1.0) ?(resend_cap = infinity)
+let create engine ?check ?(pool_name = "flow_pool") ~capacity ~reclaim_lag
+    ~resend_timeout ?(resend_multiplier = 1.0) ?(resend_cap = infinity)
     ?(resend_jitter = 0.0) ?rng ~max_resends ~on_resend () =
   if capacity <= 0 || capacity > 0xFFFF then
     invalid_arg "Flow_buffer.create: capacity out of range";
@@ -70,6 +72,8 @@ let create engine ~capacity ~reclaim_lag ~resend_timeout
     invalid_arg "Flow_buffer.create: jitter needs an rng";
   {
     engine;
+    check;
+    pool_name;
     capacity;
     reclaim_lag;
     resend_timeout;
@@ -126,6 +130,12 @@ let note_occupancy t =
   Timeseries.Weighted.update t.occupancy ~time:(Engine.now t.engine)
     ~value:(float_of_int t.in_use)
 
+(* Report a buffer-ledger event to the invariant checker, if armed. *)
+let checked t f =
+  match t.check with
+  | Some check -> f check ~time:(Engine.now t.engine) ~pool:t.pool_name
+  | None -> ()
+
 let release_slot t i =
   let slot = t.slots.(i) in
   slot.state <- Free;
@@ -136,6 +146,9 @@ let release_slot t i =
 
 let drop_unit t i (u : unit_state) =
   (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
+  checked t
+    (Sdn_check.Check.note_buffer_expire
+       ~id:(id_of ~generation:t.slots.(i).generation ~slot:i));
   t.drops <- t.drops + List.length u.frames_rev;
   t.abandoned_flows <- t.abandoned_flows + 1;
   t.packets <- t.packets - List.length u.frames_rev;
@@ -172,10 +185,14 @@ let add t ~key ~frame =
       | Held u ->
           u.frames_rev <- frame :: u.frames_rev;
           t.packets <- t.packets + 1;
-          Appended (id_of ~generation:slot.generation ~slot:i)
+          let id = id_of ~generation:slot.generation ~slot:i in
+          checked t (Sdn_check.Check.note_buffer_append ~id);
+          Appended id
       | Free | Reclaiming ->
-          (* The map should never point at a non-held slot. *)
-          assert false)
+          (* Unreachable: [by_key] never points at a non-held slot —
+             take_all and drop_unit both remove the key from the map
+             before the slot leaves Held. *)
+          assert false (* lint: allow partial-exit *))
   | None -> (
       match t.free with
       | [] ->
@@ -203,7 +220,9 @@ let add t ~key ~frame =
              chains are absorbed silently: no re-request timer burns
              its budget into a dead link. [resume] arms it later. *)
           if not t.frozen then arm_resend t i u ~generation:slot.generation;
-          First (id_of ~generation:slot.generation ~slot:i))
+          let id = id_of ~generation:slot.generation ~slot:i in
+          checked t (Sdn_check.Check.note_buffer_alloc ~id);
+          First id)
 
 let take_all t id =
   let i = slot_of_id id in
@@ -222,6 +241,9 @@ let take_all t id =
             (Engine.now t.engine -. u.first_miss_time)
         end;
         let frames = List.rev u.frames_rev in
+        checked t
+          (Sdn_check.Check.note_buffer_release ~id
+             ~packets:(List.length frames));
         t.packets <- t.packets - List.length frames;
         Flow_key.Table.remove t.by_key u.key;
         slot.state <- Reclaiming;

@@ -39,6 +39,8 @@ type take_result =
 
 val create :
   Engine.t ->
+  ?check:Sdn_check.Check.t ->
+  ?pool_name:string ->
   capacity:int ->
   reclaim_lag:float ->
   resend_timeout:float ->
@@ -52,6 +54,10 @@ val create :
   t
 (** [on_resend] is invoked by the timeout machinery; the switch wires
     it to PACKET_IN regeneration.
+
+    With [check] armed, every chain allocation, append, release and
+    expiry is reported to the invariant checker under [pool_name]
+    (default ["flow_pool"]) for buffer-conservation verification.
 
     [resend_multiplier] (default 1: the paper's fixed period) grows the
     delay before each successive re-request; [resend_cap] (default

@@ -83,6 +83,9 @@ let add_entry t entry =
   uid
 
 let find_identical t (entry : Flow_entry.t) =
+  (* At most one entry can share (priority, match) — [insert] replaces
+     identical entries — so this fold finds at most one match no matter
+     the iteration order. lint: allow hashtbl-order *)
   Hashtbl.fold
     (fun uid (e : Flow_entry.t) acc ->
       match acc with
@@ -96,16 +99,20 @@ let find_identical t (entry : Flow_entry.t) =
     t.by_uid None
 
 let eviction_victim t =
-  (* Least-recently-used among the minimal-priority entries. *)
+  (* Least-recently-used among the minimal-priority entries; uid breaks
+     remaining ties, so the minimum is unique and the fold result is
+     independent of iteration order. lint: allow hashtbl-order *)
   Hashtbl.fold
     (fun uid (e : Flow_entry.t) acc ->
       match acc with
       | None -> Some (uid, e)
-      | Some (_, best) ->
+      | Some (best_uid, best) ->
           if
             e.Flow_entry.priority < best.Flow_entry.priority
             || (e.Flow_entry.priority = best.Flow_entry.priority
-               && e.Flow_entry.last_used < best.Flow_entry.last_used)
+               && (e.Flow_entry.last_used < best.Flow_entry.last_used
+                  || (e.Flow_entry.last_used = best.Flow_entry.last_used
+                     && uid < best_uid)))
           then Some (uid, e)
           else acc)
     t.by_uid None
@@ -194,6 +201,8 @@ let delete t ~strict ?(out_port = Of_wire.Port.none) ~match_ ~priority () =
         if match_ok && port_ok then uid :: acc else acc)
       t.by_uid []
   in
+  (* uid order = install order; keeps the removal sequence deterministic. *)
+  let doomed = List.sort Int.compare doomed in
   List.iter (remove_uid t) doomed;
   List.length doomed
 
@@ -204,11 +213,18 @@ let expire t ~now =
         if Flow_entry.is_expired e ~now then (uid, e) :: acc else acc)
       t.by_uid []
   in
+  (* The expired entries escape to flow_removed notifications, so order
+     them by uid (install order) rather than hash-table iteration. *)
+  let doomed = List.sort (fun (a, _) (b, _) -> Int.compare a b) doomed in
   List.iter (fun (uid, _) -> remove_uid t uid) doomed;
   t.expirations <- t.expirations + List.length doomed;
   List.map snd doomed
 
-let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.by_uid []
+let entries t =
+  (* Entries escape to stats replies; uid order = install order. *)
+  Hashtbl.fold (fun uid e acc -> (uid, e) :: acc) t.by_uid []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
 
 let to_stats t ~now = List.map (Flow_entry.to_stats ~now) (entries t)
 

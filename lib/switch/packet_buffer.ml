@@ -9,6 +9,8 @@ type slot = { mutable state : slot_state; mutable generation : int }
 
 type t = {
   engine : Engine.t;
+  check : Sdn_check.Check.t option;
+  pool_name : string;
   capacity : int;
   expiry : float;
   reclaim_lag : float;
@@ -34,11 +36,14 @@ let id_of ~generation ~slot =
 let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
 let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
 
-let create engine ~capacity ~expiry ~reclaim_lag () =
+let create engine ?check ?(pool_name = "pkt_pool") ~capacity ~expiry
+    ~reclaim_lag () =
   if capacity <= 0 || capacity > 0xFFFF then
     invalid_arg "Packet_buffer.create: capacity out of range";
   {
     engine;
+    check;
+    pool_name;
     capacity;
     expiry;
     reclaim_lag;
@@ -56,6 +61,12 @@ let create engine ~capacity ~expiry ~reclaim_lag () =
 let note_occupancy t =
   Timeseries.Weighted.update t.occupancy ~time:(Engine.now t.engine)
     ~value:(float_of_int t.in_use)
+
+(* Report a buffer-ledger event to the invariant checker, if armed. *)
+let checked t f =
+  match t.check with
+  | Some check -> f check ~time:(Engine.now t.engine) ~pool:t.pool_name
+  | None -> ()
 
 let release_slot t i =
   let slot = t.slots.(i) in
@@ -81,6 +92,9 @@ let alloc t ~frame =
             match slot.state with
             | Held _ when slot.generation = generation ->
                 t.expired <- t.expired + 1;
+                checked t
+                  (Sdn_check.Check.note_buffer_expire
+                     ~id:(id_of ~generation ~slot:i));
                 release_slot t i
             | Held _ | Free | Reclaiming -> ())
       in
@@ -88,7 +102,9 @@ let alloc t ~frame =
       t.in_use <- t.in_use + 1;
       t.allocations <- t.allocations + 1;
       note_occupancy t;
-      Some (id_of ~generation ~slot:i)
+      let id = id_of ~generation ~slot:i in
+      checked t (Sdn_check.Check.note_buffer_alloc ~id);
+      Some id
 
 let take t id =
   let i = slot_of_id id in
@@ -98,6 +114,7 @@ let take t id =
     match slot.state with
     | Held { frame; expiry_handle } when slot.generation = generation_of_id id ->
         Engine.cancel expiry_handle;
+        checked t (Sdn_check.Check.note_buffer_release ~id ~packets:1);
         slot.state <- Reclaiming;
         ignore
           (Engine.schedule t.engine ~delay:t.reclaim_lag (fun () ->

@@ -24,7 +24,17 @@ type take_result =
   | Unknown_id  (** stale or never-allocated buffer id *)
 
 val create :
-  Engine.t -> capacity:int -> expiry:float -> reclaim_lag:float -> unit -> t
+  Engine.t ->
+  ?check:Sdn_check.Check.t ->
+  ?pool_name:string ->
+  capacity:int ->
+  expiry:float ->
+  reclaim_lag:float ->
+  unit ->
+  t
+(** With [check] armed, every allocation, release and expiry is
+    reported to the invariant checker under [pool_name] (default
+    ["pkt_pool"]) for buffer-conservation verification. *)
 
 val alloc : t -> frame:Bytes.t -> int32 option
 (** Store a frame; [None] when every unit is in use (the switch then

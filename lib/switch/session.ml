@@ -39,6 +39,8 @@ let default_config =
 
 type t = {
   engine : Engine.t;
+  check : Sdn_check.Check.t option;
+  name : string;
   config : config;
   fresh_xid : unit -> int32;
   send_echo : xid:int32 -> unit;
@@ -65,13 +67,16 @@ type t = {
   recovery_times : Stats.t;
 }
 
-let create engine ~config ~fresh_xid ~send_echo ~on_down ~on_restore () =
+let create engine ?check ?(name = "session") ~config ~fresh_xid ~send_echo
+    ~on_down ~on_restore () =
   if config.echo_misses < 1 then
     invalid_arg "Session.create: echo_misses below 1";
   if config.reconnect_multiplier < 1.0 then
     invalid_arg "Session.create: reconnect multiplier below 1";
   {
     engine;
+    check;
+    name;
     config;
     fresh_xid;
     send_echo;
@@ -101,6 +106,12 @@ let is_down t = match t.state with Down | Reconnecting -> true | _ -> false
 
 let set_state t s =
   if t.state <> s then begin
+    (match t.check with
+    | Some check ->
+        Sdn_check.Check.note_session_transition check
+          ~time:(Engine.now t.engine) ~session:t.name
+          ~from_:(state_to_string t.state) ~to_:(state_to_string s)
+    | None -> ());
     t.state <- s;
     t.transitions_rev <- (Engine.now t.engine, s) :: t.transitions_rev
   end

@@ -62,6 +62,8 @@ type t
 
 val create :
   Engine.t ->
+  ?check:Sdn_check.Check.t ->
+  ?name:string ->
   config:config ->
   fresh_xid:(unit -> int32) ->
   send_echo:(xid:int32 -> unit) ->
@@ -72,7 +74,11 @@ val create :
 (** [send_echo] must transmit an [ECHO_REQUEST] with the given xid to
     the peer; [on_down] fires on the Up/Probing → Down transition,
     [on_restore] on recovery (with the measured downtime), before the
-    keepalive loop restarts. *)
+    keepalive loop restarts.
+
+    With [check] armed, every state transition is reported to the
+    invariant checker under [name] (default ["session"]) and verified
+    against the legal transition set. *)
 
 val start : t -> unit
 (** Begin the keepalive loop (no-op when disabled or already running). *)

@@ -78,6 +78,10 @@ type t = {
   engine : Engine.t;
   config : config;
   costs : Costs.t;
+  check : Sdn_check.Check.t option;
+  (* Per-switch prefix for checker pool / session names, so ledgers of
+     different datapaths never collide in multi-switch topologies. *)
+  name : string;
   resend_rng : Rng.t;
   mutable mechanism : mechanism;
   mutable miss_send_len : int;
@@ -127,9 +131,24 @@ let fresh_xid t =
     (if Int32.equal t.next_xid Int32.max_int then 1l else Int32.add t.next_xid 1l);
   xid
 
+let pkt_pool_name t = t.name ^ "/pkt_pool"
+let flow_pool_name t = t.name ^ "/flow_pool"
+
+(* Report a PACKET_IN emission decision to the invariant checker. Noted
+   at the decision point (miss handler / resend timer), not at the
+   asynchronous send, so expiry racing bus and CPU delays cannot
+   produce false violations. *)
+let note_pkt_in t ~pool ~id ~resend =
+  match t.check with
+  | Some check ->
+      Sdn_check.Check.note_packet_in check ~time:(Engine.now t.engine) ~pool
+        ~id ~resend
+  | None -> ()
+
 let make_pkt_pool t =
-  Packet_buffer.create t.engine ~capacity:t.config.buffer_capacity
-    ~expiry:t.config.buffer_expiry ~reclaim_lag:t.config.reclaim_lag ()
+  Packet_buffer.create t.engine ?check:t.check ~pool_name:(pkt_pool_name t)
+    ~capacity:t.config.buffer_capacity ~expiry:t.config.buffer_expiry
+    ~reclaim_lag:t.config.reclaim_lag ()
 
 (* The flow pool's resend callback needs the switch, so it is created
    lazily once [t] exists. *)
@@ -138,7 +157,8 @@ let rec ensure_flow_pool t =
   | Some pool -> pool
   | None ->
       let pool =
-        Flow_buffer.create t.engine ~capacity:t.config.buffer_capacity
+        Flow_buffer.create t.engine ?check:t.check
+          ~pool_name:(flow_pool_name t) ~capacity:t.config.buffer_capacity
           ~reclaim_lag:t.config.reclaim_lag
           ~resend_timeout:t.config.resend_timeout
           ~resend_multiplier:t.config.resend_multiplier
@@ -147,6 +167,7 @@ let rec ensure_flow_pool t =
           ~max_resends:t.config.max_resends
           ~on_resend:(fun ~buffer_id ~key:_ ~first_frame ->
             t.pkt_in_resends <- t.pkt_in_resends + 1;
+            note_pkt_in t ~pool:(flow_pool_name t) ~id:buffer_id ~resend:true;
             (* The repeated request retraces the miss path: bus, then
                userspace, then the control link (Algorithm 1 line 13). *)
             send_pkt_in t ~buffer_id ~frame:first_frame ~in_port:1
@@ -171,13 +192,21 @@ and bus_transfer t ~bytes k =
   | Some bus -> Link.send bus ~size:(bytes + t.costs.Costs.bus_descriptor_bytes) k
   | None -> k ()
 
-and send_to_controller ?xid t msg =
+and send_to_controller ?xid ?fresh t msg =
   match t.controller_link with
   | Some link ->
       (* Replies echo the request's transaction id, per the OpenFlow
          specification; switch-initiated messages get fresh ids. *)
+      let fresh =
+        match fresh with Some f -> f | None -> Option.is_none xid
+      in
       let xid = match xid with Some x -> x | None -> fresh_xid t in
       let encoded = Of_codec.encode ~xid msg in
+      (match t.check with
+      | Some check ->
+          Sdn_check.Check.note_emit check ~time:(Engine.now t.engine)
+            ~session:t.name ~fresh ~xid ~msg ~encoded
+      | None -> ());
       Link.send link ~size:(Bytes.length encoded) encoded
   | None -> ()
 
@@ -222,11 +251,15 @@ let forward_frame t ~port ~queue_id frame =
 
 let resolve_outputs t ~in_port outputs =
   let all_but_ingress queue_id =
+    (* Flood replication order must not depend on hash-table iteration:
+       ascending port number. *)
     Hashtbl.fold
       (fun p _ acc ->
         if p = in_port || Hashtbl.mem t.down_ports p then acc
         else { Of_action.out_port = p; queue_id } :: acc)
       t.ports []
+    |> List.sort (fun (a : Of_action.output_spec) b ->
+           Int.compare a.Of_action.out_port b.Of_action.out_port)
   in
   List.concat_map
     (fun (o : Of_action.output_spec) ->
@@ -269,6 +302,7 @@ let miss_packet_granularity t ~in_port frame =
   match Packet_buffer.alloc pool ~frame with
   | None -> miss_no_buffer t ~in_port frame
   | Some buffer_id ->
+      note_pkt_in t ~pool:(pkt_pool_name t) ~id:buffer_id ~resend:false;
       send_pkt_in t ~buffer_id ~frame ~in_port
         ~truncate:(Some t.miss_send_len)
         ~extra_cost:t.costs.Costs.buffer_alloc_cost
@@ -284,6 +318,7 @@ let miss_flow_granularity t ~in_port pkt frame =
       match Flow_buffer.add pool ~key ~frame with
       | Flow_buffer.No_space -> miss_no_buffer t ~in_port frame
       | Flow_buffer.First buffer_id ->
+          note_pkt_in t ~pool:(flow_pool_name t) ~id:buffer_id ~resend:false;
           send_pkt_in t ~buffer_id ~frame ~in_port
             ~truncate:(Some t.miss_send_len)
             ~extra_cost:t.costs.Costs.flow_buffer_first_cost
@@ -549,6 +584,8 @@ let handle_vendor t ~xid (v : Of_ext.t) =
 
 let features_reply t =
   let ports =
+    (* Port list goes on the wire: ascending port number, not
+       hash-table iteration order. *)
     Hashtbl.fold
       (fun port _ acc ->
         {
@@ -558,6 +595,8 @@ let features_reply t =
         }
         :: acc)
       t.ports []
+    |> List.sort (fun (a : Of_features.phy_port) b ->
+           Int.compare a.Of_features.port_no b.Of_features.port_no)
   in
   Of_features.make ~datapath_id:t.config.datapath_id
     ~n_buffers:
@@ -608,7 +647,10 @@ let handle_stats_request t ~xid (req : Of_stats.request) =
         in
         let entries =
           if port_no = Of_wire.Port.none || port_no = Of_wire.Port.all then
+            (* Stats reply goes on the wire: ascending port number. *)
             Hashtbl.fold (fun p l acc -> one p l :: acc) t.ports []
+            |> List.sort (fun (a : Of_stats.port_stats) b ->
+                   Int.compare a.Of_stats.port_no b.Of_stats.port_no)
           else begin
             match Hashtbl.find_opt t.ports port_no with
             | Some l -> [ one port_no l ]
@@ -695,7 +737,7 @@ let on_session_restore t =
   | Some pool when Flow_buffer.is_frozen pool -> Flow_buffer.resume pool
   | Some _ | None -> ()
 
-let create engine ~config ~costs ~rng () =
+let create engine ?check ~config ~costs ~rng () =
   let noise () =
     Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
   in
@@ -708,6 +750,8 @@ let create engine ~config ~costs ~rng () =
       engine;
       config;
       costs;
+      check;
+      name = Printf.sprintf "sw-%Lx" config.datapath_id;
       (* A dedicated stream for re-request jitter, so backoff draws do
          not perturb the service-noise sequence. *)
       resend_rng = Rng.split rng;
@@ -762,7 +806,7 @@ let create engine ~config ~costs ~rng () =
      both are "retry into a possibly-dead control channel" timers. *)
   t.session <-
     Some
-      (Session.create engine
+      (Session.create engine ?check ~name:t.name
          ~config:
            {
              Session.echo_interval = config.echo_interval;
@@ -773,7 +817,10 @@ let create engine ~config ~costs ~rng () =
            }
          ~fresh_xid:(fun () -> fresh_xid t)
          ~send_echo:(fun ~xid ->
-           send_to_controller ~xid t (Of_codec.Echo_request Bytes.empty))
+           (* The session allocated this xid itself: it counts as fresh
+              for the uniqueness invariant. *)
+           send_to_controller ~xid ~fresh:true t
+             (Of_codec.Echo_request Bytes.empty))
          ~on_down:(fun () -> on_session_down t)
          ~on_restore:(fun ~downtime:_ -> on_session_restore t)
          ());

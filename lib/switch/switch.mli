@@ -91,9 +91,20 @@ type counters = {
 
 type t
 
-val create : Engine.t -> config:config -> costs:Costs.t -> rng:Rng.t -> unit -> t
+val create :
+  Engine.t ->
+  ?check:Sdn_check.Check.t ->
+  config:config ->
+  costs:Costs.t ->
+  rng:Rng.t ->
+  unit ->
+  t
 (** The switch starts unwired; attach ports and the controller link
-    before injecting traffic. *)
+    before injecting traffic.
+
+    With [check] armed, the buffer pools, the control session and every
+    emitted OpenFlow message report to the invariant checker under
+    names prefixed ["sw-<datapath_id>"]. *)
 
 val config : t -> config
 val mechanism : t -> mechanism

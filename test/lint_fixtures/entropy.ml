@@ -1,0 +1,3 @@
+(* Fixture: exactly one entropy finding. *)
+
+let roll () = Random.int 6

@@ -1,0 +1,4 @@
+(* Fixture: exactly one hashtbl-order finding — the folded list escapes
+   without a sort in the same definition. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,3 @@
+(* Fixture: exactly one partial-exit finding. *)
+
+let unreachable () = assert false

@@ -1,0 +1,3 @@
+(* Fixture: exactly one poly-compare finding. *)
+
+let sorted l = List.sort compare l

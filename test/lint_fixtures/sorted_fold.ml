@@ -1,0 +1,5 @@
+(* Fixture: clean — the fold's order sensitivity is discharged by the
+   explicit sort in the same definition. *)
+
+let keys tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

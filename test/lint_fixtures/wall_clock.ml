@@ -1,0 +1,3 @@
+(* Fixture: exactly one wall-clock finding. *)
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,274 @@
+(* The runtime protocol-invariant checker: every invariant is exercised
+   both ways — a clean harness that must record zero violations and a
+   deliberately-broken harness that must be caught, with the violation
+   carrying an event-trace tail. Finally, whole-platform runs under
+   [check = true] must come back clean. *)
+
+open Sdn_core
+module Check = Sdn_check.Check
+
+let fresh () = Check.create ()
+
+let invariants c = List.map (fun v -> v.Check.invariant) (Check.violations c)
+
+let check_caught ?(n = 1) c invariant =
+  Alcotest.(check (list string))
+    "violations"
+    (List.init n (fun _ -> invariant))
+    (invariants c);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "trace tail attached" true (v.Check.trace <> []);
+      Alcotest.(check bool) "detail set" true (String.length v.Check.detail > 0))
+    (Check.violations c);
+  Alcotest.(check bool) "report non-empty" true
+    (String.length (Check.report c) > 0)
+
+let check_clean c =
+  Alcotest.(check int) "no violations" 0 (Check.violation_count c);
+  Alcotest.(check string) "empty report" "" (Check.report c)
+
+(* ---- buffer-conservation ---- *)
+
+let test_buffer_clean_lifecycle () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_buffer_append c ~time:0.1 ~pool:"p" ~id:7l;
+  Check.note_buffer_release c ~time:0.2 ~pool:"p" ~id:7l ~packets:2;
+  (* Slot recycled under a new generation: a fresh id is fine. *)
+  Check.note_buffer_alloc c ~time:0.3 ~pool:"p" ~id:0x10007l;
+  Check.note_buffer_expire c ~time:0.4 ~pool:"p" ~id:0x10007l;
+  check_clean c;
+  Alcotest.(check bool) "events counted" true (Check.events_seen c >= 5)
+
+let test_double_release () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_buffer_release c ~time:0.1 ~pool:"p" ~id:7l ~packets:1;
+  Check.note_buffer_release c ~time:0.2 ~pool:"p" ~id:7l ~packets:1;
+  check_caught c "buffer-conservation"
+
+let test_realloc_while_live () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_buffer_alloc c ~time:0.1 ~pool:"p" ~id:7l;
+  check_caught c "buffer-conservation"
+
+let test_append_after_close () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_buffer_expire c ~time:0.1 ~pool:"p" ~id:7l;
+  Check.note_buffer_append c ~time:0.2 ~pool:"p" ~id:7l;
+  check_caught c "buffer-conservation"
+
+let test_release_count_mismatch () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_buffer_append c ~time:0.1 ~pool:"p" ~id:7l;
+  Check.note_buffer_release c ~time:0.2 ~pool:"p" ~id:7l ~packets:1;
+  check_caught c "buffer-conservation"
+
+let test_pools_are_independent () =
+  let c = fresh () in
+  (* The same numeric id may be live in two distinct pools at once. *)
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"sw-1/pkt_pool" ~id:7l;
+  Check.note_buffer_alloc c ~time:0.1 ~pool:"sw-2/pkt_pool" ~id:7l;
+  Check.note_buffer_release c ~time:0.2 ~pool:"sw-1/pkt_pool" ~id:7l ~packets:1;
+  Check.note_buffer_release c ~time:0.3 ~pool:"sw-2/pkt_pool" ~id:7l ~packets:1;
+  check_clean c
+
+(* ---- single-packet-in ---- *)
+
+let test_single_packet_in_clean () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_packet_in c ~time:0.0 ~pool:"p" ~id:7l ~resend:false;
+  Check.note_buffer_append c ~time:0.1 ~pool:"p" ~id:7l;
+  (* Timeout machinery re-requesting is legal, any number of times. *)
+  Check.note_packet_in c ~time:0.5 ~pool:"p" ~id:7l ~resend:true;
+  Check.note_packet_in c ~time:1.0 ~pool:"p" ~id:7l ~resend:true;
+  check_clean c
+
+let test_double_original_packet_in () =
+  let c = fresh () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  Check.note_packet_in c ~time:0.0 ~pool:"p" ~id:7l ~resend:false;
+  Check.note_packet_in c ~time:0.1 ~pool:"p" ~id:7l ~resend:false;
+  check_caught c "single-packet-in"
+
+let test_packet_in_for_dead_unit () =
+  let c = fresh () in
+  Check.note_packet_in c ~time:0.0 ~pool:"p" ~id:7l ~resend:false;
+  check_caught c "single-packet-in"
+
+(* ---- session-transitions ---- *)
+
+let test_legal_session_lifecycle () =
+  let c = fresh () in
+  let step from_ to_ =
+    Check.note_session_transition c ~time:0.0 ~session:"sw-1" ~from_ ~to_
+  in
+  step "handshaking" "up";
+  step "up" "probing";
+  step "probing" "up";
+  step "up" "down";
+  step "down" "reconnecting";
+  step "reconnecting" "up";
+  check_clean c
+
+let test_illegal_session_transition () =
+  let c = fresh () in
+  Check.note_session_transition c ~time:0.0 ~session:"sw-1"
+    ~from_:"handshaking" ~to_:"reconnecting";
+  check_caught c "session-transitions"
+
+(* ---- xid-uniqueness + codec-roundtrip ---- *)
+
+open Sdn_openflow
+
+let emit ?(session = "s") ?(fresh = true) ?encoded c ~xid msg =
+  let encoded =
+    match encoded with Some b -> b | None -> Of_codec.encode ~xid msg
+  in
+  Check.note_emit c ~time:0.0 ~session ~fresh ~xid ~msg ~encoded
+
+let test_xid_unique_clean () =
+  let c = fresh () in
+  emit c ~xid:1l Of_codec.Hello;
+  emit c ~xid:2l Of_codec.Features_request;
+  (* Replies echo the request's xid: not fresh, never a violation. *)
+  emit c ~fresh:false ~xid:2l Of_codec.Barrier_reply;
+  emit c ~fresh:false ~xid:2l Of_codec.Barrier_reply;
+  (* Distinct sessions have independent xid spaces. *)
+  emit c ~session:"other" ~xid:1l Of_codec.Hello;
+  check_clean c
+
+let test_fresh_xid_reuse () =
+  let c = fresh () in
+  emit c ~xid:5l Of_codec.Hello;
+  emit c ~xid:5l Of_codec.Features_request;
+  check_caught c "xid-uniqueness"
+
+let test_codec_roundtrip_clean () =
+  let c = fresh () in
+  emit c ~xid:9l
+    (Of_codec.Echo_request (Bytes.of_string "ping"));
+  check_clean c
+
+let test_codec_tampered_bytes () =
+  let c = fresh () in
+  let msg = Of_codec.Echo_request (Bytes.of_string "ping") in
+  let encoded = Of_codec.encode ~xid:9l msg in
+  (* Flip a payload byte: decode succeeds but gives a different message. *)
+  Bytes.set encoded (Bytes.length encoded - 1) '!';
+  emit c ~xid:9l ~encoded msg;
+  check_caught c "codec-roundtrip"
+
+let test_codec_wrong_xid () =
+  let c = fresh () in
+  let msg = Of_codec.Hello in
+  emit c ~xid:3l ~encoded:(Of_codec.encode ~xid:4l msg) msg;
+  check_caught c "codec-roundtrip"
+
+let test_codec_undecodable () =
+  let c = fresh () in
+  emit c ~xid:1l ~encoded:(Bytes.make 3 '\000') Of_codec.Hello;
+  check_caught c "codec-roundtrip"
+
+(* ---- violation plumbing ---- *)
+
+let test_raise_on_violation () =
+  let c = Check.create ~raise_on_violation:true () in
+  Check.note_buffer_alloc c ~time:0.0 ~pool:"p" ~id:7l;
+  match Check.note_buffer_alloc c ~time:0.1 ~pool:"p" ~id:7l with
+  | () -> Alcotest.fail "expected Check.Violation"
+  | exception Check.Violation v ->
+      Alcotest.(check string) "invariant" "buffer-conservation"
+        v.Check.invariant
+
+let test_trace_depth_bounds_tail () =
+  let c = Check.create ~trace_depth:4 () in
+  for i = 1 to 100 do
+    Check.record c ~time:(float_of_int i) (Printf.sprintf "event %d" i)
+  done;
+  Check.note_buffer_release c ~time:101.0 ~pool:"p" ~id:7l ~packets:0;
+  match Check.violations c with
+  | [ v ] ->
+      Alcotest.(check bool) "tail bounded" true (List.length v.Check.trace <= 4);
+      (* The violation event itself is the last trace entry. *)
+      let _, last = List.nth v.Check.trace (List.length v.Check.trace - 1) in
+      Alcotest.(check bool) "tail ends at the violation" true
+        (String.length last > 9 && String.sub last 0 9 = "VIOLATION")
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+(* ---- whole-platform runs under --check ---- *)
+
+let run_checked ?(faults = Sdn_sim.Faults.none) ~mechanism () =
+  Experiment.run
+    {
+      Config.default with
+      Config.mechanism;
+      buffer_capacity = 256;
+      rate_mbps = 40.0;
+      workload = Config.Exp_b { n_flows = 60; packets_per_flow = 4; concurrent = 6 };
+      seed = 11;
+      faults;
+      check = true;
+    }
+
+let test_experiment_clean_under_check () =
+  List.iter
+    (fun mechanism ->
+      let r = run_checked ~mechanism () in
+      Alcotest.(check int) "no violations" 0 r.Experiment.check_violations;
+      Alcotest.(check bool) "no report" true (r.Experiment.check_report = None))
+    [ Config.No_buffer; Config.Packet_granularity; Config.Flow_granularity ]
+
+let test_lossy_run_clean_under_check () =
+  let faults = { Sdn_sim.Faults.none with Sdn_sim.Faults.loss_rate = 0.2 } in
+  let r = run_checked ~faults ~mechanism:Config.Flow_granularity () in
+  Alcotest.(check int) "no violations under loss" 0
+    r.Experiment.check_violations
+
+let suite =
+  [
+    Alcotest.test_case "clean buffer lifecycle" `Quick
+      test_buffer_clean_lifecycle;
+    Alcotest.test_case "double release caught" `Quick test_double_release;
+    Alcotest.test_case "re-alloc of live id caught" `Quick
+      test_realloc_while_live;
+    Alcotest.test_case "append after close caught" `Quick
+      test_append_after_close;
+    Alcotest.test_case "release packet-count mismatch caught" `Quick
+      test_release_count_mismatch;
+    Alcotest.test_case "pools are independent ledgers" `Quick
+      test_pools_are_independent;
+    Alcotest.test_case "original + resends is legal" `Quick
+      test_single_packet_in_clean;
+    Alcotest.test_case "second original PACKET_IN caught" `Quick
+      test_double_original_packet_in;
+    Alcotest.test_case "PACKET_IN for dead unit caught" `Quick
+      test_packet_in_for_dead_unit;
+    Alcotest.test_case "legal session lifecycle" `Quick
+      test_legal_session_lifecycle;
+    Alcotest.test_case "illegal session edge caught" `Quick
+      test_illegal_session_transition;
+    Alcotest.test_case "fresh xids unique, echoes exempt" `Quick
+      test_xid_unique_clean;
+    Alcotest.test_case "fresh xid reuse caught" `Quick test_fresh_xid_reuse;
+    Alcotest.test_case "codec round-trip clean" `Quick
+      test_codec_roundtrip_clean;
+    Alcotest.test_case "tampered bytes caught" `Quick test_codec_tampered_bytes;
+    Alcotest.test_case "xid mismatch on the wire caught" `Quick
+      test_codec_wrong_xid;
+    Alcotest.test_case "undecodable emission caught" `Quick
+      test_codec_undecodable;
+    Alcotest.test_case "raise_on_violation raises" `Quick
+      test_raise_on_violation;
+    Alcotest.test_case "trace tail bounded and ends at violation" `Quick
+      test_trace_depth_bounds_tail;
+    Alcotest.test_case "experiments clean under --check" `Quick
+      test_experiment_clean_under_check;
+    Alcotest.test_case "lossy run clean under --check" `Quick
+      test_lossy_run_clean_under_check;
+  ]

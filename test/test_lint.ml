@@ -1,0 +1,88 @@
+(* The @lint source gate, exercised against a fixture corpus: each
+   dirty fixture trips exactly its one rule, and the clean fixtures
+   prove the sort discharge and the [lint: allow] suppression paths. *)
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let lint name =
+  match Lint_core.lint_file (fixture name) with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "fixture %s failed to parse: %s" name e
+
+let fires_once name rule () =
+  match lint name with
+  | [ f ] ->
+      Alcotest.(check string) "rule" rule f.Lint_core.rule;
+      Alcotest.(check bool) "positive line" true (f.Lint_core.line > 0);
+      Alcotest.(check bool) "message set" true
+        (String.length f.Lint_core.message > 0)
+  | fs ->
+      Alcotest.failf "expected exactly one %s finding in %s, got %d" rule name
+        (List.length fs)
+
+let clean name () =
+  match lint name with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "expected %s to be clean, first finding: %s:%d %s" name
+        f.Lint_core.file f.Lint_core.line f.Lint_core.rule
+
+let test_rule_catalog () =
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " catalogued")
+        true
+        (List.mem_assoc rule Lint_core.rules))
+    [
+      "wall-clock"; "entropy"; "hashtbl-order"; "exception-swallow";
+      "partial-exit"; "poly-compare";
+    ]
+
+let test_missing_file () =
+  match Lint_core.lint_file (fixture "no_such_file.ml") with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error _ -> ()
+
+let test_lint_files_aggregates () =
+  let findings, errors =
+    Lint_core.lint_files
+      [ fixture "wall_clock.ml"; fixture "entropy.ml"; fixture "suppressed.ml" ]
+  in
+  Alcotest.(check int) "no read errors" 0 (List.length errors);
+  Alcotest.(check int) "dirty fixtures only" 2 (List.length findings)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_json_output () =
+  let json = Lint_core.to_json (lint "poly_compare.ml") in
+  Alcotest.(check bool) "names the rule" true (contains json "poly-compare");
+  Alcotest.(check bool) "names the file" true (contains json "poly_compare.ml")
+
+let suite =
+  [
+    Alcotest.test_case "wall-clock fires once" `Quick
+      (fires_once "wall_clock.ml" "wall-clock");
+    Alcotest.test_case "entropy fires once" `Quick
+      (fires_once "entropy.ml" "entropy");
+    Alcotest.test_case "hashtbl-order fires once" `Quick
+      (fires_once "hashtbl_order.ml" "hashtbl-order");
+    Alcotest.test_case "exception-swallow fires once" `Quick
+      (fires_once "exception_swallow.ml" "exception-swallow");
+    Alcotest.test_case "partial-exit fires once" `Quick
+      (fires_once "partial_exit.ml" "partial-exit");
+    Alcotest.test_case "poly-compare fires once" `Quick
+      (fires_once "poly_compare.ml" "poly-compare");
+    Alcotest.test_case "sort in same item discharges fold" `Quick
+      (clean "sorted_fold.ml");
+    Alcotest.test_case "lint: allow suppresses per site" `Quick
+      (clean "suppressed.ml");
+    Alcotest.test_case "rule catalog is complete" `Quick test_rule_catalog;
+    Alcotest.test_case "missing file reports an error" `Quick test_missing_file;
+    Alcotest.test_case "lint_files aggregates findings" `Quick
+      test_lint_files_aggregates;
+    Alcotest.test_case "json names rule and file" `Quick test_json_output;
+  ]

@@ -33,4 +33,6 @@ let () =
       ("properties", Test_properties.suite);
       ("failures", Test_failures.suite);
       ("lifecycle", Test_lifecycle.suite);
+      ("check", Test_check.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -1,0 +1,291 @@
+(* Determinism lint over the untyped AST. See lint_core.mli for the
+   rule catalog. The analyzer deliberately works on the Parsetree, not
+   the Typedtree: it must run on any file that merely parses, without a
+   full build, and every rule here is recognisable syntactically. Only
+   stable Parsetree nodes are matched (Pexp_ident / Pexp_assert /
+   Pexp_try / Ppat_any / Pstr_value), so the same source compiles
+   against the 5.1 and 5.2 compiler-libs. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+let rules =
+  [
+    ( "wall-clock",
+      "host-clock read; the simulation's only clock is Engine.now" );
+    ("entropy", "Random module use; randomness must come from seeded Rng");
+    ( "hashtbl-order",
+      "Hashtbl iteration order escapes without an explicit sort" );
+    ("exception-swallow", "wildcard exception handler hides failures");
+    ("partial-exit", "assert false / failwith instead of a typed error");
+    ("poly-compare", "polymorphic compare; name a monomorphic comparison");
+  ]
+
+(* ---- Small string helpers (no external deps in this tool) ---- *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + m <= n do
+      if String.sub haystack !i m = needle then found := true else incr i
+    done;
+    !found
+  end
+
+let ends_with ~suffix s =
+  let n = String.length s and m = String.length suffix in
+  m <= n && String.sub s (n - m) m = suffix
+
+(* A finding on [line] is suppressed by a "lint: allow <rule>" comment
+   on that line or the line directly above it. *)
+let suppressed lines ~line ~rule =
+  let allows idx =
+    idx >= 0 && idx < Array.length lines
+    && contains lines.(idx) "lint: allow"
+    && contains lines.(idx) rule
+  in
+  allows (line - 1) || allows (line - 2)
+
+(* ---- Longident classification ---- *)
+
+(* Longident.flatten raises on functor applications; fold by hand. *)
+let flatten lid =
+  let exception Functor_application in
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> raise Functor_application
+  in
+  match go [] lid with parts -> Some parts | exception Functor_application -> None
+
+let wall_clock_idents =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "gmtime" ];
+    [ "Unix"; "localtime" ];
+    [ "Sys"; "time" ];
+  ]
+
+let failwith_idents = [ [ "failwith" ]; [ "Stdlib"; "failwith" ] ]
+
+let poly_compare_idents =
+  [ [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Pervasives"; "compare" ] ]
+
+let sort_names = [ "sort"; "stable_sort"; "sort_uniq"; "fast_sort" ]
+
+(* Hashtbl.fold / Hashtbl.iter, including the functorial instances the
+   codebase spells <Key>.Table.fold. *)
+let hashtbl_iteration parts =
+  match List.rev parts with
+  | fn :: module_ :: _ when fn = "fold" || fn = "iter" ->
+      module_ = "Hashtbl" || module_ = "Table"
+  | _ -> false
+
+let is_sort parts =
+  match List.rev parts with
+  | fn :: _ :: _ -> List.mem fn sort_names
+  | _ -> false
+
+(* A file defining its own top-level [compare] is exempt from the
+   poly-compare rule: local references resolve to that binding. *)
+let defines_toplevel_compare structure =
+  List.exists
+    (fun (item : Parsetree.structure_item) ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, bindings) ->
+          List.exists
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var { Asttypes.txt = "compare"; _ } -> true
+              | _ -> false)
+            bindings
+      | _ -> false)
+    structure
+
+(* ---- The per-file walk ---- *)
+
+let lint_structure ~path ~lines structure =
+  let findings = ref [] in
+  let add ~loc rule message =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    if not (suppressed lines ~line ~rule) then
+      findings := { file = path; line; rule; message } :: !findings
+  in
+  let poly_exempt = defines_toplevel_compare structure in
+  let entropy_exempt = ends_with ~suffix:"sim/rng.ml" path in
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      (* hashtbl-order is judged per top-level definition: iteration
+         sites are collected, and any sort application in the same
+         definition discharges them (the list was ordered before it
+         escaped). *)
+      let hashtbl_uses = ref [] in
+      let sort_seen = ref false in
+      let on_ident ~loc parts =
+        let name = String.concat "." parts in
+        if List.mem parts wall_clock_idents then
+          add ~loc "wall-clock"
+            (Printf.sprintf
+               "%s reads the host clock; simulated time is Engine.now" name);
+        (match parts with
+        | "Random" :: _ :: _ when not entropy_exempt ->
+            add ~loc "entropy"
+              (Printf.sprintf
+                 "%s is unseeded global state; draw from an Sdn_sim.Rng \
+                  stream instead"
+                 name)
+        | _ -> ());
+        if List.mem parts failwith_idents then
+          add ~loc "partial-exit"
+            "failwith crashes on bad input; return a typed error instead";
+        if (not poly_exempt) && List.mem parts poly_compare_idents then
+          add ~loc "poly-compare"
+            (Printf.sprintf
+               "%s is polymorphic (NaN-unsound on floats); use Float.compare \
+                / Int.compare or a dedicated comparison"
+               name);
+        if hashtbl_iteration parts then
+          hashtbl_uses := (loc, name) :: !hashtbl_uses;
+        if is_sort parts then sort_seen := true
+      in
+      let expr_iter (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+        (match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident { Asttypes.txt; loc } -> (
+            match flatten txt with
+            | Some parts -> on_ident ~loc parts
+            | None -> ())
+        | Parsetree.Pexp_assert
+            {
+              Parsetree.pexp_desc =
+                Parsetree.Pexp_construct
+                  ({ Asttypes.txt = Longident.Lident "false"; _ }, None);
+              _;
+            } ->
+            add ~loc:e.Parsetree.pexp_loc "partial-exit"
+              "assert false crashes at runtime; unreachable arms need a \
+               'lint: allow partial-exit' comment stating the invariant, \
+               parse paths need a typed error"
+        | Parsetree.Pexp_try (_, cases) ->
+            List.iter
+              (fun (c : Parsetree.case) ->
+                let wildcard =
+                  match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+                  | Parsetree.Ppat_any -> true
+                  | Parsetree.Ppat_var { Asttypes.txt = name; _ } ->
+                      String.length name > 0 && name.[0] = '_'
+                  | _ -> false
+                in
+                if wildcard then
+                  add ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc
+                    "exception-swallow"
+                    "wildcard handler swallows every exception, including \
+                     invariant violations; match the exceptions you mean")
+              cases
+        | _ -> ());
+        Ast_iterator.default_iterator.Ast_iterator.expr it e
+      in
+      let iterator =
+        { Ast_iterator.default_iterator with Ast_iterator.expr = expr_iter }
+      in
+      iterator.Ast_iterator.structure_item iterator item;
+      if not !sort_seen then
+        List.iter
+          (fun (loc, name) ->
+            add ~loc "hashtbl-order"
+              (Printf.sprintf
+                 "%s visits hash buckets in unspecified order; sort the \
+                  result before it escapes, or mark a commutative \
+                  accumulation with 'lint: allow hashtbl-order'"
+                 name))
+          (List.rev !hashtbl_uses))
+    structure;
+  List.rev !findings
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | src -> (
+      let lines = Array.of_list (String.split_on_char '\n' src) in
+      let lexbuf = Lexing.from_string src in
+      Lexing.set_filename lexbuf path;
+      match Parse.implementation lexbuf with
+      | exception exn ->
+          Error
+            (Printf.sprintf "%s: does not parse: %s" path
+               (Printexc.to_string exn))
+      | structure ->
+          Ok (List.sort compare_findings (lint_structure ~path ~lines structure))
+      )
+
+let lint_files paths =
+  let findings, errors =
+    List.fold_left
+      (fun (fs, es) path ->
+        match lint_file path with
+        | Ok found -> (found :: fs, es)
+        | Error msg -> (fs, msg :: es))
+      ([], []) paths
+  in
+  (List.sort compare_findings (List.concat findings), List.rev errors)
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* ---- Machine-readable summary ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \
+            \"message\": \"%s\"}"
+           (json_escape f.file) f.line (json_escape f.rule)
+           (json_escape f.message)))
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

@@ -1,0 +1,70 @@
+(** Determinism lint: a compiler-libs source analyzer for the
+    simulation's reproducibility contract.
+
+    The repository's headline guarantee is that two runs with the same
+    seed produce byte-identical reports. That guarantee dies quietly:
+    one [Unix.gettimeofday] in a cost model, one [Hashtbl.fold] whose
+    order leaks into a table, one [with _ ->] hiding a decode bug. This
+    module parses every [.ml] file with the compiler's own front end
+    and walks the untyped AST looking for the hazard classes below;
+    {!Sdn_lint} runs it over [lib/], [bin/] and [bench/] as the
+    [@lint] alias.
+
+    Rules (ids as reported and as named in suppression comments):
+
+    - [wall-clock] — reads of host time ([Unix.gettimeofday],
+      [Unix.time], [Unix.gmtime], [Unix.localtime], [Sys.time]): the
+      simulation has exactly one clock, [Engine.now];
+    - [entropy] — uses of the [Random] module: all randomness must come
+      from the seeded [Sdn_sim.Rng] streams (the [lib/sim/rng.ml]
+      implementation itself is exempt);
+    - [hashtbl-order] — [Hashtbl.fold]/[Hashtbl.iter] (including
+      functorial [*.Table.fold/iter]): hash-bucket order is
+      implementation-defined, so any result that escapes into a report
+      or onto the wire must be explicitly sorted. A sort application
+      ([List.sort], [List.stable_sort], [List.sort_uniq],
+      [Array.sort], ...) within the same top-level definition counts as
+      the escape hatch; provably order-insensitive folds (commutative
+      counters) carry a suppression comment instead;
+    - [exception-swallow] — [try ... with _ ->] (or [with _exn ->]):
+      wildcard handlers silently eat exactly the invariant violations
+      the checker is designed to surface;
+    - [partial-exit] — [assert false] and [failwith]: in decode or
+      parse paths these turn malformed input into a crash; parsers
+      must return typed errors. Genuinely unreachable arms carry a
+      suppression comment stating the invariant;
+    - [poly-compare] — the polymorphic [compare] (bare or
+      [Stdlib.compare]): on float-carrying records it is both slow and
+      a NaN trap; comparisons must name [Float.compare]/[Int.compare]
+      or a record-specific function. A file defining its own top-level
+      [let compare] is exempt (local references resolve to it).
+
+    Per-site suppression: a comment containing
+    [lint: allow <rule-id>] on the offending line or the line directly
+    above disables that one rule for that line. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val rules : (string * string) list
+(** Rule id and one-line description, in report order. *)
+
+val lint_file : string -> (finding list, string) result
+(** Analyze one [.ml] file. [Error] carries a syntax-error message when
+    the file does not parse (a file that does not parse cannot be
+    vouched for). Findings are sorted by line. *)
+
+val lint_files : string list -> finding list * string list
+(** Analyze many files: (all findings sorted by file, line and rule;
+    parse-error messages in file order). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] message] — editor-clickable. *)
+
+val to_json : finding list -> string
+(** Machine-readable summary: a JSON array of
+    [{"file": ..., "line": ..., "rule": ..., "message": ...}]. *)

@@ -1,0 +1,57 @@
+(* Command-line driver for the determinism lint: walk the given
+   directories (or individual .ml files), analyze every implementation
+   file, and fail with exit 1 when any finding survives. Wired to the
+   [@lint] dune alias over lib/, bin/ and bench/. *)
+
+let usage = "sdn_lint [--json] DIR|FILE..."
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+        then acc
+        else collect_ml acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let json = ref false in
+  let roots = ref [] in
+  Arg.parse
+    [ ("--json", Arg.Set json, " emit the findings as a JSON array") ]
+    (fun root -> roots := root :: !roots)
+    usage;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "sdn_lint: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    roots;
+  (* Sorted file order keeps the report (and the JSON) deterministic
+     regardless of readdir order. *)
+  let files =
+    List.sort String.compare (List.fold_left collect_ml [] roots)
+  in
+  let findings, errors = Lint_core.lint_files files in
+  List.iter (fun msg -> Printf.eprintf "sdn_lint: %s\n" msg) errors;
+  if !json then print_string (Lint_core.to_json findings)
+  else begin
+    List.iter
+      (fun f -> Format.printf "%a@." Lint_core.pp_finding f)
+      findings;
+    match findings with
+    | [] -> Printf.printf "lint: clean (%d files)\n" (List.length files)
+    | _ ->
+        Printf.printf "lint: %d finding(s) in %d files\n"
+          (List.length findings) (List.length files)
+  end;
+  if errors <> [] then exit 2;
+  if findings <> [] then exit 1
