@@ -18,6 +18,8 @@
      dune exec bench/main.exe -- fig5         # one figure
      dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
      dune exec bench/main.exe -- ablations    # the ablation studies
+     dune exec bench/main.exe -- json [path]  # machine-readable snapshot
+                                              # (default BENCH_pr4.json)
 *)
 
 open Bechamel
@@ -59,9 +61,12 @@ let sample_flow_mod =
     ~actions:[ Sdn_openflow.Of_action.output 2 ]
     ()
 
-(* A populated flow table for lookup benchmarks. *)
-let populated_table n =
-  let table = Sdn_switch.Flow_table.create ~capacity:(2 * n) () in
+(* A populated flow table for lookup benchmarks: [n] exact 5-tuple
+   rules plus [wildcards] low-priority wildcarded rules (the default
+   rules a reactive deployment carries), which force the slow path to
+   run its linear scan. *)
+let populated_table ?(wildcards = 0) n =
+  let table = Sdn_switch.Flow_table.create ~capacity:(2 * (n + wildcards)) () in
   for i = 0 to n - 1 do
     let key =
       Sdn_net.Flow_key.make ~proto:17
@@ -78,7 +83,34 @@ let populated_table n =
       (Sdn_switch.Flow_table.insert table
          (Sdn_switch.Flow_entry.of_flow_mod fm ~now:0.0))
   done;
+  for i = 0 to wildcards - 1 do
+    (* Distinct ingress ports no benchmark packet arrives on: scanned
+       by every slow-path lookup, matched by none. *)
+    let fm =
+      Sdn_openflow.Of_flow_mod.add ~priority:0
+        ~match_:
+          { Sdn_openflow.Of_match.wildcard_all with
+            Sdn_openflow.Of_match.in_port = Some (10_000 + i) }
+        ~actions:[ Sdn_openflow.Of_action.output 3 ]
+        ()
+    in
+    ignore
+      (Sdn_switch.Flow_table.insert table
+         (Sdn_switch.Flow_entry.of_flow_mod fm ~now:0.0))
+  done;
   table
+
+(* A packet that matches rule 0 of [populated_table]. *)
+let hit_packet =
+  Sdn_net.Packet.udp ~src_mac:mac1 ~dst_mac:mac2
+    ~src_ip:(Sdn_net.Ip.of_int32 0x0A010000l) ~dst_ip:ip2 ~src_port:1000
+    ~dst_port:9
+    ~payload:(Bytes.of_string "x")
+    ()
+
+(* Element type for the raw heap benchmark (tracks its own slot for
+   indexed removal, the way engine handles do). *)
+type heap_slot = { v : int; mutable idx : int }
 
 let micro_tests () =
   let open Sdn_net in
@@ -116,8 +148,7 @@ let micro_tests () =
            ignore (Of_codec.encode ~xid:1l (Of_codec.Flow_mod sample_flow_mod))));
     Test.make ~name:"flow-table/lookup-hit-1000-rules"
       (Staged.stage (fun () ->
-           ignore
-             (Sdn_switch.Flow_table.lookup table1000 ~in_port:1 sample_packet)));
+           ignore (Sdn_switch.Flow_table.lookup table1000 ~in_port:1 hit_packet)));
     Test.make ~name:"flow-table/lookup-miss-1000-rules"
       (Staged.stage
          (let miss_packet =
@@ -165,20 +196,122 @@ let micro_tests () =
           fun () ->
             ignore (Sdn_sim.Engine.schedule engine ~delay:1e-9 (fun () -> ()));
             ignore (Sdn_sim.Engine.step engine)));
+    (* ---- Hot-path subjects: fast vs slow classification, the
+       allocation-free codec, and O(log n) cancellation. ---- *)
+    Test.make ~name:"flow-table/lookup-cached-1k-mixed"
+      (Staged.stage
+         (let table = populated_table ~wildcards:32 968 in
+          fun () ->
+            ignore (Sdn_switch.Flow_table.lookup table ~in_port:1 hit_packet)));
+    Test.make ~name:"flow-table/lookup-uncached-1k-mixed"
+      (Staged.stage
+         (let table = populated_table ~wildcards:32 968 in
+          fun () ->
+            ignore
+              (Sdn_switch.Flow_table.lookup_uncached table ~in_port:1
+                 hit_packet)));
+    Test.make ~name:"openflow/encode-pkt_in-no-buffer-scratch"
+      (Staged.stage
+         (let scratch = Sdn_openflow.Of_wire.Scratch.create () in
+          fun () ->
+            ignore
+              (Of_codec.encode_scratch scratch ~xid:1l
+                 (Of_codec.Packet_in
+                    (Of_packet_in.make ~buffer_id:Of_wire.no_buffer ~in_port:1
+                       ~reason:Of_packet_in.No_match ~frame:sample_frame
+                       ~miss_send_len:None)))));
+    Test.make ~name:"openflow/encode-pkt_in-buffered-scratch"
+      (Staged.stage
+         (let scratch = Sdn_openflow.Of_wire.Scratch.create () in
+          fun () ->
+            ignore
+              (Of_codec.encode_scratch scratch ~xid:1l
+                 (Of_codec.Packet_in
+                    (Of_packet_in.make ~buffer_id:7l ~in_port:1
+                       ~reason:Of_packet_in.No_match ~frame:sample_frame
+                       ~miss_send_len:(Some 128))))));
+    Test.make ~name:"openflow/encode-flow_mod-scratch"
+      (Staged.stage
+         (let scratch = Sdn_openflow.Of_wire.Scratch.create () in
+          fun () ->
+            ignore
+              (Of_codec.encode_scratch scratch ~xid:1l
+                 (Of_codec.Flow_mod sample_flow_mod))));
+    Test.make ~name:"openflow/decode_sub-pkt_in-buffered"
+      (Staged.stage (fun () ->
+           ignore
+             (Of_codec.decode_sub sample_pkt_in_buffered ~pos:0
+                ~len:(Bytes.length sample_pkt_in_buffered))));
+    Test.make ~name:"engine/schedule-cancel"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          fun () ->
+            Sdn_sim.Engine.cancel
+              (Sdn_sim.Engine.schedule engine ~delay:1.0 (fun () -> ()))));
+    Test.make ~name:"heap/push-remove-1k"
+      (Staged.stage
+         (let heap =
+            Sdn_sim.Heap.create ~capacity:2048
+              ~set_index:(fun s i -> s.idx <- i)
+              ~cmp:(fun a b -> Int.compare a.v b.v)
+              ()
+          in
+          for i = 0 to 1022 do
+            Sdn_sim.Heap.push heap { v = 2 * i; idx = -1 }
+          done;
+          let probe = { v = 1001; idx = -1 } in
+          fun () ->
+            Sdn_sim.Heap.push heap probe;
+            ignore (Sdn_sim.Heap.remove heap probe.idx)));
   ]
 
-let run_micro () =
-  print_endline "== Micro-benchmarks (Bechamel, ns/run) ==";
-  let instances = Instance.[ monotonic_clock ] in
+(* Bechamel's stock [Instance.minor_allocated] reads
+   [(Gc.quick_stat ()).minor_words], which on OCaml 5.1 only advances
+   at minor collections — sample windows short enough to fit in the
+   young heap read an exact zero.  The dedicated [Gc.minor_words]
+   primitive includes in-flight young-heap allocation, so register our
+   own measure on top of it. *)
+module Minor_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+  let get () = Gc.minor_words ()
+  let label () = "minor-words"
+  let unit () = "mnw"
+end
+
+let minor_words =
+  Measure.instance (module Minor_words) (Measure.register (module Minor_words))
+
+let bench_raw ~instances =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let tests = Test.make_grouped ~name:"micro" (micro_tests ()) in
-  let raw = Benchmark.all cfg instances tests in
+  Benchmark.all cfg instances tests
+
+let analyze raw instance =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Analyze.all ols instance raw
+
+(* Per-subject per-run OLS estimates, name-sorted for determinism. *)
+let collect_estimates results =
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (e :: _) -> (name, e) :: acc
+      | Some [] | None -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run_micro () =
+  print_endline "== Micro-benchmarks (Bechamel, ns/run) ==";
+  let raw = bench_raw ~instances:Instance.[ monotonic_clock ] in
+  let results = analyze raw Instance.monotonic_clock in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
@@ -203,6 +336,71 @@ let run_micro () =
     rows;
   print_newline ()
 
+(* ---- Machine-readable benchmark snapshot (the regression gate's
+   input): every subject's ns/run and minor-words/run, plus derived
+   higher-is-better ratios that are stable across machines. ---- *)
+
+let find_metric metrics suffix =
+  List.find_map
+    (fun (name, v) ->
+      let ls = String.length suffix and ln = String.length name in
+      if ln >= ls && String.equal (String.sub name (ln - ls) ls) suffix then
+        Some v
+      else None)
+    metrics
+
+let run_json path =
+  let raw = bench_raw ~instances:[ Instance.monotonic_clock; minor_words ] in
+  let ns = collect_estimates (analyze raw Instance.monotonic_clock) in
+  let words = collect_estimates (analyze raw minor_words) in
+  let ratio num den =
+    match (num, den) with
+    | Some a, Some b when Float.compare b 1e-9 > 0 -> Some (a /. b)
+    | Some _, Some _ | Some _, None | None, Some _ | None, None -> None
+  in
+  let derived =
+    List.filter_map
+      (fun (name, v) -> Option.map (fun v -> (name, v)) v)
+      [
+        (* How much faster the microflow fast path answers a warm
+           lookup than the full classification on a 1k-entry table. *)
+        ( "derived/flow_table_cache_speedup",
+          ratio
+            (find_metric ns "flow-table/lookup-uncached-1k-mixed")
+            (find_metric ns "flow-table/lookup-cached-1k-mixed") );
+        (* Allocation reduction of the scratch encoder on the
+           dominant PACKET_IN shape (full frame attached). *)
+        ( "derived/pkt_in_encode_alloc_speedup",
+          ratio
+            (find_metric words "openflow/encode-pkt_in-no-buffer")
+            (find_metric words "openflow/encode-pkt_in-no-buffer-scratch") );
+        ( "derived/flow_mod_encode_alloc_speedup",
+          ratio
+            (find_metric words "openflow/encode-flow_mod")
+            (find_metric words "openflow/encode-flow_mod-scratch") );
+      ]
+  in
+  let metrics =
+    List.map (fun (n, v) -> (n ^ "/ns", v)) ns
+    @ List.map (fun (n, v) -> (n ^ "/minor-words", v)) words
+    @ derived
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"schema\": \"sdn-buffer-bench/1\",\n";
+      Printf.fprintf oc "  \"metrics\": {\n";
+      let n = List.length metrics in
+      List.iteri
+        (fun i (name, v) ->
+          Printf.fprintf oc "    \"%s\": %.6g%s\n" name v
+            (if i = n - 1 then "" else ","))
+        metrics;
+      Printf.fprintf oc "  }\n}\n");
+  List.iter (fun (name, v) -> Printf.printf "%-60s %14.1f\n" name v) derived;
+  Printf.printf "wrote %d metrics to %s\n" (List.length metrics) path
+
 (* ---- Figure harness ---- *)
 
 let run_figures ?reps () = Sdn_core.Figures.run_all ?reps ()
@@ -223,6 +421,8 @@ let () =
       run_figures ();
       Sdn_core.Ablations.run_all ()
   | [ _; "micro" ] -> run_micro ()
+  | [ _; "json" ] -> run_json "BENCH_pr4.json"
+  | [ _; "json"; path ] -> run_json path
   | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
   | [ _; "figures" ] -> run_figures ()
   | [ _; "figures"; reps ] -> run_figures ~reps:(int_of_string reps) ()

@@ -134,6 +134,18 @@ let note_packet_in t ~time ~pool ~id ~resend =
       violate t ~time ~invariant:"single-packet-in"
         (not_live_detail t ~pool ~id ~what:"PACKET_IN")
 
+(* ---- Microflow-cache agreement ---- *)
+
+let note_microflow t ~time ~table ~agree ~detail =
+  record t ~time
+    (Printf.sprintf "microflow %s: cached lookup %s" table
+       (if agree then "agrees" else "DISAGREES"));
+  if not agree then
+    violate t ~time ~invariant:"microflow-agreement"
+      (Printf.sprintf
+         "table %s: cached lookup disagrees with full flow-table lookup (%s)"
+         table detail)
+
 (* ---- Control-session invariants ---- *)
 
 (* Legal edges of {!Sdn_switch.Session}: the keepalive may degrade

@@ -21,7 +21,9 @@
       legal edges (e.g. [Handshaking] never jumps straight to
       [Reconnecting]);
     - {b codec-roundtrip}: [decode (encode m) = m] for every message
-      put on the control channel.
+      put on the control channel;
+    - {b microflow-agreement}: the switch's exact-match fast path
+      returns the same entry as the full flow-table lookup.
 
     Violations are recorded as structured reports carrying the tail of
     the event trace leading up to them; optionally they raise
@@ -73,6 +75,16 @@ val note_packet_in :
 (** A PACKET_IN was generated for buffered unit [id]. Violation if the
     unit is not live, or if a second {e original} (non-resend)
     PACKET_IN is generated for the same live chain. *)
+
+(* ---- Microflow-cache agreement ---- *)
+
+val note_microflow :
+  t -> time:float -> table:string -> agree:bool -> detail:string -> unit
+(** The flow table answered a lookup from the microflow cache and — with
+    the checker armed — re-ran the full slow-path lookup alongside it.
+    Violation when the two disagree (the cache returned a different
+    entry, or a hit where the table would miss, or vice versa);
+    [detail] describes the divergence. *)
 
 (* ---- Control-session invariants ---- *)
 

@@ -62,6 +62,8 @@ type result = {
   chains_expired : int;
   controller_downs : int;
   controller_resyncs : int;
+  microflow_hits : int;
+  microflow_misses : int;
   check_violations : int;
   check_report : string option;
 }
@@ -164,6 +166,11 @@ let run (config : Config.t) =
     chains_expired = Sdn_switch.Switch.chains_expired_on_resume switch;
     controller_downs = controller_counters.Sdn_controller.Controller.switch_downs;
     controller_resyncs = controller_counters.Sdn_controller.Controller.resyncs;
+    microflow_hits =
+      Sdn_switch.Flow_table.microflow_hits (Sdn_switch.Switch.flow_table switch);
+    microflow_misses =
+      Sdn_switch.Flow_table.microflow_misses
+        (Sdn_switch.Switch.flow_table switch);
     check_violations =
       (match scenario.Scenario.check with
       | Some check -> Sdn_check.Check.violation_count check
@@ -232,6 +239,9 @@ let pp_result fmt r =
     Format.fprintf fmt "controller view      : %d down(s), %d resync(s)@,"
       r.controller_downs r.controller_resyncs
   end;
+  if r.microflow_hits > 0 || r.microflow_misses > 0 then
+    Format.fprintf fmt "microflow cache      : %d hit(s), %d miss(es)@,"
+      r.microflow_hits r.microflow_misses;
   Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
     r.packets_in r.packets_out r.packets_dropped;
   (* Only violations change the report: a clean [--check] run prints

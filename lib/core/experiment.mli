@@ -66,6 +66,10 @@ type result = {
       (** controller-side Down declarations for this switch *)
   controller_resyncs : int;
       (** handshake replays (state resync) after recovery *)
+  microflow_hits : int;
+      (** flow-table lookups answered by the exact-match fast path *)
+  microflow_misses : int;
+      (** cacheable lookups that fell through to the full table scan *)
   check_violations : int;
       (** protocol-invariant violations recorded by the runtime checker
           (always 0 when the config's [check] flag is off) *)

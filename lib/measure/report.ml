@@ -62,7 +62,12 @@ let histogram ?(bins = 8) ?(width = 40) ?(fmt = fun v -> Printf.sprintf "%g" v)
       List.init bins (fun i ->
           let b_lo = lo +. (span *. float_of_int i /. float_of_int bins) in
           let b_hi = lo +. (span *. float_of_int (i + 1) /. float_of_int bins) in
-          let bar_len = counts.(i) * width / peak in
+          (* A non-empty bucket always shows at least one mark, however
+             dominant the peak. *)
+          let bar_len =
+            if counts.(i) = 0 then 0
+            else Stdlib.max 1 (counts.(i) * width / peak)
+          in
           [
             Printf.sprintf "[%s, %s%c" (fmt b_lo) (fmt b_hi)
               (if i = bins - 1 then ']' else ')');

@@ -59,11 +59,17 @@ let body_size = function
 
 let size msg = Of_wire.header_size + body_size msg
 
-let encode ~xid msg =
+let encode_into ~xid msg buf ~pos =
   let length = size msg in
-  let buf = Bytes.make length '\000' in
-  Of_wire.write_header { Of_wire.msg_type = msg_type msg; length; xid } buf;
-  let off = Of_wire.header_size in
+  if pos < 0 || pos + length > Bytes.length buf then
+    invalid_arg "Of_codec.encode_into: buffer too small";
+  (* Body writers may skip pad bytes; zero the window first so the
+     result is byte-identical to a fresh-buffer [encode]. *)
+  Bytes.fill buf pos length '\000';
+  Of_wire.write_header_at
+    { Of_wire.msg_type = msg_type msg; length; xid }
+    buf ~pos;
+  let off = pos + Of_wire.header_size in
   (match msg with
   | Hello | Features_request | Get_config_request | Barrier_request
   | Barrier_reply ->
@@ -81,13 +87,23 @@ let encode ~xid msg =
   | Flow_mod f -> Of_flow_mod.write_body f buf off
   | Stats_request r -> Of_stats.write_request_body r buf off
   | Stats_reply r -> Of_stats.write_reply_body r buf off);
+  length
+
+let encode ~xid msg =
+  let buf = Bytes.create (size msg) in
+  ignore (encode_into ~xid msg buf ~pos:0);
   buf
 
-let decode buf =
-  match Of_wire.read_header buf with
+let encode_scratch scratch ~xid msg =
+  let buf = Of_wire.Scratch.ensure scratch (size msg) in
+  let length = encode_into ~xid msg buf ~pos:0 in
+  (buf, length)
+
+let decode_sub buf ~pos ~len:window =
+  match Of_wire.read_header_sub buf ~pos ~len:window with
   | Error _ as e -> e
   | Ok header -> (
-      let off = Of_wire.header_size in
+      let off = pos + Of_wire.header_size in
       let len = header.Of_wire.length - Of_wire.header_size in
       let body =
         match header.Of_wire.msg_type with
@@ -143,6 +159,8 @@ let decode buf =
       match body with
       | Ok msg -> Ok (header.Of_wire.xid, msg)
       | Error _ as e -> e)
+
+let decode buf = decode_sub buf ~pos:0 ~len:(Bytes.length buf)
 
 type error_kind =
   | Truncated

@@ -33,9 +33,27 @@ val size : msg -> int
 
 val encode : xid:int32 -> msg -> Bytes.t
 
+val encode_into : xid:int32 -> msg -> Bytes.t -> pos:int -> int
+(** Encode at offset [pos] of a caller-owned buffer and return the
+    encoded length — the allocation-free hot path. The window is
+    zeroed first, so the bytes produced are identical to [encode]'s
+    even into a dirty buffer. Raises [Invalid_argument] when the
+    buffer cannot hold {!size} bytes at [pos]. *)
+
+val encode_scratch : Of_wire.Scratch.t -> xid:int32 -> msg -> Bytes.t * int
+(** Encode into a reusable scratch buffer, growing it if needed;
+    returns the backing buffer and the encoded length. Steady-state
+    cost is the header+body writes only — no per-message allocation. *)
+
 val decode : Bytes.t -> (int32 * msg, string) result
 (** Parse one message from the start of the buffer; the buffer must be
     exactly one message long (as delivered by the simulated channel). *)
+
+val decode_sub : Bytes.t -> pos:int -> len:int -> (int32 * msg, string) result
+(** Parse one message in place at offset [pos] of a [len]-byte window —
+    what the stream reassembler uses, avoiding a copy of every message
+    out of its receive buffer. Trailing bytes beyond the header's
+    length field are ignored. *)
 
 val peek_type : Bytes.t -> (Of_wire.Msg_type.t, string) result
 (** Cheap classification of an encoded message without a full parse —

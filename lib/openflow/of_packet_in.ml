@@ -10,12 +10,15 @@ type t = {
 
 let default_miss_send_len = 128
 
+(* Frames are immutable by convention throughout the simulator, so the
+   full-frame and full-prefix cases alias [frame] instead of copying —
+   packet_in construction is on the per-packet hot path. *)
 let make ~buffer_id ~in_port ~reason ~frame ~miss_send_len =
   let total_len = Bytes.length frame in
   let data =
     match miss_send_len with
-    | None -> Bytes.copy frame
-    | Some n -> Bytes.sub frame 0 (min n total_len)
+    | None -> frame
+    | Some n -> if n >= total_len then frame else Bytes.sub frame 0 n
   in
   { buffer_id; total_len; in_port; reason; data }
 

@@ -13,12 +13,14 @@ let release ~buffer_id ~out_port =
     data = Bytes.empty;
   }
 
+(* Frames are immutable by convention, so the full-frame fallback
+   aliases [frame] rather than copying it into the message. *)
 let full ~frame ~in_port ~out_port =
   {
     buffer_id = Of_wire.no_buffer;
     in_port;
     actions = [ Of_action.output out_port ];
-    data = Bytes.copy frame;
+    data = frame;
   }
 
 let fixed_body = 4 + 2 + 2

@@ -64,8 +64,9 @@ let next t =
           end
           else if buffered_bytes t < length then Awaiting
           else begin
-            let message = Bytes.sub t.buffer t.start length in
-            match Of_codec.decode message with
+            (* Decode in place — no copy of the message out of the
+               receive buffer. *)
+            match Of_codec.decode_sub t.buffer ~pos:t.start ~len:length with
             | Ok (xid, msg) ->
                 t.start <- t.start + length;
                 if t.start = t.stop then begin
@@ -90,14 +91,15 @@ let drain t =
   loop []
 
 let encode_batch messages =
-  let encoded = List.map (fun (xid, msg) -> Of_codec.encode ~xid msg) messages in
-  let total = List.fold_left (fun acc b -> acc + Bytes.length b) 0 encoded in
+  let total =
+    List.fold_left (fun acc (_, msg) -> acc + Of_codec.size msg) 0 messages
+  in
+  (* One allocation for the whole batch; each message encodes straight
+     into its slot. *)
   let out = Bytes.create total in
   let _ =
     List.fold_left
-      (fun off b ->
-        Bytes.blit b 0 out off (Bytes.length b);
-        off + Bytes.length b)
-      0 encoded
+      (fun pos (xid, msg) -> pos + Of_codec.encode_into ~xid msg out ~pos)
+      0 messages
   in
   out

@@ -124,27 +124,55 @@ end
 
 type header = { msg_type : Msg_type.t; length : int; xid : int32 }
 
-let write_header h buf =
-  Bytes.set_uint8 buf 0 version;
-  Bytes.set_uint8 buf 1 (Msg_type.to_int h.msg_type);
-  Bytes.set_uint16_be buf 2 h.length;
-  Bytes.set_int32_be buf 4 h.xid
+let write_header_at h buf ~pos =
+  Bytes.set_uint8 buf pos version;
+  Bytes.set_uint8 buf (pos + 1) (Msg_type.to_int h.msg_type);
+  Bytes.set_uint16_be buf (pos + 2) h.length;
+  Bytes.set_int32_be buf (pos + 4) h.xid
 
-let read_header buf =
-  if Bytes.length buf < header_size then Error "Of_wire.read_header: truncated"
+let write_header h buf = write_header_at h buf ~pos:0
+
+let read_header_sub buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    Error "Of_wire.read_header: slice out of bounds"
+  else if len < header_size then Error "Of_wire.read_header: truncated"
   else begin
-    let v = Bytes.get_uint8 buf 0 in
+    let v = Bytes.get_uint8 buf pos in
     if v <> version then
       Error (Printf.sprintf "Of_wire.read_header: unsupported version 0x%02x" v)
     else begin
-      match Msg_type.of_int (Bytes.get_uint8 buf 1) with
+      match Msg_type.of_int (Bytes.get_uint8 buf (pos + 1)) with
       | Error msg -> Error msg
       | Ok msg_type ->
-          let length = Bytes.get_uint16_be buf 2 in
+          let length = Bytes.get_uint16_be buf (pos + 2) in
           if length < header_size then
             Error "Of_wire.read_header: length smaller than header"
-          else if length > Bytes.length buf then
+          else if length > len then
             Error "Of_wire.read_header: length exceeds buffer"
-          else Ok { msg_type; length; xid = Bytes.get_int32_be buf 4 }
+          else Ok { msg_type; length; xid = Bytes.get_int32_be buf (pos + 4) }
     end
   end
+
+let read_header buf = read_header_sub buf ~pos:0 ~len:(Bytes.length buf)
+
+module Scratch = struct
+  type t = { mutable buf : Bytes.t }
+
+  let create ?(capacity = 2048) () =
+    if capacity <= 0 then invalid_arg "Of_wire.Scratch.create: capacity";
+    { buf = Bytes.create capacity }
+
+  let ensure t n =
+    if Bytes.length t.buf < n then begin
+      let capacity = ref (Bytes.length t.buf) in
+      while !capacity < n do
+        capacity := 2 * !capacity
+      done;
+      (* Contents are scratch: no need to preserve them across growth. *)
+      t.buf <- Bytes.create !capacity
+    end;
+    t.buf
+
+  let buffer t = t.buf
+  let capacity t = Bytes.length t.buf
+end

@@ -70,6 +70,34 @@ val write_header : header -> Bytes.t -> unit
 (** Serialize at offset 0 of a buffer that is at least
     {!header_size} long. *)
 
+val write_header_at : header -> Bytes.t -> pos:int -> unit
+(** Serialize at offset [pos]; the caller guarantees room. *)
+
 val read_header : Bytes.t -> (header, string) result
 (** Parse the header at offset 0; checks version, type and that
     [length] does not exceed the buffer. *)
+
+val read_header_sub : Bytes.t -> pos:int -> len:int -> (header, string) result
+(** Parse the header at offset [pos] of a [len]-byte window — the
+    zero-copy variant the stream reassembler uses to decode in place.
+    Checks version, type and that [length] does not exceed [len]. *)
+
+(** A reusable, growable byte buffer for allocation-free encoding on
+    the per-packet hot path. A component owns one scratch and encodes
+    into it instead of allocating a fresh buffer per message. *)
+module Scratch : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Initial [capacity] defaults to 2048 bytes (every fixed-size
+      OpenFlow 1.0 message and any packet_in carrying a standard-MTU
+      frame fits without growth). Raises [Invalid_argument] when
+      [capacity <= 0]. *)
+
+  val ensure : t -> int -> Bytes.t
+  (** [ensure t n] returns the backing buffer, regrown (by doubling)
+      to hold at least [n] bytes. Growth discards previous contents. *)
+
+  val buffer : t -> Bytes.t
+  val capacity : t -> int
+end

@@ -5,6 +5,12 @@
     running an event may schedule further events. Ties are broken by
     insertion order, so the simulation is fully deterministic.
 
+    The queue is an index-tracked heap ({!Heap}): cancelling an event
+    removes it in O(log n) instead of leaving a tombstone to be reaped
+    at pop time, so heavy cancel churn (echo keepalives, backoff
+    timers) neither grows the queue nor skews {!pending}. Events that
+    share a timestamp are dispatched as one batch ({!step_batch}).
+
     Times are in seconds (floats). A typical experiment run in this
     repository covers a few simulated seconds and a few hundred
     thousand events. *)
@@ -32,14 +38,23 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
     A negative [delay] raises [Invalid_argument]. *)
 
 val cancel : handle -> unit
-(** Prevent the event from firing. Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+(** Prevent the event from firing and remove it from the queue in
+    O(log n). Cancelling an already-fired or already-cancelled event is
+    a no-op. *)
 
 val is_cancelled : handle -> bool
 
 val step : t -> bool
 (** Run the single earliest pending event. Returns [false] when the
     queue is empty (and nothing was run). *)
+
+val step_batch : t -> int
+(** Run {e every} event carrying the earliest pending timestamp —
+    including events their actions schedule at that same instant — in
+    insertion order, advancing the clock once. Returns the number of
+    events executed (0 when the queue is empty). Equivalent to calling
+    {!step} repeatedly; exists so the run loop pays the bookkeeping per
+    timestamp instead of per event. *)
 
 val run : ?until:float -> t -> unit
 (** Run events in order until the queue is empty, or — if [until] is
@@ -48,8 +63,8 @@ val run : ?until:float -> t -> unit
     queued. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled ones not yet
-    reaped). *)
+(** Number of {e live} events still queued. Cancelled events are
+    removed immediately and never counted. *)
 
 val processed : t -> int
 (** Total number of events executed so far. *)

@@ -1,14 +1,24 @@
 type 'a t = {
   cmp : 'a -> 'a -> int;
+  set_index : 'a -> int -> unit;
+  min_capacity : int;
   mutable data : 'a option array;
   mutable size : int;
 }
 
-let create ?(capacity = 64) ~cmp () =
+let create ?(capacity = 64) ?(set_index = fun _ _ -> ()) ~cmp () =
   let capacity = max capacity 1 in
-  { cmp; data = Array.make capacity None; size = 0 }
+  {
+    cmp;
+    set_index;
+    min_capacity = capacity;
+    data = Array.make capacity None;
+    size = 0;
+  }
 
 let length t = t.size
+
+let capacity t = Array.length t.data
 
 let is_empty t = t.size = 0
 
@@ -18,21 +28,38 @@ let get t i =
   | None ->
       (* Unreachable: callers only index below [size], and every cell
          below [size] is [Some] — push fills the next cell before
-         incrementing, pop clears only the last cell after shrinking. *)
+         incrementing, pop/remove clear only cells at or past [size]. *)
       assert false (* lint: allow partial-exit *)
+
+let set t i x =
+  t.data.(i) <- Some x;
+  t.set_index x i
 
 let grow t =
   let data = Array.make (2 * Array.length t.data) None in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
+(* Shrink the backing array once occupancy falls to a quarter, so a
+   burst (an outage scenario queueing tens of thousands of timers) does
+   not pin its high-water memory forever. Halving at one-quarter leaves
+   a factor-two hysteresis band, so push/pop around the boundary cannot
+   thrash between grow and shrink. *)
+let maybe_shrink t =
+  let cap = Array.length t.data in
+  if cap > t.min_capacity && t.size * 4 <= cap then begin
+    let data = Array.make (max t.min_capacity (cap / 2)) None in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if t.cmp (get t i) (get t parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+      let a = get t i and b = get t parent in
+      set t i b;
+      set t parent a;
       sift_up t parent
     end
   end
@@ -43,15 +70,15 @@ let rec sift_down t i =
   if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
   if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    let a = get t i and b = get t !smallest in
+    set t i b;
+    set t !smallest a;
     sift_down t !smallest
   end
 
 let push t x =
   if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- Some x;
+  set t t.size x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
@@ -60,12 +87,14 @@ let peek t = if t.size = 0 then None else t.data.(0)
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = get t 0 in
+    t.set_index top (-1);
     t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
+    if t.size > 0 then set t 0 (get t t.size);
     t.data.(t.size) <- None;
     if t.size > 0 then sift_down t 0;
-    top
+    maybe_shrink t;
+    Some top
   end
 
 let pop_exn t =
@@ -73,9 +102,32 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
+let remove t i =
+  if i < 0 || i >= t.size then invalid_arg "Heap.remove: index out of bounds";
+  let removed = get t i in
+  t.set_index removed (-1);
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    let last = get t t.size in
+    t.data.(t.size) <- None;
+    set t i last;
+    (* The displaced element may violate the heap property in either
+       direction relative to its new position. *)
+    if i > 0 && t.cmp last (get t ((i - 1) / 2)) < 0 then sift_up t i
+    else sift_down t i
+  end
+  else t.data.(t.size) <- None;
+  maybe_shrink t;
+  removed
+
 let clear t =
-  Array.fill t.data 0 t.size None;
-  t.size <- 0
+  for i = 0 to t.size - 1 do
+    t.set_index (get t i) (-1)
+  done;
+  t.size <- 0;
+  if Array.length t.data > t.min_capacity then
+    t.data <- Array.make t.min_capacity None
+  else Array.fill t.data 0 (Array.length t.data) None
 
 let iter f t =
   for i = 0 to t.size - 1 do

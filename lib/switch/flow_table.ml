@@ -18,9 +18,16 @@ type t = {
   mutable hits : int;
   mutable evictions : int;
   mutable expirations : int;
+  (* OVS-style fast path: exact-match cache over full lookup results,
+     flushed on every table mutation. *)
+  cache : Flow_entry.t option Microflow.t option;
+  check : Sdn_check.Check.t option;
+  name : string;
+  clock : unit -> float;
 }
 
-let create ?(eviction = true) ~capacity () =
+let create ?(eviction = true) ?(microflow = true) ?microflow_capacity ?check
+    ?(name = "flow-table") ?(clock = fun () -> 0.0) ~capacity () =
   if capacity <= 0 then invalid_arg "Flow_table.create: capacity";
   {
     capacity;
@@ -33,7 +40,17 @@ let create ?(eviction = true) ~capacity () =
     hits = 0;
     evictions = 0;
     expirations = 0;
+    cache =
+      (if microflow then
+         Some (Microflow.create ?capacity:microflow_capacity ())
+       else None);
+    check;
+    name;
+    clock;
   }
+
+let invalidate_cache t =
+  match t.cache with Some cache -> Microflow.flush cache | None -> ()
 
 let length t = Hashtbl.length t.by_uid
 let capacity t = t.capacity
@@ -68,12 +85,14 @@ let remove_uid t uid =
   match Hashtbl.find_opt t.by_uid uid with
   | None -> ()
   | Some entry ->
+      invalidate_cache t;
       Hashtbl.remove t.by_uid uid;
       (match index_key entry.Flow_entry.match_ with
       | Some key -> index_remove t key uid
       | None -> t.wildcard_uids <- List.filter (fun u -> u <> uid) t.wildcard_uids)
 
 let add_entry t entry =
+  invalidate_cache t;
   let uid = t.next_uid in
   t.next_uid <- t.next_uid + 1;
   Hashtbl.add t.by_uid uid entry;
@@ -150,25 +169,72 @@ let candidates t pkt =
   in
   List.rev_append exact t.wildcard_uids
 
+(* The slow path: highest-priority match over the candidate set. Pure
+   (no counters), so the checker can replay it next to a cache hit. *)
+let lookup_uncached t ~in_port pkt =
+  List.fold_left
+    (fun acc uid ->
+      match Hashtbl.find_opt t.by_uid uid with
+      | None -> acc
+      | Some entry ->
+          if not (Of_match.matches entry.Flow_entry.match_ ~in_port pkt) then
+            acc
+          else begin
+            match acc with
+            | None -> Some entry
+            | Some (current : Flow_entry.t) ->
+                if entry.Flow_entry.priority > current.Flow_entry.priority
+                then Some entry
+                else acc
+          end)
+    None (candidates t pkt)
+
+(* With the checker armed, every cache hit replays the slow path and
+   the two results must name the same physical entry (or agree on a
+   miss). The comparison never alters the returned value, so checked
+   runs stay byte-identical to unchecked ones. *)
+let audit_hit t ~in_port pkt cached =
+  match t.check with
+  | None -> ()
+  | Some check ->
+      let slow = lookup_uncached t ~in_port pkt in
+      let agree =
+        match (cached, slow) with
+        | Some (a : Flow_entry.t), Some b -> a == b
+        | None, None -> true
+        | Some _, None | None, Some _ -> false
+      in
+      let detail =
+        if agree then ""
+        else
+          let describe = function
+            | None -> "miss"
+            | Some (e : Flow_entry.t) ->
+                Format.asprintf "%a prio=%d" Of_match.pp e.Flow_entry.match_
+                  e.Flow_entry.priority
+          in
+          Printf.sprintf "cache=%s table=%s" (describe cached) (describe slow)
+      in
+      Sdn_check.Check.note_microflow check ~time:(t.clock ()) ~table:t.name
+        ~agree ~detail
+
 let lookup t ~in_port pkt =
   t.lookups <- t.lookups + 1;
   let best =
-    List.fold_left
-      (fun acc uid ->
-        match Hashtbl.find_opt t.by_uid uid with
-        | None -> acc
-        | Some entry ->
-            if not (Of_match.matches entry.Flow_entry.match_ ~in_port pkt) then
-              acc
-            else begin
-              match acc with
-              | None -> Some entry
-              | Some (current : Flow_entry.t) ->
-                  if entry.Flow_entry.priority > current.Flow_entry.priority
-                  then Some entry
-                  else acc
-            end)
-      None (candidates t pkt)
+    match t.cache with
+    | None -> lookup_uncached t ~in_port pkt
+    | Some cache -> (
+        match Microflow.key_of_packet ~in_port pkt with
+        | None -> lookup_uncached t ~in_port pkt
+        | Some key -> (
+            match Microflow.find cache key with
+            | Some cached ->
+                audit_hit t ~in_port pkt cached;
+                cached
+            | None ->
+                let result = lookup_uncached t ~in_port pkt in
+                Microflow.add cache key result;
+                result))
   in
   (match best with Some _ -> t.hits <- t.hits + 1 | None -> ());
   best
@@ -233,3 +299,15 @@ let hits t = t.hits
 let misses t = t.lookups - t.hits
 let evictions t = t.evictions
 let expirations t = t.expirations
+
+let microflow_hits t =
+  match t.cache with Some c -> Microflow.hits c | None -> 0
+
+let microflow_misses t =
+  match t.cache with Some c -> Microflow.misses c | None -> 0
+
+let microflow_flushes t =
+  match t.cache with Some c -> Microflow.flushes c | None -> 0
+
+let microflow_length t =
+  match t.cache with Some c -> Microflow.length c | None -> 0

@@ -1,11 +1,20 @@
 (** The switch's flow table: priority matching, capacity with optional
-    LRU eviction, idle/hard timeout expiry.
+    LRU eviction, idle/hard timeout expiry — fronted by an OVS-style
+    exact-match microflow cache ({!Microflow}).
 
     Exact 5-tuple rules (the kind a reactive controller installs per
     flow) are hash-indexed so lookup stays O(1) even with a thousand
     installed rules; wildcarded rules take a linear scan. The paper's
     root-cause discussion — rules being "kicked out from the size
-    limited flow table" — is modelled by [capacity] and eviction. *)
+    limited flow table" — is modelled by [capacity] and eviction.
+
+    Lookup runs in two tiers, mirroring Open vSwitch: the fast path
+    answers from the microflow cache when an identical packet (same
+    ingress port, MACs, ToS and 5-tuple) was classified since the last
+    table mutation; any insert, delete, expiry or eviction flushes the
+    cache, so the fast path can never serve a stale entry. With a
+    {!Sdn_check.Check} armed, every cache hit is audited against the
+    slow path. *)
 
 open Sdn_net
 open Sdn_openflow
@@ -18,10 +27,25 @@ type insert_result =
   | Evicted of Flow_entry.t  (** installed after evicting this entry *)
   | Table_full  (** rejected: table at capacity and eviction disabled *)
 
-val create : ?eviction:bool -> capacity:int -> unit -> t
+val create :
+  ?eviction:bool ->
+  ?microflow:bool ->
+  ?microflow_capacity:int ->
+  ?check:Sdn_check.Check.t ->
+  ?name:string ->
+  ?clock:(unit -> float) ->
+  capacity:int ->
+  unit ->
+  t
 (** [eviction] defaults to [true]: at capacity the least-recently-used
     entry of minimal priority is displaced, as the paper's discussion
-    of TCP rule-eviction assumes. *)
+    of TCP rule-eviction assumes.
+
+    [microflow] (default [true]) enables the exact-match fast path;
+    [microflow_capacity] bounds its entry count (default 8192). With
+    [check] armed, every cache hit re-runs the slow path and reports a
+    [microflow-agreement] violation on divergence, stamped with
+    [clock ()] (default constantly [0.]) under table [name]. *)
 
 val length : t -> int
 val capacity : t -> int
@@ -29,8 +53,14 @@ val capacity : t -> int
 val insert : t -> Flow_entry.t -> insert_result
 
 val lookup : t -> in_port:int -> Packet.t -> Flow_entry.t option
-(** Highest-priority matching entry, if any. Does not touch counters;
+(** Highest-priority matching entry, if any — answered from the
+    microflow cache when possible. Does not touch flow-entry counters;
     callers decide when a lookup constitutes a forwarding use. *)
+
+val lookup_uncached : t -> in_port:int -> Packet.t -> Flow_entry.t option
+(** The pure slow path: a full priority scan that bypasses (and never
+    populates) the microflow cache. Used by benchmarks, property tests
+    and the checker's audit replay. *)
 
 val delete :
   t -> strict:bool -> ?out_port:int -> match_:Of_match.t -> priority:int -> unit -> int
@@ -55,3 +85,10 @@ val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
 val expirations : t -> int
+
+(** Microflow fast-path counters (all [0] when the cache is disabled). *)
+
+val microflow_hits : t -> int
+val microflow_misses : t -> int
+val microflow_flushes : t -> int
+val microflow_length : t -> int

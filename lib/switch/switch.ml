@@ -745,13 +745,14 @@ let create engine ?check ~config ~costs ~rng () =
   let mechanism =
     if config.buffer_capacity = 0 then No_buffer else config.mechanism
   in
+  let name = Printf.sprintf "sw-%Lx" config.datapath_id in
   let t =
     {
       engine;
       config;
       costs;
       check;
-      name = Printf.sprintf "sw-%Lx" config.datapath_id;
+      name;
       (* A dedicated stream for re-request jitter, so backoff draws do
          not perturb the service-noise sequence. *)
       resend_rng = Rng.split rng;
@@ -765,7 +766,9 @@ let create engine ?check ~config ~costs ~rng () =
           ~cores:costs.Costs.userspace_cores ~service_scale:amortize ~noise ();
       bus = ref None;
       table =
-        Flow_table.create ~eviction:config.flow_table_eviction
+        Flow_table.create ~eviction:config.flow_table_eviction ?check
+          ~name:(name ^ "/table")
+          ~clock:(fun () -> Engine.now engine)
           ~capacity:config.flow_table_capacity ();
       pkt_pool = None;
       flow_pool = None;

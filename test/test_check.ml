@@ -122,6 +122,21 @@ let test_illegal_session_transition () =
     ~from_:"handshaking" ~to_:"reconnecting";
   check_caught c "session-transitions"
 
+(* ---- microflow-agreement ---- *)
+
+let test_microflow_agreement_clean () =
+  let c = fresh () in
+  for _ = 1 to 100 do
+    Check.note_microflow c ~time:1.0 ~table:"sw-1/table" ~agree:true ~detail:""
+  done;
+  check_clean c
+
+let test_microflow_disagreement_caught () =
+  let c = fresh () in
+  Check.note_microflow c ~time:2.0 ~table:"sw-1/table" ~agree:false
+    ~detail:"cache=miss table=nw dst 10.0.0.2 prio=1";
+  check_caught c "microflow-agreement"
+
 (* ---- xid-uniqueness + codec-roundtrip ---- *)
 
 open Sdn_openflow
@@ -253,6 +268,10 @@ let suite =
       test_legal_session_lifecycle;
     Alcotest.test_case "illegal session edge caught" `Quick
       test_illegal_session_transition;
+    Alcotest.test_case "microflow agreement clean" `Quick
+      test_microflow_agreement_clean;
+    Alcotest.test_case "microflow disagreement caught" `Quick
+      test_microflow_disagreement_caught;
     Alcotest.test_case "fresh xids unique, echoes exempt" `Quick
       test_xid_unique_clean;
     Alcotest.test_case "fresh xid reuse caught" `Quick test_fresh_xid_reuse;

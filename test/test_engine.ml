@@ -110,6 +110,78 @@ let test_step () =
   Alcotest.(check bool) "step runs one" true (Engine.step engine);
   Alcotest.(check bool) "then empty" false (Engine.step engine)
 
+(* Regression: cancel used to only flag the handle, leaving the event
+   (and its closure) in the heap until its time came. It must remove
+   the event for real, so mass-cancellation releases queue memory. *)
+let test_cancel_removes_from_queue () =
+  let engine = Engine.create () in
+  let handles =
+    List.init 10_000 (fun i ->
+        Engine.schedule engine ~delay:(1.0 +. float_of_int i) (fun () ->
+            Alcotest.fail "cancelled event ran"))
+  in
+  Alcotest.(check int) "all queued" 10_000 (Engine.pending engine);
+  List.iter Engine.cancel handles;
+  Alcotest.(check int) "cancel removes for real" 0 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "nothing processed" 0 (Engine.processed engine)
+
+let test_cancel_idempotent () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at engine 1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.cancel h;
+  Alcotest.(check int) "still empty" 0 (Engine.pending engine);
+  let h2 = Engine.schedule_at engine 2.0 (fun () -> fired := true) in
+  Engine.run engine;
+  (* Cancelling after execution is a harmless no-op. *)
+  Engine.cancel h2;
+  Alcotest.(check bool) "executed event fired" true !fired
+
+let test_step_batch_dispatches_equal_times () =
+  let engine = Engine.create () in
+  let ran = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Engine.schedule_at engine 1.0 (fun () -> incr ran))
+  done;
+  for _ = 1 to 2 do
+    ignore (Engine.schedule_at engine 2.0 (fun () -> incr ran))
+  done;
+  Alcotest.(check int) "first batch" 3 (Engine.step_batch engine);
+  Alcotest.(check (float 1e-12)) "clock at batch time" 1.0 (Engine.now engine);
+  Alcotest.(check int) "ran" 3 !ran;
+  Alcotest.(check int) "second batch" 2 (Engine.step_batch engine);
+  Alcotest.(check int) "empty batch" 0 (Engine.step_batch engine)
+
+let test_step_batch_includes_spawned_same_time () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule_at engine 1.0 (fun () ->
+         order := `First :: !order;
+         ignore
+           (Engine.schedule engine ~delay:0.0 (fun () ->
+                order := `Spawned :: !order))));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> order := `Second :: !order));
+  let n = Engine.step_batch engine in
+  Alcotest.(check int) "spawned same-time event joins the batch" 3 n;
+  Alcotest.(check bool) "spawned runs after pre-scheduled siblings" true
+    (List.rev !order = [ `First; `Second; `Spawned ])
+
+let test_cancel_sibling_during_batch () =
+  let engine = Engine.create () in
+  let second_ran = ref false in
+  let second = ref None in
+  ignore
+    (Engine.schedule_at engine 1.0 (fun () ->
+         match !second with Some h -> Engine.cancel h | None -> ()));
+  second :=
+    Some (Engine.schedule_at engine 1.0 (fun () -> second_ran := true));
+  Alcotest.(check int) "only the canceller ran" 1 (Engine.step_batch engine);
+  Alcotest.(check bool) "cancelled sibling skipped" false !second_ran;
+  Alcotest.(check int) "queue empty" 0 (Engine.pending engine)
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick test_runs_in_time_order;
@@ -124,4 +196,13 @@ let suite =
       test_run_until_idle_advances_clock;
     Alcotest.test_case "processed counter" `Quick test_processed_counter;
     Alcotest.test_case "single step" `Quick test_step;
+    Alcotest.test_case "cancel removes from queue" `Quick
+      test_cancel_removes_from_queue;
+    Alcotest.test_case "cancel is idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "step_batch dispatches equal times" `Quick
+      test_step_batch_dispatches_equal_times;
+    Alcotest.test_case "step_batch includes spawned same-time events" `Quick
+      test_step_batch_includes_spawned_same_time;
+    Alcotest.test_case "cancel sibling during batch" `Quick
+      test_cancel_sibling_during_batch;
   ]

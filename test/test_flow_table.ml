@@ -161,6 +161,174 @@ let test_stats_counters () =
       Alcotest.(check int32) "duration" 3l stats.Of_stats.duration_sec
   | _ -> Alcotest.fail "expected one stats entry"
 
+(* ---- Microflow fast path ---- *)
+
+let test_microflow_counters () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  for _ = 1 to 5 do
+    ignore (Flow_table.lookup table ~in_port:1 pkt)
+  done;
+  Alcotest.(check int) "one cold miss" 1 (Flow_table.microflow_misses table);
+  Alcotest.(check int) "rest served from cache" 4
+    (Flow_table.microflow_hits table);
+  Alcotest.(check int) "one cached entry" 1 (Flow_table.microflow_length table)
+
+let test_microflow_invalidated_by_mutations () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  ignore (Flow_table.lookup table ~in_port:1 pkt);
+  ignore (Flow_table.lookup table ~in_port:1 pkt);
+  Alcotest.(check int) "warm" 1 (Flow_table.microflow_hits table);
+  (* Replacing the rule must flush the cache and serve the new actions. *)
+  ignore (Flow_table.insert table (entry_for ~out_port:7 pkt ~now:1.0));
+  (match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Alcotest.(check int) "new actions after insert" 7 (out_port_of e)
+  | None -> Alcotest.fail "expected hit");
+  (* Deleting it must flush again: a stale hit would forward into a
+     void. *)
+  let m = Of_match.of_flow_key (Option.get (Packet.flow_key pkt)) in
+  ignore (Flow_table.delete table ~strict:false ~match_:m ~priority:0 ());
+  Alcotest.(check bool) "miss after delete" true
+    (Flow_table.lookup table ~in_port:1 pkt = None);
+  Alcotest.(check bool) "flushes counted" true
+    (Flow_table.microflow_flushes table >= 2)
+
+let test_microflow_expiry_invalidates () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~hard:3 ~out_port:2 pkt ~now:0.0));
+  ignore (Flow_table.lookup table ~in_port:1 pkt);
+  ignore (Flow_table.lookup table ~in_port:1 pkt);
+  ignore (Flow_table.expire table ~now:3.0);
+  Alcotest.(check bool) "miss after expiry" true
+    (Flow_table.lookup table ~in_port:1 pkt = None)
+
+let test_microflow_negative_cache_invalidated () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  (* Cache a negative result, then install a matching rule: the flush
+     on insert must clear the cached miss. *)
+  Alcotest.(check bool) "cold miss" true
+    (Flow_table.lookup table ~in_port:1 pkt = None);
+  Alcotest.(check bool) "cached miss" true
+    (Flow_table.lookup table ~in_port:1 pkt = None);
+  Alcotest.(check int) "negative result cached" 1
+    (Flow_table.microflow_hits table);
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  match Flow_table.lookup table ~in_port:1 pkt with
+  | Some e -> Alcotest.(check int) "rule found after install" 2 (out_port_of e)
+  | None -> Alcotest.fail "stale negative cache entry"
+
+let test_microflow_keyed_on_in_port () =
+  let table = Flow_table.create ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  (* A rule that pins the ingress port: the same frame on another port
+     must not reuse the cached result. *)
+  let key_match = Of_match.of_flow_key (Option.get (Packet.flow_key pkt)) in
+  let match_ = { key_match with Of_match.in_port = Some 1 } in
+  ignore
+    (Flow_table.insert table
+       (Flow_entry.of_flow_mod
+          (Of_flow_mod.add ~priority:1 ~match_
+             ~actions:[ Of_action.output 2 ] ())
+          ~now:0.0));
+  Alcotest.(check bool) "hits on port 1" true
+    (Flow_table.lookup table ~in_port:1 pkt <> None);
+  Alcotest.(check bool) "misses on port 3" true
+    (Flow_table.lookup table ~in_port:3 pkt = None)
+
+let test_microflow_disabled () =
+  let table = Flow_table.create ~microflow:false ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  for _ = 1 to 3 do
+    Alcotest.(check bool) "still hits" true
+      (Flow_table.lookup table ~in_port:1 pkt <> None)
+  done;
+  Alcotest.(check int) "no cache hits" 0 (Flow_table.microflow_hits table);
+  Alcotest.(check int) "no cache misses" 0 (Flow_table.microflow_misses table)
+
+let test_microflow_audit_clean () =
+  let check = Sdn_check.Check.create () in
+  let table = Flow_table.create ~check ~capacity:10 () in
+  let pkt = udp_pkt ~src_port:1 in
+  ignore (Flow_table.insert table (entry_for ~out_port:2 pkt ~now:0.0));
+  for _ = 1 to 10 do
+    ignore (Flow_table.lookup table ~in_port:1 pkt)
+  done;
+  Alcotest.(check int) "hits audited clean" 0
+    (Sdn_check.Check.violation_count check);
+  Alcotest.(check bool) "audits recorded" true
+    (Sdn_check.Check.events_seen check > 0)
+
+(* The fast path must be semantically invisible: a cached table and an
+   uncached one driven through an identical randomized trace of
+   inserts, deletes, expiries and lookups answer every lookup the same
+   way. *)
+let prop_microflow_equivalence =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun p -> `Lookup p) (int_range 1 40));
+          (3, map2 (fun p prio -> `Insert (p, prio)) (int_range 1 40)
+                (int_range 1 3));
+          (1, map (fun p -> `Delete p) (int_range 1 40));
+          (1, map (fun t -> `Expire t) (float_bound_exclusive 100.0));
+        ])
+  in
+  QCheck.Test.make ~name:"microflow-cached table behaves like uncached"
+    ~count:120
+    QCheck.(make ~print:(fun l -> string_of_int (List.length l))
+       Gen.(list_size (int_range 1 120) op_gen))
+    (fun ops ->
+      let cached = Flow_table.create ~capacity:16 () in
+      let plain = Flow_table.create ~microflow:false ~capacity:16 () in
+      let now = ref 0.0 in
+      List.for_all
+        (fun op ->
+          now := !now +. 0.5;
+          match op with
+          | `Insert (p, prio) ->
+              let entry () =
+                entry_for ~priority:prio ~idle:30 ~out_port:p
+                  (udp_pkt ~src_port:p) ~now:!now
+              in
+              ignore (Flow_table.insert cached (entry ()));
+              ignore (Flow_table.insert plain (entry ()));
+              true
+          | `Delete p ->
+              let m =
+                Of_match.of_flow_key
+                  (Option.get (Packet.flow_key (udp_pkt ~src_port:p)))
+              in
+              let a =
+                Flow_table.delete cached ~strict:false ~match_:m ~priority:0 ()
+              in
+              let b =
+                Flow_table.delete plain ~strict:false ~match_:m ~priority:0 ()
+              in
+              a = b
+          | `Expire t ->
+              List.length (Flow_table.expire cached ~now:t)
+              = List.length (Flow_table.expire plain ~now:t)
+          | `Lookup p ->
+              let pkt = udp_pkt ~src_port:p in
+              let a = Flow_table.lookup cached ~in_port:1 pkt in
+              let b = Flow_table.lookup plain ~in_port:1 pkt in
+              let c = Flow_table.lookup_uncached cached ~in_port:1 pkt in
+              (match (a, b) with
+              | None, None -> c = None
+              | Some ea, Some eb ->
+                  out_port_of ea = out_port_of eb
+                  && ea.Flow_entry.priority = eb.Flow_entry.priority
+                  && (match c with Some ec -> ec == ea | None -> false)
+              | Some _, None | None, Some _ -> false))
+        ops)
+
 let prop_inserted_flow_is_found =
   QCheck.Test.make ~name:"every inserted 5-tuple rule is found" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (int_range 1 60000))
@@ -188,5 +356,19 @@ let suite =
     Alcotest.test_case "hard timeout" `Quick test_hard_timeout_expiry;
     Alcotest.test_case "strict and loose delete" `Quick test_delete_strict_and_loose;
     Alcotest.test_case "per-rule counters" `Quick test_stats_counters;
+    Alcotest.test_case "microflow hit/miss counters" `Quick
+      test_microflow_counters;
+    Alcotest.test_case "microflow invalidated by mutations" `Quick
+      test_microflow_invalidated_by_mutations;
+    Alcotest.test_case "microflow invalidated by expiry" `Quick
+      test_microflow_expiry_invalidates;
+    Alcotest.test_case "negative cache entry invalidated" `Quick
+      test_microflow_negative_cache_invalidated;
+    Alcotest.test_case "microflow keyed on ingress port" `Quick
+      test_microflow_keyed_on_in_port;
+    Alcotest.test_case "microflow disabled" `Quick test_microflow_disabled;
+    Alcotest.test_case "checker audits cache hits clean" `Quick
+      test_microflow_audit_clean;
+    QCheck_alcotest.to_alcotest prop_microflow_equivalence;
     QCheck_alcotest.to_alcotest prop_inserted_flow_is_found;
   ]

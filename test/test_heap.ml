@@ -57,6 +57,125 @@ let test_to_list_contents () =
   Alcotest.(check (list int)) "contents" [ 2; 4; 7 ]
     (List.sort compare (Heap.to_list h))
 
+(* ---- Indexed removal ---- *)
+
+type slot = { v : int; mutable idx : int }
+
+let indexed () =
+  Heap.create ~capacity:4
+    ~set_index:(fun s i -> s.idx <- i)
+    ~cmp:(fun a b -> Int.compare a.v b.v)
+    ()
+
+let test_remove_by_index () =
+  let h = indexed () in
+  let slots = Array.init 10 (fun i -> { v = i; idx = -1 }) in
+  (* Scrambled insertion so removal exercises both sift directions. *)
+  List.iter (fun i -> Heap.push h slots.(i)) [ 7; 2; 9; 0; 5; 3; 8; 1; 6; 4 ];
+  let victim = slots.(5) in
+  let removed = Heap.remove h victim.idx in
+  Alcotest.(check bool) "same element" true (removed == victim);
+  Alcotest.(check int) "index reset to -1" (-1) victim.idx;
+  Alcotest.(check int) "length shrank" 9 (Heap.length h);
+  let drained = List.init 9 (fun _ -> (Heap.pop_exn h).v) in
+  Alcotest.(check (list int)) "rest still sorted"
+    [ 0; 1; 2; 3; 4; 6; 7; 8; 9 ] drained
+
+let test_indices_live_and_distinct () =
+  let h = indexed () in
+  let slots = Array.init 16 (fun i -> { v = 16 - i; idx = -1 }) in
+  Array.iter (Heap.push h) slots;
+  Array.iter
+    (fun s -> Alcotest.(check bool) "live index" true (s.idx >= 0))
+    slots;
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun s -> Hashtbl.replace seen s.idx ()) slots;
+  Alcotest.(check int) "indices distinct" 16 (Hashtbl.length seen)
+
+let test_remove_bad_index () =
+  let h = indexed () in
+  Heap.push h { v = 1; idx = -1 };
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Heap.remove: index out of bounds") (fun () ->
+      ignore (Heap.remove h 5));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Heap.remove: index out of bounds") (fun () ->
+      ignore (Heap.remove h (-1)))
+
+(* ---- Adaptive capacity ---- *)
+
+let test_shrink_after_burst () =
+  let h = Heap.create ~capacity:8 ~cmp:Int.compare () in
+  for i = 1 to 1000 do
+    Heap.push h i
+  done;
+  let high = Heap.capacity h in
+  Alcotest.(check bool) "grew past burst" true (high >= 1000);
+  for _ = 1 to 990 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check bool) "released high-water memory" true
+    (Heap.capacity h < high / 8);
+  Alcotest.(check bool) "floor respected" true (Heap.capacity h >= 8);
+  for _ = 1 to 10 do
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check int) "back at creation capacity" 8 (Heap.capacity h)
+
+let test_clear_resets_capacity () =
+  let h = Heap.create ~capacity:4 ~cmp:Int.compare () in
+  for i = 1 to 100 do
+    Heap.push h i
+  done;
+  Heap.clear h;
+  Alcotest.(check int) "capacity reset" 4 (Heap.capacity h);
+  Alcotest.(check int) "empty" 0 (Heap.length h)
+
+let remove_one s l =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if x == s then rest else x :: go rest
+  in
+  go l
+
+let prop_indexed_remove =
+  QCheck.Test.make ~name:"indexed remove keeps heap and model in step"
+    ~count:300
+    QCheck.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let h = indexed () in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              let s = { v; idx = -1 } in
+              Heap.push h s;
+              live := s :: !live
+          | 1 -> (
+              match (Heap.pop h, !live) with
+              | None, [] -> ()
+              | None, _ :: _ | Some _, [] -> ok := false
+              | Some s, l :: ls ->
+                  let best =
+                    List.fold_left (fun acc x -> if x.v < acc.v then x else acc)
+                      l ls
+                  in
+                  ok := !ok && s.v = best.v && s.idx = -1;
+                  live := remove_one s !live)
+          | _ -> (
+              match !live with
+              | [] -> ()
+              | s :: _ ->
+                  let r = Heap.remove h s.idx in
+                  ok := !ok && r == s && s.idx = -1;
+                  live := remove_one s !live))
+        ops;
+      let drained = List.init (Heap.length h) (fun _ -> (Heap.pop_exn h).v) in
+      let expect = List.sort Int.compare (List.map (fun s -> s.v) !live) in
+      !ok && drained = expect)
+
 let prop_heap_sort =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
@@ -100,6 +219,14 @@ let suite =
     Alcotest.test_case "clear then reuse" `Quick test_clear;
     Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
     Alcotest.test_case "to_list contents" `Quick test_to_list_contents;
+    Alcotest.test_case "remove by tracked index" `Quick test_remove_by_index;
+    Alcotest.test_case "indices live and distinct" `Quick
+      test_indices_live_and_distinct;
+    Alcotest.test_case "remove rejects bad index" `Quick test_remove_bad_index;
+    Alcotest.test_case "shrinks after burst" `Quick test_shrink_after_burst;
+    Alcotest.test_case "clear resets capacity" `Quick
+      test_clear_resets_capacity;
+    QCheck_alcotest.to_alcotest prop_indexed_remove;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_interleaved;
   ]

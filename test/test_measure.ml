@@ -145,6 +145,44 @@ let test_report_table_and_csv () =
   Alcotest.(check string) "escapes commas" "a,bbb\n\"x,y\",z\n" csv;
   Alcotest.(check string) "ms formatting" "1.500" (Report.fmt_ms 1.5e-3)
 
+(* Regression: the bar length used to truncate to zero for any bucket
+   dwarfed by the peak, rendering non-empty buckets as empty bars. *)
+let test_histogram_minimum_bar () =
+  let stats = Stats.create ~keep_samples:true () in
+  for _ = 1 to 1000 do
+    Stats.add stats 1.0
+  done;
+  Stats.add stats 10.0;
+  let rendered = Report.histogram ~bins:2 ~width:40 stats in
+  let bars =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun line -> String.contains line '#')
+  in
+  Alcotest.(check int) "both non-empty buckets show a bar" 2 (List.length bars)
+
+let test_histogram_bucket_edges () =
+  let stats = Stats.create ~keep_samples:true () in
+  List.iter (Stats.add stats) [ 0.0; 1.0; 2.0; 3.0; 4.0 ];
+  let rendered =
+    Report.histogram ~bins:4 ~width:8
+      ~fmt:(fun v -> string_of_int (int_of_float v))
+      stats
+  in
+  (* The last bucket is closed: a sample equal to the maximum lands in
+     it rather than overflowing, so [3, 4] holds both 3.0 and 4.0. *)
+  let last_row =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun line ->
+           String.length line >= 6 && String.sub line 0 6 = "[3, 4]")
+  in
+  match last_row with
+  | [ row ] ->
+      let trimmed = String.trim row in
+      Alcotest.(check bool) "closed last bucket counts the max sample" true
+        (String.contains trimmed '#'
+        && trimmed.[String.length trimmed - 1] = '2')
+  | _ -> Alcotest.fail ("expected one [3, 4] row in:\n" ^ rendered)
+
 let suite =
   [
     Alcotest.test_case "capture counts by type and direction" `Quick
@@ -161,4 +199,8 @@ let suite =
     Alcotest.test_case "gauge sampler" `Quick test_sampler_gauge;
     Alcotest.test_case "cpu utilization sampler" `Quick test_sampler_cpu_utilization;
     Alcotest.test_case "report table and csv" `Quick test_report_table_and_csv;
+    Alcotest.test_case "histogram renders dominated buckets" `Quick
+      test_histogram_minimum_bar;
+    Alcotest.test_case "histogram bucket edges" `Quick
+      test_histogram_bucket_edges;
   ]
