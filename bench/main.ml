@@ -19,7 +19,12 @@
      dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
      dune exec bench/main.exe -- ablations    # the ablation studies
      dune exec bench/main.exe -- json [path]  # machine-readable snapshot
-                                              # (default BENCH_pr4.json)
+                                              # (default BENCH_pr5.json)
+
+   The json snapshot also times a small end-to-end sweep at
+   --jobs 1/2/4 and records the parallel speedups, so the regression
+   gate tracks the Task_pool scaling factor alongside the micro
+   subjects.
 *)
 
 open Bechamel
@@ -336,6 +341,62 @@ let run_micro () =
     rows;
   print_newline ()
 
+(* ---- Sweep throughput: the macro subject behind [--jobs]. ----
+
+   A deliberately small Exp-A grid (4 rates x 2 reps = 8 independent
+   replications, 60 flows each) run to completion at jobs = 1, 2 and
+   4.  Bechamel's per-run OLS model fits ns-scale subjects, not a
+   multi-millisecond macro job, so whole sweeps are timed directly
+   against the monotonic clock, best of three after a warm-up.  The
+   derived speedups are the portable metrics: absolute wall-clock
+   cancels out of the ratio, leaving the Task_pool scaling factor.
+   On a single-core host the ratio sits below 1 (extra domains only
+   add stop-the-world minor-GC synchronisation); on a multi-core CI
+   runner it must not regress below the recorded baseline. *)
+
+let sweep_config ~rate_mbps ~seed =
+  {
+    (Sdn_core.Config.exp_a ~mechanism:Sdn_core.Config.Packet_granularity
+       ~buffer_capacity:256 ~rate_mbps ~seed)
+    with
+    Sdn_core.Config.workload = Sdn_core.Config.Exp_a { n_flows = 60 };
+  }
+
+let time_sweep ~jobs =
+  let run () =
+    ignore
+      (Sdn_core.Sweep.run ~label:"bench-sweep"
+         ~rates:[ 20.0; 40.0; 60.0; 80.0 ] ~reps:2 ~jobs sweep_config)
+  in
+  run ();
+  let now () = Monotonic_clock.get () in
+  let best = ref Float.infinity in
+  for _ = 1 to 3 do
+    let t0 = now () in
+    run ();
+    let dt = now () -. t0 in
+    if Float.compare dt !best < 0 then best := dt
+  done;
+  !best
+
+let sweep_metrics () =
+  let timings = List.map (fun jobs -> (jobs, time_sweep ~jobs)) [ 1; 2; 4 ] in
+  let absolute =
+    List.map
+      (fun (jobs, ns) -> (Printf.sprintf "sweep/exp_a-small/jobs%d/ns" jobs, ns))
+      timings
+  in
+  let t1 = List.assoc 1 timings in
+  let speedups =
+    List.filter_map
+      (fun (jobs, ns) ->
+        if jobs = 1 || Float.compare ns 1e-9 <= 0 then None
+        else
+          Some (Printf.sprintf "derived/sweep_speedup_jobs%d" jobs, t1 /. ns))
+      timings
+  in
+  (absolute, speedups)
+
 (* ---- Machine-readable benchmark snapshot (the regression gate's
    input): every subject's ns/run and minor-words/run, plus derived
    higher-is-better ratios that are stable across machines. ---- *)
@@ -380,10 +441,11 @@ let run_json path =
             (find_metric words "openflow/encode-flow_mod-scratch") );
       ]
   in
+  let sweep_absolute, sweep_speedups = sweep_metrics () in
   let metrics =
     List.map (fun (n, v) -> (n ^ "/ns", v)) ns
     @ List.map (fun (n, v) -> (n ^ "/minor-words", v)) words
-    @ derived
+    @ sweep_absolute @ derived @ sweep_speedups
   in
   let oc = open_out path in
   Fun.protect
@@ -398,7 +460,9 @@ let run_json path =
             (if i = n - 1 then "" else ","))
         metrics;
       Printf.fprintf oc "  }\n}\n");
-  List.iter (fun (name, v) -> Printf.printf "%-60s %14.1f\n" name v) derived;
+  List.iter
+    (fun (name, v) -> Printf.printf "%-60s %14.3f\n" name v)
+    (derived @ sweep_speedups);
   Printf.printf "wrote %d metrics to %s\n" (List.length metrics) path
 
 (* ---- Figure harness ---- *)
@@ -421,7 +485,7 @@ let () =
       run_figures ();
       Sdn_core.Ablations.run_all ()
   | [ _; "micro" ] -> run_micro ()
-  | [ _; "json" ] -> run_json "BENCH_pr4.json"
+  | [ _; "json" ] -> run_json "BENCH_pr5.json"
   | [ _; "json"; path ] -> run_json path
   | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
   | [ _; "figures" ] -> run_figures ()

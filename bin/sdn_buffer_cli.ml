@@ -111,6 +111,20 @@ let echo_misses_arg =
     & info [ "echo-misses" ] ~docv:"N"
         ~doc:"Unanswered keepalives before a session is declared down.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "SDN_BUFFER_JOBS")
+        ~doc:
+          "Worker domains for independent replications (sweep points, \
+           repetitions). Purely an execution-width knob: results are merged \
+           by task index, so any value produces byte-identical output; \
+           $(b,1) (the default) runs the sequential reference path. Combine \
+           with $(b,--check) to arm the parallel-equivalence replay, which \
+           re-runs a sampled task sequentially and compares the results \
+           field for field.")
+
 let check_arg =
   Arg.(
     value & flag
@@ -167,7 +181,7 @@ let workload_arg =
 
 let run_cmd =
   let run mechanism buffer rate seed workload faults echo_interval echo_misses
-      fail_mode check =
+      fail_mode check jobs =
     let config =
       {
         Config.default with
@@ -181,6 +195,7 @@ let run_cmd =
         echo_misses;
         fail_mode;
         check;
+        jobs;
       }
     in
     let result = Experiment.run config in
@@ -191,10 +206,14 @@ let run_cmd =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
       $ workload_arg $ faults_arg $ echo_interval_arg $ echo_misses_arg
-      $ fail_mode_arg $ check_arg)
+      $ fail_mode_arg $ check_arg $ jobs_arg)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one experiment and print its metrics.")
+    (Cmd.info "run"
+       ~doc:
+         "Run one experiment and print its metrics. A single run is always \
+          one domain; $(b,--jobs) is recorded in the configuration and only \
+          fans out the sweep commands.")
     term
 
 let chaos_cmd =
@@ -221,10 +240,15 @@ let chaos_cmd =
       & info [ "durations" ] ~docv:"S1,S2,..."
           ~doc:"Outage durations to sweep (seconds, with $(b,--outage)).")
   in
-  let run seed rate loss_rates faults outage durations check =
+  let run seed rate loss_rates faults outage durations check jobs =
     if outage then begin
       let base =
-        { (Chaos.default_outage_base ~seed) with Config.rate_mbps = rate; check }
+        {
+          (Chaos.default_outage_base ~seed) with
+          Config.rate_mbps = rate;
+          check;
+          jobs;
+        }
       in
       let points = Chaos.run_outage ~durations ~base () in
       Chaos.print_outage_report points;
@@ -240,7 +264,13 @@ let chaos_cmd =
     end
     else begin
       let base =
-        { (Chaos.default_base ~seed) with Config.rate_mbps = rate; faults; check }
+        {
+          (Chaos.default_base ~seed) with
+          Config.rate_mbps = rate;
+          faults;
+          check;
+          jobs;
+        }
       in
       let points = Chaos.run ~loss_rates ~base () in
       Chaos.print_report points;
@@ -257,7 +287,7 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg
-      $ outage_arg $ durations_arg $ check_arg)
+      $ outage_arg $ durations_arg $ check_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -281,22 +311,22 @@ let figure_cmd =
             (Printf.sprintf "Figure to reproduce: %s."
                (String.concat ", " all_ids)))
   in
-  let run id rates reps =
+  let run id rates reps jobs =
     match List.assoc_opt id Figures.exp_a_figures with
-    | Some f -> f (Figures.run_exp_a ~rates ~reps ())
+    | Some f -> f (Figures.run_exp_a ~rates ~reps ~jobs ())
     | None -> (
         match List.assoc_opt id Figures.exp_b_figures with
-        | Some f -> f (Figures.run_exp_b ~rates ~reps ())
+        | Some f -> f (Figures.run_exp_b ~rates ~reps ~jobs ())
         | None -> prerr_endline "unknown figure")
   in
-  let term = Term.(const run $ id_arg $ rates_arg $ reps_arg) in
+  let term = Term.(const run $ id_arg $ rates_arg $ reps_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce one figure of the paper.")
     term
 
 let all_cmd =
-  let run rates reps = Figures.run_all ~rates ~reps () in
-  let term = Term.(const run $ rates_arg $ reps_arg) in
+  let run rates reps jobs = Figures.run_all ~rates ~reps ~jobs () in
+  let term = Term.(const run $ rates_arg $ reps_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every figure and the headline claims.")
     term
@@ -307,20 +337,20 @@ let export_cmd =
       value & opt string "results"
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Directory for the CSV files.")
   in
-  let run dir rates reps =
-    let a = Figures.run_exp_a ~rates ~reps () in
-    let b = Figures.run_exp_b ~rates ~reps () in
+  let run dir rates reps jobs =
+    let a = Figures.run_exp_a ~rates ~reps ~jobs () in
+    let b = Figures.run_exp_b ~rates ~reps ~jobs () in
     Figures.export_csv ~dir a b;
     Printf.printf "wrote 16 figure CSVs to %s/\n" dir
   in
-  let term = Term.(const run $ dir_arg $ rates_arg $ reps_arg) in
+  let term = Term.(const run $ dir_arg $ rates_arg $ reps_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "export" ~doc:"Run both sweeps and export every figure as CSV.")
     term
 
 let calibration_cmd =
-  let run () =
-    let checks = Calibration.sanity () in
+  let run jobs =
+    let checks = Calibration.sanity ~jobs () in
     List.iter
       (fun (what, ok) ->
         Printf.printf "[%s] %s\n" (if ok then "ok" else "FAIL") what)
@@ -330,7 +360,7 @@ let calibration_cmd =
   in
   Cmd.v
     (Cmd.info "calibration" ~doc:"Check the calibration sanity conditions.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let default_info =
   Cmd.info "sdn_buffer_cli" ~version:"1.0.0"

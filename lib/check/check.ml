@@ -146,6 +146,16 @@ let note_microflow t ~time ~table ~agree ~detail =
          "table %s: cached lookup disagrees with full flow-table lookup (%s)"
          table detail)
 
+let note_parallel_replay t ~time ~task ~equal ~detail =
+  record t ~time
+    (Printf.sprintf "parallel replay %s: sequential rerun %s" task
+       (if equal then "agrees" else "DISAGREES"));
+  if not equal then
+    violate t ~time ~invariant:"parallel-equivalence"
+      (Printf.sprintf
+         "task %s: parallel result disagrees with its sequential replay (%s)"
+         task detail)
+
 (* ---- Control-session invariants ---- *)
 
 (* Legal edges of {!Sdn_switch.Session}: the keepalive may degrade

@@ -23,7 +23,10 @@
     - {b codec-roundtrip}: [decode (encode m) = m] for every message
       put on the control channel;
     - {b microflow-agreement}: the switch's exact-match fast path
-      returns the same entry as the full flow-table lookup.
+      returns the same entry as the full flow-table lookup;
+    - {b parallel-equivalence}: a sampled task of a parallel sweep,
+      re-run sequentially in the calling domain, produces a
+      field-for-field identical {!Sdn_core.Experiment.result}.
 
     Violations are recorded as structured reports carrying the tail of
     the event trace leading up to them; optionally they raise
@@ -85,6 +88,16 @@ val note_microflow :
     Violation when the two disagree (the cache returned a different
     entry, or a hit where the table would miss, or vice versa);
     [detail] describes the divergence. *)
+
+(* ---- Parallel-equivalence replay ---- *)
+
+val note_parallel_replay :
+  t -> time:float -> task:string -> equal:bool -> detail:string -> unit
+(** A parallel sweep executor re-ran task [task] sequentially in the
+    calling domain and compared the two results field-for-field.
+    Violation when they disagree — a task body touched mutable state
+    shared across domains, or otherwise depended on execution order;
+    [detail] names the mismatching fields. *)
 
 (* ---- Control-session invariants ---- *)
 

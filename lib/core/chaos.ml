@@ -37,15 +37,28 @@ let point_config ~base ~mechanism ~loss_rate =
   }
 
 let run ?(mechanisms = default_mechanisms) ?(loss_rates = default_loss_rates)
-    ~base () =
-  List.concat_map
-    (fun mechanism ->
-      List.map
-        (fun loss_rate ->
-          let config = point_config ~base ~mechanism ~loss_rate in
-          { config; loss_rate; result = Experiment.run config })
-        loss_rates)
-    mechanisms
+    ?jobs ~base () =
+  let jobs = match jobs with Some j -> j | None -> base.Config.jobs in
+  let specs =
+    List.concat_map
+      (fun mechanism ->
+        List.map
+          (fun loss_rate ->
+            (loss_rate, point_config ~base ~mechanism ~loss_rate))
+          loss_rates)
+      mechanisms
+  in
+  let configs = Array.of_list (List.map snd specs) in
+  let results =
+    Exec.run_experiments ~jobs
+      ~label:(fun i ->
+        let loss_rate, config = List.nth specs i in
+        Printf.sprintf "chaos/%s/loss=%g" (Config.label config) loss_rate)
+      configs
+  in
+  List.mapi
+    (fun i (loss_rate, config) -> { config; loss_rate; result = results.(i) })
+    specs
 
 let mechanism_name = function
   | Config.No_buffer -> "no-buffer"
@@ -166,20 +179,35 @@ let outage_point_config ~base ~mechanism ~fail_mode ~duration =
 
 let run_outage ?(mechanisms = default_mechanisms)
     ?(fail_modes = default_fail_modes)
-    ?(durations = default_outage_durations) ~base () =
-  List.concat_map
-    (fun mechanism ->
-      List.concat_map
-        (fun fail_mode ->
-          List.map
-            (fun duration ->
-              let config =
-                outage_point_config ~base ~mechanism ~fail_mode ~duration
-              in
-              { config; fail_mode; duration; result = Experiment.run config })
-            durations)
-        fail_modes)
-    mechanisms
+    ?(durations = default_outage_durations) ?jobs ~base () =
+  let jobs = match jobs with Some j -> j | None -> base.Config.jobs in
+  let specs =
+    List.concat_map
+      (fun mechanism ->
+        List.concat_map
+          (fun fail_mode ->
+            List.map
+              (fun duration ->
+                ( (fail_mode, duration),
+                  outage_point_config ~base ~mechanism ~fail_mode ~duration ))
+              durations)
+          fail_modes)
+      mechanisms
+  in
+  let configs = Array.of_list (List.map snd specs) in
+  let results =
+    Exec.run_experiments ~jobs
+      ~label:(fun i ->
+        let (fail_mode, duration), config = List.nth specs i in
+        Printf.sprintf "outage/%s/%s/%.0fms" (Config.label config)
+          (Sdn_switch.Session.fail_mode_to_string fail_mode)
+          (duration *. 1e3))
+      configs
+  in
+  List.mapi
+    (fun i ((fail_mode, duration), config) ->
+      { config; fail_mode; duration; result = results.(i) })
+    specs
 
 let fail_mode_name = function
   | Config.Fail_secure -> "fail-secure"

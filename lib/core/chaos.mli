@@ -32,11 +32,15 @@ val point_config :
 val run :
   ?mechanisms:Config.mechanism list ->
   ?loss_rates:float list ->
+  ?jobs:int ->
   base:Config.t ->
   unit ->
   point list
 (** Run the sweep: one experiment per mechanism x loss rate, in
-    deterministic order (mechanisms outer, loss rates inner). *)
+    deterministic order (mechanisms outer, loss rates inner). [jobs]
+    (default [base.jobs]) fans the independent points out over worker
+    domains via {!Exec.run_experiments}; results are merged by point
+    index, so every [jobs] value yields an identical point list. *)
 
 val report : point list -> string
 (** Deterministic plain-text report: one table row per point plus a
@@ -88,11 +92,13 @@ val run_outage :
   ?mechanisms:Config.mechanism list ->
   ?fail_modes:Config.fail_mode list ->
   ?durations:float list ->
+  ?jobs:int ->
   base:Config.t ->
   unit ->
   outage_point list
 (** Run the sweep: one experiment per mechanism x fail mode x duration,
-    in deterministic order (mechanisms outer, durations inner). *)
+    in deterministic order (mechanisms outer, durations inner). [jobs]
+    (default [base.jobs]) parallelizes exactly as in {!run}. *)
 
 val outage_report : outage_point list -> string
 (** Deterministic plain-text report: one table row per point (downs,

@@ -182,6 +182,84 @@ let run (config : Config.t) =
       | Some _ | None -> None);
   }
 
+(* ---- Field-for-field comparison ----
+
+   The parallel-equivalence replay check compares a parallel task's
+   result against its sequential rerun. Floats are compared exactly
+   (Float.compare, so NaN = NaN): the determinism contract is
+   byte-identical output, not approximate agreement. [config] is
+   excluded — it holds the same value by construction and may carry a
+   closure (qos classify) that structural equality cannot inspect. *)
+
+let float_eq a b = Float.compare a b = 0
+
+let summary_eq a b =
+  a.count = b.count && float_eq a.mean b.mean && float_eq a.sd b.sd
+  && float_eq a.min b.min && float_eq a.max b.max
+
+let float_array_eq a b =
+  Array.length a = Array.length b && Array.for_all2 float_eq a b
+
+let transitions_eq a b =
+  List.equal
+    (fun (ta, sa) (tb, sb) -> float_eq ta tb && String.equal sa sb)
+    a b
+
+let diff_result a b =
+  let mismatches = ref [] in
+  let chk name equal = if not equal then mismatches := name :: !mismatches in
+  chk "send_window" (float_eq a.send_window b.send_window);
+  chk "observe_window" (float_eq a.observe_window b.observe_window);
+  chk "ctrl_load_up_mbps" (float_eq a.ctrl_load_up_mbps b.ctrl_load_up_mbps);
+  chk "ctrl_load_down_mbps"
+    (float_eq a.ctrl_load_down_mbps b.ctrl_load_down_mbps);
+  chk "ctrl_msgs_up" (a.ctrl_msgs_up = b.ctrl_msgs_up);
+  chk "ctrl_msgs_down" (a.ctrl_msgs_down = b.ctrl_msgs_down);
+  chk "pkt_ins" (a.pkt_ins = b.pkt_ins);
+  chk "pkt_in_resends" (a.pkt_in_resends = b.pkt_in_resends);
+  chk "full_packet_fallbacks" (a.full_packet_fallbacks = b.full_packet_fallbacks);
+  chk "ctrl_msgs_lost" (a.ctrl_msgs_lost = b.ctrl_msgs_lost);
+  chk "controller_cpu_pct" (float_eq a.controller_cpu_pct b.controller_cpu_pct);
+  chk "switch_cpu_pct" (float_eq a.switch_cpu_pct b.switch_cpu_pct);
+  chk "setup_delay" (summary_eq a.setup_delay b.setup_delay);
+  chk "controller_delay" (summary_eq a.controller_delay b.controller_delay);
+  chk "switch_delay" (summary_eq a.switch_delay b.switch_delay);
+  chk "forwarding_delay" (summary_eq a.forwarding_delay b.forwarding_delay);
+  chk "buffer_mean_in_use" (float_eq a.buffer_mean_in_use b.buffer_mean_in_use);
+  chk "buffer_max_in_use" (a.buffer_max_in_use = b.buffer_max_in_use);
+  chk "flows_started" (a.flows_started = b.flows_started);
+  chk "flows_completed" (a.flows_completed = b.flows_completed);
+  chk "flows_recovered" (a.flows_recovered = b.flows_recovered);
+  chk "flows_abandoned" (a.flows_abandoned = b.flows_abandoned);
+  chk "recovery_delay" (summary_eq a.recovery_delay b.recovery_delay);
+  chk "recovery_delay_samples"
+    (float_array_eq a.recovery_delay_samples b.recovery_delay_samples);
+  chk "packets_in" (a.packets_in = b.packets_in);
+  chk "packets_out" (a.packets_out = b.packets_out);
+  chk "packets_dropped" (a.packets_dropped = b.packets_dropped);
+  chk "outage_detections" (a.outage_detections = b.outage_detections);
+  chk "outage_false_positives"
+    (a.outage_false_positives = b.outage_false_positives);
+  chk "session_downtime" (float_eq a.session_downtime b.session_downtime);
+  chk "session_recovery" (summary_eq a.session_recovery b.session_recovery);
+  chk "session_transitions"
+    (transitions_eq a.session_transitions b.session_transitions);
+  chk "standalone_frames" (a.standalone_frames = b.standalone_frames);
+  chk "fail_secure_drops" (a.fail_secure_drops = b.fail_secure_drops);
+  chk "chains_frozen" (a.chains_frozen = b.chains_frozen);
+  chk "chains_resumed" (a.chains_resumed = b.chains_resumed);
+  chk "chains_expired" (a.chains_expired = b.chains_expired);
+  chk "controller_downs" (a.controller_downs = b.controller_downs);
+  chk "controller_resyncs" (a.controller_resyncs = b.controller_resyncs);
+  chk "microflow_hits" (a.microflow_hits = b.microflow_hits);
+  chk "microflow_misses" (a.microflow_misses = b.microflow_misses);
+  chk "check_violations" (a.check_violations = b.check_violations);
+  chk "check_report"
+    (Option.equal String.equal a.check_report b.check_report);
+  List.rev !mismatches
+
+let equal_result a b = diff_result a b = []
+
 let pp_summary_ms fmt s =
   Format.fprintf fmt "mean=%.3fms sd=%.3fms max=%.3fms (n=%d)" (s.mean *. 1e3)
     (s.sd *. 1e3) (s.max *. 1e3) s.count

@@ -80,5 +80,16 @@ type result = {
 
 val run : Config.t -> result
 
+val diff_result : result -> result -> string list
+(** Names of the fields on which the two results differ (empty when
+    identical). Floats are compared exactly ([Float.compare] = 0, so
+    NaN equals NaN): the determinism contract is byte-identical
+    output. [config] is excluded — the parallel-equivalence replay
+    compares two runs of the {e same} configuration, and the record
+    may carry a closure. *)
+
+val equal_result : result -> result -> bool
+(** [diff_result a b = \[\]]. *)
+
 val pp_result : Format.formatter -> result -> unit
 (** Multi-line human-readable report of a single run. *)

@@ -6,9 +6,9 @@ type exp_a_data = {
 
 type exp_b_data = { packet_gran : Sweep.series; flow_gran : Sweep.series }
 
-let run_exp_a ?rates ?reps () =
+let run_exp_a ?rates ?reps ?jobs () =
   let sweep mechanism buffer_capacity label =
-    Sweep.run ~label ?rates ?reps (fun ~rate_mbps ~seed ->
+    Sweep.run ~label ?rates ?reps ?jobs (fun ~rate_mbps ~seed ->
         Config.exp_a ~mechanism ~buffer_capacity ~rate_mbps ~seed)
   in
   {
@@ -17,9 +17,9 @@ let run_exp_a ?rates ?reps () =
     buffer_256 = sweep Config.Packet_granularity 256 "buffer-256";
   }
 
-let run_exp_b ?rates ?reps () =
+let run_exp_b ?rates ?reps ?jobs () =
   let sweep mechanism label =
-    Sweep.run ~label ?rates ?reps (fun ~rate_mbps ~seed ->
+    Sweep.run ~label ?rates ?reps ?jobs (fun ~rate_mbps ~seed ->
         Config.exp_b ~mechanism ~rate_mbps ~seed)
   in
   {
@@ -276,15 +276,15 @@ let exp_b_figures =
     ("fig13b", fig13b);
   ]
 
-let run_all ?rates ?reps () =
+let run_all ?rates ?reps ?jobs () =
   Printf.printf "== Section IV: benefits of the default switch buffer ==\n";
   Printf.printf "workload: 1000 single-packet UDP flows, 1000 B frames\n";
-  let a = run_exp_a ?rates ?reps () in
+  let a = run_exp_a ?rates ?reps ?jobs () in
   List.iter (fun (_, f) -> f a) exp_a_figures;
   summary_exp_a a;
   Printf.printf "\n== Section V: flow-granularity buffer mechanism ==\n";
   Printf.printf
     "workload: 50 flows x 20 packets, cross-sequence batches of 5, buffer 256\n";
-  let b = run_exp_b ?rates ?reps () in
+  let b = run_exp_b ?rates ?reps ?jobs () in
   List.iter (fun (_, f) -> f b) exp_b_figures;
   summary_exp_b b

@@ -14,8 +14,13 @@ type exp_a_data = {
 
 type exp_b_data = { packet_gran : Sweep.series; flow_gran : Sweep.series }
 
-val run_exp_a : ?rates:float list -> ?reps:int -> unit -> exp_a_data
-val run_exp_b : ?rates:float list -> ?reps:int -> unit -> exp_b_data
+val run_exp_a :
+  ?rates:float list -> ?reps:int -> ?jobs:int -> unit -> exp_a_data
+(** [jobs] (default 1) is handed to each {!Sweep.run}; by the
+    {!Exec.run_experiments} contract it never changes the data. *)
+
+val run_exp_b :
+  ?rates:float list -> ?reps:int -> ?jobs:int -> unit -> exp_b_data
 
 (** Each figure function prints its table from pre-computed sweep
     data. *)
@@ -47,7 +52,7 @@ val summary_exp_b : exp_b_data -> unit
 val exp_a_figures : (string * (exp_a_data -> unit)) list
 val exp_b_figures : (string * (exp_b_data -> unit)) list
 
-val run_all : ?rates:float list -> ?reps:int -> unit -> unit
+val run_all : ?rates:float list -> ?reps:int -> ?jobs:int -> unit -> unit
 
 val export_csv : dir:string -> exp_a_data -> exp_b_data -> unit
 (** Write one CSV per figure (rate, then mean and sd per series) into

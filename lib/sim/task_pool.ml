@@ -1,0 +1,60 @@
+(* Fixed-size Domain.spawn pool over a chunked atomic work queue.
+   Results are merged by task index, never by completion order — the
+   parallel path must be byte-identical to the sequential reference
+   path (see task_pool.mli for the full determinism contract). *)
+
+let sequential ~tasks f =
+  (* The reference implementation: index order, calling domain. *)
+  Array.init tasks f
+
+(* Workers claim [chunk] consecutive indices per queue round-trip.
+   8 chunks per worker balances contention against stragglers. *)
+let chunk_size ~jobs ~tasks = Stdlib.max 1 (tasks / (8 * jobs))
+
+let parallel ~jobs ~tasks f =
+  let results = Array.make tasks None in
+  let next = Atomic.make 0 in
+  let first_error = Atomic.make None in
+  let chunk = chunk_size ~jobs ~tasks in
+  let worker () =
+    let stop = ref false in
+    while not !stop do
+      let start = Atomic.fetch_and_add next chunk in
+      if start >= tasks then stop := true
+      else
+        let limit = Stdlib.min (start + chunk) tasks in
+        for i = start to limit - 1 do
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception exn ->
+              (* Remember the first failure and drain the queue so the
+                 remaining workers stop claiming chunks. *)
+              ignore (Atomic.compare_and_set first_error None (Some exn));
+              Atomic.set next tasks;
+              stop := true
+        done
+    done
+  in
+  let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  (match Atomic.get first_error with Some exn -> raise exn | None -> ());
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Task_pool.run: task produced no result")
+    results
+
+let run ~jobs ~tasks f =
+  if tasks < 0 then invalid_arg "Task_pool.run: negative task count";
+  if tasks = 0 then [||]
+  else if jobs <= 1 || tasks = 1 then sequential ~tasks f
+  else parallel ~jobs:(Stdlib.min jobs tasks) ~tasks f
+
+let map_list ~jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    Array.to_list (run ~jobs ~tasks:(Array.length items) (fun i -> f items.(i)))
+  end
+
+let recommended_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())

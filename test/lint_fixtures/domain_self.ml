@@ -1,0 +1,5 @@
+(* Dirty fixture: output depending on which domain ran the task. Must
+   trip domain-self exactly once. *)
+
+let task_tag () =
+  Printf.sprintf "worker-%d" ((Domain.self () :> int) land 0xFFFF)

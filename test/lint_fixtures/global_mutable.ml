@@ -1,0 +1,11 @@
+(* Dirty fixture: toplevel mutable state, shared by every domain that
+   calls [memoized]. Must trip global-mutable exactly once. *)
+
+let cache = Hashtbl.create 16
+
+let memoized key value =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      Hashtbl.add cache key value;
+      value

@@ -38,6 +38,46 @@ let test_sweep_seeds_differ_across_reps () =
   Alcotest.(check int) "three distinct seeds" 3
     (List.length (List.sort_uniq compare !seen))
 
+let test_sweep_seed_derivation () =
+  (* Golden values: the grid seeds are release-stable, because recorded
+     figures are only reproducible if every (rate, rep) cell keeps its
+     seed across refactors of the sweep executor. *)
+  Alcotest.(check int) "first cell" 50_001
+    (Sweep.seed_for ~rate_mbps:5.0 ~rep:0);
+  Alcotest.(check int) "second rep" 50_002 (Sweep.seed_for ~rate_mbps:5.0 ~rep:1);
+  Alcotest.(check int) "last cell" 1_000_020
+    (Sweep.seed_for ~rate_mbps:100.0 ~rep:19);
+  let grid =
+    List.concat_map
+      (fun rate_mbps -> List.init 20 (fun rep -> Sweep.seed_for ~rate_mbps ~rep))
+      Sweep.default_rates
+  in
+  Alcotest.(check int) "full default grid" 400 (List.length grid);
+  Alcotest.(check int) "all 400 seeds distinct" 400
+    (List.length (List.sort_uniq Int.compare grid));
+  Alcotest.(check int) "golden grid checksum" 210_004_200
+    (List.fold_left ( + ) 0 grid)
+
+let test_sd_guard_single_rep () =
+  (* One repetition has no spread: the sample SD must be exactly 0, not
+     nan (n - 1 = 0 in the denominator). *)
+  let series =
+    Sweep.run ~label:"sd1" ~rates:[ 30.0 ] ~reps:1 (fun ~rate_mbps ~seed ->
+        {
+          (Config.exp_a ~mechanism:Config.Packet_granularity ~buffer_capacity:256
+             ~rate_mbps ~seed)
+          with
+          Config.workload = Config.Exp_a { n_flows = 10 };
+        })
+  in
+  let metric (r : Experiment.result) = r.Experiment.ctrl_load_up_mbps in
+  let p = List.hd series.Sweep.points in
+  Alcotest.(check (float 0.0)) "point_sd at n=1" 0.0 (Sweep.point_sd p metric);
+  Alcotest.(check (float 0.0)) "series_sd at n=1" 0.0
+    (Sweep.series_sd series metric);
+  Alcotest.(check bool) "mean still finite" true
+    (Float.is_finite (Sweep.point_mean p metric))
+
 let test_sweep_aggregates () =
   let series =
     Sweep.run ~label:"agg" ~rates:tiny_rates ~reps:2 (fun ~rate_mbps ~seed ->
@@ -168,6 +208,9 @@ let suite =
   [
     Alcotest.test_case "sweep structure" `Quick test_sweep_structure;
     Alcotest.test_case "sweep seeds differ" `Quick test_sweep_seeds_differ_across_reps;
+    Alcotest.test_case "sweep seed goldens" `Quick test_sweep_seed_derivation;
+    Alcotest.test_case "sd of a single repetition is 0" `Quick
+      test_sd_guard_single_rep;
     Alcotest.test_case "sweep aggregation" `Quick test_sweep_aggregates;
     Alcotest.test_case "csv export" `Quick test_csv_export_writes_all_figures;
     Alcotest.test_case "figure ordering invariant" `Quick

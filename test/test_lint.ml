@@ -36,7 +36,7 @@ let test_rule_catalog () =
         (List.mem_assoc rule Lint_core.rules))
     [
       "wall-clock"; "entropy"; "hashtbl-order"; "exception-swallow";
-      "partial-exit"; "poly-compare";
+      "partial-exit"; "poly-compare"; "global-mutable"; "domain-self";
     ]
 
 let test_missing_file () =
@@ -76,6 +76,10 @@ let suite =
       (fires_once "partial_exit.ml" "partial-exit");
     Alcotest.test_case "poly-compare fires once" `Quick
       (fires_once "poly_compare.ml" "poly-compare");
+    Alcotest.test_case "global-mutable fires once" `Quick
+      (fires_once "global_mutable.ml" "global-mutable");
+    Alcotest.test_case "domain-self fires once" `Quick
+      (fires_once "domain_self.ml" "domain-self");
     Alcotest.test_case "sort in same item discharges fold" `Quick
       (clean "sorted_fold.ml");
     Alcotest.test_case "lint: allow suppresses per site" `Quick

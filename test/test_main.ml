@@ -34,5 +34,6 @@ let () =
       ("failures", Test_failures.suite);
       ("lifecycle", Test_lifecycle.suite);
       ("check", Test_check.suite);
+      ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
     ]

@@ -23,6 +23,11 @@ let rules =
     ("exception-swallow", "wildcard exception handler hides failures");
     ("partial-exit", "assert false / failwith instead of a typed error");
     ("poly-compare", "polymorphic compare; name a monomorphic comparison");
+    ( "global-mutable",
+      "mutable toplevel state; parallel task bodies must not share it" );
+    ( "domain-self",
+      "Domain.self-dependent behaviour; output must not vary with the \
+       executing domain" );
   ]
 
 (* ---- Small string helpers (no external deps in this tool) ---- *)
@@ -81,6 +86,28 @@ let poly_compare_idents =
 
 let sort_names = [ "sort"; "stable_sort"; "sort_uniq"; "fast_sort" ]
 
+let domain_self_idents = [ [ "Domain"; "self" ]; [ "Domain"; "DLS"; "get" ] ]
+
+(* Constructors whose toplevel application creates mutable state shared
+   by every domain: a task body reaching such a binding breaks the
+   parallel-equivalence guarantee (and, unsynchronized, is a data
+   race). Function-local creations are per-call and fine; this list is
+   only consulted for bindings directly at structure level. *)
+let mutable_ctor_idents =
+  [
+    [ "ref" ];
+    [ "Stdlib"; "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+    [ "Array"; "make" ];
+    [ "Array"; "create_float" ];
+    [ "Atomic"; "make" ];
+  ]
+
 (* Hashtbl.fold / Hashtbl.iter, including the functorial instances the
    codebase spells <Key>.Table.fold. *)
 let hashtbl_iteration parts =
@@ -121,6 +148,61 @@ let lint_structure ~path ~lines structure =
   in
   let poly_exempt = defines_toplevel_compare structure in
   let entropy_exempt = ends_with ~suffix:"sim/rng.ml" path in
+  (* global-mutable: a structure-level [let] binding whose right-hand
+     side directly applies a mutable-state constructor. Function-local
+     creations are per-call state and never flagged; the walk recurses
+     into nested modules but not into expressions. *)
+  let rec scan_global_mutable items =
+    let rec peel (e : Parsetree.expression) =
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_constraint (inner, _) -> peel inner
+      | _ -> e
+    in
+    let rec scan_module_expr (m : Parsetree.module_expr) =
+      match m.Parsetree.pmod_desc with
+      | Parsetree.Pmod_structure str -> scan_global_mutable str
+      | Parsetree.Pmod_constraint (inner, _) -> scan_module_expr inner
+      | Parsetree.Pmod_functor (_, body) -> scan_module_expr body
+      | _ -> ()
+    in
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.Parsetree.pstr_desc with
+        | Parsetree.Pstr_value (_, bindings) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                match (peel vb.Parsetree.pvb_expr).Parsetree.pexp_desc with
+                | Parsetree.Pexp_apply
+                    ( {
+                        Parsetree.pexp_desc =
+                          Parsetree.Pexp_ident { Asttypes.txt; _ };
+                        _;
+                      },
+                      _ ) -> (
+                    match flatten txt with
+                    | Some parts when List.mem parts mutable_ctor_idents ->
+                        add ~loc:vb.Parsetree.pvb_loc "global-mutable"
+                          (Printf.sprintf
+                             "toplevel %s is mutable state shared by every \
+                              domain; allocate it inside the function that \
+                              uses it, or thread it through the task \
+                              explicitly"
+                             (String.concat "." parts))
+                    | _ -> ())
+                | _ -> ())
+              bindings
+        | Parsetree.Pstr_module mb -> scan_module_expr mb.Parsetree.pmb_expr
+        | Parsetree.Pstr_recmodule mbs ->
+            List.iter
+              (fun (mb : Parsetree.module_binding) ->
+                scan_module_expr mb.Parsetree.pmb_expr)
+              mbs
+        | Parsetree.Pstr_include incl ->
+            scan_module_expr incl.Parsetree.pincl_mod
+        | _ -> ())
+      items
+  in
+  scan_global_mutable structure;
   List.iter
     (fun (item : Parsetree.structure_item) ->
       (* hashtbl-order is judged per top-level definition: iteration
@@ -146,6 +228,13 @@ let lint_structure ~path ~lines structure =
         if List.mem parts failwith_idents then
           add ~loc "partial-exit"
             "failwith crashes on bad input; return a typed error instead";
+        if List.mem parts domain_self_idents then
+          add ~loc "domain-self"
+            (Printf.sprintf
+               "%s makes behaviour depend on which worker domain runs the \
+                task; results must be a function of the task index alone \
+                (or mark a pure diagnostic with 'lint: allow domain-self')"
+               name);
         if (not poly_exempt) && List.mem parts poly_compare_idents then
           add ~loc "poly-compare"
             (Printf.sprintf

@@ -37,7 +37,20 @@
       [Stdlib.compare]): on float-carrying records it is both slow and
       a NaN trap; comparisons must name [Float.compare]/[Int.compare]
       or a record-specific function. A file defining its own top-level
-      [let compare] is exempt (local references resolve to it).
+      [let compare] is exempt (local references resolve to it);
+    - [global-mutable] — a structure-level [let] whose right-hand side
+      directly applies a mutable-state constructor ([ref],
+      [Hashtbl.create], [Buffer.create], [Bytes.create]/[make],
+      [Array.make], [Atomic.make], [Queue.create], [Stack.create]),
+      including inside nested modules: toplevel mutable state is
+      shared by every worker domain, so a {!Sdn_sim.Task_pool} task
+      body reaching it breaks the parallel-equivalence guarantee (and
+      is a data race). Function-local creations are per-call state and
+      never flagged;
+    - [domain-self] — [Domain.self ()] (or [Domain.DLS.get]): anything
+      derived from the executing domain's identity varies with
+      scheduling, so it must never reach a result or report. Pure
+      diagnostics carry a suppression comment.
 
     Per-site suppression: a comment containing
     [lint: allow <rule-id>] on the offending line or the line directly
