@@ -19,7 +19,7 @@
      dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
      dune exec bench/main.exe -- ablations    # the ablation studies
      dune exec bench/main.exe -- json [path]  # machine-readable snapshot
-                                              # (default BENCH_pr5.json)
+                                              # (default BENCH_pr6.json)
 
    The json snapshot also times a small end-to-end sweep at
    --jobs 1/2/4 and records the parallel speedups, so the regression
@@ -268,6 +268,47 @@ let micro_tests () =
           fun () ->
             Sdn_sim.Heap.push heap probe;
             ignore (Sdn_sim.Heap.remove heap probe.idx)));
+    (* The analytical oracle's full evaluation for one operating point:
+       the three-station Jackson solve, the feedback model, and the
+       Erlang-B loss recursion at buffer-16. Pure closed-form float
+       work — the gate pins its cost so the validation suite's
+       prediction side stays negligible next to the simulator runs. *)
+    Test.make ~name:"model/oracle-eval-point"
+      (Staged.stage
+         (let kernel =
+            { Sdn_model.Jackson.name = "kernel"; service = 2e-6; servers = 1 }
+          in
+          let userspace =
+            { Sdn_model.Jackson.name = "userspace"; service = 8e-6; servers = 1 }
+          in
+          let controller =
+            {
+              Sdn_model.Jackson.name = "controller";
+              service = 250e-6;
+              servers = 2;
+            }
+          in
+          let params =
+            {
+              Sdn_model.Feedback.lambda = 2000.0;
+              packet_in_prob = 0.5;
+              switch_service = 10e-6;
+              switch_servers = 1;
+              controller_service = 250e-6;
+              controller_servers = 2;
+              loop_delay = 400e-6;
+            }
+          in
+          fun () ->
+            let net =
+              Sdn_model.Jackson.solve ~arrival_rate:2000.0
+                [ (kernel, 4.0); (userspace, 3.0); (controller, 1.0) ]
+            in
+            let fb = Sdn_model.Feedback.eval params in
+            let b = Sdn_model.Mm1.erlang_b ~servers:16 ~offered_load:8.0 in
+            ignore (Sdn_model.Jackson.response_time net);
+            ignore fb.Sdn_model.Feedback.sojourn;
+            ignore b));
   ]
 
 (* Bechamel's stock [Instance.minor_allocated] reads
@@ -485,7 +526,7 @@ let () =
       run_figures ();
       Sdn_core.Ablations.run_all ()
   | [ _; "micro" ] -> run_micro ()
-  | [ _; "json" ] -> run_json "BENCH_pr5.json"
+  | [ _; "json" ] -> run_json "BENCH_pr6.json"
   | [ _; "json"; path ] -> run_json path
   | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
   | [ _; "figures" ] -> run_figures ()

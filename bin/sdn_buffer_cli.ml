@@ -161,6 +161,9 @@ let workload_arg =
       | "exp-b" ->
           Ok (Config.Exp_b { n_flows = 50; packets_per_flow = 20; concurrent = 5 })
       | "burst" -> Ok (Config.Udp_burst { n_packets = 200 })
+      | "poisson" -> Ok (Config.Poisson_flows { n_flows = 1000 })
+      | "poisson-mix" ->
+          Ok (Config.Poisson_mix { n_packets = 1000; miss_fraction = 0.5 })
       | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
     in
     let print fmt w =
@@ -168,7 +171,9 @@ let workload_arg =
         (match w with
         | Config.Exp_a _ -> "exp-a"
         | Config.Exp_b _ -> "exp-b"
-        | Config.Udp_burst _ -> "burst")
+        | Config.Udp_burst _ -> "burst"
+        | Config.Poisson_flows _ -> "poisson"
+        | Config.Poisson_mix _ -> "poisson-mix")
     in
     Arg.conv (parse, print)
   in
@@ -177,7 +182,8 @@ let workload_arg =
     & opt workload_conv (Config.Exp_a { n_flows = 1000 })
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
         ~doc:"Workload: exp-a (1000 single-packet flows), exp-b (50x20 \
-              cross-sequence) or burst.")
+              cross-sequence), burst, poisson (Poisson single-packet flows) \
+              or poisson-mix (Poisson hit/miss mix).")
 
 let run_cmd =
   let run mechanism buffer rate seed workload faults echo_interval echo_misses
@@ -348,6 +354,63 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Run both sweeps and export every figure as CSV.")
     term
 
+let validate_cmd =
+  let grid_arg =
+    let grid_conv =
+      let parse = function
+        | "full" -> Ok Validate.full_grid
+        | "quick" -> Ok Validate.quick_grid
+        | "golden" -> Ok Validate.golden_grid
+        | s -> Error (`Msg (Printf.sprintf "unknown grid %S" s))
+      in
+      let print fmt (g : Validate.grid) =
+        Format.pp_print_string fmt
+          (if g = Validate.full_grid then "full"
+           else if g = Validate.quick_grid then "quick"
+           else "golden")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt grid_conv Validate.full_grid
+      & info [ "g"; "grid" ] ~docv:"GRID"
+          ~doc:
+            "Validation grid: $(b,full) (5 utilizations x 3 offered loads x \
+             3 reps x all controller profiles), $(b,quick) (the CI subset) \
+             or $(b,golden) (the byte-stable fixture).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Also write the machine-readable agreement report to $(docv).")
+  in
+  let run grid csv_path check jobs =
+    let report = Validate.run ~check ~jobs grid in
+    print_string (Validate.summary report);
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Validate.csv report);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      csv_path;
+    if check && report.Validate.violations > 0 then exit 1;
+    if not report.Validate.ok then exit 2
+  in
+  let term = Term.(const run $ grid_arg $ csv_arg $ check_arg $ jobs_arg) in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Cross-validate the simulator against the analytical queueing \
+          models: generate configurations inside each model's operating \
+          regime, run them (deterministically, on $(b,--jobs) domains), and \
+          assert per-metric agreement within tolerance. Exits 2 on \
+          divergence, 1 on an invariant violation under $(b,--check).")
+    term
+
 let calibration_cmd =
   let run jobs =
     let checks = Calibration.sanity ~jobs () in
@@ -372,4 +435,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group default_info
-          [ run_cmd; chaos_cmd; figure_cmd; all_cmd; export_cmd; calibration_cmd ]))
+          [
+            run_cmd; chaos_cmd; figure_cmd; all_cmd; export_cmd; validate_cmd;
+            calibration_cmd;
+          ]))

@@ -60,9 +60,7 @@ type t = {
 
 let create engine ~app ~costs ~rng ?check ?(release_strategy = `Pair)
     ?(echo_interval = 0.0) ?(echo_misses = 3) () =
-  let noise () =
-    Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
-  in
+  let noise = Costs.noise costs rng in
   let scale ~queue_len = Costs.penalty costs ~queue_len in
   {
     engine;

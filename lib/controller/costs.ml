@@ -1,3 +1,7 @@
+open Sdn_sim
+
+type service_distribution = Lognormal | Exponential
+
 type t = {
   cores : int;
   parse_base_cost : float;
@@ -15,6 +19,7 @@ type t = {
   gc_pause_duration : float;
   gc_pause_min_gap : float;
   service_noise_sigma : float;
+  service_distribution : service_distribution;
 }
 
 let default =
@@ -35,7 +40,60 @@ let default =
     gc_pause_duration = 2.5e-3;
     gc_pause_min_gap = 25e-3;
     service_noise_sigma = 0.08;
+    service_distribution = Lognormal;
   }
+
+type profile = Pox | Floodlight | Opendaylight
+
+(* Single-threaded Python: one core, an interpreted parse/decision
+   path roughly an order of magnitude above the JVM controllers. *)
+let pox =
+  {
+    default with
+    cores = 1;
+    parse_base_cost = 150e-6;
+    parse_per_byte = 80e-9;
+    decision_cost = 220e-6;
+    encode_base_cost = 25e-6;
+  }
+
+(* The paper's testbed controller: the calibrated defaults. *)
+let floodlight = default
+
+(* Heavier framework per message than Floodlight but wider thread
+   pools on the same class of hardware. *)
+let opendaylight =
+  {
+    default with
+    cores = 4;
+    parse_base_cost = 22e-6;
+    parse_per_byte = 30e-9;
+    decision_cost = 55e-6;
+    encode_base_cost = 8e-6;
+  }
+
+let of_profile = function
+  | Pox -> pox
+  | Floodlight -> floodlight
+  | Opendaylight -> opendaylight
+
+let profile_to_string = function
+  | Pox -> "pox"
+  | Floodlight -> "floodlight"
+  | Opendaylight -> "opendaylight"
+
+let profile_of_string = function
+  | "pox" -> Some Pox
+  | "floodlight" -> Some Floodlight
+  | "opendaylight" -> Some Opendaylight
+  | _ -> None
+
+let profiles = [ Pox; Floodlight; Opendaylight ]
+
+let noise t rng =
+  match t.service_distribution with
+  | Lognormal -> fun () -> Rng.lognormal_factor rng ~sigma:t.service_noise_sigma
+  | Exponential -> fun () -> Rng.exponential rng ~mean:1.0
 
 let penalty t ~queue_len =
   let excess = float_of_int (max 0 (queue_len - t.congestion_threshold)) in

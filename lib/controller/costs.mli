@@ -13,6 +13,13 @@
     scheduler thrashing under concurrency — once the backlog passes
     [congestion_threshold]. *)
 
+type service_distribution =
+  | Lognormal  (** multiplicative [exp (sigma * N(0,1))] jitter *)
+  | Exponential
+      (** multiplicative [Exp(1)] factor, making every service time
+          exponential with its configured mean — the memoryless regime
+          the analytical oracle's M/M/c stations assume *)
+
 type t = {
   cores : int;
   parse_base_cost : float;
@@ -40,9 +47,41 @@ type t = {
           controller-delay spikes past ~60 Mbps in the paper's Fig. 6 *)
   gc_pause_min_gap : float;  (** minimum time between pauses *)
   service_noise_sigma : float;
+  service_distribution : service_distribution;
 }
 
 val default : t
+
+(** {1 Controller cost profiles}
+
+    Swappable presets standing in for the controller implementations
+    the SDN literature benchmarks against each other. Only the
+    per-message cost structure and the thread-pool width vary; the
+    congestion/GC shape is shared. [Floodlight] is the paper's testbed
+    controller and equals {!default}. *)
+
+type profile = Pox | Floodlight | Opendaylight
+
+val pox : t
+(** Single-threaded Python controller: [cores = 1], roughly an order
+    of magnitude more per-message work. *)
+
+val floodlight : t
+(** The calibrated defaults (the paper's testbed controller). *)
+
+val opendaylight : t
+(** Wider thread pool ([cores = 4]), heavier framework per message
+    than Floodlight. *)
+
+val of_profile : profile -> t
+val profile_to_string : profile -> string
+val profile_of_string : string -> profile option
+val profiles : profile list
+(** All presets, in CLI/report order. *)
+
+val noise : t -> Sdn_sim.Rng.t -> unit -> float
+(** The multiplicative service-time jitter sampler selected by
+    [service_distribution]. *)
 
 val penalty : t -> queue_len:int -> float
 (** [min cap (1 + slope * max 0 (queue - threshold))]. *)

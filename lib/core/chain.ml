@@ -213,6 +213,14 @@ let run (config : Config.t) ~n_switches =
         Sdn_traffic.Patterns.udp_burst ~rng:chain.traffic_rng ~start:0.05
           ~n_packets ~rate_mbps:config.Config.rate_mbps
           ~frame_size:config.Config.frame_size ()
+    | Config.Poisson_flows { n_flows } ->
+        Sdn_traffic.Patterns.poisson_flows ~rng:chain.traffic_rng ~start:0.05
+          ~n_flows ~rate_mbps:config.Config.rate_mbps
+          ~frame_size:config.Config.frame_size ()
+    | Config.Poisson_mix { n_packets; miss_fraction } ->
+        Sdn_traffic.Patterns.poisson_mix ~rng:chain.traffic_rng ~start:0.05
+          ~n_packets ~miss_fraction ~rate_mbps:config.Config.rate_mbps
+          ~frame_size:config.Config.frame_size ()
   in
   let plan = Sdn_traffic.Pktgen.stats_of injections in
   Sdn_traffic.Pktgen.schedule chain.engine

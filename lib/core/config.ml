@@ -11,6 +11,8 @@ type workload =
   | Exp_a of { n_flows : int }
   | Exp_b of { n_flows : int; packets_per_flow : int; concurrent : int }
   | Udp_burst of { n_packets : int }
+  | Poisson_flows of { n_flows : int }
+  | Poisson_mix of { n_packets : int; miss_fraction : float }
 
 type qos = {
   classify : Sdn_controller.App.context -> int32;
@@ -95,6 +97,9 @@ let packets_expected t =
   | Exp_a { n_flows } -> n_flows
   | Exp_b { n_flows; packets_per_flow; _ } -> n_flows * packets_per_flow
   | Udp_burst { n_packets } -> n_packets
+  | Poisson_flows { n_flows } -> n_flows
+  (* plus the flow-0 primer *)
+  | Poisson_mix { n_packets; _ } -> n_packets + 1
 
 let label t =
   match t.mechanism with

@@ -18,6 +18,15 @@ type workload =
       (** Section V: multi-packet flows in cross-sequence batches. *)
   | Udp_burst of { n_packets : int }
       (** Section VI.A: one sudden many-packet UDP flow. *)
+  | Poisson_flows of { n_flows : int }
+      (** Analytical-validation regime: single-packet flows arriving
+          as a Poisson process — every packet a miss
+          ({!Sdn_traffic.Patterns.poisson_flows}). *)
+  | Poisson_mix of { n_packets : int; miss_fraction : float }
+      (** Analytical-validation regime: Poisson arrivals split between
+          a primed long-lived flow and fresh single-packet flows with
+          packet-in probability [miss_fraction]
+          ({!Sdn_traffic.Patterns.poisson_mix}). *)
 
 type qos = {
   classify : Sdn_controller.App.context -> int32;

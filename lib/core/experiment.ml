@@ -85,6 +85,16 @@ let injections_of (config : Config.t) rng =
       Patterns.udp_burst ~rng ~start:traffic_start ~n_packets
         ~rate_mbps:config.Config.rate_mbps ~frame_size:config.Config.frame_size
         ()
+  | Config.Poisson_flows { n_flows } ->
+      Patterns.poisson_flows ~rng ~start:traffic_start ~n_flows
+        ~rate_mbps:config.Config.rate_mbps ~frame_size:config.Config.frame_size
+        ()
+  | Config.Poisson_mix { n_packets; miss_fraction } ->
+      (* The primer goes at traffic_start; the mix begins prime_lead
+         later, once flow 0's rule is installed. *)
+      Patterns.poisson_mix ~rng ~start:traffic_start ~n_packets ~miss_fraction
+        ~rate_mbps:config.Config.rate_mbps ~frame_size:config.Config.frame_size
+        ()
 
 let run (config : Config.t) =
   let scenario = Scenario.build config in

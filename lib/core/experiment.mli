@@ -13,6 +13,12 @@ type summary = {
 
 val summary_of_stats : Stats.t -> summary
 
+val traffic_start : float
+(** Injection lead-in: traffic begins this many seconds into the run,
+    after the control-session handshake has settled. The analytical
+    validator uses it to undo the lead-in dilution of time-averaged
+    metrics. *)
+
 type result = {
   config : Config.t;
   send_window : float;  (** first to last injection, seconds *)

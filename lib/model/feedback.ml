@@ -1,0 +1,86 @@
+(* Mahmood et al.'s single-node feedback model: switch at (1+q)lambda,
+   controller at q lambda, both M/M/c, sojourn by visit counts. *)
+
+type params = {
+  lambda : float;
+  packet_in_prob : float;
+  switch_service : float;
+  switch_servers : int;
+  controller_service : float;
+  controller_servers : int;
+  loop_delay : float;
+}
+
+type t = {
+  switch : Mm1.t;
+  controller : Mm1.t;
+  packet_in_rtt : float;
+  sojourn : float;
+  stable : bool;
+}
+
+let check p =
+  if not (Float.is_finite p.lambda) || p.lambda < 0.0 then
+    invalid_arg "Feedback.eval: lambda must be finite and >= 0";
+  if
+    not (Float.is_finite p.packet_in_prob)
+    || p.packet_in_prob < 0.0
+    || p.packet_in_prob > 1.0
+  then invalid_arg "Feedback.eval: packet_in_prob must lie in [0, 1]";
+  if not (Float.is_finite p.switch_service) || p.switch_service <= 0.0 then
+    invalid_arg "Feedback.eval: switch service must be finite and > 0";
+  if not (Float.is_finite p.controller_service) || p.controller_service <= 0.0
+  then invalid_arg "Feedback.eval: controller service must be finite and > 0";
+  if p.switch_servers < 1 || p.controller_servers < 1 then
+    invalid_arg "Feedback.eval: server counts must be >= 1";
+  if not (Float.is_finite p.loop_delay) || p.loop_delay < 0.0 then
+    invalid_arg "Feedback.eval: loop delay must be finite and >= 0"
+
+let eval p =
+  check p;
+  let q = p.packet_in_prob in
+  let switch =
+    Mm1.mmc
+      ~lambda:((1.0 +. q) *. p.lambda)
+      ~mu:(1.0 /. p.switch_service)
+      ~servers:p.switch_servers
+  in
+  let controller =
+    Mm1.mmc ~lambda:(q *. p.lambda)
+      ~mu:(1.0 /. p.controller_service)
+      ~servers:p.controller_servers
+  in
+  let packet_in_rtt = p.loop_delay +. controller.Mm1.w in
+  let sojourn = ((1.0 +. q) *. switch.Mm1.w) +. (q *. packet_in_rtt) in
+  {
+    switch;
+    controller;
+    packet_in_rtt;
+    sojourn;
+    stable = switch.Mm1.rho < 1.0 && controller.Mm1.rho < 1.0;
+  }
+
+let jackson_of p =
+  check p;
+  let q = p.packet_in_prob in
+  (* Per switch visit, a packet heads to the controller with
+     probability q / (1 + q): solving the traffic equations then gives
+     lambda_s = (1 + q) lambda and lambda_c = q lambda, matching the
+     visit-count form above. The controller always routes back. *)
+  let to_controller = q /. (1.0 +. q) in
+  Jackson.solve_routing
+    ~external_arrivals:[| p.lambda; 0.0 |]
+    ~routing:[| [| 0.0; to_controller |]; [| 1.0; 0.0 |] |]
+    ~nodes:
+      [|
+        {
+          Jackson.name = "switch";
+          service = p.switch_service;
+          servers = p.switch_servers;
+        };
+        {
+          Jackson.name = "controller";
+          service = p.controller_service;
+          servers = p.controller_servers;
+        };
+      |]

@@ -1,0 +1,54 @@
+(** The single-node M/M/1 switch model with controller feedback.
+
+    Mahmood et al.'s model of one OpenFlow switch attached to one
+    controller ("On The Modeling of OpenFlow-based SDNs: The Single
+    Node Case"): external packets arrive at the switch at rate
+    [lambda]; a fraction [q] (the packet-in probability) has no
+    matching rule and is forwarded to the controller, whose reply
+    re-enters the switch queue. The switch therefore serves
+    [(1 + q) lambda] and the controller [q lambda]; both are
+    quasi-reversible exponential stations, so each is an independent
+    M/M/c queue and the mean packet sojourn decomposes as
+
+    [T = (1 + q) W_s + q (W_c + loop_delay)]
+
+    where [loop_delay] is the fixed (non-queueing) part of the
+    control-channel round trip. *)
+
+type params = {
+  lambda : float;  (** external packet arrival rate, 1/s *)
+  packet_in_prob : float;  (** q, the table-miss fraction in [0, 1] *)
+  switch_service : float;  (** mean switch service per visit, seconds *)
+  switch_servers : int;
+  controller_service : float;  (** mean controller service, seconds *)
+  controller_servers : int;
+  loop_delay : float;
+      (** fixed control-channel round-trip component: serialization
+          plus twice the propagation delay, seconds *)
+}
+
+type t = {
+  switch : Mm1.t;  (** the switch station, loaded at [(1 + q) lambda] *)
+  controller : Mm1.t;  (** the controller station, loaded at [q lambda] *)
+  packet_in_rtt : float;
+      (** mean controller round trip seen by a missing packet:
+          [loop_delay + W_c] *)
+  sojourn : float;
+      (** mean time an external packet spends in the system:
+          [(1 + q) W_s + q (W_c + loop_delay)] *)
+  stable : bool;
+}
+
+val eval : params -> t
+(** Raises [Invalid_argument] outside the domain ([lambda < 0],
+    [q] outside [0, 1], non-positive service times or server counts,
+    negative loop delay). Saturation yields infinities, consistent
+    with {!Mm1.mmc}. *)
+
+val jackson_of : params -> Jackson.t
+(** The same system expressed as a two-node open Jackson network via
+    {!Jackson.solve_routing} (switch routes to the controller with
+    probability [q / (1 + q)] per visit, the controller always back to
+    the switch). The property suite pins [eval] against it: identical
+    per-station rates and sojourns. Node names: ["switch"],
+    ["controller"]. *)

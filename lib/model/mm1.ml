@@ -1,0 +1,120 @@
+(* Closed-form single-station queueing models. Pure arithmetic; the
+   saturated regimes return infinities instead of raising so the
+   validator can report a divergent operating point rather than die
+   on it. *)
+
+type t = {
+  lambda : float;
+  mu : float;
+  servers : int;
+  rho : float;
+  wait_prob : float;
+  lq : float;
+  wq : float;
+  l : float;
+  w : float;
+}
+
+let check_rates ~name ~lambda ~mu ~servers =
+  if not (Float.is_finite lambda) || lambda < 0.0 then
+    invalid_arg (name ^ ": lambda must be finite and >= 0");
+  if not (Float.is_finite mu) || mu <= 0.0 then
+    invalid_arg (name ^ ": mu must be finite and > 0");
+  if servers < 1 then invalid_arg (name ^ ": servers must be >= 1")
+
+(* Stable recursion B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)): no
+   factorials, monotone in [a], exact at a = 0. *)
+let erlang_b ~servers ~offered_load =
+  if servers < 0 then invalid_arg "Mm1.erlang_b: servers must be >= 0";
+  if not (Float.is_finite offered_load) || offered_load < 0.0 then
+    invalid_arg "Mm1.erlang_b: offered load must be finite and >= 0";
+  let a = offered_load in
+  let b = ref 1.0 in
+  for k = 1 to servers do
+    b := a *. !b /. (float_of_int k +. (a *. !b))
+  done;
+  !b
+
+let erlang_c ~servers ~offered_load =
+  if servers < 1 then invalid_arg "Mm1.erlang_c: servers must be >= 1";
+  let c = float_of_int servers in
+  if offered_load >= c then 1.0
+  else begin
+    let b = erlang_b ~servers ~offered_load in
+    c *. b /. (c -. (offered_load *. (1.0 -. b)))
+  end
+
+let mmc ~lambda ~mu ~servers =
+  check_rates ~name:"Mm1.mmc" ~lambda ~mu ~servers;
+  let c = float_of_int servers in
+  let a = lambda /. mu in
+  let rho = a /. c in
+  if rho >= 1.0 then
+    {
+      lambda;
+      mu;
+      servers;
+      rho;
+      wait_prob = 1.0;
+      lq = infinity;
+      wq = infinity;
+      l = infinity;
+      w = infinity;
+    }
+  else begin
+    let wait_prob = erlang_c ~servers ~offered_load:a in
+    let wq = wait_prob /. ((c *. mu) -. lambda) in
+    let w = wq +. (1.0 /. mu) in
+    { lambda; mu; servers; rho; wait_prob; lq = lambda *. wq; wq; l = lambda *. w; w }
+  end
+
+let mm1 ~lambda ~mu = mmc ~lambda ~mu ~servers:1
+
+type finite = {
+  f_lambda : float;
+  f_mu : float;
+  k : int;
+  f_rho : float;
+  blocking : float;
+  lambda_eff : float;
+  f_l : float;
+  f_w : float;
+}
+
+let mm1k ~lambda ~mu ~k =
+  check_rates ~name:"Mm1.mm1k" ~lambda ~mu ~servers:1;
+  if k < 1 then invalid_arg "Mm1.mm1k: k must be >= 1";
+  let rho = lambda /. mu in
+  let kf = float_of_int k in
+  let blocking, l =
+    if lambda = 0.0 then (0.0, 0.0)
+    else if Float.abs (rho -. 1.0) < 1e-9 then
+      (* rho -> 1 limit: the stationary distribution is uniform over
+         {0..k}. *)
+      (1.0 /. (kf +. 1.0), kf /. 2.0)
+    else begin
+      (* p_n = p0 rho^n; for rho > 1 the same formulas hold with the
+         geometric series summed exactly. *)
+      let rk = rho ** kf in
+      let rk1 = rk *. rho in
+      let p0 = (1.0 -. rho) /. (1.0 -. rk1) in
+      let blocking = p0 *. rk in
+      let l = (rho /. (1.0 -. rho)) -. ((kf +. 1.0) *. rk1 /. (1.0 -. rk1)) in
+      (blocking, l)
+    end
+  in
+  let lambda_eff = lambda *. (1.0 -. blocking) in
+  let f_w = if lambda_eff = 0.0 then 1.0 /. mu else l /. lambda_eff in
+  { f_lambda = lambda; f_mu = mu; k; f_rho = rho; blocking; lambda_eff; f_l = l; f_w }
+
+let mg1_wait ~lambda ~mean_service ~second_moment =
+  if not (Float.is_finite lambda) || lambda < 0.0 then
+    invalid_arg "Mm1.mg1_wait: lambda must be finite and >= 0";
+  if mean_service < 0.0 || second_moment < 0.0 then
+    invalid_arg "Mm1.mg1_wait: service moments must be >= 0";
+  let rho = lambda *. mean_service in
+  if rho >= 1.0 then infinity
+  else lambda *. second_moment /. (2.0 *. (1.0 -. rho))
+
+let md1_wait ~lambda ~service =
+  mg1_wait ~lambda ~mean_service:service ~second_moment:(service *. service)

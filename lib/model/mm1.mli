@@ -1,0 +1,75 @@
+(** Closed-form single-station queueing models.
+
+    The primitives behind the analytical oracle: M/M/c (Erlang-C
+    delay), M/M/1/K (finite buffer with blocking), the Erlang loss
+    formulas, and the Pollaczek-Khinchine mean wait for M/G/1 stations
+    with deterministic or mixed service (the simulator's links and
+    bus). All quantities are means of the stationary distribution;
+    every function is pure and total on its stated domain, returning
+    [infinity] for the saturated regimes ([rho >= 1]) instead of
+    raising, so a validator can report a divergent operating point
+    rather than crash on it. *)
+
+type t = {
+  lambda : float;  (** arrival rate, 1/s *)
+  mu : float;  (** per-server service rate, 1/s *)
+  servers : int;
+  rho : float;  (** per-server utilization [lambda / (servers * mu)] *)
+  wait_prob : float;
+      (** probability an arrival waits (Erlang C); [1] at saturation *)
+  lq : float;  (** mean number waiting *)
+  wq : float;  (** mean wait before service, seconds *)
+  l : float;  (** mean number in the station *)
+  w : float;  (** mean sojourn (wait + service), seconds *)
+}
+
+val mmc : lambda:float -> mu:float -> servers:int -> t
+(** The M/M/c queue. [rho >= 1] yields infinite [lq]/[wq]/[l]/[w] and
+    [wait_prob = 1]. Raises [Invalid_argument] on [lambda < 0],
+    [mu <= 0] or [servers < 1]. *)
+
+val mm1 : lambda:float -> mu:float -> t
+(** [mmc ~servers:1]: [w = 1 / (mu - lambda)] below saturation. *)
+
+type finite = {
+  f_lambda : float;  (** offered arrival rate *)
+  f_mu : float;
+  k : int;  (** system capacity (in service + waiting) *)
+  f_rho : float;  (** offered load [lambda / mu] *)
+  blocking : float;  (** stationary probability an arrival is lost *)
+  lambda_eff : float;  (** accepted throughput [lambda * (1 - blocking)] *)
+  f_l : float;  (** mean number in the system *)
+  f_w : float;  (** mean sojourn of {e accepted} customers (Little) *)
+}
+
+val mm1k : lambda:float -> mu:float -> k:int -> finite
+(** The M/M/1/K queue (one server, at most [k] customers in the
+    system). Defined for every [rho >= 0], including [rho = 1]
+    (uniform distribution limit: [blocking = 1/(k+1)], [l = k/2]) and
+    [rho > 1]. As [k -> infinity] with [rho < 1] it converges to
+    {!mm1}. Raises [Invalid_argument] on [k < 1], [lambda < 0] or
+    [mu <= 0]. *)
+
+val erlang_b : servers:int -> offered_load:float -> float
+(** Blocking probability of the Erlang loss system M/G/c/c with
+    [offered_load = lambda * mean holding time] (dimensionless
+    Erlangs), by the standard stable recursion. Insensitive to the
+    holding-time distribution, which is what makes it the right
+    specialization for a buffer pool of [c] units whose residence time
+    is a controller round trip plus a deterministic reclaim lag.
+    Raises [Invalid_argument] on negative arguments. *)
+
+val erlang_c : servers:int -> offered_load:float -> float
+(** Probability of waiting in M/M/c (Erlang's delay formula), derived
+    from {!erlang_b}; [1.0] when [offered_load >= servers]. *)
+
+val mg1_wait : lambda:float -> mean_service:float -> second_moment:float -> float
+(** Pollaczek-Khinchine mean waiting time of an M/G/1 queue:
+    [lambda * E(S^2) / (2 (1 - rho))]; [infinity] at [rho >= 1]. Used
+    for stations whose service time is deterministic or a mixture of
+    deterministic sizes: the simulator's serialization links and the
+    ASIC-CPU bus. *)
+
+val md1_wait : lambda:float -> service:float -> float
+(** M/D/1 mean wait: [mg1_wait] with [E(S^2) = service^2] — exactly
+    half the M/M/1 wait at equal utilization. *)

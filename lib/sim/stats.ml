@@ -66,8 +66,9 @@ let samples t = Array.sub t.samples 0 t.sample_count
 let percentile t p =
   if not t.keep_samples then
     invalid_arg "Stats.percentile: samples were not kept";
-  if t.sample_count = 0 then invalid_arg "Stats.percentile: no samples";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if t.sample_count = 0 then nan
+  else
   let sorted = samples t in
   Array.sort Float.compare sorted;
   let n = Array.length sorted in

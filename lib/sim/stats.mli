@@ -40,11 +40,12 @@ val max : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]], by linear interpolation on
-    the sorted samples. Raises [Invalid_argument] if samples were not
-    kept or the accumulator is empty. *)
+    the sorted samples; [nan] if the accumulator is empty (consistent
+    with {!min}/{!max}). Raises [Invalid_argument] if samples were not
+    kept or [p] is out of range. *)
 
 val median : t -> float
-(** [percentile t 50.] *)
+(** [percentile t 50.]; [nan] if empty. *)
 
 val merge : t -> t -> t
 (** [merge a b] is a fresh accumulator equivalent to having seen both

@@ -1,3 +1,7 @@
+open Sdn_sim
+
+type service_distribution = Lognormal | Exponential
+
 type t = {
   kernel_cores : int;
   userspace_cores : int;
@@ -19,6 +23,7 @@ type t = {
   amortization_floor : float;
   amortization_scale : int;
   service_noise_sigma : float;
+  service_distribution : service_distribution;
 }
 
 let default =
@@ -43,7 +48,13 @@ let default =
     amortization_floor = 0.25;
     amortization_scale = 6;
     service_noise_sigma = 0.08;
+    service_distribution = Lognormal;
   }
+
+let noise t rng =
+  match t.service_distribution with
+  | Lognormal -> fun () -> Rng.lognormal_factor rng ~sigma:t.service_noise_sigma
+  | Exponential -> fun () -> Rng.exponential rng ~mean:1.0
 
 let amortization t ~queue_len =
   let q = float_of_int (max 0 queue_len) in

@@ -20,6 +20,13 @@
     [Sdn_core.Calibration] documents how the default values were fitted
     to the paper's reported curves. *)
 
+type service_distribution =
+  | Lognormal  (** multiplicative [exp (sigma * N(0,1))] jitter *)
+  | Exponential
+      (** multiplicative [Exp(1)] factor, making every service time
+          exponential with its configured mean — the memoryless regime
+          the analytical oracle's M/M/c stations assume *)
+
 type t = {
   kernel_cores : int;
   userspace_cores : int;
@@ -53,12 +60,18 @@ type t = {
   amortization_scale : int;
       (** queue length at which half the possible speed-up is reached *)
   service_noise_sigma : float;
-      (** lognormal sigma jittering every service time *)
+      (** lognormal sigma jittering every service time (under
+          [Lognormal]; ignored by [Exponential]) *)
+  service_distribution : service_distribution;
 }
 
 val default : t
 (** Values calibrated against the paper's testbed curves; see
     [Sdn_core.Calibration]. *)
+
+val noise : t -> Sdn_sim.Rng.t -> unit -> float
+(** The multiplicative service-time jitter sampler selected by
+    [service_distribution]. *)
 
 val amortization : t -> queue_len:int -> float
 (** The batching factor: [floor + (1 - floor) / (1 + queue/scale)]. *)

@@ -738,9 +738,7 @@ let on_session_restore t =
   | Some _ | None -> ()
 
 let create engine ?check ~config ~costs ~rng () =
-  let noise () =
-    Rng.lognormal_factor rng ~sigma:costs.Costs.service_noise_sigma
-  in
+  let noise = Costs.noise costs rng in
   let amortize ~queue_len = Costs.amortization costs ~queue_len in
   let mechanism =
     if config.buffer_capacity = 0 then No_buffer else config.mechanism

@@ -100,6 +100,82 @@ let udp_burst ~rng ?(addressing = Addressing.default) ?(start = 0.0) ~n_packets
       time := !time +. jittered_gap rng ~gap ~jitter:0.01;
       inj)
 
+let poisson_flows ~rng ?(addressing = Addressing.default) ?(start = 0.0)
+    ~n_flows ~rate_mbps ~frame_size () =
+  if n_flows <= 0 then invalid_arg "Patterns.poisson_flows: n_flows";
+  let mean_gap = spacing ~rate_mbps ~frame_size in
+  let time = ref start in
+  List.init n_flows (fun flow_id ->
+      let inj =
+        {
+          time = !time;
+          in_port = 1;
+          flow_id;
+          seq = 0;
+          frame = udp_frame addressing ~flow_id ~seq:0 ~flow_packets:1 ~frame_size;
+        }
+      in
+      time := !time +. Rng.exponential rng ~mean:mean_gap;
+      inj)
+
+let poisson_mix ~rng ?(addressing = Addressing.default) ?(start = 0.0)
+    ?(prime_lead = 0.05) ~n_packets ~miss_fraction ~rate_mbps ~frame_size () =
+  if n_packets <= 0 then invalid_arg "Patterns.poisson_mix: n_packets";
+  if
+    (not (Float.is_finite miss_fraction))
+    || miss_fraction < 0.0 || miss_fraction > 1.0
+  then invalid_arg "Patterns.poisson_mix: miss_fraction must lie in [0, 1]";
+  let mean_gap = spacing ~rate_mbps ~frame_size in
+  (* Sample the whole arrival sequence first: the elephant flow's
+     packet count must be known before its frames are tagged. *)
+  let time = ref (start +. prime_lead) in
+  let events =
+    List.init n_packets (fun _ ->
+        let t = !time in
+        let miss = Rng.uniform rng ~lo:0.0 ~hi:1.0 < miss_fraction in
+        time := !time +. Rng.exponential rng ~mean:mean_gap;
+        (t, miss))
+  in
+  let elephant_packets =
+    1 + List.length (List.filter (fun (_, miss) -> not miss) events)
+  in
+  let elephant ~time ~seq =
+    {
+      time;
+      in_port = 1;
+      flow_id = 0;
+      seq;
+      frame =
+        udp_frame addressing ~flow_id:0 ~seq ~flow_packets:elephant_packets
+          ~frame_size;
+    }
+  in
+  let next_flow = ref 1 in
+  let elephant_seq = ref 1 in
+  (* The primer installs flow 0's rule before the main phase begins,
+     so its later packets are hits. *)
+  elephant ~time:start ~seq:0
+  :: List.map
+       (fun (t, miss) ->
+         if miss then begin
+           let flow_id = !next_flow in
+           incr next_flow;
+           {
+             time = t;
+             in_port = 1;
+             flow_id;
+             seq = 0;
+             frame =
+               udp_frame addressing ~flow_id ~seq:0 ~flow_packets:1 ~frame_size;
+           }
+         end
+         else begin
+           let seq = !elephant_seq in
+           incr elephant_seq;
+           elephant ~time:t ~seq
+         end)
+       events
+
 (* ---- TCP scenarios ---- *)
 
 let tcp_frame addressing ~flow_id ~seq_no ~ack_no ~flags ~payload_len ~reverse =

@@ -65,6 +65,42 @@ val udp_burst :
     [n_packets] back-to-back — every packet a miss until the rule
     lands. *)
 
+val poisson_flows :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  n_flows:int ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** [n_flows] single-packet flows whose inter-arrival gaps are i.i.d.
+    exponential with mean [spacing ~rate_mbps ~frame_size] — a Poisson
+    arrival process at the given mean rate, every packet a table miss.
+    The arrival regime the analytical oracle's Jackson network
+    assumes. *)
+
+val poisson_mix :
+  rng:Rng.t ->
+  ?addressing:Addressing.t ->
+  ?start:float ->
+  ?prime_lead:float ->
+  n_packets:int ->
+  miss_fraction:float ->
+  rate_mbps:float ->
+  frame_size:int ->
+  unit ->
+  injection list
+(** Poisson arrivals at the mean rate where each packet independently
+    belongs to a fresh single-packet flow with probability
+    [miss_fraction] (a table miss) and otherwise to the long-lived
+    flow 0 (a hit). A single primer packet of flow 0 is injected
+    [prime_lead] seconds (default 0.05) before the main phase so its
+    rule is installed by the time the mix starts — the split-traffic
+    regime of Mahmood et al.'s feedback model with packet-in
+    probability [miss_fraction]. Produces [n_packets + 1]
+    injections. *)
+
 (** TCP scenarios for the Section VI.B discussion. *)
 
 val tcp_handshake_then_data :

@@ -204,9 +204,68 @@ let test_config_labels () =
     (Config.packets_expected
        (Config.exp_b ~mechanism:Config.Flow_granularity ~rate_mbps:10.0 ~seed:1))
 
+let tiny_result () =
+  Experiment.run
+    {
+      (Config.exp_a ~mechanism:Config.Packet_granularity ~buffer_capacity:256
+         ~rate_mbps:20.0 ~seed:7)
+      with
+      Config.workload = Config.Exp_a { n_flows = 5 };
+    }
+
+(* Aggregating zero repetitions must degrade to 0, not nan or a raise:
+   an empty point can reach the plotting paths when a sweep is
+   interrupted. *)
+let test_sd_guard_empty () =
+  let metric (r : Experiment.result) = r.Experiment.ctrl_load_up_mbps in
+  let p = { Sweep.rate_mbps = 10.0; results = [] } in
+  let series = { Sweep.label = "empty"; points = [ p ] } in
+  Alcotest.(check (float 0.0)) "point_sd at n=0" 0.0 (Sweep.point_sd p metric);
+  Alcotest.(check (float 0.0)) "series_sd at n=0" 0.0 (Sweep.series_sd series metric);
+  Alcotest.(check (float 0.0)) "point_max at n=0" 0.0 (Sweep.point_max p metric);
+  Alcotest.(check (float 0.0)) "series_max at n=0" 0.0 (Sweep.series_max series metric);
+  Alcotest.(check (float 0.0)) "point_mean at n=0" 0.0 (Sweep.point_mean p metric)
+
+(* The determinism contract behind the parallel-equivalence replay:
+   byte-identity, so NaN equals NaN and infinities equal themselves —
+   but any real field change is named. *)
+let test_diff_result_edge_cases () =
+  let r = tiny_result () in
+  Alcotest.(check (list string)) "reflexive" [] (Experiment.diff_result r r);
+  Alcotest.(check bool) "equal_result" true (Experiment.equal_result r r);
+  let nan_sum = { r.Experiment.setup_delay with Experiment.sd = nan } in
+  let r_nan = { r with Experiment.setup_delay = nan_sum } in
+  Alcotest.(check (list string)) "NaN equals NaN" []
+    (Experiment.diff_result r_nan r_nan);
+  Alcotest.(check (list string)) "NaN vs finite differs" [ "setup_delay" ]
+    (Experiment.diff_result r r_nan);
+  let r_inf = { r with Experiment.controller_cpu_pct = infinity } in
+  Alcotest.(check (list string)) "infinity equals infinity" []
+    (Experiment.diff_result r_inf r_inf);
+  Alcotest.(check (list string)) "infinity vs finite differs"
+    [ "controller_cpu_pct" ]
+    (Experiment.diff_result r r_inf);
+  let r2 = { r with Experiment.pkt_ins = r.Experiment.pkt_ins + 1 } in
+  Alcotest.(check (list string)) "int field named" [ "pkt_ins" ]
+    (Experiment.diff_result r r2);
+  (* Several differing fields are all reported. *)
+  let r3 =
+    {
+      r with
+      Experiment.pkt_ins = r.Experiment.pkt_ins + 1;
+      send_window = r.Experiment.send_window +. 1.0;
+    }
+  in
+  Alcotest.(check (list string)) "all diffs named"
+    [ "pkt_ins"; "send_window" ]
+    (List.sort compare (Experiment.diff_result r r3))
+
 let suite =
   [
     Alcotest.test_case "sweep structure" `Quick test_sweep_structure;
+    Alcotest.test_case "sd of an empty point is 0" `Quick test_sd_guard_empty;
+    Alcotest.test_case "diff_result edge cases" `Quick
+      test_diff_result_edge_cases;
     Alcotest.test_case "sweep seeds differ" `Quick test_sweep_seeds_differ_across_reps;
     Alcotest.test_case "sweep seed goldens" `Quick test_sweep_seed_derivation;
     Alcotest.test_case "sd of a single repetition is 0" `Quick

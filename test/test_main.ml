@@ -36,4 +36,6 @@ let () =
       ("check", Test_check.suite);
       ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
+      ("model", Test_model.suite);
+      ("validate", Test_validate.suite);
     ]

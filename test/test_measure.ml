@@ -160,6 +160,21 @@ let test_histogram_minimum_bar () =
   in
   Alcotest.(check int) "both non-empty buckets show a bar" 2 (List.length bars)
 
+(* Regression: empty and degenerate series must render, not raise —
+   saturated runs produce delay series with zero samples. *)
+let test_histogram_empty_and_degenerate () =
+  let empty = Stats.create ~keep_samples:true () in
+  Alcotest.(check string)
+    "empty series renders a placeholder" "(no samples)"
+    (Report.histogram empty);
+  let single = Stats.create ~keep_samples:true () in
+  Stats.add single 2.5;
+  let rendered = Report.histogram ~bins:8 single in
+  Alcotest.(check bool) "single sample collapses to one bucket" true
+    (String.split_on_char '\n' rendered
+    |> List.filter (fun line -> String.contains line '#')
+    |> List.length = 1)
+
 let test_histogram_bucket_edges () =
   let stats = Stats.create ~keep_samples:true () in
   List.iter (Stats.add stats) [ 0.0; 1.0; 2.0; 3.0; 4.0 ];
@@ -203,4 +218,6 @@ let suite =
       test_histogram_minimum_bar;
     Alcotest.test_case "histogram bucket edges" `Quick
       test_histogram_bucket_edges;
+    Alcotest.test_case "histogram empty and degenerate series" `Quick
+      test_histogram_empty_and_degenerate;
   ]

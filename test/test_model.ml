@@ -1,0 +1,237 @@
+(* Property tests for the analytical queueing models (Sdn_model).
+
+   Each property is checked over a few hundred parameter tuples drawn
+   from a deterministic Sdn_sim.Rng stream — the suite is byte-stable
+   across runs, like every other randomized suite in the repository. *)
+
+open Sdn_sim
+module Mm1 = Sdn_model.Mm1
+module Jackson = Sdn_model.Jackson
+module Feedback = Sdn_model.Feedback
+
+let close ?(eps = 1e-9) a b =
+  abs_float (a -. b) <= eps *. (1.0 +. abs_float a +. abs_float b)
+
+let check_close ?eps what a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g vs %.12g" what a b)
+    true (close ?eps a b)
+
+(* Fuzz driver: [n] deterministic repetitions of [f], which draws its
+   own parameters from the stream. *)
+let fuzz ?(n = 300) ~seed f =
+  let rng = Rng.create (Int64.of_int seed) in
+  for i = 1 to n do
+    f i rng
+  done
+
+let stable_mmc rng =
+  let servers = 1 + Rng.int rng 4 in
+  let mu = Rng.uniform rng ~lo:0.1 ~hi:1000.0 in
+  let rho = Rng.uniform rng ~lo:0.01 ~hi:0.95 in
+  let lambda = rho *. float_of_int servers *. mu in
+  Mm1.mmc ~lambda ~mu ~servers
+
+let test_littles_law_mmc () =
+  fuzz ~seed:11 (fun _ rng ->
+      let q = stable_mmc rng in
+      check_close "L = lambda W" q.Mm1.l (q.Mm1.lambda *. q.Mm1.w);
+      check_close "Lq = lambda Wq" q.Mm1.lq (q.Mm1.lambda *. q.Mm1.wq);
+      check_close "W = Wq + 1/mu" q.Mm1.w (q.Mm1.wq +. (1.0 /. q.Mm1.mu)))
+
+let test_mm1_closed_form () =
+  fuzz ~seed:12 (fun _ rng ->
+      let mu = Rng.uniform rng ~lo:0.1 ~hi:1000.0 in
+      let lambda = Rng.uniform rng ~lo:0.0 ~hi:0.95 *. mu in
+      let q = Mm1.mm1 ~lambda ~mu in
+      check_close "w = 1/(mu - lambda)" q.Mm1.w (1.0 /. (mu -. lambda));
+      (* M/M/1 is mmc with one server. *)
+      let q' = Mm1.mmc ~lambda ~mu ~servers:1 in
+      check_close "mm1 = mmc 1 (w)" q.Mm1.w q'.Mm1.w;
+      check_close "mm1 = mmc 1 (wait_prob)" q.Mm1.wait_prob q'.Mm1.wait_prob)
+
+let test_saturation_is_infinite () =
+  fuzz ~n:100 ~seed:13 (fun _ rng ->
+      let mu = Rng.uniform rng ~lo:0.1 ~hi:100.0 in
+      let lambda = mu *. Rng.uniform rng ~lo:1.0 ~hi:3.0 in
+      let q = Mm1.mmc ~lambda ~mu ~servers:1 in
+      Alcotest.(check bool) "w infinite" true (q.Mm1.w = infinity);
+      Alcotest.(check bool) "l infinite" true (q.Mm1.l = infinity);
+      Alcotest.(check (float 0.0)) "wait_prob 1" 1.0 q.Mm1.wait_prob)
+
+let test_delay_monotone_in_rho () =
+  (* W and L are strictly increasing in the arrival rate, all else
+     fixed — the shape behind every rising curve the oracle predicts. *)
+  fuzz ~seed:14 (fun _ rng ->
+      let servers = 1 + Rng.int rng 4 in
+      let mu = Rng.uniform rng ~lo:0.1 ~hi:1000.0 in
+      let rho1 = Rng.uniform rng ~lo:0.01 ~hi:0.9 in
+      let rho2 = Rng.uniform rng ~lo:(rho1 +. 0.01) ~hi:0.98 in
+      let at rho =
+        Mm1.mmc ~lambda:(rho *. float_of_int servers *. mu) ~mu ~servers
+      in
+      let a = at rho1 and b = at rho2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "W rises: %g@%g vs %g@%g" a.Mm1.w rho1 b.Mm1.w rho2)
+        true
+        (b.Mm1.w > a.Mm1.w);
+      Alcotest.(check bool) "L rises" true (b.Mm1.l > a.Mm1.l))
+
+let test_mm1k_littles_law_and_bounds () =
+  fuzz ~seed:15 (fun _ rng ->
+      let mu = Rng.uniform rng ~lo:0.1 ~hi:100.0 in
+      let lambda = Rng.uniform rng ~lo:0.0 ~hi:1.5 *. mu in
+      let k = 1 + Rng.int rng 64 in
+      let f = Mm1.mm1k ~lambda ~mu ~k in
+      Alcotest.(check bool) "blocking in [0,1]" true
+        (f.Mm1.blocking >= 0.0 && f.Mm1.blocking <= 1.0);
+      Alcotest.(check bool) "l in [0,k]" true
+        (f.Mm1.f_l >= 0.0 && f.Mm1.f_l <= float_of_int k);
+      (* Little's law with the effective (accepted) rate. *)
+      if f.Mm1.lambda_eff > 0.0 then
+        check_close "L = lambda_eff W" f.Mm1.f_l (f.Mm1.lambda_eff *. f.Mm1.f_w))
+
+let test_mm1k_converges_to_mm1 () =
+  fuzz ~n:200 ~seed:16 (fun _ rng ->
+      let mu = Rng.uniform rng ~lo:0.1 ~hi:100.0 in
+      let lambda = Rng.uniform rng ~lo:0.0 ~hi:0.7 *. mu in
+      let f = Mm1.mm1k ~lambda ~mu ~k:600 in
+      let q = Mm1.mm1 ~lambda ~mu in
+      Alcotest.(check bool) "blocking vanishes" true (f.Mm1.blocking < 1e-9);
+      check_close ~eps:1e-6 "L converges" f.Mm1.f_l q.Mm1.l;
+      check_close ~eps:1e-6 "W converges" f.Mm1.f_w q.Mm1.w)
+
+let test_mm1k_critical_load () =
+  (* The rho = 1 limit is the uniform distribution on {0..k}. *)
+  for k = 1 to 32 do
+    let f = Mm1.mm1k ~lambda:5.0 ~mu:5.0 ~k in
+    check_close "blocking = 1/(k+1)" (1.0 /. float_of_int (k + 1)) f.Mm1.blocking;
+    check_close "l = k/2" (float_of_int k /. 2.0) f.Mm1.f_l
+  done
+
+let test_erlang_b_recursion_and_c () =
+  fuzz ~seed:17 (fun _ rng ->
+      let servers = 1 + Rng.int rng 64 in
+      let a = Rng.uniform rng ~lo:0.0 ~hi:1.5 *. float_of_int servers in
+      let b = Mm1.erlang_b ~servers ~offered_load:a in
+      Alcotest.(check bool) "B in [0,1]" true (b >= 0.0 && b <= 1.0);
+      (* The defining recursion B(c) = aB(c-1) / (c + aB(c-1)). *)
+      if servers > 1 then begin
+        let b_prev = Mm1.erlang_b ~servers:(servers - 1) ~offered_load:a in
+        check_close "Erlang-B recursion" b
+          (a *. b_prev /. (float_of_int servers +. (a *. b_prev)))
+      end;
+      let c = Mm1.erlang_c ~servers ~offered_load:a in
+      if a < float_of_int servers then
+        Alcotest.(check bool) "C >= B below saturation" true (c >= b -. 1e-12)
+      else Alcotest.(check (float 0.0)) "C = 1 at saturation" 1.0 c)
+
+let test_md1_is_half_mm1_wait () =
+  fuzz ~seed:18 (fun _ rng ->
+      let service = Rng.uniform rng ~lo:1e-6 ~hi:10.0 in
+      let lambda = Rng.uniform rng ~lo:0.0 ~hi:0.95 /. service in
+      let md1 = Mm1.md1_wait ~lambda ~service in
+      let mm1 = (Mm1.mm1 ~lambda ~mu:(1.0 /. service)).Mm1.wq in
+      check_close "M/D/1 wait = half M/M/1 wait" md1 (0.5 *. mm1))
+
+let test_jackson_littles_law () =
+  fuzz ~n:200 ~seed:19 (fun i rng ->
+      let n_nodes = 1 + Rng.int rng 4 in
+      let nodes =
+        List.init n_nodes (fun j ->
+            ( {
+                Jackson.name = Printf.sprintf "n%d-%d" i j;
+                service = Rng.uniform rng ~lo:1e-5 ~hi:1e-2;
+                servers = 1 + Rng.int rng 3;
+              },
+              Rng.uniform rng ~lo:0.1 ~hi:4.0 ))
+      in
+      (* Scale the arrival rate so every station stays below 90%. *)
+      let cap =
+        List.fold_left
+          (fun acc (n, v) ->
+            Float.min acc
+              (0.9 *. float_of_int n.Jackson.servers /. (v *. n.Jackson.service)))
+          infinity nodes
+      in
+      let arrival_rate = Rng.uniform rng ~lo:0.05 ~hi:0.95 *. cap in
+      let net = Jackson.solve ~arrival_rate nodes in
+      Alcotest.(check bool) "stable" true net.Jackson.stable;
+      (* Response time by Little's law equals the visit-weighted sum of
+         per-station sojourns. *)
+      let by_visits =
+        List.fold_left
+          (fun acc (n, v) -> acc +. (v *. Jackson.sojourn net n.Jackson.name))
+          0.0 nodes
+      in
+      check_close "network Little's law" (Jackson.response_time net) by_visits;
+      check_close "mean jobs = lambda T" (Jackson.mean_jobs net)
+        (arrival_rate *. Jackson.response_time net))
+
+let test_feedback_matches_jackson () =
+  fuzz ~seed:20 (fun _ rng ->
+      let p =
+        {
+          Feedback.lambda = Rng.uniform rng ~lo:1.0 ~hi:5000.0;
+          packet_in_prob = Rng.uniform rng ~lo:0.0 ~hi:1.0;
+          switch_service = Rng.uniform rng ~lo:1e-6 ~hi:1e-4;
+          switch_servers = 1 + Rng.int rng 2;
+          controller_service = Rng.uniform rng ~lo:1e-6 ~hi:1e-4;
+          controller_servers = 1 + Rng.int rng 4;
+          loop_delay = Rng.uniform rng ~lo:0.0 ~hi:1e-3;
+        }
+      in
+      let fb = Feedback.eval p in
+      let net = Feedback.jackson_of p in
+      (* The direct evaluation and the routing-matrix reduction agree
+         station by station. *)
+      let sw = Jackson.station net "switch" in
+      let ct = Jackson.station net "controller" in
+      check_close "switch rate (1+q)lambda" fb.Feedback.switch.Mm1.lambda
+        sw.Jackson.lambda;
+      check_close "controller rate q lambda" fb.Feedback.controller.Mm1.lambda
+        ct.Jackson.lambda;
+      if fb.Feedback.stable then begin
+        check_close "switch sojourn" fb.Feedback.switch.Mm1.w sw.Jackson.queue.Mm1.w;
+        check_close "controller sojourn" fb.Feedback.controller.Mm1.w
+          ct.Jackson.queue.Mm1.w;
+        (* The sojourn decomposition T = (1+q) W_s + q (W_c + loop). *)
+        let q = p.Feedback.packet_in_prob in
+        check_close "sojourn decomposition" fb.Feedback.sojourn
+          (((1.0 +. q) *. fb.Feedback.switch.Mm1.w)
+          +. (q *. (fb.Feedback.controller.Mm1.w +. p.Feedback.loop_delay)));
+        check_close "packet_in_rtt" fb.Feedback.packet_in_rtt
+          (p.Feedback.loop_delay +. fb.Feedback.controller.Mm1.w)
+      end)
+
+let test_domain_errors () =
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Mm1.mmc: lambda must be finite and >= 0") (fun () ->
+      ignore (Mm1.mmc ~lambda:(-1.0) ~mu:1.0 ~servers:1));
+  Alcotest.check_raises "bad servers" (Invalid_argument "Mm1.mmc: servers must be >= 1")
+    (fun () -> ignore (Mm1.mmc ~lambda:1.0 ~mu:1.0 ~servers:0));
+  Alcotest.check_raises "bad k" (Invalid_argument "Mm1.mm1k: k must be >= 1") (fun () ->
+      ignore (Mm1.mm1k ~lambda:1.0 ~mu:1.0 ~k:0))
+
+let suite =
+  [
+    Alcotest.test_case "Little's law on M/M/c" `Quick test_littles_law_mmc;
+    Alcotest.test_case "M/M/1 closed form" `Quick test_mm1_closed_form;
+    Alcotest.test_case "saturation yields infinities" `Quick
+      test_saturation_is_infinite;
+    Alcotest.test_case "delay monotone in rho" `Quick test_delay_monotone_in_rho;
+    Alcotest.test_case "M/M/1/K Little's law and bounds" `Quick
+      test_mm1k_littles_law_and_bounds;
+    Alcotest.test_case "M/M/1/K converges to M/M/1" `Quick
+      test_mm1k_converges_to_mm1;
+    Alcotest.test_case "M/M/1/K critical load" `Quick test_mm1k_critical_load;
+    Alcotest.test_case "Erlang B recursion, Erlang C" `Quick
+      test_erlang_b_recursion_and_c;
+    Alcotest.test_case "M/D/1 is half the M/M/1 wait" `Quick
+      test_md1_is_half_mm1_wait;
+    Alcotest.test_case "Jackson network Little's law" `Quick
+      test_jackson_littles_law;
+    Alcotest.test_case "feedback model matches its Jackson form" `Quick
+      test_feedback_matches_jackson;
+    Alcotest.test_case "domain errors" `Quick test_domain_errors;
+  ]

@@ -1,0 +1,111 @@
+(* Tests for the analytical cross-validation suite: the golden
+   agreement report, the jobs-independence of its bytes, and the
+   tolerance gate. *)
+
+open Sdn_core
+
+(* One shared golden-grid run: the fixture grid is a single Floodlight
+   replication per regime, small enough for the test budget. *)
+let golden_report = lazy (Validate.run ~jobs:1 Validate.golden_grid)
+
+let test_golden_agreement () =
+  let report = Lazy.force golden_report in
+  Alcotest.(check bool) "golden grid agrees" true report.Validate.ok;
+  Alcotest.(check int) "no checker violations" 0 report.Validate.violations
+
+(* The committed fixture pins the whole chain — workload generation,
+   simulator, pooling, predictions, formatting. Regenerate with
+   [sdn_buffer_cli validate --grid golden --csv
+   test/golden/validate_golden.csv] after an intentional change. *)
+let test_golden_csv_bytes () =
+  let expected =
+    let ic = open_in_bin "golden/validate_golden.csv" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "agreement report is byte-identical"
+    expected
+    (Validate.csv (Lazy.force golden_report))
+
+let test_jobs_independence () =
+  let parallel = Validate.run ~jobs:3 Validate.golden_grid in
+  Alcotest.(check string) "jobs=3 report equals jobs=1 bytes"
+    (Validate.csv (Lazy.force golden_report))
+    (Validate.csv parallel)
+
+let test_tolerance_gate () =
+  let tol = { Validate.rel = 0.1; abs = 2.0 } in
+  Alcotest.(check bool) "inside abs floor" true
+    (Validate.agrees tol ~predicted:0.0 ~observed:1.5);
+  Alcotest.(check bool) "inside rel band" true
+    (Validate.agrees tol ~predicted:100.0 ~observed:109.0);
+  Alcotest.(check bool) "outside both" false
+    (Validate.agrees tol ~predicted:100.0 ~observed:113.0);
+  Alcotest.(check bool) "boundary is inclusive" true
+    (Validate.agrees tol ~predicted:100.0 ~observed:110.0);
+  (* A degenerate observation is a divergence, never a vacuous pass. *)
+  Alcotest.(check bool) "nan observed fails" false
+    (Validate.agrees tol ~predicted:1.0 ~observed:nan);
+  Alcotest.(check bool) "infinite observed fails" false
+    (Validate.agrees tol ~predicted:1.0 ~observed:infinity);
+  (* Negative metrics gate on the magnitude of the prediction. *)
+  Alcotest.(check bool) "negative predicted uses |predicted|" true
+    (Validate.agrees tol ~predicted:(-100.0) ~observed:(-95.0))
+
+(* A report with any out-of-tolerance metric must flip both the point
+   and the report verdicts — the CLI's exit-2 path. *)
+let test_divergence_propagates () =
+  let report = Lazy.force golden_report in
+  let break (p : Validate.point) =
+    {
+      p with
+      Validate.p_ok = false;
+      metrics =
+        List.map
+          (fun (m : Validate.metric) -> { m with Validate.m_ok = false })
+          p.Validate.metrics;
+    }
+  in
+  let broken =
+    {
+      report with
+      Validate.points =
+        (match report.Validate.points with
+        | first :: rest -> break first :: rest
+        | [] -> []);
+      ok = false;
+    }
+  in
+  Alcotest.(check bool) "summary reports divergence" true
+    (let s = Validate.summary broken in
+     String.length s >= 10
+     &&
+     let rec contains i =
+       i + 10 <= String.length s
+       && (String.sub s i 10 = "DIVERGENCE" || contains (i + 1))
+     in
+     contains 0);
+  (* Every broken metric renders FAIL in the csv. *)
+  let csv = Validate.csv broken in
+  let fail_rows =
+    String.split_on_char '\n' csv
+    |> List.filter (fun l ->
+           String.length l >= 4 && String.sub l (String.length l - 4) 4 = "FAIL")
+  in
+  Alcotest.(check int) "one point's metrics all FAIL"
+    (List.length (List.hd report.Validate.points).Validate.metrics)
+    (List.length fail_rows)
+
+let suite =
+  [
+    Alcotest.test_case "golden grid agrees with the models" `Quick
+      test_golden_agreement;
+    Alcotest.test_case "golden csv bytes" `Quick test_golden_csv_bytes;
+    Alcotest.test_case "report independent of --jobs" `Quick
+      test_jobs_independence;
+    Alcotest.test_case "tolerance gate" `Quick test_tolerance_gate;
+    Alcotest.test_case "divergence propagates to the verdict" `Quick
+      test_divergence_propagates;
+  ]
