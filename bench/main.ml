@@ -19,7 +19,7 @@
      dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
      dune exec bench/main.exe -- ablations    # the ablation studies
      dune exec bench/main.exe -- json [path]  # machine-readable snapshot
-                                              # (default BENCH_pr6.json)
+                                              # (default BENCH_pr7.json)
 
    The json snapshot also times a small end-to-end sweep at
    --jobs 1/2/4 and records the parallel speedups, so the regression
@@ -309,6 +309,75 @@ let micro_tests () =
             ignore (Sdn_model.Jackson.response_time net);
             ignore fb.Sdn_model.Feedback.sojourn;
             ignore b));
+    (* ---- Crash–restart subjects: what a cold restart costs. The
+       wipe/rebuild cycle is the switch-side snapshot loss (buffered
+       packets expired, flow entries cleared, then state re-grown);
+       the stats round-trip is the reconciliation audit's wire work
+       (one wildcard FLOW reply carrying the switch's table). ---- *)
+    Test.make ~name:"crash/cold-wipe-restore-16"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          let pool =
+            Sdn_switch.Packet_buffer.create engine ~capacity:32 ~expiry:1e9
+              ~reclaim_lag:0.0 ()
+          in
+          let table = Sdn_switch.Flow_table.create ~capacity:64 () in
+          let mods =
+            List.init 16 (fun i ->
+                let key =
+                  Sdn_net.Flow_key.make ~proto:17
+                    ~src_ip:
+                      (Sdn_net.Ip.of_int32 (Int32.of_int (0x0A020000 + i)))
+                    ~dst_ip:ip2 ~src_port:(2000 + i) ~dst_port:9
+                in
+                Sdn_openflow.Of_flow_mod.add
+                  ~match_:(Sdn_openflow.Of_match.of_flow_key key)
+                  ~actions:[ Sdn_openflow.Of_action.output 2 ]
+                  ())
+          in
+          fun () ->
+            List.iter
+              (fun fm ->
+                ignore
+                  (Sdn_switch.Packet_buffer.alloc pool ~frame:sample_frame);
+                ignore
+                  (Sdn_switch.Flow_table.insert table
+                     (Sdn_switch.Flow_entry.of_flow_mod fm ~now:0.0)))
+              mods;
+            ignore (Sdn_switch.Packet_buffer.wipe pool);
+            ignore (Sdn_switch.Flow_table.clear table)));
+    Test.make ~name:"crash/reconcile-flow-stats-64"
+      (Staged.stage
+         (let stats =
+            List.init 64 (fun i ->
+                let key =
+                  Sdn_net.Flow_key.make ~proto:17
+                    ~src_ip:
+                      (Sdn_net.Ip.of_int32 (Int32.of_int (0x0A030000 + i)))
+                    ~dst_ip:ip2 ~src_port:(3000 + i) ~dst_port:9
+                in
+                {
+                  Sdn_openflow.Of_stats.table_id = 0;
+                  match_ = Sdn_openflow.Of_match.of_flow_key key;
+                  duration_sec = 1l;
+                  duration_nsec = 0l;
+                  priority = 32768;
+                  idle_timeout = 0;
+                  hard_timeout = 0;
+                  cookie = 0L;
+                  packet_count = 10L;
+                  byte_count = 10_000L;
+                  actions = [ Sdn_openflow.Of_action.output 2 ];
+                })
+          in
+          let reply =
+            Sdn_openflow.Of_codec.Stats_reply
+              (Sdn_openflow.Of_stats.Flow_reply stats)
+          in
+          fun () ->
+            ignore
+              (Sdn_openflow.Of_codec.decode
+                 (Sdn_openflow.Of_codec.encode ~xid:1l reply))));
   ]
 
 (* Bechamel's stock [Instance.minor_allocated] reads
@@ -526,7 +595,7 @@ let () =
       run_figures ();
       Sdn_core.Ablations.run_all ()
   | [ _; "micro" ] -> run_micro ()
-  | [ _; "json" ] -> run_json "BENCH_pr6.json"
+  | [ _; "json" ] -> run_json "BENCH_pr7.json"
   | [ _; "json"; path ] -> run_json path
   | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
   | [ _; "figures" ] -> run_figures ()

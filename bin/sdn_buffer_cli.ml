@@ -75,6 +75,52 @@ let faults_arg =
            seed: the same seed and spec reproduce the same fault schedule \
            message for message.")
 
+(* --crash takes the fault-plan crash grammar without the key: the
+   value is parsed by prefixing "crash=" and handing it to the spec
+   parser, so the two spellings can never drift apart. *)
+let crash_conv =
+  let parse s =
+    match Sdn_sim.Faults.spec_of_string ("crash=" ^ s) with
+    | Ok spec -> Ok spec.Sdn_sim.Faults.crashes
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt crashes =
+    Format.pp_print_string fmt
+      (String.concat "+"
+         (List.map
+            (fun (c : Sdn_sim.Faults.crash) ->
+              Printf.sprintf "%s:%g:%g:%s"
+                (Sdn_sim.Faults.crash_node_to_string c.Sdn_sim.Faults.node)
+                c.Sdn_sim.Faults.at_s c.Sdn_sim.Faults.down_s
+                (Sdn_sim.Faults.restart_mode_to_string c.Sdn_sim.Faults.mode))
+            crashes))
+  in
+  Arg.conv (parse, print)
+
+let crash_arg =
+  Arg.(
+    value
+    & opt crash_conv []
+    & info [ "crash" ] ~docv:"NODE:AT:DOWN:MODE[+...]"
+        ~doc:
+          "Schedule node crashes: $(b,NODE) is $(b,switch) or \
+           $(b,controller), $(b,AT) the crash instant (seconds), $(b,DOWN) \
+           the downtime before the restart, $(b,MODE) $(b,warm) (process \
+           state lost, device tables survive) or $(b,cold) (buffered \
+           packets wiped, flow table cleared, configuration reset). \
+           Equivalent to $(b,crash=...) inside $(b,--faults); the two \
+           merge.")
+
+let watermark_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "watermark" ] ~docv:"FRACTION"
+        ~doc:
+          "Overload-guard high watermark: once the buffer pool is this \
+           full (fraction of capacity), new miss chains are shed at \
+           admission instead of evicting in-flight ones. $(b,1.0) (the \
+           default) disables the guard.")
+
 let fail_mode_conv =
   let parse s =
     match Sdn_switch.Session.fail_mode_of_string s with
@@ -186,8 +232,14 @@ let workload_arg =
               or poisson-mix (Poisson hit/miss mix).")
 
 let run_cmd =
-  let run mechanism buffer rate seed workload faults echo_interval echo_misses
-      fail_mode check jobs =
+  let run mechanism buffer rate seed workload faults crashes watermark
+      echo_interval echo_misses fail_mode check jobs =
+    let faults =
+      {
+        faults with
+        Sdn_sim.Faults.crashes = faults.Sdn_sim.Faults.crashes @ crashes;
+      }
+    in
     let config =
       {
         Config.default with
@@ -197,6 +249,7 @@ let run_cmd =
         seed;
         workload;
         faults;
+        overload_watermark = watermark;
         echo_interval;
         echo_misses;
         fail_mode;
@@ -211,8 +264,9 @@ let run_cmd =
   let term =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
-      $ workload_arg $ faults_arg $ echo_interval_arg $ echo_misses_arg
-      $ fail_mode_arg $ check_arg $ jobs_arg)
+      $ workload_arg $ faults_arg $ crash_arg $ watermark_arg
+      $ echo_interval_arg $ echo_misses_arg $ fail_mode_arg $ check_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -246,8 +300,72 @@ let chaos_cmd =
       & info [ "durations" ] ~docv:"S1,S2,..."
           ~doc:"Outage durations to sweep (seconds, with $(b,--outage)).")
   in
-  let run seed rate loss_rates faults outage durations check jobs =
-    if outage then begin
+  let crash_sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Run the crash sweep instead of the loss sweep: a scheduled \
+             node crash-restart (switch and controller, mid-incast) against \
+             every mechanism, with the echo keepalive armed and the \
+             post-restart flow-state reconciliation measured.")
+  in
+  let restart_modes_arg =
+    let modes_conv =
+      let parse = function
+        | "both" -> Ok Chaos.default_crash_modes
+        | s -> (
+            match Sdn_sim.Faults.restart_mode_of_string s with
+            | Ok m -> Ok [ m ]
+            | Error msg -> Error (`Msg msg))
+      in
+      let print fmt = function
+        | [ m ] ->
+            Format.pp_print_string fmt (Sdn_sim.Faults.restart_mode_to_string m)
+        | _ -> Format.pp_print_string fmt "both"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt modes_conv Chaos.default_crash_modes
+      & info [ "restart-mode" ] ~docv:"MODE"
+          ~doc:
+            "Restart mode(s) for the crash sweep: $(b,warm), $(b,cold) or \
+             $(b,both) (the default).")
+  in
+  let downs_arg =
+    Arg.(
+      value
+      & opt (list float) Chaos.default_crash_downs
+      & info [ "downs" ] ~docv:"S1,S2,..."
+          ~doc:"Crash downtimes to sweep (seconds, with $(b,--crash)).")
+  in
+  let run seed rate loss_rates faults outage durations crash modes downs check
+      jobs =
+    if crash then begin
+      let base =
+        {
+          (Chaos.default_crash_base ~seed) with
+          Config.rate_mbps = rate;
+          check;
+          jobs;
+        }
+      in
+      let points = Chaos.run_crash ~modes ~downs ~base () in
+      Chaos.print_crash_report points;
+      check_exit
+        (List.map
+           (fun (p : Chaos.crash_point) ->
+             ( Printf.sprintf "%s/%s/%s/%.0fms"
+                 (Config.label p.Chaos.config)
+                 (Sdn_sim.Faults.crash_node_to_string p.Chaos.node)
+                 (Sdn_sim.Faults.restart_mode_to_string p.Chaos.mode)
+                 (p.Chaos.down *. 1e3),
+               p.Chaos.result ))
+           points)
+    end
+    else if outage then begin
       let base =
         {
           (Chaos.default_outage_base ~seed) with
@@ -293,15 +411,16 @@ let chaos_cmd =
   let term =
     Term.(
       const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg
-      $ outage_arg $ durations_arg $ check_arg $ jobs_arg)
+      $ outage_arg $ durations_arg $ crash_sweep_arg $ restart_modes_arg
+      $ downs_arg $ check_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Sweep control-channel faults against every buffer mechanism: \
-          independent loss by default, or a scheduled blackout with \
-          $(b,--outage). Deterministic: the same seed yields a \
-          byte-identical report.")
+          independent loss by default, a scheduled blackout with \
+          $(b,--outage), or a node crash-restart with $(b,--crash). \
+          Deterministic: the same seed yields a byte-identical report.")
     term
 
 let figure_cmd =
@@ -387,8 +506,22 @@ let validate_cmd =
       & info [ "csv" ] ~docv:"PATH"
           ~doc:"Also write the machine-readable agreement report to $(docv).")
   in
-  let run grid csv_path check jobs =
-    let report = Validate.run ~check ~jobs grid in
+  let reconverge_arg =
+    Arg.(
+      value & flag
+      & info [ "reconverge" ]
+          ~doc:
+            "Run the crash-reconvergence gate instead of a model grid: \
+             inject a warm switch crash into the jackson rho=0.3 point and \
+             assert the steady-state delay metrics re-enter the crash-free \
+             tolerance bands after recovery (plus recovery-time and \
+             reconciliation gates).")
+  in
+  let run grid reconverge csv_path check jobs =
+    let report =
+      if reconverge then Validate.reconvergence ~check ~jobs ()
+      else Validate.run ~check ~jobs grid
+    in
     print_string (Validate.summary report);
     Option.iter
       (fun path ->
@@ -400,7 +533,9 @@ let validate_cmd =
     if check && report.Validate.violations > 0 then exit 1;
     if not report.Validate.ok then exit 2
   in
-  let term = Term.(const run $ grid_arg $ csv_arg $ check_arg $ jobs_arg) in
+  let term =
+    Term.(const run $ grid_arg $ reconverge_arg $ csv_arg $ check_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:

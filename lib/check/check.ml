@@ -134,6 +134,37 @@ let note_packet_in t ~time ~pool ~id ~resend =
       violate t ~time ~invariant:"single-packet-in"
         (not_live_detail t ~pool ~id ~what:"PACKET_IN")
 
+(* ---- Crash state-loss ---- *)
+
+let note_crash_wipe t ~time ~pool =
+  record t ~time (Printf.sprintf "crash wipe %s" pool);
+  (* Sorted by id, so the verdict is independent of table iteration
+     order. lint: allow hashtbl-order *)
+  let survivors =
+    Hashtbl.fold
+      (fun (p, id) _ acc -> if String.equal p pool then id :: acc else acc)
+      t.live []
+    |> List.sort Int32.compare
+  in
+  match survivors with
+  | [] -> ()
+  | ids ->
+      violate t ~time ~invariant:"cold-restart-wipe"
+        (Printf.sprintf "%d chain(s) survived the cold restart of pool %s: %s"
+           (List.length ids) pool
+           (String.concat ", " (List.map Int32.to_string ids)))
+
+let note_reconciliation t ~time ~session ~agree ~detail =
+  record t ~time
+    (Printf.sprintf "reconciliation %s: flow views %s" session
+       (if agree then "agree" else "DISAGREE"));
+  if not agree then
+    violate t ~time ~invariant:"flow-reconciliation"
+      (Printf.sprintf
+         "session %s: post-reconciliation flow tables disagree between \
+          controller view and switch (%s)"
+         session detail)
+
 (* ---- Microflow-cache agreement ---- *)
 
 let note_microflow t ~time ~table ~agree ~detail =
@@ -161,11 +192,13 @@ let note_parallel_replay t ~time ~task ~equal ~detail =
 (* Legal edges of {!Sdn_switch.Session}: the keepalive may degrade
    Up -> Probing -> Down, detection fires only from Up/Probing, probes
    move Down -> Reconnecting, and any proof of liveness restores to Up
-   (from Probing, Down or Reconnecting). The handshake only ever
-   settles into Up. *)
+   (from Probing, Down or Reconnecting). The handshake normally only
+   settles into Up — but a node crash can kill a session in any live
+   state, so handshaking -> down is legal too. *)
 let legal_transitions =
   [
     ("handshaking", "up");
+    ("handshaking", "down");
     ("up", "probing");
     ("up", "down");
     ("probing", "up");

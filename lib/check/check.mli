@@ -26,7 +26,13 @@
       returns the same entry as the full flow-table lookup;
     - {b parallel-equivalence}: a sampled task of a parallel sweep,
       re-run sequentially in the calling domain, produces a
-      field-for-field identical {!Sdn_core.Experiment.result}.
+      field-for-field identical {!Sdn_core.Experiment.result};
+    - {b cold-restart-wipe}: no buffered chain survives a cold node
+      restart — the wipe must have expired every live unit of the
+      crashed pool;
+    - {b flow-reconciliation}: after a crashed node rejoins and the
+      controller's reconciliation pass completes, the controller's
+      view of the installed entries matches the switch's flow table.
 
     Violations are recorded as structured reports carrying the tail of
     the event trace leading up to them; optionally they raise
@@ -78,6 +84,21 @@ val note_packet_in :
 (** A PACKET_IN was generated for buffered unit [id]. Violation if the
     unit is not live, or if a second {e original} (non-resend)
     PACKET_IN is generated for the same live chain. *)
+
+(* ---- Crash state-loss ---- *)
+
+val note_crash_wipe : t -> time:float -> pool:string -> unit
+(** A cold node restart just wiped buffer pool [pool]. Violation if any
+    chain of that pool is still live in the conservation ledger — no
+    chain may survive a cold restart. Call {e after} the wipe has
+    reported its expiries. *)
+
+val note_reconciliation :
+  t -> time:float -> session:string -> agree:bool -> detail:string -> unit
+(** The controller finished a post-rejoin flow-state reconciliation
+    pass on [session] and compared its view of the installed entries
+    against the switch's reported flow table. Violation when they
+    disagree after re-installation; [detail] names the divergence. *)
 
 (* ---- Microflow-cache agreement ---- *)
 

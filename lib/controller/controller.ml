@@ -18,14 +18,29 @@ type counters = {
   decode_failures : int;
   switch_downs : int;
   resyncs : int;
+  crashes : int;
+  crash_lost_messages : int;
+  reconcile_audits : int;
+  reconcile_installs : int;
 }
 
 (* Per-switch session state: the liveness tracker plus the handshake
-   parameters remembered so they can be re-pushed verbatim on resync. *)
+   parameters remembered so they can be re-pushed verbatim on resync,
+   and the controller's view of the entries it has installed — the
+   basis of the post-rejoin flow-state reconciliation pass. The view is
+   keyed by the printed (match, priority) pair so no polymorphic
+   equality over match records is involved. *)
 type session = {
   tracker : Session.t;
   mutable enable_flow_buffer : Of_ext.backoff option;
   mutable miss_send_len : int option;
+  flow_view : (string, Of_flow_mod.t) Hashtbl.t;
+  mutable reconciling : bool;
+  mutable reconcile_rounds : int;
+  mutable needs_reconcile : bool;
+      (* set when a crash severed this session; the next resync then
+         runs the reconciliation pass. Plain outages never set it, so
+         crash-free runs stay byte-identical. *)
 }
 
 type t = {
@@ -56,6 +71,15 @@ type t = {
   mutable port_changes : int;
   mutable decode_failures : int;
   mutable resyncs : int;
+  (* Crash–restart fault injection: while [dead] the process neither
+     receives nor emits; messages arriving meanwhile are lost. *)
+  mutable dead : bool;
+  mutable crashes : int;
+  mutable crash_lost_messages : int;
+  mutable reconcile_audits : int;
+  mutable reconcile_installs : int;
+  (* Reconciliation outcomes, newest first, for timeline rendering. *)
+  mutable reconcile_events_rev : (float * string) list;
 }
 
 let create engine ~app ~costs ~rng ?check ?(release_strategy = `Pair)
@@ -90,6 +114,12 @@ let create engine ~app ~costs ~rng ?check ?(release_strategy = `Pair)
     port_changes = 0;
     decode_failures = 0;
     resyncs = 0;
+    dead = false;
+    crashes = 0;
+    crash_lost_messages = 0;
+    reconcile_audits = 0;
+    reconcile_installs = 0;
+    reconcile_events_rev = [];
   }
 
 let fresh_xid t =
@@ -102,12 +132,75 @@ let fresh_xid t =
 (* The checker's xid namespace for one controller->switch channel. *)
 let channel_name switch = Printf.sprintf "ctl/sw-%d" switch
 
+(* The flow-view key: the printed (match, priority) pair — the identity
+   OpenFlow 1.0 gives a flow entry — avoiding polymorphic equality on
+   the match record. *)
+let view_key match_ priority =
+  Format.asprintf "%a/%d" Of_match.pp match_ priority
+
+let flow_mod_outputs_to (fm : Of_flow_mod.t) port =
+  List.exists
+    (function
+      | Of_action.Output { port = p; _ } | Of_action.Enqueue { port = p; _ } ->
+          p = port
+      | _ -> false)
+    fm.Of_flow_mod.actions
+
+(* Mirror every FLOW_MOD this controller sends into its per-switch view
+   of the installed entries — the ground truth the post-crash
+   reconciliation pass audits the switch against. Deletes prune the
+   view with OpenFlow's own semantics (strict = exact match+priority,
+   non-strict = subsumption, plus the out_port action filter). *)
+let note_flow_mod_view t ~switch (fm : Of_flow_mod.t) =
+  match Hashtbl.find_opt t.sessions switch with
+  | None -> ()
+  | Some s -> (
+      match fm.Of_flow_mod.command with
+      | Of_flow_mod.Add | Of_flow_mod.Modify | Of_flow_mod.Modify_strict ->
+          Hashtbl.replace s.flow_view
+            (view_key fm.Of_flow_mod.match_ fm.Of_flow_mod.priority)
+            (* Re-installs must not reference a buffer that is long
+               gone. *)
+            { fm with Of_flow_mod.buffer_id = Of_wire.no_buffer }
+      | Of_flow_mod.Delete | Of_flow_mod.Delete_strict ->
+          let strict =
+            match fm.Of_flow_mod.command with
+            | Of_flow_mod.Delete_strict -> true
+            | _ -> false
+          in
+          let doomed =
+            (* Sorted removal set: verdict independent of table order.
+               lint: allow hashtbl-order *)
+            Hashtbl.fold
+              (fun key (old : Of_flow_mod.t) acc ->
+                let match_ok =
+                  if strict then
+                    old.Of_flow_mod.priority = fm.Of_flow_mod.priority
+                    && Of_match.equal old.Of_flow_mod.match_
+                         fm.Of_flow_mod.match_
+                  else
+                    Of_match.subsumes ~general:fm.Of_flow_mod.match_
+                      ~specific:old.Of_flow_mod.match_
+                in
+                let port_ok =
+                  fm.Of_flow_mod.out_port = Of_wire.Port.none
+                  || flow_mod_outputs_to old fm.Of_flow_mod.out_port
+                in
+                if match_ok && port_ok then key :: acc else acc)
+              s.flow_view []
+          in
+          List.iter (Hashtbl.remove s.flow_view) doomed)
+
 (* [fresh] marks xids this controller allocated itself; replies that
    echo a request's xid (including the flow_mod + packet_out pair
    answering one PACKET_IN) are legitimately repeated and exempt from
-   the uniqueness invariant. *)
+   the uniqueness invariant. A dead (crashed) controller emits
+   nothing: whatever in-flight work completes while it is down is
+   silently discarded. *)
 let send ?(fresh = false) t ~switch ~xid msg =
-  match Hashtbl.find_opt t.links switch with
+  if t.dead then ()
+  else
+    match Hashtbl.find_opt t.links switch with
   | Some link ->
       let encoded = Of_codec.encode ~xid msg in
       (match t.check with
@@ -117,7 +210,9 @@ let send ?(fresh = false) t ~switch ~xid msg =
       | None -> ());
       Link.send link ~size:(Bytes.length encoded) encoded;
       (match msg with
-      | Of_codec.Flow_mod _ -> t.flow_mods_sent <- t.flow_mods_sent + 1
+      | Of_codec.Flow_mod fm ->
+          t.flow_mods_sent <- t.flow_mods_sent + 1;
+          note_flow_mod_view t ~switch fm
       | Of_codec.Packet_out _ -> t.pkt_outs_sent <- t.pkt_outs_sent + 1
       | Of_codec.Hello | Of_codec.Error_msg _ | Of_codec.Echo_request _
       | Of_codec.Echo_reply _ | Of_codec.Vendor _ | Of_codec.Features_request
@@ -151,17 +246,44 @@ let do_handshake t ~switch ?enable_flow_buffer ?miss_send_len () =
         (Of_codec.Vendor (Of_ext.Flow_buffer_enable backoff))
   | None -> ()
 
+(* ---- Flow-state reconciliation (post-crash rejoin) ---- *)
+
+(* Bounded audit -> repair -> re-audit loop: each round sends a
+   wildcard FLOW stats request, re-installs view entries the switch no
+   longer reports, waits for the flow_mod apply latency to land, and
+   audits again. *)
+let max_reconcile_rounds = 8
+let reconcile_recheck_delay = 5e-3
+
+let send_audit t ~switch =
+  t.reconcile_audits <- t.reconcile_audits + 1;
+  send ~fresh:true t ~switch ~xid:(fresh_xid t)
+    (Of_codec.Stats_request
+       (Of_stats.Flow_request
+          {
+            match_ = Of_match.wildcard_all;
+            table_id = 0xff;
+            out_port = Of_wire.Port.none;
+          }))
+
 (* State resync after an outage: replay the whole handshake with the
    parameters remembered from [start_switch], so the switch gets its
    configuration — including the flow-buffer backoff policy — pushed
-   again even if it rebooted into defaults. *)
+   again even if it rebooted into defaults. When the disconnect was a
+   node crash, follow with the flow-state reconciliation audit. *)
 let resync t ~switch =
   match Hashtbl.find_opt t.sessions switch with
   | None -> ()
   | Some s ->
       t.resyncs <- t.resyncs + 1;
       do_handshake t ~switch ?enable_flow_buffer:s.enable_flow_buffer
-        ?miss_send_len:s.miss_send_len ()
+        ?miss_send_len:s.miss_send_len ();
+      if s.needs_reconcile then begin
+        s.needs_reconcile <- false;
+        s.reconciling <- true;
+        s.reconcile_rounds <- 0;
+        send_audit t ~switch
+      end
 
 let ensure_session t ~switch =
   match Hashtbl.find_opt t.sessions switch with
@@ -182,7 +304,17 @@ let ensure_session t ~switch =
           ~on_restore:(fun ~downtime:_ -> resync t ~switch)
           ()
       in
-      let s = { tracker; enable_flow_buffer = None; miss_send_len = None } in
+      let s =
+        {
+          tracker;
+          enable_flow_buffer = None;
+          miss_send_len = None;
+          flow_view = Hashtbl.create 64;
+          reconciling = false;
+          reconcile_rounds = 0;
+          needs_reconcile = false;
+        }
+      in
       Hashtbl.add t.sessions switch s;
       s
 
@@ -331,7 +463,98 @@ let handle_packet_in t ~switch ~xid (pkt_in : Of_packet_in.t) ~msg_bytes =
       Cpu.submit t.cpu ~work_s:work (fun () ->
           respond t ~switch ~xid ~pkt_in ctx decision)
 
+(* One reconciliation round, run after the CPU paid for comparing the
+   two tables. [stats] is what the switch reports; the view is what
+   this controller believes it installed. *)
+let reconcile_step t ~switch s stats =
+  let now = Engine.now t.engine in
+  let reported = Hashtbl.create ((2 * List.length stats) + 1) in
+  List.iter
+    (fun (st : Of_stats.flow_stats) ->
+      Hashtbl.replace reported
+        (view_key st.Of_stats.match_ st.Of_stats.priority)
+        ())
+    stats;
+  (* Adopt switch entries the view does not know: after a cold
+     controller restart the view is empty and must be relearnt from
+     the network rather than flushed out of it. *)
+  List.iter
+    (fun (st : Of_stats.flow_stats) ->
+      let key = view_key st.Of_stats.match_ st.Of_stats.priority in
+      if not (Hashtbl.mem s.flow_view key) then
+        Hashtbl.replace s.flow_view key
+          (Of_flow_mod.add ~cookie:st.Of_stats.cookie
+             ~idle_timeout:st.Of_stats.idle_timeout
+             ~hard_timeout:st.Of_stats.hard_timeout
+             ~priority:st.Of_stats.priority ~match_:st.Of_stats.match_
+             ~actions:st.Of_stats.actions ()))
+    stats;
+  let missing =
+    (* Sorted by key so re-installs go out in a deterministic order.
+       lint: allow hashtbl-order *)
+    Hashtbl.fold
+      (fun key fm acc ->
+        if Hashtbl.mem reported key then acc else (key, fm) :: acc)
+      s.flow_view []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match missing with
+  | [] ->
+      s.reconciling <- false;
+      t.reconcile_events_rev <-
+        (now, Printf.sprintf "reconciliation done (sw-%d)" switch)
+        :: t.reconcile_events_rev;
+      (match t.check with
+      | Some check ->
+          Sdn_check.Check.note_reconciliation check ~time:now
+            ~session:(channel_name switch) ~agree:true ~detail:""
+      | None -> ())
+  | _ :: _ when s.reconcile_rounds >= max_reconcile_rounds ->
+      s.reconciling <- false;
+      t.reconcile_events_rev <-
+        (now, Printf.sprintf "reconciliation gave up (sw-%d)" switch)
+        :: t.reconcile_events_rev;
+      (match t.check with
+      | Some check ->
+          Sdn_check.Check.note_reconciliation check ~time:now
+            ~session:(channel_name switch) ~agree:false
+            ~detail:
+              (Printf.sprintf "%d entr%s still missing after %d audit round(s)"
+                 (List.length missing)
+                 (if List.length missing = 1 then "y" else "ies")
+                 s.reconcile_rounds)
+      | None -> ())
+  | _ :: _ ->
+      s.reconcile_rounds <- s.reconcile_rounds + 1;
+      List.iter
+        (fun (_, fm) ->
+          t.reconcile_installs <- t.reconcile_installs + 1;
+          send ~fresh:true t ~switch ~xid:(fresh_xid t) (Of_codec.Flow_mod fm))
+        missing;
+      (* Let the switch's flow_mod apply latency land, then audit
+         again. *)
+      ignore
+        (Engine.schedule t.engine ~delay:reconcile_recheck_delay (fun () ->
+             if s.reconciling && not t.dead then send_audit t ~switch))
+
+let handle_flow_stats t ~switch stats =
+  match Hashtbl.find_opt t.sessions switch with
+  | None -> ()
+  | Some s ->
+      if s.reconciling then begin
+        let work =
+          t.costs.Costs.reconcile_per_entry_cost
+          *. float_of_int (Hashtbl.length s.flow_view + List.length stats)
+        in
+        Cpu.submit t.cpu ~work_s:work (fun () ->
+            if s.reconciling then reconcile_step t ~switch s stats)
+      end
+
 let handle_message_from t ~switch buf =
+  if t.dead then
+    (* The process is down: the frame is lost on the floor. *)
+    t.crash_lost_messages <- t.crash_lost_messages + 1
+  else
   match Of_codec.decode buf with
   | Error _ ->
       t.decode_failures <- t.decode_failures + 1;
@@ -362,8 +585,15 @@ let handle_message_from t ~switch buf =
           let work = t.costs.Costs.parse_base_cost +. t.costs.Costs.encode_base_cost in
           Cpu.submit t.cpu ~work_s:work (fun () ->
               send t ~switch ~xid (Of_codec.Echo_reply payload))
-      | Of_codec.Flow_removed _ ->
-          t.flow_removed_received <- t.flow_removed_received + 1
+      | Of_codec.Flow_removed fr ->
+          t.flow_removed_received <- t.flow_removed_received + 1;
+          (* The entry timed out at the switch; forget it so the
+             reconciliation pass does not resurrect it. *)
+          (match Hashtbl.find_opt t.sessions switch with
+          | Some s ->
+              Hashtbl.remove s.flow_view
+                (view_key fr.Of_flow_removed.match_ fr.Of_flow_removed.priority)
+          | None -> ())
       | Of_codec.Port_status ps ->
           t.port_changes <- t.port_changes + 1;
           (* A failed link strands every rule forwarding into it; flush
@@ -379,6 +609,8 @@ let handle_message_from t ~switch buf =
                        out_port = ps.Of_port_status.port.Of_features.port_no;
                      }))
           end
+      | Of_codec.Stats_reply (Of_stats.Flow_reply stats) ->
+          handle_flow_stats t ~switch stats
       | Of_codec.Hello | Of_codec.Echo_reply _ | Of_codec.Features_reply _
       | Of_codec.Get_config_reply _ | Of_codec.Stats_reply _
       | Of_codec.Barrier_reply | Of_codec.Vendor _ ->
@@ -433,6 +665,63 @@ let switch_downs t =
      lint: allow hashtbl-order *)
   Hashtbl.fold (fun _ s acc -> acc + Session.downs s.tracker) t.sessions 0
 
+(* ---- Crash–restart fault injection ---- *)
+
+let sorted_sessions t =
+  (* Sorted by switch id so crash/restart side effects fire in a
+     deterministic order. lint: allow hashtbl-order *)
+  Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.sessions []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let crash t ~mode =
+  if not t.dead then begin
+    t.dead <- true;
+    t.crashes <- t.crashes + 1;
+    List.iter
+      (fun (_, s) ->
+        s.reconciling <- false;
+        s.needs_reconcile <- true;
+        (match mode with
+        | Faults.Cold ->
+            (* Full state loss: the installed-entry view must be
+               relearnt from the switches after boot. *)
+            Hashtbl.reset s.flow_view
+        | Faults.Warm -> ());
+        Session.force_down s.tracker)
+      (sorted_sessions t)
+  end
+
+let restart t ~mode =
+  if t.dead then begin
+    t.dead <- false;
+    let boot =
+      match mode with
+      | Faults.Warm -> t.costs.Costs.restart_warm_s
+      | Faults.Cold -> t.costs.Costs.restart_cold_s
+    in
+    (* The whole process boots before any queued message is served:
+       every core is busy for the boot duration. *)
+    if boot > 0.0 then
+      for _core = 1 to Cpu.cores t.cpu do
+        Cpu.submit t.cpu ~work_s:boot (fun () -> ())
+      done;
+    List.iter (fun (_, s) -> Session.revive s.tracker) (sorted_sessions t)
+  end
+
+(* The peer's TCP connection died under it (the switch process
+   crashed): take the tracker down immediately instead of waiting for
+   echo misses, and mark the session for reconciliation on rejoin. *)
+let note_switch_disconnect t ~switch =
+  match Hashtbl.find_opt t.sessions switch with
+  | None -> ()
+  | Some s ->
+      s.reconciling <- false;
+      s.needs_reconcile <- true;
+      Session.note_disconnect s.tracker
+
+let is_dead t = t.dead
+let reconcile_events t = List.rev t.reconcile_events_rev
+
 let counters t =
   {
     pkt_ins_received = t.pkt_ins_received;
@@ -447,4 +736,8 @@ let counters t =
     decode_failures = t.decode_failures;
     switch_downs = switch_downs t;
     resyncs = t.resyncs;
+    crashes = t.crashes;
+    crash_lost_messages = t.crash_lost_messages;
+    reconcile_audits = t.reconcile_audits;
+    reconcile_installs = t.reconcile_installs;
   }

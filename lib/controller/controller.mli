@@ -32,6 +32,14 @@ type counters = {
       (** switch sessions declared Down by the echo keepalive *)
   resyncs : int;
       (** handshake replays pushed after a session recovered *)
+  crashes : int;  (** injected controller crashes *)
+  crash_lost_messages : int;
+      (** switch messages that arrived while the process was dead *)
+  reconcile_audits : int;
+      (** wildcard FLOW stats requests sent by the reconciliation pass *)
+  reconcile_installs : int;
+      (** entries re-installed because a post-crash audit found them
+          missing from the switch *)
 }
 
 type t
@@ -109,6 +117,44 @@ val switch_session : t -> switch:int -> Sdn_switch.Session.t option
 
 val switch_downs : t -> int
 (** Total Down declarations across all switch sessions. *)
+
+(** {1 Crash–restart fault injection}
+
+    The controller process can be killed and later rebooted. While
+    dead it neither receives (arriving messages count as
+    [crash_lost_messages]) nor emits — in-flight CPU work completing
+    during the downtime is discarded at the send boundary. On
+    {!restart} the boot cost ({!Costs.t.restart_warm_s} /
+    [restart_cold_s]) stalls every core before queued work resumes,
+    every session re-enters the reconnect machinery, and the next
+    resync of each session runs a flow-state reconciliation pass:
+    audit the switch's flow table with a wildcard FLOW stats request,
+    re-install view entries the switch lost, re-audit (bounded
+    rounds). A {e cold} crash additionally wipes the controller's
+    installed-entry views, which are then relearnt from the switches'
+    stats replies rather than flushed. *)
+
+val crash : t -> mode:Faults.restart_mode -> unit
+(** Kill the process. Every switch session is forced Down (timers
+    cancelled, no probes — a dead process cannot probe) and marked for
+    reconciliation at the next resync. No-op while already dead. *)
+
+val restart : t -> mode:Faults.restart_mode -> unit
+(** Reboot after {!crash}. No-op unless dead. *)
+
+val note_switch_disconnect : t -> switch:int -> unit
+(** The {e switch's} process crashed: its TCP connection reset. The
+    controller-side tracker goes Down immediately (probing for the
+    switch's return) and the session is marked for reconciliation when
+    it rejoins. *)
+
+val is_dead : t -> bool
+
+val reconcile_events : t -> (float * string) list
+(** Reconciliation outcomes, oldest first — one entry per finished
+    pass, e.g. ["reconciliation done (sw-0)"] or
+    ["reconciliation gave up (sw-0)"] after the bounded rounds ran
+    out. *)
 
 val cpu : t -> Cpu.t
 val counters : t -> counters

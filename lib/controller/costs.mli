@@ -48,6 +48,16 @@ type t = {
   gc_pause_min_gap : float;  (** minimum time between pauses *)
   service_noise_sigma : float;
   service_distribution : service_distribution;
+  restart_warm_s : float;
+      (** process boot time after a warm crash–restart: the control
+          plane is stalled (every core busy) for this long before any
+          queued message is served *)
+  restart_cold_s : float;
+      (** boot time after a cold restart (full state loss): module /
+          interpreter / container start-up, much longer than warm *)
+  reconcile_per_entry_cost : float;
+      (** CPU work per flow-table entry compared during the
+          post-rejoin flow-state reconciliation audit *)
 }
 
 val default : t

@@ -284,3 +284,146 @@ let outage_report points =
   Buffer.contents buf
 
 let print_outage_report points = print_string (outage_report points)
+
+(* ------------------------------------------------------------------ *)
+(* Crash sweep: a scheduled node crash (switch or controller, warm or
+   cold restart) mid-incast.  Where the outage sweep severs only the
+   channel, the crash sweep kills the process — buffered chains are
+   dropped or salvaged, tables survive or are wiped — and the report
+   compares packets lost, recovery time to steady state and the
+   reconciliation effort spent re-converging the flow state. *)
+
+type crash_point = {
+  config : Config.t;
+  node : Sdn_sim.Faults.crash_node;
+  mode : Sdn_sim.Faults.restart_mode;
+  down : float;
+  result : Experiment.result;
+}
+
+let default_crash_nodes = [ Faults.Switch_node; Faults.Controller_node ]
+let default_crash_modes = [ Faults.Warm; Faults.Cold ]
+let default_crash_downs = [ 0.05 ]
+
+(* Same instant as the outage sweep: mid-run for the default Exp-B
+   workload, so the crash lands while misses are in flight. *)
+let crash_start = outage_start
+
+(* The keepalive must be armed: it is what notices a dead peer and
+   drives the reconnect machinery on both sides. *)
+let default_crash_base = default_outage_base
+
+let crash_point_config ~base ~mechanism ~node ~mode ~down =
+  let faults =
+    {
+      base.Config.faults with
+      Faults.crashes =
+        [ { Faults.node; at_s = crash_start; down_s = down; mode } ];
+    }
+  in
+  {
+    base with
+    Config.mechanism;
+    buffer_capacity =
+      (if mechanism = Config.No_buffer then 0 else base.Config.buffer_capacity);
+    control_loss_rate = 0.0;
+    faults;
+  }
+
+let run_crash ?(mechanisms = default_mechanisms)
+    ?(nodes = default_crash_nodes) ?(modes = default_crash_modes)
+    ?(downs = default_crash_downs) ?jobs ~base () =
+  let jobs = match jobs with Some j -> j | None -> base.Config.jobs in
+  let specs =
+    List.concat_map
+      (fun mechanism ->
+        List.concat_map
+          (fun node ->
+            List.concat_map
+              (fun mode ->
+                List.map
+                  (fun down ->
+                    ( (node, mode, down),
+                      crash_point_config ~base ~mechanism ~node ~mode ~down ))
+                  downs)
+              modes)
+          nodes)
+      mechanisms
+  in
+  let configs = Array.of_list (List.map snd specs) in
+  let results =
+    Exec.run_experiments ~jobs
+      ~label:(fun i ->
+        let (node, mode, down), config = List.nth specs i in
+        Printf.sprintf "crash/%s/%s/%s/%.0fms" (Config.label config)
+          (Faults.crash_node_to_string node)
+          (Faults.restart_mode_to_string mode)
+          (down *. 1e3))
+      configs
+  in
+  List.mapi
+    (fun i ((node, mode, down), config) ->
+      { config; node; mode; down; result = results.(i) })
+    specs
+
+let crash_row p =
+  let r = p.result in
+  [
+    mechanism_name p.config.Config.mechanism;
+    Faults.crash_node_to_string p.node;
+    Faults.restart_mode_to_string p.mode;
+    Printf.sprintf "%.0fms" (p.down *. 1e3);
+    string_of_int r.Experiment.packets_lost_to_crash;
+    string_of_int r.Experiment.crash_msgs_lost;
+    (if r.Experiment.crash_recovery.Experiment.count = 0 then "-"
+     else Report.fmt_ms r.Experiment.crash_recovery.Experiment.mean);
+    Printf.sprintf "%d/%d" r.Experiment.reconcile_audits
+      r.Experiment.reconcile_installs;
+    string_of_int r.Experiment.overload_sheds;
+    Printf.sprintf "%.1f%%" (completion_ratio r *. 100.0);
+    Printf.sprintf "%d/%d" r.Experiment.packets_out r.Experiment.packets_in;
+    Printf.sprintf "%d/%d/%d" r.Experiment.chains_frozen
+      r.Experiment.chains_resumed r.Experiment.chains_expired;
+  ]
+
+let crash_header =
+  [
+    "mechanism";
+    "node";
+    "restart";
+    "down";
+    "pkts lost";
+    "msgs lost";
+    "t_recover (ms)";
+    "audits/installs";
+    "sheds";
+    "completion";
+    "packets";
+    "froz/res/exp";
+  ]
+
+let crash_report points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "chaos: node crash-restart sweep (crash at t=%.3fs, stateful \
+        recovery)\n\n"
+       crash_start);
+  Buffer.add_string buf
+    (Report.table ~header:crash_header ~rows:(List.map crash_row points));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "\ncrash timelines\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %-10s %-4s %5.0fms  %s\n"
+           (mechanism_name p.config.Config.mechanism)
+           (Faults.crash_node_to_string p.node)
+           (Faults.restart_mode_to_string p.mode)
+           (p.down *. 1e3)
+           (Report.timeline ~events:p.result.Experiment.crash_events
+              p.result.Experiment.session_transitions)))
+    points;
+  Buffer.contents buf
+
+let print_crash_report points = print_string (crash_report points)

@@ -107,3 +107,72 @@ val outage_report : outage_point list -> string
     positives) plus each point's session-state timeline. *)
 
 val print_outage_report : outage_point list -> unit
+
+(** {2 Crash sweep}
+
+    A scheduled node crash–restart swept against buffer mechanism,
+    crashed node and restart mode. Each point runs with the echo
+    keepalive armed and a single crash landing at {!crash_start}
+    mid-incast; the report compares packets lost to the crash,
+    recovery time to steady state, reconciliation effort and
+    admission-guard sheds. Deterministic like the other sweeps. *)
+
+type crash_point = {
+  config : Config.t;  (** the exact configuration the point ran *)
+  node : Sdn_sim.Faults.crash_node;
+  mode : Sdn_sim.Faults.restart_mode;
+  down : float;  (** downtime before the restart, seconds *)
+  result : Experiment.result;
+}
+
+val default_crash_nodes : Sdn_sim.Faults.crash_node list
+(** switch then controller. *)
+
+val default_crash_modes : Sdn_sim.Faults.restart_mode list
+(** warm then cold. *)
+
+val default_crash_downs : float list
+(** [0.05] seconds. *)
+
+val crash_start : float
+(** When every sweep point's crash lands ({!outage_start} — mid-run for
+    the default Exp-B workload, so misses are in flight). *)
+
+val default_crash_base : seed:int -> Config.t
+(** {!default_outage_base}: the keepalive is what notices a dead peer
+    and drives the reconnect machinery on both sides. *)
+
+val crash_point_config :
+  base:Config.t ->
+  mechanism:Config.mechanism ->
+  node:Sdn_sim.Faults.crash_node ->
+  mode:Sdn_sim.Faults.restart_mode ->
+  down:float ->
+  Config.t
+(** The configuration a crash point runs: [base] with the mechanism
+    substituted and the fault plan's crash list replaced by a single
+    crash of [node] at {!crash_start}, down for [down] seconds,
+    restarting in [mode]. *)
+
+val run_crash :
+  ?mechanisms:Config.mechanism list ->
+  ?nodes:Sdn_sim.Faults.crash_node list ->
+  ?modes:Sdn_sim.Faults.restart_mode list ->
+  ?downs:float list ->
+  ?jobs:int ->
+  base:Config.t ->
+  unit ->
+  crash_point list
+(** Run the sweep: one experiment per mechanism x node x mode x
+    downtime, in deterministic order (mechanisms outer, downtimes
+    inner). [jobs] (default [base.jobs]) parallelizes exactly as in
+    {!run}. *)
+
+val crash_report : crash_point list -> string
+(** Deterministic plain-text report: one table row per point (packets
+    and messages lost to the crash, recovery time, reconciliation
+    audit/re-install counts, admission-guard sheds, completion,
+    frozen/resumed/expired chains) plus each point's session timeline
+    with crash/restart/reconciliation events marked. *)
+
+val print_crash_report : crash_point list -> unit

@@ -41,6 +41,7 @@ type t = {
   echo_interval : float;
   echo_misses : int;
   fail_mode : fail_mode;
+  overload_watermark : float;
   qos : qos option;
   egress_bandwidth_bps : float option;
   check : bool;
@@ -71,6 +72,7 @@ let default =
     echo_interval = 0.0;
     echo_misses = 3;
     fail_mode = Fail_secure;
+    overload_watermark = 1.0;
     qos = None;
     egress_bandwidth_bps = None;
     check = false;

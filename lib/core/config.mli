@@ -78,6 +78,10 @@ type t = {
   echo_misses : int;
       (** unanswered keepalives before a session is declared Down *)
   fail_mode : fail_mode;
+  overload_watermark : float;
+      (** switch admission-control high watermark (fraction of buffer
+          capacity) past which new miss chains are shed; [1.0] (the
+          default) disables the guard *)
   qos : qos option;
   egress_bandwidth_bps : float option;
       (** override for the switch-to-host2 link speed (e.g. a slower

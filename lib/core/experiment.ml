@@ -64,6 +64,16 @@ type result = {
   controller_resyncs : int;
   microflow_hits : int;
   microflow_misses : int;
+  (* Crash–restart fault injection (all zero/empty when the fault plan
+     schedules no crashes). *)
+  node_crashes : int;
+  packets_lost_to_crash : int;
+  crash_msgs_lost : int;
+  crash_recovery : summary;
+  reconcile_audits : int;
+  reconcile_installs : int;
+  overload_sheds : int;
+  crash_events : (float * string) list;
   check_violations : int;
   check_report : string option;
 }
@@ -127,6 +137,48 @@ let run (config : Config.t) =
     Cpu.busy_core_seconds (Sdn_controller.Controller.cpu scenario.Scenario.controller)
   in
   let switch_cpu = Sdn_switch.Switch.cpu_busy_core_seconds switch in
+  let session_transitions =
+    List.map
+      (fun (time, state) -> (time, Sdn_switch.Session.state_to_string state))
+      (Sdn_switch.Session.transitions session)
+  in
+  let injected_crash_events = Scenario.crash_events scenario in
+  let crash_events =
+    (* Injected crash/restart events merged chronologically with the
+       controller's reconciliation outcomes. *)
+    List.stable_sort
+      (fun (ta, _) (tb, _) -> Float.compare ta tb)
+      (injected_crash_events
+      @ Sdn_controller.Controller.reconcile_events scenario.Scenario.controller)
+  in
+  let crash_recovery =
+    (* Recovery time to steady state: from each injected crash to the
+       first subsequent return of the switch session to Up (handshake
+       replayed, buffered chains resumed, reconciliation under way). *)
+    let stats = Stats.create () in
+    let ups =
+      List.filter_map
+        (fun (time, state) ->
+          if String.equal state "up" then Some time else None)
+        session_transitions
+    in
+    let mentions_crash what =
+      let needle = "crash" in
+      let nl = String.length needle and wl = String.length what in
+      let rec scan i =
+        i + nl <= wl && (String.sub what i nl = needle || scan (i + 1))
+      in
+      scan 0
+    in
+    List.iter
+      (fun (t0, what) ->
+        if mentions_crash what then
+          match List.find_opt (fun tu -> Float.compare tu t0 > 0) ups with
+          | Some tu -> Stats.add stats (tu -. t0)
+          | None -> ())
+      injected_crash_events;
+    summary_of_stats stats
+  in
   {
     config;
     send_window;
@@ -165,10 +217,7 @@ let run (config : Config.t) =
     session_downtime = Sdn_switch.Session.total_downtime session;
     session_recovery =
       summary_of_stats (Sdn_switch.Session.recovery_times session);
-    session_transitions =
-      List.map
-        (fun (time, state) -> (time, Sdn_switch.Session.state_to_string state))
-        (Sdn_switch.Session.transitions session);
+    session_transitions;
     standalone_frames = counters.Sdn_switch.Switch.standalone_frames;
     fail_secure_drops = counters.Sdn_switch.Switch.fail_secure_drops;
     chains_frozen = Sdn_switch.Switch.chains_frozen switch;
@@ -181,6 +230,22 @@ let run (config : Config.t) =
     microflow_misses =
       Sdn_switch.Flow_table.microflow_misses
         (Sdn_switch.Switch.flow_table switch);
+    node_crashes =
+      counters.Sdn_switch.Switch.crashes
+      + controller_counters.Sdn_controller.Controller.crashes;
+    packets_lost_to_crash =
+      counters.Sdn_switch.Switch.crash_lost_frames
+      + counters.Sdn_switch.Switch.crash_wiped_packets;
+    crash_msgs_lost =
+      counters.Sdn_switch.Switch.crash_lost_messages
+      + controller_counters.Sdn_controller.Controller.crash_lost_messages;
+    crash_recovery;
+    reconcile_audits =
+      controller_counters.Sdn_controller.Controller.reconcile_audits;
+    reconcile_installs =
+      controller_counters.Sdn_controller.Controller.reconcile_installs;
+    overload_sheds = counters.Sdn_switch.Switch.overload_sheds;
+    crash_events;
     check_violations =
       (match scenario.Scenario.check with
       | Some check -> Sdn_check.Check.violation_count check
@@ -263,6 +328,15 @@ let diff_result a b =
   chk "controller_resyncs" (a.controller_resyncs = b.controller_resyncs);
   chk "microflow_hits" (a.microflow_hits = b.microflow_hits);
   chk "microflow_misses" (a.microflow_misses = b.microflow_misses);
+  chk "node_crashes" (a.node_crashes = b.node_crashes);
+  chk "packets_lost_to_crash"
+    (a.packets_lost_to_crash = b.packets_lost_to_crash);
+  chk "crash_msgs_lost" (a.crash_msgs_lost = b.crash_msgs_lost);
+  chk "crash_recovery" (summary_eq a.crash_recovery b.crash_recovery);
+  chk "reconcile_audits" (a.reconcile_audits = b.reconcile_audits);
+  chk "reconcile_installs" (a.reconcile_installs = b.reconcile_installs);
+  chk "overload_sheds" (a.overload_sheds = b.overload_sheds);
+  chk "crash_events" (transitions_eq a.crash_events b.crash_events);
   chk "check_violations" (a.check_violations = b.check_violations);
   chk "check_report"
     (Option.equal String.equal a.check_report b.check_report);
@@ -330,6 +404,23 @@ let pp_result fmt r =
   if r.microflow_hits > 0 || r.microflow_misses > 0 then
     Format.fprintf fmt "microflow cache      : %d hit(s), %d miss(es)@,"
       r.microflow_hits r.microflow_misses;
+  if r.overload_sheds > 0 then
+    Format.fprintf fmt "overload guard       : %d new chain(s) shed@,"
+      r.overload_sheds;
+  if r.node_crashes > 0 then begin
+    Format.fprintf fmt
+      "node crashes         : %d, %d packet(s) lost, %d message(s) lost@,"
+      r.node_crashes r.packets_lost_to_crash r.crash_msgs_lost;
+    if r.crash_recovery.count > 0 then
+      Format.fprintf fmt "crash recovery       : %a@," pp_summary_ms
+        r.crash_recovery;
+    if r.reconcile_audits > 0 then
+      Format.fprintf fmt
+        "flow reconciliation  : %d audit(s), %d re-install(s)@,"
+        r.reconcile_audits r.reconcile_installs;
+    Format.fprintf fmt "crash timeline       : %s@,"
+      (Report.timeline ~events:r.crash_events r.session_transitions)
+  end;
   Format.fprintf fmt "packets              : %d in, %d out, %d dropped"
     r.packets_in r.packets_out r.packets_dropped;
   (* Only violations change the report: a clean [--check] run prints

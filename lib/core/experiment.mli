@@ -76,6 +76,25 @@ type result = {
       (** flow-table lookups answered by the exact-match fast path *)
   microflow_misses : int;
       (** cacheable lookups that fell through to the full table scan *)
+  node_crashes : int;
+      (** injected switch + controller crashes ([crash=...] fault plan) *)
+  packets_lost_to_crash : int;
+      (** frames blackholed while a node was dead plus buffered packets
+          wiped by a cold switch restart *)
+  crash_msgs_lost : int;
+      (** control messages that arrived at a dead node *)
+  crash_recovery : summary;
+      (** time from each injected crash to the first subsequent return
+          of the switch session to Up (steady state); seconds *)
+  reconcile_audits : int;
+      (** wildcard FLOW stats audits sent by post-crash reconciliation *)
+  reconcile_installs : int;
+      (** flow entries re-installed because an audit found them missing *)
+  overload_sheds : int;
+      (** new miss chains refused by the buffer-pool admission guard *)
+  crash_events : (float * string) list;
+      (** injected crash/restart events merged chronologically with
+          reconciliation outcomes: (time, description) *)
   check_violations : int;
       (** protocol-invariant violations recorded by the runtime checker
           (always 0 when the config's [check] flag is off) *)

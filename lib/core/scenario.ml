@@ -20,6 +20,9 @@ type t = {
   traffic_rng : Rng.t;
   mutable host1_received : int;
   mutable host2_received : int;
+  (* Crash schedule interpretation: (time, description) per injected
+     crash/restart, oldest first once reversed. *)
+  mutable crash_events_rev : (float * string) list;
 }
 
 let host1_ip = Ip.make 10 0 0 1
@@ -52,6 +55,7 @@ let build (config : Config.t) =
       echo_interval = config.Config.echo_interval;
       echo_misses = config.Config.echo_misses;
       fail_mode = config.Config.fail_mode;
+      overload_watermark = config.Config.overload_watermark;
     }
   in
   (* buffer_capacity = 0 means the no-buffer configuration. *)
@@ -195,6 +199,51 @@ let build (config : Config.t) =
   in
   Sdn_controller.Controller.start controller ?enable_flow_buffer
     ~miss_send_len:config.Config.miss_send_len ();
+  (* Crash schedule: the fault plan's crash entries are interpreted
+     here, at the topology layer — the only place that knows both
+     endpoints. Each crash kills one node (which force-downs its own
+     session state) and delivers the TCP reset to the surviving peer;
+     the restart re-enters the ordinary reconnect machinery, whose
+     first answered probe triggers resync and, because the disconnect
+     was a crash, the controller's flow-state reconciliation pass. *)
+  let note_crash_event time what =
+    let s = get () in
+    s.crash_events_rev <- (time, what) :: s.crash_events_rev
+  in
+  List.iter
+    (fun (c : Faults.crash) ->
+      let mode_s = Faults.restart_mode_to_string c.Faults.mode in
+      ignore
+        (Engine.schedule_at engine c.Faults.at_s (fun () ->
+             note_crash_event (Engine.now engine)
+               (Printf.sprintf "switch crash (%s)" mode_s);
+             Sdn_switch.Switch.crash switch ~mode:c.Faults.mode;
+             Sdn_controller.Controller.note_switch_disconnect controller
+               ~switch:0));
+      ignore
+        (Engine.schedule_at engine
+           (c.Faults.at_s +. c.Faults.down_s)
+           (fun () ->
+             note_crash_event (Engine.now engine) "switch restart";
+             Sdn_switch.Switch.restart switch)))
+    (Faults.crashes_for fault_spec Faults.Switch_node);
+  List.iter
+    (fun (c : Faults.crash) ->
+      let mode_s = Faults.restart_mode_to_string c.Faults.mode in
+      ignore
+        (Engine.schedule_at engine c.Faults.at_s (fun () ->
+             note_crash_event (Engine.now engine)
+               (Printf.sprintf "controller crash (%s)" mode_s);
+             Sdn_controller.Controller.crash controller ~mode:c.Faults.mode;
+             Sdn_switch.Session.note_disconnect
+               (Sdn_switch.Switch.session switch)));
+      ignore
+        (Engine.schedule_at engine
+           (c.Faults.at_s +. c.Faults.down_s)
+           (fun () ->
+             note_crash_event (Engine.now engine) "controller restart";
+             Sdn_controller.Controller.restart controller ~mode:c.Faults.mode)))
+    (Faults.crashes_for fault_spec Faults.Controller_node);
   let s =
     {
       engine;
@@ -214,10 +263,13 @@ let build (config : Config.t) =
       traffic_rng;
       host1_received = 0;
       host2_received = 0;
+      crash_events_rev = [];
     }
   in
   scenario := Some s;
   s
+
+let crash_events t = List.rev t.crash_events_rev
 
 let inject t ~in_port frame =
   let link =

@@ -35,6 +35,9 @@ type t = {
   traffic_rng : Rng.t;
   mutable host1_received : int;
   mutable host2_received : int;
+  mutable crash_events_rev : (float * string) list;
+      (** injected crash/restart events, newest first; read through
+          {!crash_events} *)
 }
 
 val build : Config.t -> t
@@ -44,6 +47,11 @@ val build : Config.t -> t
 
 val inject : t -> in_port:int -> Bytes.t -> unit
 (** Send a frame from the host attached to [in_port] (1 or 2). *)
+
+val crash_events : t -> (float * string) list
+(** The crash/restart events the fault plan's crash schedule injected,
+    oldest first — e.g. [("0.2", "switch crash (cold)")] followed by
+    the matching restart. Empty when the plan has no crashes. *)
 
 val run_until_quiet : ?grace:float -> ?min_time:float -> t -> unit
 (** Run the engine until every injected packet has either egressed or

@@ -717,6 +717,186 @@ let run ?(check = false) ~jobs grid =
         0 results;
   }
 
+(* ---- Crash reconvergence gate ---- *)
+
+(* A mid-run crash must not leave a lasting bias. Frames that arrive
+   while the node is dead are dropped unmeasured, so once the node has
+   restarted and reconciled, the pooled per-message delay estimators
+   have to re-enter the same tolerance bands the crash-free grid is
+   held to. Aggregate metrics (CPU%, occupancy, rates) are excluded by
+   design: the crash window removes offered load, so the run-wide
+   averages shift even when the steady state has fully reconverged. *)
+
+(* pox for the same reason the golden grid uses it: its low rates
+   stretch 600 packets into a send window several times the outage, so
+   the node recovers with roughly half the traffic still to come — the
+   pooled delay estimators genuinely cover the post-recovery steady
+   state, not just the pre-crash lead-in. 600 flows also keep the
+   audit's Flow_reply inside a single frame (no multipart in this
+   codec), so reconciliation can actually verify the whole table. *)
+let reconvergence_grid =
+  {
+    rhos = [ 0.3 ];
+    offered = [];
+    reps = 2;
+    packets = 600;
+    profiles = [ Ctl.Pox ];
+  }
+
+(* Crash a third of the way into the send window; stay dead long
+   enough for keepalive detection (echo_misses x echo_interval) to be
+   comfortably inside the outage. *)
+let reconvergence_crash spec =
+  let send = float_of_int spec.sp_n /. spec.sp_lambda in
+  {
+    Sdn_sim.Faults.node = Sdn_sim.Faults.Switch_node;
+    at_s = Experiment.traffic_start +. (0.3 *. send);
+    down_s = Float.max 0.05 (0.15 *. send);
+    mode = Sdn_sim.Faults.Warm;
+  }
+
+let reconvergence_config_of spec ~spec_idx ~rep ~check =
+  let base = config_of spec ~spec_idx ~rep ~check in
+  {
+    base with
+    Config.echo_interval = 0.01;
+    echo_misses = 2;
+    faults =
+      {
+        base.Config.faults with
+        Sdn_sim.Faults.crashes = [ reconvergence_crash spec ];
+      };
+  }
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.equal (String.sub hay i nn) needle then true
+    else scan (i + 1)
+  in
+  nn > 0 && scan 0
+
+(* Recovery is restart-driven: the session is back Up within one
+   outage-length of the scheduled downtime (the surviving peer's
+   reconnect probes back off geometrically from the keepalive
+   interval, so the first answered probe lags the restart by at most
+   about one backoff step). rel=1.0 encodes exactly that bound. *)
+let tol_recovery = { rel = 1.0; abs = 0.0 }
+let tol_exact = { rel = 0.0; abs = 1e-6 }
+
+let reconvergence_point_of spec results =
+  let obs = observe results in
+  let cc = validation_controller_costs spec.sp_profile in
+  let lt = lambda_top cc in
+  let s_k = util_cap /. (kernel_visits *. lt) in
+  let s_u = util_cap /. (userspace_visits *. lt) in
+  let steady =
+    jackson_metrics ~lambda:spec.sp_lambda ~cc ~s_k ~s_u ~n:spec.sp_n obs
+      ~target:spec.sp_target
+  in
+  let delays =
+    List.filter (fun m -> contains_sub m.m_name "delay") steady
+  in
+  let crashes =
+    List.fold_left (fun a r -> a + r.Experiment.node_crashes) 0 results
+  in
+  let recovery_mean =
+    let num, den =
+      List.fold_left
+        (fun (num, den) r ->
+          let s = r.Experiment.crash_recovery in
+          (num +. (s.Experiment.mean *. float_of_int s.Experiment.count),
+           den + s.Experiment.count))
+        (0.0, 0) results
+    in
+    if den = 0 then nan else num /. float_of_int den
+  in
+  let reconciled =
+    List.fold_left
+      (fun a r ->
+        a
+        + List.length
+            (List.filter
+               (fun (_, what) -> contains_sub what "reconciliation done")
+               r.Experiment.crash_events))
+      0 results
+  in
+  let crash = reconvergence_crash spec in
+  let metrics =
+    delays
+    @ [
+        (* Warm switch restarts are restart-driven, not timeout-driven:
+           time back to steady state tracks the scheduled outage plus a
+           reconnect probe and a handshake's worth of resync. *)
+        mk_metric "recovery_time_s" crash.Sdn_sim.Faults.down_s recovery_mean
+          tol_recovery;
+        (* Every crash must end in exactly one completed flow-state
+           reconciliation; nan/0 here means the node never recovered. *)
+        mk_metric "reconciliations_per_crash" 1.0
+          (if crashes = 0 then nan
+           else float_of_int reconciled /. float_of_int crashes)
+          tol_exact;
+      ]
+  in
+  {
+    regime = "reconverge";
+    profile = Ctl.profile_to_string spec.sp_profile;
+    target = spec.sp_target;
+    lambda_pps = spec.sp_lambda;
+    rate_mbps = rate_mbps_of spec.sp_lambda;
+    metrics;
+    p_ok = List.for_all (fun m -> m.m_ok) metrics;
+  }
+
+let reconvergence ?(check = false) ~jobs () =
+  let grid = reconvergence_grid in
+  let specs =
+    List.filter
+      (fun s -> match s.sp_regime with Jackson_r -> true | _ -> false)
+      (specs_of grid)
+  in
+  let configs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun spec_idx spec ->
+              List.init grid.reps (fun rep ->
+                  reconvergence_config_of spec ~spec_idx ~rep ~check))
+            specs))
+  in
+  let labels =
+    Array.of_list
+      (List.concat
+         (List.map
+            (fun spec ->
+              List.init grid.reps (fun rep ->
+                  Printf.sprintf "reconverge/%s/rho=%g/rep=%d"
+                    (Ctl.profile_to_string spec.sp_profile)
+                    spec.sp_target rep))
+            specs))
+  in
+  let results =
+    Exec.run_experiments ~label:(fun i -> labels.(i)) ~jobs configs
+  in
+  let points =
+    List.mapi
+      (fun spec_idx spec ->
+        let slice =
+          List.init grid.reps (fun rep -> results.((spec_idx * grid.reps) + rep))
+        in
+        reconvergence_point_of spec slice)
+      specs
+  in
+  {
+    points;
+    ok = List.for_all (fun p -> p.p_ok) points;
+    violations =
+      Array.fold_left
+        (fun acc (r : Experiment.result) -> acc + r.Experiment.check_violations)
+        0 results;
+  }
+
 (* ---- Rendering ---- *)
 
 let f6 v = Printf.sprintf "%.6g" v

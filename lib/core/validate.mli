@@ -97,6 +97,24 @@ val run : ?check:bool -> jobs:int -> grid -> report
     [check] arms the runtime protocol-invariant checker in every
     run. *)
 
+val reconvergence : ?check:bool -> jobs:int -> unit -> report
+(** Crash-reconvergence gate: re-run the jackson rho=0.3 point
+    (pox profile) with a warm switch crash scheduled a third of
+    the way into the send window and keepalive detection armed, then
+    assert that the run still agrees with the crash-free analytical
+    model. Only the per-message steady-state delay metrics
+    ([controller_delay], [setup_delay]) are held to the grid's
+    tolerance bands — frames arriving while the node is dead are lost
+    unmeasured, so a recovered node must leave no lasting bias in them,
+    while run-wide aggregates (CPU%, occupancy, rates) legitimately
+    shift with the lost load and are excluded. Two extra metrics gate
+    the recovery itself: [recovery_time_s] (observed time from crash to
+    the session re-entering Up, predicted as the scheduled outage
+    duration) and [reconciliations_per_crash] (exactly one completed
+    flow-state reconciliation per crash; [nan] when no node ever
+    crashed, which fails the band). Deterministic and byte-identical
+    for every [jobs] value, like {!run}. *)
+
 val csv : report -> string
 (** Machine-readable agreement report, one row per (point, metric):
     [regime,profile,target,lambda_pps,rate_mbps,metric,predicted,

@@ -78,13 +78,40 @@ let histogram ?(bins = 8) ?(width = 40) ?(fmt = fun v -> Printf.sprintf "%g" v)
     table ~header:[ "bucket"; ""; "count" ] ~rows
   end
 
-let timeline transitions =
-  if transitions = [] then "(none)"
-  else
-    String.concat " -> "
-      (List.map
-         (fun (time, state) -> Printf.sprintf "%s@t%.3fs" state time)
-         transitions)
+(* Crash/restart/reconciliation events carry a marker so they read
+   differently from plain session-state transitions; the legend is
+   appended only when events are present, keeping event-free timelines
+   byte-identical to the historical rendering. *)
+let event_marker what =
+  let has needle =
+    let nl = String.length needle and wl = String.length what in
+    let rec scan i = i + nl <= wl && (String.sub what i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  if has "reconcil" then "~" else if has "restart" then "^" else if has "crash" then "!" else "*"
+
+let timeline ?(events = []) transitions =
+  let entries =
+    List.map (fun (time, state) -> (time, 0, Printf.sprintf "%s@t%.3fs" state time)) transitions
+    @ List.map
+        (fun (time, what) ->
+          (time, 1, Printf.sprintf "%s[%s]@t%.3fs" (event_marker what) what time))
+        events
+  in
+  let entries =
+    (* Chronological; transitions before events at equal times, so
+       injected events never displace the state they caused. *)
+    List.stable_sort
+      (fun (ta, ka, _) (tb, kb, _) ->
+        match Float.compare ta tb with 0 -> Int.compare ka kb | c -> c)
+      entries
+  in
+  match entries with
+  | [] -> "(none)"
+  | _ ->
+      let body = String.concat " -> " (List.map (fun (_, _, s) -> s) entries) in
+      if events = [] then body
+      else body ^ " [legend: ![crash] ^[restart] ~[reconciliation]]"
 
 let fmt_ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
 let fmt_mbps v = Printf.sprintf "%.2f" v

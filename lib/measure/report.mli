@@ -17,10 +17,17 @@ val histogram :
     [fmt] renders bucket edges (default ["%g"]). Returns
     ["(no samples)"] for an empty accumulator. *)
 
-val timeline : (float * string) list -> string
+val timeline : ?events:(float * string) list -> (float * string) list -> string
 (** Render a state timeseries as ["state@t0.000s -> state@t0.123s ->
     ..."] — the session-lifecycle rows of the outage report. Returns
-    ["(none)"] for an empty list. *)
+    ["(none)"] when both lists are empty.
+
+    [events] (default none) merges injected crash/restart and
+    reconciliation events chronologically into the row, each with a
+    distinguishing marker — ["![switch crash (cold)]@t0.200s"],
+    ["^[switch restart]@t0.250s"], ["~[reconciliation done
+    (sw-0)]@t0.300s"] — and appends a legend. With no events the
+    rendering is byte-identical to the historical plain form. *)
 
 val fmt_ms : float -> string
 (** Seconds rendered as milliseconds, 3 decimals. *)

@@ -128,6 +128,23 @@ let read_request_body buf off ~len =
 
 let flow_entry_size fs = flow_entry_fixed + Of_action.list_size fs.actions
 
+(* OpenFlow 1.0 frames carry a 16-bit length, so one Flow_reply can
+   hold only so many entries; a real switch continues past that with
+   the OFPSF_REPLY_MORE multipart flag, which this codec does not
+   model. Senders therefore truncate to the longest prefix that
+   frames, rather than letting the length field wrap. *)
+let max_flow_reply_body = 0xffff - Of_wire.header_size
+
+let truncate_flow_entries entries =
+  let rec keep acc size = function
+    | [] -> entries (* everything fits: keep the original list *)
+    | e :: rest ->
+        let size = size + flow_entry_size e in
+        if size > max_flow_reply_body then List.rev acc
+        else keep (e :: acc) size rest
+  in
+  keep [] preamble entries
+
 let reply_body_size = function
   | Desc_reply _ -> preamble + desc_reply_size
   | Flow_reply entries ->

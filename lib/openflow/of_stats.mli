@@ -58,6 +58,14 @@ val request_body_size : request -> int
 val write_request_body : request -> Bytes.t -> int -> unit
 val read_request_body : Bytes.t -> int -> len:int -> (request, string) result
 
+val truncate_flow_entries : flow_stats list -> flow_stats list
+(** Longest prefix of [entries] whose [Flow_reply] still fits the
+    16-bit wire length field. OpenFlow 1.0 continues an oversized
+    stats reply with the OFPSF_REPLY_MORE multipart flag, which this
+    codec does not model; senders must truncate instead of letting
+    {!Of_wire.write_header} reject the frame. Identity when the whole
+    list fits (roughly 680 single-action entries). *)
+
 val reply_body_size : reply -> int
 val write_reply_body : reply -> Bytes.t -> int -> unit
 val read_reply_body : Bytes.t -> int -> len:int -> (reply, string) result

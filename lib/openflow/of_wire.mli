@@ -68,10 +68,13 @@ type header = { msg_type : Msg_type.t; length : int; xid : int32 }
 
 val write_header : header -> Bytes.t -> unit
 (** Serialize at offset 0 of a buffer that is at least
-    {!header_size} long. *)
+    {!header_size} long. Raises [Invalid_argument] when [length]
+    exceeds the 16-bit wire field (65535): the value would otherwise
+    wrap silently and frame garbage. *)
 
 val write_header_at : header -> Bytes.t -> pos:int -> unit
-(** Serialize at offset [pos]; the caller guarantees room. *)
+(** Serialize at offset [pos]; the caller guarantees room. Same
+    16-bit length guard as {!write_header}. *)
 
 val read_header : Bytes.t -> (header, string) result
 (** Parse the header at offset 0; checks version, type and that

@@ -7,18 +7,55 @@ type burst = {
 
 type outage = { start_s : float; stop_s : float }
 
+type restart_mode = Warm | Cold
+
+let restart_mode_to_string = function Warm -> "warm" | Cold -> "cold"
+
+let restart_mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "warm" -> Ok Warm
+  | "cold" -> Ok Cold
+  | other -> Error (Printf.sprintf "restart mode %S: want warm or cold" other)
+
+type crash_node = Switch_node | Controller_node
+
+let crash_node_to_string = function
+  | Switch_node -> "switch"
+  | Controller_node -> "controller"
+
+let crash_node_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "switch" | "sw" -> Ok Switch_node
+  | "controller" | "ctl" -> Ok Controller_node
+  | other -> Error (Printf.sprintf "crash node %S: want switch or controller" other)
+
+type crash = {
+  node : crash_node;
+  at_s : float;
+  down_s : float;
+  mode : restart_mode;
+}
+
 type spec = {
   loss_rate : float;
   burst : burst option;
   jitter_s : float;
   outages : outage list;
+  crashes : crash list;
 }
 
-let none = { loss_rate = 0.0; burst = None; jitter_s = 0.0; outages = [] }
+let none =
+  {
+    loss_rate = 0.0;
+    burst = None;
+    jitter_s = 0.0;
+    outages = [];
+    crashes = [];
+  }
 
 let is_none spec =
   spec.loss_rate = 0.0 && spec.burst = None && spec.jitter_s = 0.0
-  && spec.outages = []
+  && spec.outages = [] && spec.crashes = []
 
 let prob_ok p = p >= 0.0 && p <= 1.0
 
@@ -30,6 +67,9 @@ let validate spec =
       (fun o -> o.start_s < 0.0 || o.stop_s < o.start_s)
       spec.outages
   then Error "malformed outage window (want 0 <= start <= stop)"
+  else if
+    List.exists (fun c -> c.at_s < 0.0 || c.down_s < 0.0) spec.crashes
+  then Error "malformed crash (want crash time >= 0 and down duration >= 0)"
   else begin
     match spec.burst with
     | Some b
@@ -45,6 +85,17 @@ let spec_to_string spec =
   else begin
     let fields = ref [] in
     let add s = fields := s :: !fields in
+    if spec.crashes <> [] then
+      add
+        (Printf.sprintf "crash=%s"
+           (String.concat "+"
+              (List.map
+                 (fun c ->
+                   Printf.sprintf "%s:%g:%g:%s"
+                     (crash_node_to_string c.node)
+                     c.at_s c.down_s
+                     (restart_mode_to_string c.mode))
+                 spec.crashes)));
     if spec.outages <> [] then
       add
         (Printf.sprintf "outage=%s"
@@ -83,6 +134,29 @@ let parse_outages value =
             | _ -> Error (Printf.sprintf "outage %S: bad number" w)))
   in
   go [] windows
+
+let parse_crashes value =
+  let entries = String.split_on_char '+' value in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | entry :: rest -> (
+        match String.split_on_char ':' entry with
+        | [ node_s; at_s_s; down_s_s; mode_s ] -> (
+            match (crash_node_of_string node_s, restart_mode_of_string mode_s)
+            with
+            | Error _ as e, _ | _, (Error _ as e) -> e
+            | Ok node, Ok mode -> (
+                match
+                  (float_of_string_opt' at_s_s, float_of_string_opt' down_s_s)
+                with
+                | Some at_s, Some down_s ->
+                    go ({ node; at_s; down_s; mode } :: acc) rest
+                | _ -> Error (Printf.sprintf "crash %S: bad number" entry)))
+        | _ ->
+            Error
+              (Printf.sprintf "crash %S: want NODE:AT:DOWN:MODE" entry))
+  in
+  go [] entries
 
 let parse_burst value =
   match List.map float_of_string_opt' (String.split_on_char ':' value) with
@@ -130,10 +204,20 @@ let spec_of_string s =
                   | Ok outages ->
                       go { spec with outages = spec.outages @ outages } rest
                   | Error _ as e -> e)
+              | "crash" -> (
+                  match parse_crashes value with
+                  | Ok crashes ->
+                      go { spec with crashes = spec.crashes @ crashes } rest
+                  | Error _ as e -> e)
               | _ -> Error (Printf.sprintf "unknown fault field %S" key)))
     in
     go none fields
   end
+
+let crashes_for spec node =
+  List.stable_sort
+    (fun a b -> Float.compare a.at_s b.at_s)
+    (List.filter (fun c -> c.node = node) spec.crashes)
 
 type reason = Independent_loss | Burst_loss | Outage
 

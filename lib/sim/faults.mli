@@ -34,11 +34,38 @@ type burst = {
 type outage = { start_s : float; stop_s : float }
 (** Every message judged at a time in [\[start_s, stop_s)] is dropped. *)
 
+type restart_mode =
+  | Warm  (** soft state salvaged where possible (buffered chains frozen) *)
+  | Cold  (** all soft state lost: buffers, flow table, microflow cache *)
+
+val restart_mode_to_string : restart_mode -> string
+val restart_mode_of_string : string -> (restart_mode, string) result
+
+type crash_node = Switch_node | Controller_node
+
+val crash_node_to_string : crash_node -> string
+val crash_node_of_string : string -> (crash_node, string) result
+
+type crash = {
+  node : crash_node;  (** which process dies *)
+  at_s : float;  (** crash instant, seconds of simulation time *)
+  down_s : float;  (** how long the process stays dead before restarting *)
+  mode : restart_mode;
+}
+(** One scheduled node crash. Crashes are {e schedule-only}: unlike the
+    message-level fault classes they are never consulted by {!judge}
+    and draw nothing from the plan's RNG — interpretation belongs to
+    the scenario layer, which kills and restarts the node at the
+    scheduled instants. A spec with crashes but no message faults
+    therefore leaves every message-level schedule byte-identical to
+    {!none}. *)
+
 type spec = {
   loss_rate : float;  (** independent loss probability, in [\[0, 1\]] *)
   burst : burst option;
   jitter_s : float;  (** max extra delivery delay, seconds *)
   outages : outage list;
+  crashes : crash list;
 }
 
 val none : spec
@@ -55,9 +82,15 @@ val spec_to_string : spec -> string
 
 val spec_of_string : string -> (spec, string) result
 (** Parse the CLI [--faults] grammar: comma-separated fields
-    [loss=P], [burst=PGB:PBG:LBAD\[:LGOOD\]], [jitter=S] and
-    [outage=T0-T1\[+T0-T1...\]]; the empty string and ["none"] are
-    {!none}. Times are seconds (floats). *)
+    [loss=P], [burst=PGB:PBG:LBAD\[:LGOOD\]], [jitter=S],
+    [outage=T0-T1\[+T0-T1...\]] and
+    [crash=NODE:AT:DOWN:MODE\[+NODE:AT:DOWN:MODE...\]] with [NODE] one
+    of [switch]/[sw]/[controller]/[ctl] and [MODE] one of
+    [warm]/[cold]; the empty string and ["none"] are {!none}. Times
+    are seconds (floats). *)
+
+val crashes_for : spec -> crash_node -> crash list
+(** The spec's crashes for one node, sorted by crash time (stable). *)
 
 type reason = Independent_loss | Burst_loss | Outage
 (** Why a message was dropped, for per-class accounting. *)

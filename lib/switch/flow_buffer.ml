@@ -298,6 +298,36 @@ let resume t =
       t.slots
   end
 
+let wipe t =
+  let chains = ref 0 and packets = ref 0 in
+  (* Index order: the expiry notes reach the checker in a fixed
+     sequence, so wiped runs stay byte-reproducible. *)
+  Array.iteri
+    (fun i slot ->
+      match slot.state with
+      | Held u ->
+          (match u.resend_handle with Some h -> Engine.cancel h | None -> ());
+          checked t
+            (Sdn_check.Check.note_buffer_expire
+               ~id:(id_of ~generation:slot.generation ~slot:i));
+          let n = List.length u.frames_rev in
+          t.drops <- t.drops + n;
+          t.packets <- t.packets - n;
+          Flow_key.Table.remove t.by_key u.key;
+          release_slot t i;
+          incr chains;
+          packets := !packets + n
+      | Reclaiming ->
+          (* The deferred release would fire into a dead pool; reclaim
+             now. The pending callback sees Free and stands down. *)
+          release_slot t i
+      | Free -> ())
+    t.slots;
+  t.frozen <- false;
+  (!chains, !packets)
+
+let has_chain t ~key = Flow_key.Table.mem t.by_key key
+
 let is_frozen t = t.frozen
 let freezes t = t.freezes
 let chains_frozen t = t.chains_frozen

@@ -97,6 +97,18 @@ val resume : t -> unit
     number, in slot order, so the first re-request goes out one backoff
     delay after reconnect. Idempotent. *)
 
+val wipe : t -> int * int
+(** Cold-restart state loss: expire every held chain (reported to the
+    checker, counted into {!drops}), reclaim in-flight releases
+    immediately, unfreeze. Returns [(chains, packets)] wiped — the
+    caller attributes them to the crash. Walks slots in index order so
+    wiped runs stay byte-reproducible. *)
+
+val has_chain : t -> key:Flow_key.t -> bool
+(** Whether a chain for [key] is currently held — the overload guard
+    uses this to let in-flight flows keep appending while shedding new
+    chains. *)
+
 val is_frozen : t -> bool
 
 val freezes : t -> int

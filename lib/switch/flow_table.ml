@@ -286,6 +286,14 @@ let expire t ~now =
   t.expirations <- t.expirations + List.length doomed;
   List.map snd doomed
 
+let clear t =
+  let n = Hashtbl.length t.by_uid in
+  Hashtbl.reset t.by_uid;
+  Flow_key.Table.reset t.exact;
+  t.wildcard_uids <- [];
+  invalidate_cache t;
+  n
+
 let entries t =
   (* Entries escape to stats replies; uid order = install order. *)
   Hashtbl.fold (fun uid e acc -> (uid, e) :: acc) t.by_uid []

@@ -74,6 +74,12 @@ val delete :
 val expire : t -> now:float -> Flow_entry.t list
 (** Remove and return entries whose idle or hard timeout has elapsed. *)
 
+val clear : t -> int
+(** Remove every entry and flush the microflow cache — the soft-state
+    loss of a cold switch restart. Returns how many entries were
+    wiped. Lifetime counters (lookups, hits, evictions, expirations)
+    survive; they describe the run, not the table contents. *)
+
 val entries : t -> Flow_entry.t list
 
 val to_stats : t -> now:float -> Of_stats.flow_stats list

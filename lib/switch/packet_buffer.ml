@@ -127,6 +127,28 @@ let take t id =
         Unknown_id
   end
 
+let wipe t =
+  let packets = ref 0 in
+  (* Index order keeps the checker's expiry notes byte-reproducible. *)
+  Array.iteri
+    (fun i slot ->
+      match slot.state with
+      | Held { expiry_handle; _ } ->
+          Engine.cancel expiry_handle;
+          t.expired <- t.expired + 1;
+          checked t
+            (Sdn_check.Check.note_buffer_expire
+               ~id:(id_of ~generation:slot.generation ~slot:i));
+          release_slot t i;
+          incr packets
+      | Reclaiming ->
+          (* Reclaim immediately; the deferred callback sees Free and
+             stands down. *)
+          release_slot t i
+      | Free -> ())
+    t.slots;
+  !packets
+
 let capacity t = t.capacity
 let in_use t = t.in_use
 let mean_in_use t ~until = Timeseries.Weighted.mean t.occupancy ~until

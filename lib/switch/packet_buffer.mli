@@ -44,6 +44,12 @@ val take : t -> int32 -> take_result
 (** Release by id. The frame is returned for forwarding; the unit
     frees after the reclaim lag. *)
 
+val wipe : t -> int
+(** Cold-restart state loss: expire every held packet (reported to the
+    checker, counted into {!expired}) and reclaim in-flight releases
+    immediately. Returns how many buffered packets were lost. Walks
+    slots in index order so wiped runs stay byte-reproducible. *)
+
 val capacity : t -> int
 
 val in_use : t -> int

@@ -52,6 +52,12 @@ type t = {
   pending : (int32, float) Hashtbl.t;
   probes : (int32, float) Hashtbl.t;
   mutable state : state;
+  (* The current outage began with an observed connection death (crash
+     or TCP reset) rather than inferred echo loss: traffic that was in
+     flight on the old connection proves nothing about the peer's new
+     incarnation, so while this is set only an answered reconnect
+     probe may restore the session. *)
+  mutable conn_dead : bool;
   mutable tick_handle : Engine.handle option;
   mutable probe_handle : Engine.handle option;
   mutable down_since : float;
@@ -85,6 +91,7 @@ let create engine ?check ?(name = "session") ~config ~fresh_xid ~send_echo
     pending = Hashtbl.create 8;
     probes = Hashtbl.create 8;
     state = Handshaking;
+    conn_dead = false;
     tick_handle = None;
     probe_handle = None;
     down_since = 0.0;
@@ -185,9 +192,53 @@ let restore t =
   t.probe_handle <- None;
   Hashtbl.reset t.pending;
   Hashtbl.reset t.probes;
+  t.conn_dead <- false;
   set_state t Up;
   t.on_restore ~downtime;
   if enabled t && t.tick_handle = None then arm_tick t
+
+(* A node crash kills the whole process: every timer dies with it and
+   the pending-echo bookkeeping is forgotten (a late reply to a
+   pre-crash echo is not a false positive — the process really died).
+   Unlike [go_down], no reconnect probes are armed: a dead process
+   cannot probe. [revive] re-enters the normal reconnect machinery. *)
+let force_down t =
+  (match t.tick_handle with Some h -> Engine.cancel h | None -> ());
+  t.tick_handle <- None;
+  (match t.probe_handle with Some h -> Engine.cancel h | None -> ());
+  t.probe_handle <- None;
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.probes;
+  t.conn_dead <- true;
+  match t.state with
+  | Down | Reconnecting -> ()
+  | Handshaking | Up | Probing ->
+      set_state t Down;
+      t.downs <- t.downs + 1;
+      t.down_since <- Engine.now t.engine;
+      t.on_down ()
+
+let revive t =
+  match t.state with
+  | Down | Reconnecting ->
+      if t.probe_handle = None then arm_probe t ~attempt:0
+  | Handshaking | Up | Probing ->
+      if enabled t && t.tick_handle = None then arm_tick t
+
+(* The peer's process died under the connection (its crash is
+   immediately visible as a TCP reset, unlike silent message loss):
+   this side is still alive, so — unlike [force_down] — it goes down
+   the normal way and keeps probing for the peer's return. *)
+let note_disconnect t =
+  match t.state with
+  | Down | Reconnecting -> ()
+  | Handshaking | Up | Probing ->
+      (* The reset closed the connection: keepalives already in flight
+         died with it, so a late reply is not a false positive here —
+         unlike the missed-echo path, where [pending] is kept. *)
+      Hashtbl.reset t.pending;
+      t.conn_dead <- true;
+      go_down t
 
 let note_activity t =
   match t.state with
@@ -196,7 +247,12 @@ let note_activity t =
   | Probing ->
       Hashtbl.reset t.pending;
       set_state t Up
-  | Down | Reconnecting -> restore t
+  | Down | Reconnecting ->
+      (* After a connection death, stray traffic may still be the old
+         connection draining; hold out for an answered probe. A down
+         inferred from echo loss has no such ambiguity: any sign of
+         life restores. *)
+      if not t.conn_dead then restore t
 
 let note_echo_reply t ~xid =
   let now = Engine.now t.engine in

@@ -86,12 +86,39 @@ val start : t -> unit
 val note_activity : t -> unit
 (** Any successfully decoded message from the peer arrived. Promotes
     Handshaking → Up, clears a Probing suspicion, and restores a
-    Down/Reconnecting session (traffic is proof of liveness). *)
+    Down/Reconnecting session (traffic is proof of liveness) — unless
+    the outage began with an observed connection death
+    ({!note_disconnect}/{!force_down}), in which case stray traffic may
+    be the old connection draining and only an answered reconnect
+    probe restores. *)
 
 val note_echo_reply : t -> xid:int32 -> unit
 (** An [ECHO_REPLY] with this xid arrived. Matched against outstanding
     keepalives and reconnect probes; unmatched replies still count as
     activity. *)
+
+val force_down : t -> unit
+(** The owning process crashed: cancel every timer, forget outstanding
+    echoes and probes (a late reply to a pre-crash echo is {e not} a
+    false positive — the process really died) and transition to Down
+    ([on_down] fires) {e without} arming reconnect probes: a dead
+    process cannot probe. Idempotent while already Down/Reconnecting
+    (still silences probes). Pair with {!revive} at restart. *)
+
+val revive : t -> unit
+(** The owning process restarted: if the session is Down/Reconnecting,
+    arm the first reconnect probe (backoff restarts at attempt 0);
+    otherwise just re-arm the keepalive loop. *)
+
+val note_disconnect : t -> unit
+(** The {e peer's} process died under the connection (a visible TCP
+    reset, not silent loss). This side is alive, so it goes Down the
+    normal way — [on_down] fires and reconnect probes are armed — and
+    keeps probing until the peer returns. Keepalives in flight died
+    with the connection: the pending-echo bookkeeping is discarded, a
+    late reply is not a false positive, and until a probe is answered
+    stray traffic does not restore the session. No-op while already
+    Down/Reconnecting. *)
 
 val state : t -> state
 val is_down : t -> bool

@@ -27,6 +27,7 @@ type config = {
   echo_interval : float;
   echo_misses : int;
   fail_mode : Session.fail_mode;
+  overload_watermark : float;
 }
 
 let default_config =
@@ -52,6 +53,9 @@ let default_config =
     echo_interval = 0.0;
     echo_misses = 3;
     fail_mode = Session.Fail_secure;
+    (* 1.0 disables the admission guard: the pool only sheds at true
+       exhaustion, exactly the pre-guard behaviour. *)
+    overload_watermark = 1.0;
   }
 
 type counters = {
@@ -72,6 +76,11 @@ type counters = {
   decode_bad_type : int;
   standalone_frames : int;
   fail_secure_drops : int;
+  crashes : int;
+  crash_lost_frames : int;
+  crash_lost_messages : int;
+  crash_wiped_packets : int;
+  overload_sheds : int;
 }
 
 type t = {
@@ -118,6 +127,14 @@ type t = {
   mutable decode_bad_type : int;
   mutable standalone_frames : int;
   mutable fail_secure_drops : int;
+  (* Crash–restart fault injection: while [dead] the datapath neither
+     forwards nor speaks OpenFlow; everything arriving is lost. *)
+  mutable dead : bool;
+  mutable crashes : int;
+  mutable crash_lost_frames : int;
+  mutable crash_lost_messages : int;
+  mutable crash_wiped_packets : int;
+  mutable overload_sheds : int;
 }
 
 let the_session t =
@@ -193,6 +210,10 @@ and bus_transfer t ~bytes k =
   | None -> k ()
 
 and send_to_controller ?xid ?fresh t msg =
+  if t.dead then ()
+    (* In-flight work completing while the process is down emits
+       nothing; the message evaporates with the process. *)
+  else
   match t.controller_link with
   | Some link ->
       (* Replies echo the request's transaction id, per the OpenFlow
@@ -235,7 +256,11 @@ and send_pkt_in t ~buffer_id ~frame ~in_port ~truncate ~extra_cost =
           send_to_controller t (Of_codec.Packet_in pkt_in)))
 
 let forward_frame t ~port ~queue_id frame =
-  if Hashtbl.mem t.down_ports port then
+  if t.dead then begin
+    t.frames_dropped <- t.frames_dropped + 1;
+    t.crash_lost_frames <- t.crash_lost_frames + 1
+  end
+  else if Hashtbl.mem t.down_ports port then
     t.frames_dropped <- t.frames_dropped + 1
   else
   match Hashtbl.find_opt t.port_schedulers port with
@@ -297,8 +322,27 @@ let miss_no_buffer t ~in_port frame =
   send_pkt_in t ~buffer_id:Of_wire.no_buffer ~frame ~in_port ~truncate:None
     ~extra_cost:0.0
 
+(* Admission control: past the high watermark the switch sheds {e new}
+   work instead of letting it crowd the pool — in-flight chains keep
+   their units and their controller round-trips; fresh arrivals are
+   dropped with a typed reason. Watermark 1.0 (the default) disables
+   the guard entirely. *)
+let overload_guard_active t ~in_use ~capacity =
+  t.config.overload_watermark < 1.0
+  && float_of_int in_use
+     >= t.config.overload_watermark *. float_of_int capacity
+
+let shed_overload t =
+  t.overload_sheds <- t.overload_sheds + 1;
+  t.frames_dropped <- t.frames_dropped + 1
+
 let miss_packet_granularity t ~in_port frame =
   let pool = ensure_pkt_pool t in
+  if
+    overload_guard_active t ~in_use:(Packet_buffer.in_use pool)
+      ~capacity:(Packet_buffer.capacity pool)
+  then shed_overload t
+  else
   match Packet_buffer.alloc pool ~frame with
   | None -> miss_no_buffer t ~in_port frame
   | Some buffer_id ->
@@ -315,6 +359,14 @@ let miss_flow_granularity t ~in_port pkt frame =
       miss_no_buffer t ~in_port frame
   | Some key -> (
       let pool = ensure_flow_pool t in
+      if
+        overload_guard_active t ~in_use:(Flow_buffer.units_in_use pool)
+          ~capacity:(Flow_buffer.capacity pool)
+        (* Appends ride an existing unit: admitting them favours
+           completing in-flight chains over starting new ones. *)
+        && not (Flow_buffer.has_chain pool ~key)
+      then shed_overload t
+      else
       match Flow_buffer.add pool ~key ~frame with
       | Flow_buffer.No_space -> miss_no_buffer t ~in_port frame
       | Flow_buffer.First buffer_id ->
@@ -401,6 +453,13 @@ let handle_miss t ~in_port pkt frame =
 
 let handle_frame t ~in_port frame =
   t.frames_received <- t.frames_received + 1;
+  if t.dead then begin
+    (* A crashed datapath is a black hole: the frame is counted in and
+       immediately lost, with no CPU work burned. *)
+    t.frames_dropped <- t.frames_dropped + 1;
+    t.crash_lost_frames <- t.crash_lost_frames + 1
+  end
+  else
   Cpu.submit t.kernel ~work_s:t.costs.Costs.kernel_rx_cost (fun () ->
       match Packet.decode frame with
       | Error _ ->
@@ -616,7 +675,12 @@ let handle_stats_request t ~xid (req : Of_stats.request) =
             serial_num = "0";
             dp_desc = mechanism_to_string t.mechanism;
           }
-    | Of_stats.Flow_request _ -> Of_stats.Flow_reply (Flow_table.to_stats t.table ~now)
+    | Of_stats.Flow_request _ ->
+        (* A big table cannot be reported in one frame (16-bit wire
+           length, no multipart continuation in this codec): answer
+           with the prefix that fits rather than framing garbage. *)
+        Of_stats.Flow_reply
+          (Of_stats.truncate_flow_entries (Flow_table.to_stats t.table ~now))
     | Of_stats.Aggregate_request _ ->
         let entries = Flow_table.entries t.table in
         let packets, bytes =
@@ -662,6 +726,10 @@ let handle_stats_request t ~xid (req : Of_stats.request) =
   send_to_controller ~xid t (Of_codec.Stats_reply reply)
 
 let handle_of_message t buf =
+  if t.dead then
+    (* The OpenFlow agent is down with the rest of the process. *)
+    t.crash_lost_messages <- t.crash_lost_messages + 1
+  else
   match Of_codec.decode buf with
   | Error _ ->
       t.decode_failures <- t.decode_failures + 1;
@@ -737,6 +805,75 @@ let on_session_restore t =
   | Some pool when Flow_buffer.is_frozen pool -> Flow_buffer.resume pool
   | Some _ | None -> ()
 
+(* ---- Crash–restart fault injection ---- *)
+
+let crash t ~mode =
+  if not t.dead then begin
+    t.dead <- true;
+    t.crashes <- t.crashes + 1;
+    (* The process dies with all its timers; Session.force_down fires
+       on_down from live states, which freezes a flow-granularity pool
+       and resets the standalone table. *)
+    Session.force_down (the_session t);
+    Hashtbl.reset t.standalone_table;
+    match mode with
+    | Faults.Warm -> (
+        (* Soft state survives the reboot: buffered chains freeze (if
+           the session was already down they may not be yet) and replay
+           through the normal resume path on reconnection. *)
+        match t.flow_pool with
+        | Some pool when not (Flow_buffer.is_frozen pool) ->
+            Flow_buffer.freeze pool
+        | Some _ | None -> ())
+    | Faults.Cold ->
+        (* Full state loss. The pools report every held chain as
+           expired to the conservation ledger, then the wipe invariant
+           confirms nothing survived. Flow table, learned MACs and the
+           vendor-negotiated configuration all reset to power-on
+           defaults; the controller's resync handshake re-pushes them. *)
+        let wiped = ref 0 in
+        (match t.pkt_pool with
+        | Some pool -> wiped := !wiped + Packet_buffer.wipe pool
+        | None -> ());
+        (match t.flow_pool with
+        | Some pool ->
+            let _chains, packets = Flow_buffer.wipe pool in
+            wiped := !wiped + packets
+        | None -> ());
+        t.crash_wiped_packets <- t.crash_wiped_packets + !wiped;
+        ignore (Flow_table.clear t.table);
+        t.mechanism <-
+          (if t.config.buffer_capacity = 0 then No_buffer
+           else t.config.mechanism);
+        t.miss_send_len <- t.config.miss_send_len;
+        (match t.check with
+        | Some check ->
+            let now = Engine.now t.engine in
+            (match t.pkt_pool with
+            | Some _ ->
+                Sdn_check.Check.note_crash_wipe check ~time:now
+                  ~pool:(pkt_pool_name t)
+            | None -> ());
+            (match t.flow_pool with
+            | Some _ ->
+                Sdn_check.Check.note_crash_wipe check ~time:now
+                  ~pool:(flow_pool_name t)
+            | None -> ())
+        | None -> ())
+  end
+
+let restart t =
+  if t.dead then begin
+    t.dead <- false;
+    (* Rejoin the controller through the ordinary reconnect machinery:
+       the first answered probe restores the session, resumes any
+       frozen chains and triggers the controller's resync (and, after
+       a crash, its reconciliation pass). *)
+    Session.revive (the_session t)
+  end
+
+let is_dead t = t.dead
+
 let create engine ?check ~config ~costs ~rng () =
   let noise = Costs.noise costs rng in
   let amortize ~queue_len = Costs.amortization costs ~queue_len in
@@ -799,6 +936,12 @@ let create engine ?check ~config ~costs ~rng () =
       decode_bad_type = 0;
       standalone_frames = 0;
       fail_secure_drops = 0;
+      dead = false;
+      crashes = 0;
+      crash_lost_frames = 0;
+      crash_lost_messages = 0;
+      crash_wiped_packets = 0;
+      overload_sheds = 0;
       session = None;
       standalone_table = Hashtbl.create 16;
     }
@@ -924,6 +1067,11 @@ let counters t =
     decode_bad_type = t.decode_bad_type;
     standalone_frames = t.standalone_frames;
     fail_secure_drops = t.fail_secure_drops;
+    crashes = t.crashes;
+    crash_lost_frames = t.crash_lost_frames;
+    crash_lost_messages = t.crash_lost_messages;
+    crash_wiped_packets = t.crash_wiped_packets;
+    overload_sheds = t.overload_sheds;
   }
 
 let session t = the_session t

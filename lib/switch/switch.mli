@@ -57,6 +57,12 @@ type config = {
           Down and the switch degrades *)
   fail_mode : Session.fail_mode;
       (** what to do with miss-match traffic while Down *)
+  overload_watermark : float;
+      (** admission-control high watermark as a fraction of buffer
+          capacity: once occupancy reaches it, {e new} miss chains are
+          shed with a typed drop reason instead of crowding in-flight
+          ones (appends to live chains are still admitted). [1.0] (the
+          default) disables the guard *)
 }
 
 val default_config : config
@@ -87,6 +93,16 @@ type counters = {
   fail_secure_drops : int;
       (** miss-match frames dropped (or frozen chains refused for lack
           of space) while Down in fail-secure mode *)
+  crashes : int;  (** injected node crashes *)
+  crash_lost_frames : int;
+      (** data-plane frames black-holed while the process was dead *)
+  crash_lost_messages : int;
+      (** OpenFlow messages lost while the process was dead *)
+  crash_wiped_packets : int;
+      (** buffered packets destroyed by cold-restart pool wipes *)
+  overload_sheds : int;
+      (** new miss chains refused by the admission guard at the
+          {!config.overload_watermark} *)
 }
 
 type t
@@ -155,6 +171,26 @@ val session : t -> Session.t
     misses are handled by the configured {!Session.fail_mode} instead
     of PACKET_INs, and flow-granularity chains are frozen; on restore
     the chains that still fit their resend budget are re-requested. *)
+
+(** {2 Crash–restart fault injection} *)
+
+val crash : t -> mode:Faults.restart_mode -> unit
+(** Kill the switch process. The control session dies with its timers
+    ({!Session.force_down}); data frames and OpenFlow messages arriving
+    while dead are counted lost. [`Warm`] keeps the buffer pools (flow
+    chains freeze and replay on rejoin); [`Cold`] wipes both pools
+    (expiring every held chain into the conservation ledger and
+    asserting the cold-restart-wipe invariant), clears the flow table
+    and resets the soft configuration to power-on defaults. No-op
+    while already dead. *)
+
+val restart : t -> unit
+(** Reboot after {!crash}: re-enter the reconnect machinery; the first
+    answered probe restores the session, resumes frozen chains and
+    triggers the controller's resync/reconciliation. No-op unless
+    dead. *)
+
+val is_dead : t -> bool
 
 (** {2 Introspection for measurement} *)
 

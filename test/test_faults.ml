@@ -119,6 +119,7 @@ let test_same_seed_same_schedule () =
           };
       jitter_s = 0.003;
       outages = [ { Faults.start_s = 0.02; stop_s = 0.03 } ];
+      crashes = [];
     }
   in
   let schedule seed =
@@ -172,6 +173,64 @@ let test_spec_grammar () =
   match Faults.spec_of_string "bogus=1" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown field must be rejected"
+
+(* The crash grammar: NODE:AT:DOWN:MODE, '+'-separated; crashes are
+   schedule-only, so a crash-only spec still judges like [none]. *)
+let test_crash_grammar () =
+  (match
+     Faults.spec_of_string "crash=sw:0.15:0.05:cold+ctl:0.3:0.1:warm"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      Alcotest.(check int) "two crashes" 2 (List.length spec.Faults.crashes);
+      (match spec.Faults.crashes with
+      | [ a; b ] ->
+          Alcotest.(check bool) "switch first" true
+            (a.Faults.node = Faults.Switch_node);
+          Alcotest.(check (float 1e-9)) "at" 0.15 a.Faults.at_s;
+          Alcotest.(check (float 1e-9)) "down" 0.05 a.Faults.down_s;
+          Alcotest.(check bool) "cold" true (a.Faults.mode = Faults.Cold);
+          Alcotest.(check bool) "controller second" true
+            (b.Faults.node = Faults.Controller_node);
+          Alcotest.(check bool) "warm" true (b.Faults.mode = Faults.Warm)
+      | _ -> Alcotest.fail "expected two crashes");
+      (* Roundtrip through the canonical form. *)
+      (match Faults.spec_of_string (Faults.spec_to_string spec) with
+      | Ok spec' -> Alcotest.(check bool) "roundtrip" true (spec = spec')
+      | Error e -> Alcotest.fail e);
+      (* Per-node extraction, sorted by crash time. *)
+      (match
+         Faults.crashes_for
+           { spec with Faults.crashes = List.rev spec.Faults.crashes }
+           Faults.Switch_node
+       with
+      | [ c ] ->
+          Alcotest.(check bool) "switch crash extracted" true
+            (c.Faults.node = Faults.Switch_node)
+      | _ -> Alcotest.fail "expected exactly the switch crash"));
+  (match Faults.spec_of_string "crash=switch:0.1:0.05:cold" with
+  | Ok spec ->
+      (* A crash-only plan draws nothing: every message is delivered
+         exactly as under [none]. *)
+      let plan =
+        Faults.create ~spec ~rng:(Sdn_sim.Rng.create 42L) ()
+      in
+      for _ = 1 to 100 do
+        match Faults.judge plan ~now:0.12 with
+        | Faults.Deliver { jitter_s } ->
+            Alcotest.(check (float 0.0)) "no jitter" 0.0 jitter_s
+        | Faults.Drop _ -> Alcotest.fail "crash-only spec must not drop"
+      done
+  | Error e -> Alcotest.fail e);
+  (match Faults.spec_of_string "crash=disk:0.1:0.05:cold" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown node must be rejected");
+  (match Faults.spec_of_string "crash=switch:0.1:0.05:tepid" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown mode must be rejected");
+  match Faults.spec_of_string "crash=switch:-0.1:0.05:cold" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative crash time must be rejected"
 
 (* Re-request backoff: with jitter off, resend number n fires after
    min(cap, timeout * multiplier^n). timeout=10ms, x2, cap=40ms,
@@ -274,6 +333,8 @@ let suite =
       test_same_seed_same_schedule;
     Alcotest.test_case "none spec is transparent" `Quick test_none_is_transparent;
     Alcotest.test_case "--faults grammar" `Quick test_spec_grammar;
+    Alcotest.test_case "crash grammar and schedule-only contract" `Quick
+      test_crash_grammar;
     Alcotest.test_case "backoff follows multiplier and cap" `Quick
       test_backoff_schedule;
     Alcotest.test_case "jittered backoff envelope" `Quick

@@ -35,6 +35,7 @@ let () =
       ("lifecycle", Test_lifecycle.suite);
       ("check", Test_check.suite);
       ("parallel", Test_parallel.suite);
+      ("crash", Test_crash.suite);
       ("lint", Test_lint.suite);
       ("model", Test_model.suite);
       ("validate", Test_validate.suite);

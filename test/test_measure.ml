@@ -59,9 +59,11 @@ let test_capture_counts_by_type_and_direction () =
 
 let test_capture_load () =
   let cap = Capture.create ~encap_overhead:0 () in
-  (* 125000 bytes in 1 s = 1 Mbps. *)
-  let chunk = Of_codec.encode ~xid:1l (Of_codec.Echo_request (Bytes.make 124992 'x')) in
+  (* 2 x 62500 bytes in 1 s = 1 Mbps, each frame inside the 16-bit
+     wire length limit. *)
+  let chunk = Of_codec.encode ~xid:1l (Of_codec.Echo_request (Bytes.make 62492 'x')) in
   Capture.observe cap Capture.To_controller ~time:0.0 chunk;
+  Capture.observe cap Capture.To_controller ~time:0.5 chunk;
   Alcotest.(check (float 1e-9)) "1 Mbps" 1.0
     (Capture.load_mbps cap Capture.To_controller ~window:1.0)
 
@@ -198,6 +200,41 @@ let test_histogram_bucket_edges () =
         && trimmed.[String.length trimmed - 1] = '2')
   | _ -> Alcotest.fail ("expected one [3, 4] row in:\n" ^ rendered)
 
+(* Regression: the timeline must render injected crash/restart/
+   reconciliation events distinctly from session-state transitions —
+   marked, merged chronologically, with a legend — while keeping the
+   event-free rendering byte-identical to the historical form. *)
+let test_timeline_events () =
+  let transitions = [ (0.0, "up"); (0.15, "down"); (0.2, "up") ] in
+  Alcotest.(check string)
+    "no events: historical rendering"
+    "up@t0.000s -> down@t0.150s -> up@t0.200s"
+    (Report.timeline transitions);
+  Alcotest.(check string)
+    "explicit empty events change nothing"
+    (Report.timeline transitions)
+    (Report.timeline ~events:[] transitions);
+  let events =
+    [
+      (0.15, "switch crash (cold)");
+      (0.2, "switch restart");
+      (0.21, "reconciliation done (sw-0)");
+    ]
+  in
+  Alcotest.(check string)
+    "events marked, merged after the state they caused, legend appended"
+    ("up@t0.000s -> down@t0.150s -> ![switch crash (cold)]@t0.150s -> "
+   ^ "up@t0.200s -> ^[switch restart]@t0.200s -> "
+   ^ "~[reconciliation done (sw-0)]@t0.210s"
+   ^ " [legend: ![crash] ^[restart] ~[reconciliation]]")
+    (Report.timeline ~events transitions);
+  Alcotest.(check string)
+    "events alone still render"
+    ("![controller crash (warm)]@t0.100s"
+   ^ " [legend: ![crash] ^[restart] ~[reconciliation]]")
+    (Report.timeline ~events:[ (0.1, "controller crash (warm)") ] []);
+  Alcotest.(check string) "both empty" "(none)" (Report.timeline [])
+
 let suite =
   [
     Alcotest.test_case "capture counts by type and direction" `Quick
@@ -220,4 +257,6 @@ let suite =
       test_histogram_bucket_edges;
     Alcotest.test_case "histogram empty and degenerate series" `Quick
       test_histogram_empty_and_degenerate;
+    Alcotest.test_case "timeline renders crash events distinctly" `Quick
+      test_timeline_events;
   ]

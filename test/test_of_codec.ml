@@ -132,6 +132,49 @@ let test_stats_flow () =
   in
   roundtrip (Of_codec.Stats_reply (Of_stats.Flow_reply [ entry; entry ]))
 
+(* The wire length field is 16 bits: an oversized Flow_reply must be
+   rejected loudly by the framer (no silent wraparound), and
+   [truncate_flow_entries] must hand back exactly the prefix that
+   still frames. *)
+let test_stats_flow_oversized () =
+  let entry =
+    {
+      Of_stats.table_id = 0;
+      match_ = sample_match;
+      duration_sec = 1l;
+      duration_nsec = 0l;
+      priority = 1;
+      idle_timeout = 0;
+      hard_timeout = 0;
+      cookie = 0L;
+      packet_count = 0L;
+      byte_count = 0L;
+      actions = [ Of_action.output 2 ];
+    }
+  in
+  let big = List.init 1000 (fun _ -> entry) in
+  Alcotest.check_raises "oversized reply rejected"
+    (Invalid_argument
+       "Of_wire.write_header: length exceeds the 16-bit wire field")
+    (fun () ->
+      ignore (Of_codec.encode ~xid:1l (Of_codec.Stats_reply (Of_stats.Flow_reply big))));
+  let kept = Of_stats.truncate_flow_entries big in
+  Alcotest.(check bool) "truncated" true (List.length kept < 1000);
+  Alcotest.(check bool) "non-empty" true (kept <> []);
+  roundtrip (Of_codec.Stats_reply (Of_stats.Flow_reply kept));
+  (* One more entry would overflow again. *)
+  Alcotest.check_raises "prefix is maximal"
+    (Invalid_argument
+       "Of_wire.write_header: length exceeds the 16-bit wire field")
+    (fun () ->
+      ignore
+        (Of_codec.encode ~xid:1l
+           (Of_codec.Stats_reply (Of_stats.Flow_reply (entry :: kept)))));
+  (* A list that already fits is returned as-is. *)
+  let small = List.init 5 (fun _ -> entry) in
+  Alcotest.(check bool) "identity when it fits" true
+    (Of_stats.truncate_flow_entries small == small)
+
 let test_stats_aggregate () =
   roundtrip
     (Of_codec.Stats_request
@@ -295,6 +338,8 @@ let suite =
     Alcotest.test_case "barrier" `Quick test_barrier;
     Alcotest.test_case "stats desc" `Quick test_stats_desc;
     Alcotest.test_case "stats flow" `Quick test_stats_flow;
+    Alcotest.test_case "stats flow oversized reply" `Quick
+      test_stats_flow_oversized;
     Alcotest.test_case "stats aggregate" `Quick test_stats_aggregate;
     Alcotest.test_case "stats port" `Quick test_stats_port;
     Alcotest.test_case "vendor (flow-buffer extension)" `Quick

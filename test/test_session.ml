@@ -217,10 +217,45 @@ let test_jitter_no_false_alarms () =
   Alcotest.(check int) "every flow completed" r.Experiment.flows_started
     r.Experiment.flows_completed
 
+(* A crash-notified disconnect tears the connection down: replies to
+   keepalives that were in flight when it died must not restore the
+   session (the peer process is gone), and neither may stray activity
+   — only a reply to a reconnect probe, sent after the disconnect,
+   proves the peer's new incarnation is up. *)
+let test_disconnect_ignores_stale_replies () =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let t = make engine ~send_echo:(fun _ ~xid -> sent := xid :: !sent) in
+  Session.start t;
+  Session.note_activity t;
+  (* Let one keepalive go out, then kill the peer under it. *)
+  Engine.run ~until:0.011 engine;
+  let stale_xid = List.hd !sent in
+  Session.note_disconnect t;
+  Alcotest.(check bool) "down" true (Session.state t = Session.Down);
+  Session.note_echo_reply t ~xid:stale_xid;
+  Alcotest.(check bool) "stale reply does not restore" true
+    (Session.state t = Session.Down);
+  Alcotest.(check int) "and is not a false positive" 0
+    (Session.false_positives t);
+  Session.note_activity t;
+  Alcotest.(check bool) "stray activity does not restore" true
+    (Session.state t = Session.Down);
+  (* Run until a reconnect probe goes out; answering it restores. *)
+  let before = List.length !sent in
+  Engine.run ~until:0.2 engine;
+  let probe_xid = List.hd !sent in
+  Alcotest.(check bool) "a probe was sent" true (List.length !sent > before);
+  Session.note_echo_reply t ~xid:probe_xid;
+  Alcotest.(check bool) "probe reply restores" true
+    (Session.state t = Session.Up)
+
 let suite =
   [
     Alcotest.test_case "disabled session is passive" `Quick
       test_disabled_is_passive;
+    Alcotest.test_case "crash disconnect ignores stale replies" `Quick
+      test_disconnect_ignores_stale_replies;
     Alcotest.test_case "keepalive loop stays up" `Quick
       test_keepalive_loop_stays_up;
     Alcotest.test_case "down after the miss budget" `Quick
