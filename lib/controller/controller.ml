@@ -490,8 +490,8 @@ let reconcile_step t ~switch s stats =
              ~actions:st.Of_stats.actions ()))
     stats;
   let missing =
-    (* Sorted by key so re-installs go out in a deterministic order.
-       lint: allow hashtbl-order *)
+    (* Sorted by key so re-installs go out in a deterministic order
+       (the sort discharges the hashtbl-order rule). *)
     Hashtbl.fold
       (fun key fm acc ->
         if Hashtbl.mem reported key then acc else (key, fm) :: acc)
@@ -669,7 +669,7 @@ let switch_downs t =
 
 let sorted_sessions t =
   (* Sorted by switch id so crash/restart side effects fire in a
-     deterministic order. lint: allow hashtbl-order *)
+     deterministic order (the sort discharges the hashtbl-order rule). *)
   Hashtbl.fold (fun id s acc -> (id, s) :: acc) t.sessions []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 

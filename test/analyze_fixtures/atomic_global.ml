@@ -1,0 +1,10 @@
+(* Clean fixture: the shared counter is Atomic-mediated, which is the
+   sanctioned pattern for state that must cross domains. *)
+
+let hits = Atomic.make 0
+
+let work () =
+  Atomic.incr hits;
+  Atomic.get hits
+
+let launch () = Task_pool.run work

@@ -1,0 +1,15 @@
+(* Dirty model fixture (held to the purity contract via --model-unit):
+   every arm of the oracle contract violated once or twice —
+   model-mutation (top-level table + the write to it), model-io,
+   model-nondet, model-exception (failwith and an undeclared raise). *)
+
+let memo : (int, float) Hashtbl.t = Hashtbl.create 8
+
+let lookup x v =
+  Hashtbl.replace memo x v;
+  v
+
+let debug msg = print_endline msg
+let jitter () = Random.float 1.0
+let bad_error () = failwith "boom"
+let bad_raise () = raise Not_found

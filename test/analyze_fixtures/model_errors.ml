@@ -1,0 +1,16 @@
+(* Clean model fixture: the only exceptional exits are the declared
+   domain errors — an exception declared inside the model unit itself,
+   and invalid_arg. Local mutation (the scratch ref) is fine too: it
+   cannot escape the call. *)
+
+exception Model_error of string
+
+let check rate =
+  if rate < 0.0 then raise (Model_error "negative rate") else rate
+
+let guard rate = if rate >= 1.0 then invalid_arg "utilisation" else rate
+
+let sum_scratch xs =
+  let acc = ref 0.0 in
+  List.iter (fun x -> acc := !acc +. x) xs;
+  !acc

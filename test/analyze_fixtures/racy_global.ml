@@ -1,0 +1,12 @@
+(* Dirty fixture: a top-level ref mutated by a function handed to the
+   task pool — the exact race the PR 5 sequential-equivalence gate can
+   only catch dynamically. Must trip par-global exactly once (the
+   finding is per sharing pair, not per touch). *)
+
+let hits = ref 0
+
+let work () =
+  incr hits;
+  !hits
+
+let launch () = Task_pool.run work

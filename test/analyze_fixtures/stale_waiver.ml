@@ -1,0 +1,5 @@
+(* Dirty fixture: a waiver whose hazard is gone. Must trip stale-allow
+   exactly once. *)
+
+(* analyze: allow par-global *)
+let pure x = x * 2

@@ -1,0 +1,9 @@
+(* Clean fixture: mutable state allocated inside the task body never
+   escapes the call, so it cannot be shared between domains. *)
+
+let work () =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "task-local";
+  Buffer.length buf
+
+let launch () = Task_pool.run work

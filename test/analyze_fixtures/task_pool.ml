@@ -1,0 +1,7 @@
+(* Fixture stub standing in for lib/sim's Task_pool: the analyzer
+   keys its reachability roots on the normalised names
+   [Task_pool.run] / [Task_pool.map_list], not on the real library,
+   so this one-file stand-in makes the corpus self-contained. *)
+
+let run f = f ()
+let map_list f xs = List.map f xs

@@ -1,0 +1,9 @@
+(* Clean fixture: the shared counter is deliberate and carries a
+   per-site waiver with its reason, the same idiom the lint uses. *)
+
+let total = ref 0
+
+(* analyze: allow par-global -- fixture: deliberately shared counter *)
+let work () = incr total
+
+let launch () = Task_pool.run work

@@ -1,0 +1,5 @@
+(* Fixture: clean — one waiver comment names both rules that fire on
+   the next line (comma/space separated ids, reason text after). *)
+
+(* lint: allow wall-clock, entropy — fixture exercises multi-id waivers *)
+let seed () = int_of_float (Unix.gettimeofday ()) + Random.bits ()

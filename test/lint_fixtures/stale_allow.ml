@@ -1,0 +1,5 @@
+(* Dirty fixture: a waiver for a rule that no longer fires anywhere
+   near it. Must trip stale-allow exactly once. *)
+
+(* lint: allow entropy *)
+let pure x = x + 1

@@ -1,0 +1,170 @@
+(* The @analyze typedtree gate, exercised against a fixture corpus.
+   The fixtures are compiled on the fly with `ocamlc -bin-annot` into
+   a temp directory (the analyzer consumes cmt artifacts, not
+   sources), then analyzed as one program: the racy global trips
+   par-global, the Atomic-mediated and task-local variants stay clean,
+   the impure model unit trips every purity arm, declared domain
+   errors pass, and the waiver/stale-waiver paths behave like the
+   lint's. *)
+
+let fixture_dir = "analyze_fixtures"
+
+(* Compilation order matters only in that the Task_pool stub must
+   come first: the task fixtures reference it. *)
+let fixtures =
+  [
+    "task_pool.ml"; "racy_global.ml"; "atomic_global.ml"; "task_local.ml";
+    "impure_model.ml"; "model_errors.ml"; "waived_global.ml";
+    "stale_waiver.ml";
+  ]
+
+let model_units = [ "Impure_model"; "Model_errors" ]
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin dst in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* Compile once, analyze once, share the result across test cases. *)
+let analysis =
+  lazy
+    (let dir = Filename.temp_dir "sdn_analyze_fixtures" "" in
+     List.iter
+       (fun f -> copy_file (Filename.concat fixture_dir f) (Filename.concat dir f))
+       fixtures;
+     let cmd =
+       Printf.sprintf "cd %s && ocamlc -bin-annot -w -a -c %s 1>&2"
+         (Filename.quote dir)
+         (String.concat " " fixtures)
+     in
+     let rc = Sys.command cmd in
+     if rc <> 0 then
+       Alcotest.failf "fixture compilation failed (exit %d): %s" rc cmd;
+     let cmts =
+       List.map
+         (fun f -> Filename.concat dir (Filename.chop_suffix f ".ml" ^ ".cmt"))
+         fixtures
+       |> List.sort String.compare
+     in
+     Analyze_core.analyze_files ~model_units cmts)
+
+let findings () =
+  let fs, _, _ = Lazy.force analysis in
+  fs
+
+let of_file file =
+  List.filter (fun f -> f.Report_common.file = file) (findings ())
+
+let with_rule rule fs =
+  List.filter (fun f -> f.Report_common.rule = rule) fs
+
+let check_count label n fs = Alcotest.(check int) label n (List.length fs)
+
+let test_loads () =
+  let _, errors, stats = Lazy.force analysis in
+  Alcotest.(check (list string)) "no load errors" [] errors;
+  Alcotest.(check int) "all units loaded" (List.length fixtures)
+    stats.Analyze_core.units;
+  Alcotest.(check bool) "defs collected" true (stats.Analyze_core.defs > 10)
+
+let test_roots () =
+  let _, _, stats = Lazy.force analysis in
+  (* racy_global, atomic_global, task_local, waived_global each
+     contain one Task_pool.run call site. *)
+  Alcotest.(check int) "task roots" 4 stats.Analyze_core.task_roots;
+  Alcotest.(check bool) "closure covers the workers" true
+    (stats.Analyze_core.task_reachable >= 8)
+
+let test_racy_global () =
+  match with_rule "par-global" (of_file "racy_global.ml") with
+  | [ f ] ->
+      Alcotest.(check bool) "positive line" true (f.Report_common.line > 0);
+      Alcotest.(check bool) "names the shared binding" true
+        (let msg = f.Report_common.message in
+         let n = String.length msg in
+         let needle = "Racy_global.hits" in
+         let nn = String.length needle in
+         let rec go i = i + nn <= n && (String.sub msg i nn = needle || go (i + 1)) in
+         go 0)
+  | fs ->
+      Alcotest.failf "expected exactly one par-global in racy_global.ml, got %d"
+        (List.length fs)
+
+let test_atomic_clean () = check_count "atomic_global clean" 0 (of_file "atomic_global.ml")
+let test_task_local_clean () = check_count "task_local clean" 0 (of_file "task_local.ml")
+
+let test_impure_model () =
+  let fs = of_file "impure_model.ml" in
+  check_count "model-mutation (alloc + write)" 2 (with_rule "model-mutation" fs);
+  check_count "model-io" 1 (with_rule "model-io" fs);
+  check_count "model-nondet" 1 (with_rule "model-nondet" fs);
+  check_count "model-exception (failwith + raise)" 2
+    (with_rule "model-exception" fs);
+  check_count "nothing else" 6 fs
+
+let test_model_errors_clean () =
+  check_count "declared domain errors pass" 0 (of_file "model_errors.ml")
+
+let test_waiver () = check_count "waived par-global suppressed" 0 (of_file "waived_global.ml")
+
+let test_stale_waiver () =
+  match of_file "stale_waiver.ml" with
+  | [ f ] -> Alcotest.(check string) "rule" "stale-allow" f.Report_common.rule
+  | fs ->
+      Alcotest.failf "expected exactly one stale-allow in stale_waiver.ml, got %d"
+        (List.length fs)
+
+let test_rule_catalog () =
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule ^ " catalogued")
+        true
+        (List.mem_assoc rule Analyze_core.rules))
+    [
+      "par-global"; "model-mutation"; "model-io"; "model-nondet";
+      "model-exception"; "stale-allow";
+    ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_sarif () =
+  let sarif =
+    Report_common.to_sarif ~tool:"sdn_analyze" ~rules:Analyze_core.rules
+      (findings ())
+  in
+  Alcotest.(check bool) "names the tool" true (contains sarif "sdn_analyze");
+  Alcotest.(check bool) "carries the racy finding" true
+    (contains sarif "par-global");
+  Alcotest.(check bool) "declares the schema" true (contains sarif "2.1.0")
+
+let suite =
+  [
+    Alcotest.test_case "fixture corpus compiles and loads" `Quick test_loads;
+    Alcotest.test_case "task roots and closure" `Quick test_roots;
+    Alcotest.test_case "racy global trips par-global once" `Quick
+      test_racy_global;
+    Alcotest.test_case "atomic-mediated global is clean" `Quick
+      test_atomic_clean;
+    Alcotest.test_case "task-local allocation is clean" `Quick
+      test_task_local_clean;
+    Alcotest.test_case "impure model trips every purity arm" `Quick
+      test_impure_model;
+    Alcotest.test_case "declared domain errors pass" `Quick
+      test_model_errors_clean;
+    Alcotest.test_case "analyze: allow suppresses per site" `Quick test_waiver;
+    Alcotest.test_case "stale analyze waiver is reported" `Quick
+      test_stale_waiver;
+    Alcotest.test_case "rule catalog is complete" `Quick test_rule_catalog;
+    Alcotest.test_case "sarif output is well-formed" `Quick test_sarif;
+  ]

@@ -37,7 +37,26 @@ let test_rule_catalog () =
     [
       "wall-clock"; "entropy"; "hashtbl-order"; "exception-swallow";
       "partial-exit"; "poly-compare"; "global-mutable"; "domain-self";
+      "stale-allow";
     ]
+
+(* The whole-token waiver grammar: a token that is merely a prefix of
+   a rule name suppresses nothing — the finding stays and the bogus
+   waiver is itself reported. *)
+let test_prefix_token_does_not_suppress () =
+  let fs = lint "allow_prefix.ml" in
+  let rules = List.map (fun f -> f.Lint_core.rule) fs in
+  Alcotest.(check bool) "wall-clock still fires" true
+    (List.mem "wall-clock" rules);
+  Alcotest.(check bool) "bogus waiver reported stale" true
+    (List.mem "stale-allow" rules);
+  Alcotest.(check int) "nothing else" 2 (List.length fs)
+
+let test_stale_allow_fires_once () =
+  match lint "stale_allow.ml" with
+  | [ f ] -> Alcotest.(check string) "rule" "stale-allow" f.Lint_core.rule
+  | fs ->
+      Alcotest.failf "expected exactly one stale-allow, got %d" (List.length fs)
 
 let test_missing_file () =
   match Lint_core.lint_file (fixture "no_such_file.ml") with
@@ -84,6 +103,12 @@ let suite =
       (clean "sorted_fold.ml");
     Alcotest.test_case "lint: allow suppresses per site" `Quick
       (clean "suppressed.ml");
+    Alcotest.test_case "one waiver names two rules" `Quick
+      (clean "allow_two.ml");
+    Alcotest.test_case "prefix token does not suppress" `Quick
+      test_prefix_token_does_not_suppress;
+    Alcotest.test_case "stale waiver fires once" `Quick
+      test_stale_allow_fires_once;
     Alcotest.test_case "rule catalog is complete" `Quick test_rule_catalog;
     Alcotest.test_case "missing file reports an error" `Quick test_missing_file;
     Alcotest.test_case "lint_files aggregates findings" `Quick

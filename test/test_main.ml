@@ -37,6 +37,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("crash", Test_crash.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
       ("model", Test_model.suite);
       ("validate", Test_validate.suite);
     ]

@@ -1,0 +1,688 @@
+(* Typedtree analyzer: cross-module call graph, Task_pool reachability
+   closure, domain-safety race rule, lib/model purity contract. See
+   analyze_core.mli for the rule catalog and the approximations. Only
+   version-stable Typedtree constructors are matched (Texp_ident,
+   Texp_apply, Texp_setfield, Texp_construct, Tstr_value, Tstr_module,
+   Tmod_structure, ...); pattern binders come from
+   Typedtree.pat_bound_idents so the 5.1/5.2 Tpat_var arity difference
+   never reaches this code. *)
+
+type finding = Report_common.finding
+
+let rules =
+  [
+    ( "par-global",
+      "top-level mutable state reachable from a Task_pool task without \
+       Atomic mediation" );
+    ( "model-mutation",
+      "oracle purity: lib/model mutates state that is not function-local" );
+    ("model-io", "oracle purity: lib/model performs I/O");
+    ( "model-nondet",
+      "oracle purity: lib/model reads wall-clock, entropy or domain \
+       identity" );
+    ( "model-exception",
+      "oracle purity: lib/model raises outside its declared domain errors" );
+    Report_common.stale_rule;
+  ]
+
+type stats = {
+  units : int;
+  defs : int;
+  task_roots : int;
+  task_reachable : int;
+}
+
+(* ---- Name normalisation ---- *)
+
+module SSet = Set.Make (String)
+
+(* "Sdn_sim__Task_pool" -> "Task_pool", "Dune__exe__Main" -> "Main". *)
+let after_last_mangle s =
+  let n = String.length s in
+  let best = ref None in
+  for i = 0 to n - 3 do
+    if s.[i] = '_' && s.[i + 1] = '_' && s.[i + 2] <> '_' then best := Some (i + 2)
+  done;
+  match !best with Some j -> String.sub s j (n - j) | None -> s
+
+(* The library-wrapper module a mangled unit name implies:
+   "Sdn_sim__Engine" contributes "Sdn_sim". *)
+let wrapper_of_modname modname =
+  let n = String.length modname in
+  let rec first i =
+    if i + 1 >= n then None
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then Some i
+    else first (i + 1)
+  in
+  match first 0 with Some i -> Some (String.sub modname 0 i) | None -> None
+
+(* Normalised dotted key for a resolved global path: mangling undone
+   per component, a leading [Stdlib] always dropped, a leading library
+   wrapper dropped when at least Unit.value remains. *)
+let normalize ~wrappers comps =
+  let comps = List.map after_last_mangle comps in
+  match comps with
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | w :: (_ :: _ :: _ as rest) when SSet.mem w wrappers -> rest
+  | comps -> comps
+
+let key_of comps = String.concat "." comps
+
+(* ---- What the walk collects ---- *)
+
+type target = Global of string list | Local of Ident.t
+
+type def = {
+  uid : int;
+  unit_id : int;
+  unit_short : string;
+  d_key : string;
+  d_file : string;
+  d_line : int;
+  idents : Ident.t list;
+  alloc : string option;  (* normalised mutable-ctor key when the RHS is one *)
+  atomic : bool;
+  mutable refs : (target * int) list;
+  mutable writes : (target * string * int) list;  (* target, operation, line *)
+  mutable raises : (string * int) list;  (* constructor name, line *)
+}
+
+type unit_info = {
+  u_id : int;
+  modname : string;
+  short : string;
+  u_file : string;  (* sourcefile as recorded in the cmt *)
+  source_path : string option;  (* resolved on disk, for waiver comments *)
+  is_model : bool;
+  mutable u_defs : def list;
+  mutable u_exns : string list;  (* declared exception constructors *)
+}
+
+(* ---- Catalogues of stdlib names (normalised keys) ---- *)
+
+let mutable_ctors =
+  SSet.of_list
+    [
+      "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create";
+      "Buffer.create"; "Bytes.create"; "Bytes.make"; "Bytes.of_string";
+      "Array.make"; "Array.init"; "Array.create_float"; "Array.of_list";
+      "Array.copy"; "Array.append"; "Array.sub"; "Array.concat";
+      "Array.make_matrix";
+    ]
+
+let atomic_ctor = "Atomic.make"
+
+(* Mutators whose first argument is the mutated value. The Atomic
+   subset IS the sanctioned mediation for shared globals, so it is
+   exempt from par-global — but still mutation under the model purity
+   contract. *)
+let atomic_mutators =
+  SSet.of_list
+    [
+      "Atomic.set"; "Atomic.exchange"; "Atomic.compare_and_set";
+      "Atomic.fetch_and_add"; "Atomic.incr"; "Atomic.decr";
+    ]
+
+let plain_mutators =
+  SSet.of_list
+    [
+      ":="; "incr"; "decr";
+      "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit";
+      "Array.sort"; "Array.fast_sort"; "Array.stable_sort";
+      "Bytes.set"; "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit";
+      "Bytes.blit_string";
+      "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+      "Hashtbl.clear"; "Hashtbl.filter_map_inplace";
+      "Buffer.add_char"; "Buffer.add_string"; "Buffer.add_bytes";
+      "Buffer.add_substring"; "Buffer.add_subbytes"; "Buffer.add_buffer";
+      "Buffer.clear"; "Buffer.reset"; "Buffer.truncate";
+      "Queue.add"; "Queue.push"; "Queue.pop"; "Queue.take"; "Queue.clear";
+      "Queue.transfer";
+      "Stack.push"; "Stack.pop"; "Stack.clear";
+    ]
+
+let is_mutator k = SSet.mem k plain_mutators || SSet.mem k atomic_mutators
+
+(* Most mutators take the mutated structure first; these take the
+   element first and the structure last. *)
+let mutators_last_arg = SSet.of_list [ "Queue.add"; "Queue.push"; "Stack.push" ]
+let raise_fns = SSet.of_list [ "raise"; "raise_notrace" ]
+
+let io_exact =
+  SSet.of_list
+    [
+      "print_string"; "print_char"; "print_bytes"; "print_int";
+      "print_float"; "print_endline"; "print_newline";
+      "prerr_string"; "prerr_char"; "prerr_bytes"; "prerr_int";
+      "prerr_float"; "prerr_endline"; "prerr_newline";
+      "read_line"; "read_int"; "read_int_opt"; "read_float";
+      "read_float_opt";
+      "stdout"; "stderr"; "stdin";
+      "output_string"; "output_char"; "output_bytes"; "output_value";
+      "open_out"; "open_in"; "open_out_bin"; "open_in_bin";
+      "Printf.printf"; "Printf.eprintf"; "Printf.fprintf";
+      "Format.printf"; "Format.eprintf"; "Format.fprintf";
+      "Format.std_formatter"; "Format.err_formatter";
+      "Sys.command"; "Sys.remove"; "Sys.rename"; "Sys.getenv";
+      "Sys.getenv_opt"; "Sys.argv"; "exit";
+    ]
+
+let io_prefixes = [ "In_channel."; "Out_channel."; "Unix."; "Filename." ]
+
+let nondet_exact =
+  SSet.of_list
+    [
+      "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Domain.self";
+      "Domain.DLS.get";
+    ]
+
+let nondet_prefixes = [ "Random." ]
+
+let has_prefix prefixes k =
+  List.exists (fun p -> String.length k >= String.length p
+                        && String.sub k 0 (String.length p) = p) prefixes
+
+let task_entry_points = SSet.of_list [ "Task_pool.run"; "Task_pool.map_list" ]
+
+(* The exceptions the model purity contract declares legal: the
+   documented domain error plus anything a model unit itself defines. *)
+let base_allowed_exns = SSet.of_list [ "Invalid_argument" ]
+
+(* ---- Loading ---- *)
+
+type loaded = {
+  l_modname : string;
+  l_file : string;
+  l_structure : Typedtree.structure;
+}
+
+let load_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error (Printf.sprintf "%s: unreadable cmt: %s" path (Printexc.to_string exn))
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when not (Filename.check_suffix src "-gen") ->
+          Ok (Some { l_modname = cmt.Cmt_format.cmt_modname; l_file = src;
+                     l_structure = str },
+              cmt.Cmt_format.cmt_builddir)
+      | _ -> Ok (None, cmt.Cmt_format.cmt_builddir))
+
+(* ---- The per-unit walk ---- *)
+
+let rec path_comps = function
+  | Path.Pident id -> Some [ Ident.name id ]
+  | Path.Pdot (p, s) -> (
+      match path_comps p with Some c -> Some (c @ [ s ]) | None -> None)
+  | Path.Papply _ -> None
+  | _ -> None
+(* The final wildcard absorbs Pextra_ty, added in 5.2. *)
+[@@warning "-11"]
+
+let target_of_path ~wrappers = function
+  | Path.Pident id -> Some (Local id)
+  | p -> (
+      match path_comps p with
+      | Some comps -> Some (Global (normalize ~wrappers comps))
+      | None -> None)
+
+let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
+
+let first_arg args =
+  List.fold_left
+    (fun acc (_, a) -> match (acc, a) with None, Some e -> Some e | _ -> acc)
+    None args
+
+let last_arg args =
+  List.fold_left
+    (fun acc (_, a) -> match a with Some e -> Some e | None -> acc)
+    None args
+
+(* Peel field projections so [r.a.b <- v] mutates the binding of [r]. *)
+let rec head_expr (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_field (inner, _, _) -> head_expr inner
+  | _ -> e
+
+let global_key ~wrappers p =
+  match path_comps p with
+  | Some comps -> Some (key_of (normalize ~wrappers comps))
+  | None -> None
+
+(* RHS classification for a top-level binding: does it directly apply
+   a mutable-state constructor? (Constraints live in exp_extra, so the
+   desc is already the application.) *)
+let alloc_of ~wrappers (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_apply ({ Typedtree.exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
+    -> (
+      match global_key ~wrappers p with
+      | Some k when SSet.mem k mutable_ctors -> (Some k, false)
+      | Some k when k = atomic_ctor -> (Some k, true)
+      | _ -> (None, false))
+  | _ -> (None, false)
+
+let collect_expr ~wrappers (d : def) (e0 : Typedtree.expression) =
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    let line = line_of e.Typedtree.exp_loc in
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+        match target_of_path ~wrappers p with
+        | Some t -> d.refs <- (t, line) :: d.refs
+        | None -> ())
+    | Typedtree.Texp_setfield (tgt, _, _, _) -> (
+        match (head_expr tgt).Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            match target_of_path ~wrappers p with
+            | Some t -> d.writes <- (t, "<- mutable-field write", line) :: d.writes
+            | None -> ())
+        | _ -> ())
+    | Typedtree.Texp_apply
+        ({ Typedtree.exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) -> (
+        match global_key ~wrappers p with
+        | Some k when SSet.mem k raise_fns -> (
+            match first_arg args with
+            | Some { Typedtree.exp_desc = Typedtree.Texp_construct (_, cd, _); _ }
+              ->
+                d.raises <- (cd.Types.cstr_name, line) :: d.raises
+            | _ -> ())
+        | Some k when is_mutator k -> (
+            let pick =
+              if SSet.mem k mutators_last_arg then last_arg else first_arg
+            in
+            match pick args with
+            | Some arg -> (
+                match (head_expr arg).Typedtree.exp_desc with
+                | Typedtree.Texp_ident (tp, _, _) -> (
+                    match target_of_path ~wrappers tp with
+                    | Some t -> d.writes <- (t, k, line) :: d.writes
+                    | None -> ())
+                | _ -> ())
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it e0
+
+let walk_unit ~wrappers (u : unit_info) (str : Typedtree.structure) =
+  let uid = ref 0 in
+  let fresh ~mpath ~name ~idents ~loc ~alloc ~atomic =
+    incr uid;
+    {
+      uid = (u.u_id * 100000) + !uid;
+      unit_id = u.u_id;
+      unit_short = u.short;
+      d_key = String.concat "." (mpath @ [ name ]);
+      d_file = u.u_file;
+      d_line = line_of loc;
+      idents;
+      alloc;
+      atomic;
+      refs = [];
+      writes = [];
+      raises = [];
+    }
+  in
+  let add_def d = u.u_defs <- d :: u.u_defs in
+  let rec walk_items mpath items = List.iter (walk_item mpath) items
+  and walk_item mpath (it : Typedtree.structure_item) =
+    match it.Typedtree.str_desc with
+    | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let idents = Typedtree.pat_bound_idents vb.Typedtree.vb_pat in
+            let name =
+              match idents with
+              | [ id ] -> Ident.name id
+              | _ ->
+                  Printf.sprintf "(binding@%d)"
+                    (line_of vb.Typedtree.vb_pat.Typedtree.pat_loc)
+            in
+            let alloc, atomic = alloc_of ~wrappers vb.Typedtree.vb_expr in
+            let d =
+              fresh ~mpath ~name ~idents ~loc:vb.Typedtree.vb_pat.Typedtree.pat_loc
+                ~alloc ~atomic
+            in
+            collect_expr ~wrappers d vb.Typedtree.vb_expr;
+            add_def d)
+          vbs
+    | Typedtree.Tstr_eval (e, _) ->
+        let d =
+          fresh ~mpath
+            ~name:(Printf.sprintf "(entry@%d)" (line_of e.Typedtree.exp_loc))
+            ~idents:[] ~loc:e.Typedtree.exp_loc ~alloc:None ~atomic:false
+        in
+        collect_expr ~wrappers d e;
+        add_def d
+    | Typedtree.Tstr_module mb ->
+        let name =
+          match mb.Typedtree.mb_name.Location.txt with
+          | Some n -> n
+          | None -> "(anonymous)"
+        in
+        walk_module (mpath @ [ name ]) mb.Typedtree.mb_expr
+    | Typedtree.Tstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Typedtree.module_binding) ->
+            let name =
+              match mb.Typedtree.mb_name.Location.txt with
+              | Some n -> n
+              | None -> "(anonymous)"
+            in
+            walk_module (mpath @ [ name ]) mb.Typedtree.mb_expr)
+          mbs
+    | Typedtree.Tstr_include incl ->
+        walk_module mpath incl.Typedtree.incl_mod
+    | Typedtree.Tstr_exception te ->
+        u.u_exns <-
+          Ident.name te.Typedtree.tyexn_constructor.Typedtree.ext_id
+          :: u.u_exns
+    | _ -> ()
+  and walk_module mpath (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_structure s -> walk_items mpath s.Typedtree.str_items
+    | Typedtree.Tmod_constraint (inner, _, _, _) -> walk_module mpath inner
+    | Typedtree.Tmod_functor (_, body) -> walk_module mpath body
+    | _ -> ()
+  in
+  walk_items [ u.short ] str.Typedtree.str_items
+
+(* ---- Source access for waivers ---- *)
+
+let read_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Some (Array.of_list (String.split_on_char '\n' src))
+
+let resolve_source ~builddir file =
+  if Sys.file_exists file then Some file
+  else
+    let joined = Filename.concat builddir file in
+    if Sys.file_exists joined then Some joined else None
+
+(* ---- The whole-program analysis ---- *)
+
+let analyze_files ?(model_units = []) paths =
+  let errors = ref [] in
+  let loaded = ref [] in
+  let seen_modnames = Hashtbl.create 64 in
+  List.iter
+    (fun path ->
+      match load_cmt path with
+      | Error msg -> errors := msg :: !errors
+      | Ok (None, _) -> ()
+      | Ok (Some l, builddir) ->
+          if not (Hashtbl.mem seen_modnames l.l_modname) then begin
+            Hashtbl.add seen_modnames l.l_modname ();
+            loaded := (l, builddir) :: !loaded
+          end)
+    paths;
+  let loaded = List.rev !loaded in
+  let wrappers =
+    List.fold_left
+      (fun acc (l, _) ->
+        match wrapper_of_modname l.l_modname with
+        | Some w -> SSet.add w acc
+        | None -> acc)
+      SSet.empty loaded
+  in
+  let units =
+    List.mapi
+      (fun i (l, builddir) ->
+        let short = after_last_mangle l.l_modname in
+        let u =
+          {
+            u_id = i + 1;
+            modname = l.l_modname;
+            short;
+            u_file = l.l_file;
+            source_path = resolve_source ~builddir l.l_file;
+            is_model =
+              l.l_modname = "Sdn_model"
+              || String.starts_with ~prefix:"Sdn_model__" l.l_modname
+              || List.mem short model_units;
+            u_defs = [];
+            u_exns = [];
+          }
+        in
+        walk_unit ~wrappers u l.l_structure;
+        u.u_defs <- List.rev u.u_defs;
+        (u, l))
+      loaded
+  in
+  let units = List.map fst units in
+  (* Def lookup: cross-unit by normalised key (a multimap — two units
+     may share a short name), same-unit by ident stamp. *)
+  let by_key : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun u -> List.iter (fun d -> Hashtbl.add by_key d.d_key d) u.u_defs)
+    units;
+  let unit_by_id = Hashtbl.create 16 in
+  List.iter (fun u -> Hashtbl.add unit_by_id u.u_id u) units;
+  let resolve_target (d : def) = function
+    | Global comps ->
+        let k = key_of comps in
+        Hashtbl.find_all by_key k
+        @ Hashtbl.find_all by_key (d.unit_short ^ "." ^ k)
+    | Local id -> (
+        match Hashtbl.find_opt unit_by_id d.unit_id with
+        | None -> []
+        | Some u ->
+            List.filter
+              (fun (dd : def) -> List.exists (Ident.same id) dd.idents)
+              u.u_defs)
+  in
+  let all_defs = List.concat_map (fun u -> u.u_defs) units in
+  (* Roots: any def referencing a Task_pool entry point. *)
+  let is_root d =
+    List.exists
+      (fun (t, _) ->
+        match t with
+        | Global comps -> SSet.mem (key_of comps) task_entry_points
+        | Local _ -> false)
+      d.refs
+  in
+  let roots = List.filter is_root all_defs in
+  (* Closure over call edges. *)
+  let reachable : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec visit d =
+    if not (Hashtbl.mem reachable d.uid) then begin
+      Hashtbl.add reachable d.uid ();
+      List.iter
+        (fun (t, _) -> List.iter visit (resolve_target d t))
+        d.refs
+    end
+  in
+  List.iter visit roots;
+  let in_closure d = Hashtbl.mem reachable d.uid in
+  (* Model exception allowance: declared in any model unit. *)
+  let allowed_exns =
+    List.fold_left
+      (fun acc u ->
+        if u.is_model then
+          List.fold_left (fun acc e -> SSet.add e acc) acc u.u_exns
+        else acc)
+      base_allowed_exns units
+  in
+  let raw = ref [] in
+  let add file line rule message =
+    raw := { Report_common.file; line; rule; message } :: !raw
+  in
+  (* par-global: once per (accessing def, target def) pair, at the
+     first offending line, so one waiver covers one sharing
+     relationship rather than every touch. *)
+  let flagged : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let flag_pair d (g : def) line message =
+    if not (Hashtbl.mem flagged (d.uid, g.uid)) then begin
+      Hashtbl.add flagged (d.uid, g.uid) ();
+      add d.d_file line "par-global" message
+    end
+  in
+  List.iter
+    (fun d ->
+      if in_closure d then begin
+        List.iter
+          (fun (t, line) ->
+            List.iter
+              (fun (g : def) ->
+                match g.alloc with
+                | Some ctor when not g.atomic ->
+                    flag_pair d g line
+                      (Printf.sprintf
+                         "%s is reachable from a Task_pool task and touches \
+                          top-level mutable state %s (%s); mediate it with \
+                          Atomic or confine it to the task"
+                         d.d_key g.d_key ctor)
+                | _ -> ())
+              (resolve_target d t))
+          (List.sort (fun (_, a) (_, b) -> Int.compare a b) d.refs);
+        List.iter
+          (fun (t, op, line) ->
+            if not (SSet.mem op atomic_mutators) then
+              match resolve_target d t with
+              | [] -> (
+                  (* A write to state this graph has no def for is only
+                     possible through a foreign module's toplevel. *)
+                  match t with
+                  | Global comps when List.length comps > 1 ->
+                      add d.d_file line "par-global"
+                        (Printf.sprintf
+                           "%s is reachable from a Task_pool task and writes \
+                            external toplevel state %s (%s)"
+                           d.d_key (key_of comps) op)
+                  | _ -> ())
+              | gs ->
+                  List.iter
+                    (fun (g : def) ->
+                      flag_pair d g line
+                        (Printf.sprintf
+                           "%s is reachable from a Task_pool task and writes \
+                            top-level state %s (%s); mediate it with Atomic \
+                            or confine it to the task"
+                           d.d_key g.d_key op))
+                    gs)
+          (List.sort (fun (_, _, a) (_, _, b) -> Int.compare a b) d.writes)
+      end)
+    all_defs;
+  (* Model purity. *)
+  List.iter
+    (fun u ->
+      if u.is_model then
+        List.iter
+          (fun (d : def) ->
+            (match d.alloc with
+            | Some ctor ->
+                add d.d_file d.d_line "model-mutation"
+                  (Printf.sprintf
+                     "top-level mutable state %s (%s) in an oracle unit; the \
+                      model layer must hold no state between calls"
+                     d.d_key ctor)
+            | None -> ());
+            List.iter
+              (fun (t, op, line) ->
+                let targets = resolve_target d t in
+                let foreign =
+                  match t with
+                  | Global comps -> targets = [] && List.length comps > 1
+                  | Local _ -> false
+                in
+                if targets <> [] || foreign then
+                  let name =
+                    match targets with
+                    | g :: _ -> g.d_key
+                    | [] -> (
+                        match t with
+                        | Global comps -> key_of comps
+                        | Local id -> Ident.name id)
+                  in
+                  add d.d_file line "model-mutation"
+                    (Printf.sprintf
+                       "%s mutates %s (%s), which is not function-local; a \
+                        pure model function may only write state it \
+                        allocated itself"
+                       d.d_key name op))
+              d.writes;
+            List.iter
+              (fun (t, line) ->
+                match t with
+                | Local _ -> ()
+                | Global comps ->
+                    let k = key_of comps in
+                    if SSet.mem k io_exact || has_prefix io_prefixes k then
+                      add d.d_file line "model-io"
+                        (Printf.sprintf
+                           "%s performs I/O through %s; the oracle must be \
+                            observationally silent"
+                           d.d_key k)
+                    else if SSet.mem k nondet_exact || has_prefix nondet_prefixes k
+                    then
+                      add d.d_file line "model-nondet"
+                        (Printf.sprintf
+                           "%s reads non-deterministic state via %s; model \
+                            outputs must be a function of their arguments"
+                           d.d_key k)
+                    else if k = "failwith" then
+                      add d.d_file line "model-exception"
+                        (Printf.sprintf
+                           "%s uses failwith; the model's only legal errors \
+                            are its declared domain errors (invalid_arg or \
+                            an exception declared in lib/model)"
+                           d.d_key))
+              d.refs;
+            List.iter
+              (fun (exn_name, line) ->
+                if not (SSet.mem exn_name allowed_exns) then
+                  add d.d_file line "model-exception"
+                    (Printf.sprintf
+                       "%s raises %s, which is not a declared domain error \
+                        (Invalid_argument or an exception declared in \
+                        lib/model)"
+                       d.d_key exn_name))
+              d.raises)
+          u.u_defs)
+    units;
+  let raw = List.rev !raw in
+  (* Waivers and stale-waiver detection, per unit source file. *)
+  let findings =
+    List.concat_map
+      (fun u ->
+        let mine = List.filter (fun f -> f.Report_common.file = u.u_file) raw in
+        match u.source_path with
+        | None -> mine
+        | Some path -> (
+            match read_lines path with
+            | None -> mine
+            | Some lines ->
+                let visible =
+                  List.filter
+                    (fun (f : finding) ->
+                      not
+                        (Report_common.suppressed ~keyword:"analyze" ~rules
+                           ~lines ~line:f.Report_common.line
+                           ~rule:f.Report_common.rule))
+                    mine
+                in
+                visible
+                @ Report_common.stale_allows ~keyword:"analyze" ~rules
+                    ~file:u.u_file ~lines ~raw:mine))
+      units
+  in
+  let findings = List.sort_uniq Report_common.compare_findings findings in
+  ( findings,
+    List.rev !errors,
+    {
+      units = List.length units;
+      defs = List.length all_defs;
+      task_roots = List.length roots;
+      task_reachable = Hashtbl.length reachable;
+    } )

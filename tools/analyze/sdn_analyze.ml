@@ -1,0 +1,85 @@
+(* Command-line driver for the typedtree analyzer: walk the given
+   directories for .cmt artifacts (or take individual .cmt files),
+   run the whole-program analysis, and fail with exit 1 when any
+   finding survives its waivers. Wired to the [@analyze] dune alias,
+   which runs it from _build/default after @check has produced the
+   cmts for lib/, bin/ and bench/. *)
+
+let usage = "sdn_analyze [--json|--sarif] [--model-unit NAME] DIR|FILE.cmt..."
+
+(* Unlike the lint's source walk this must descend into dot-directories:
+   dune hides the artifacts under <dir>/.<lib>.objs/byte/. *)
+let rec collect_cmt acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> collect_cmt acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let () =
+  let json = ref false in
+  let sarif = ref false in
+  let model_units = ref [] in
+  let roots = ref [] in
+  Arg.parse
+    [
+      ("--json", Arg.Set json, " emit the findings as a JSON array");
+      ( "--sarif",
+        Arg.Set sarif,
+        " emit the findings as a SARIF 2.1.0 log (code-scanning upload)" );
+      ( "--model-unit",
+        Arg.String (fun m -> model_units := m :: !model_units),
+        "NAME hold unit NAME to the oracle-purity contract (repeatable)" );
+    ]
+    (fun root -> roots := root :: !roots)
+    usage;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "sdn_analyze: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    roots;
+  (* Sorted artifact order keeps unit numbering — and therefore the
+     report — deterministic regardless of readdir order. *)
+  let files =
+    List.sort String.compare (List.fold_left collect_cmt [] roots)
+  in
+  if files = [] then begin
+    Printf.eprintf
+      "sdn_analyze: no .cmt artifacts under the given roots (run `dune build \
+       @check` first)\n";
+    exit 2
+  end;
+  let findings, errors, stats =
+    Analyze_core.analyze_files ~model_units:(List.rev !model_units) files
+  in
+  List.iter (fun msg -> Printf.eprintf "sdn_analyze: %s\n" msg) errors;
+  if !sarif then
+    print_string
+      (Report_common.to_sarif ~tool:"sdn_analyze" ~rules:Analyze_core.rules
+         findings)
+  else if !json then print_string (Report_common.to_json findings)
+  else begin
+    List.iter
+      (fun f -> Format.printf "%a@." Report_common.pp_finding f)
+      findings;
+    match findings with
+    | [] ->
+        Printf.printf
+          "analyze: clean (%d units, %d defs, %d of them reachable from %d \
+           Task_pool call sites)\n"
+          stats.Analyze_core.units stats.Analyze_core.defs
+          stats.Analyze_core.task_reachable stats.Analyze_core.task_roots
+    | _ ->
+        Printf.printf "analyze: %d finding(s) in %d units\n"
+          (List.length findings) stats.Analyze_core.units
+  end;
+  if errors <> [] then exit 2;
+  if findings <> [] then exit 1

@@ -6,7 +6,7 @@
    Pexp_try / Ppat_any / Pstr_value), so the same source compiles
    against the 5.1 and 5.2 compiler-libs. *)
 
-type finding = {
+type finding = Report_common.finding = {
   file : string;
   line : int;
   rule : string;
@@ -28,35 +28,14 @@ let rules =
     ( "domain-self",
       "Domain.self-dependent behaviour; output must not vary with the \
        executing domain" );
+    Report_common.stale_rule;
   ]
 
 (* ---- Small string helpers (no external deps in this tool) ---- *)
 
-let contains haystack needle =
-  let n = String.length haystack and m = String.length needle in
-  if m = 0 then true
-  else begin
-    let found = ref false in
-    let i = ref 0 in
-    while (not !found) && !i + m <= n do
-      if String.sub haystack !i m = needle then found := true else incr i
-    done;
-    !found
-  end
-
 let ends_with ~suffix s =
   let n = String.length s and m = String.length suffix in
   m <= n && String.sub s (n - m) m = suffix
-
-(* A finding on [line] is suppressed by a "lint: allow <rule>" comment
-   on that line or the line directly above it. *)
-let suppressed lines ~line ~rule =
-  let allows idx =
-    idx >= 0 && idx < Array.length lines
-    && contains lines.(idx) "lint: allow"
-    && contains lines.(idx) rule
-  in
-  allows (line - 1) || allows (line - 2)
 
 (* ---- Longident classification ---- *)
 
@@ -140,11 +119,12 @@ let defines_toplevel_compare structure =
 (* ---- The per-file walk ---- *)
 
 let lint_structure ~path ~lines structure =
+  (* Findings are collected raw (pre-waiver): the stale-allow pass
+     needs to know what a suppression comment actually suppressed. *)
   let findings = ref [] in
   let add ~loc rule message =
     let line = loc.Location.loc_start.Lexing.pos_lnum in
-    if not (suppressed lines ~line ~rule) then
-      findings := { file = path; line; rule; message } :: !findings
+    findings := { file = path; line; rule; message } :: !findings
   in
   let poly_exempt = defines_toplevel_compare structure in
   let entropy_exempt = ends_with ~suffix:"sim/rng.ml" path in
@@ -296,18 +276,18 @@ let lint_structure ~path ~lines structure =
                  name))
           (List.rev !hashtbl_uses))
     structure;
-  List.rev !findings
+  let raw = List.rev !findings in
+  let visible =
+    List.filter
+      (fun f ->
+        not
+          (Report_common.suppressed ~keyword:"lint" ~rules ~lines ~line:f.line
+             ~rule:f.rule))
+      raw
+  in
+  visible @ Report_common.stale_allows ~keyword:"lint" ~rules ~file:path ~lines ~raw
 
-let compare_findings a b =
-  match String.compare a.file b.file with
-  | 0 -> (
-      match Int.compare a.line b.line with
-      | 0 -> (
-          match String.compare a.rule b.rule with
-          | 0 -> String.compare a.message b.message
-          | c -> c)
-      | c -> c)
-  | c -> c
+let compare_findings = Report_common.compare_findings
 
 let read_file path =
   let ic = open_in_bin path in
@@ -342,39 +322,9 @@ let lint_files paths =
   in
   (List.sort compare_findings (List.concat findings), List.rev errors)
 
-let pp_finding fmt f =
-  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.message
+let pp_finding = Report_common.pp_finding
 
-(* ---- Machine-readable summary ---- *)
+(* ---- Machine-readable summaries (shared with sdn_analyze) ---- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json findings =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "[";
-  List.iteri
-    (fun i f ->
-      if i > 0 then Buffer.add_string buf ",";
-      Buffer.add_string buf
-        (Printf.sprintf
-           "\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \
-            \"message\": \"%s\"}"
-           (json_escape f.file) f.line (json_escape f.rule)
-           (json_escape f.message)))
-    findings;
-  if findings <> [] then Buffer.add_string buf "\n";
-  Buffer.add_string buf "]\n";
-  Buffer.contents buf
+let to_json = Report_common.to_json
+let to_sarif = Report_common.to_sarif ~tool:"sdn_lint" ~rules

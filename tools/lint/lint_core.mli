@@ -50,13 +50,22 @@
     - [domain-self] — [Domain.self ()] (or [Domain.DLS.get]): anything
       derived from the executing domain's identity varies with
       scheduling, so it must never reach a result or report. Pure
-      diagnostics carry a suppression comment.
+      diagnostics carry a suppression comment;
+    - [stale-allow] — a [lint: allow] comment whose named rule no
+      longer fires on the line it covers (or that names no catalogued
+      rule at all): a waiver must not outlive the hazard it
+      documented. Not suppressible — the fix is deleting the comment.
 
     Per-site suppression: a comment containing
     [lint: allow <rule-id>] on the offending line or the line directly
-    above disables that one rule for that line. *)
+    above disables that one rule for that line. The rule id must
+    appear as a whole token directly after [allow] (several ids may be
+    listed, comma- or space-separated); free-text reasons follow the
+    ids and never suppress anything. See {!Report_common} for the
+    exact grammar, shared with the typedtree analyzer's
+    [analyze: allow] waivers. *)
 
-type finding = {
+type finding = Report_common.finding = {
   file : string;
   line : int;
   rule : string;
@@ -81,3 +90,7 @@ val pp_finding : Format.formatter -> finding -> unit
 val to_json : finding list -> string
 (** Machine-readable summary: a JSON array of
     [{"file": ..., "line": ..., "rule": ..., "message": ...}]. *)
+
+val to_sarif : finding list -> string
+(** SARIF 2.1.0 log (tool name [sdn_lint], the rule catalog attached),
+    for GitHub code-scanning upload. *)

@@ -3,7 +3,7 @@
    file, and fail with exit 1 when any finding survives. Wired to the
    [@lint] dune alias over lib/, bin/ and bench/. *)
 
-let usage = "sdn_lint [--json] DIR|FILE..."
+let usage = "sdn_lint [--json|--sarif] DIR|FILE..."
 
 let rec collect_ml acc path =
   if Sys.is_directory path then
@@ -18,9 +18,15 @@ let rec collect_ml acc path =
 
 let () =
   let json = ref false in
+  let sarif = ref false in
   let roots = ref [] in
   Arg.parse
-    [ ("--json", Arg.Set json, " emit the findings as a JSON array") ]
+    [
+      ("--json", Arg.Set json, " emit the findings as a JSON array");
+      ( "--sarif",
+        Arg.Set sarif,
+        " emit the findings as a SARIF 2.1.0 log (code-scanning upload)" );
+    ]
     (fun root -> roots := root :: !roots)
     usage;
   let roots = List.rev !roots in
@@ -42,7 +48,8 @@ let () =
   in
   let findings, errors = Lint_core.lint_files files in
   List.iter (fun msg -> Printf.eprintf "sdn_lint: %s\n" msg) errors;
-  if !json then print_string (Lint_core.to_json findings)
+  if !sarif then print_string (Lint_core.to_sarif findings)
+  else if !json then print_string (Lint_core.to_json findings)
   else begin
     List.iter
       (fun f -> Format.printf "%a@." Lint_core.pp_finding f)

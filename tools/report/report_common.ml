@@ -1,0 +1,210 @@
+(* Shared finding/report layer for sdn_lint and sdn_analyze. See
+   report_common.mli for the waiver grammar and the stale-allow
+   semantics. No external deps: both tools must build from a bare
+   compiler-libs switch. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+let compare_findings a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let stale_rule =
+  ( "stale-allow",
+    "an allow comment whose rule no longer fires at that site; delete the \
+     waiver or restate the hazard" )
+
+(* ---- Waiver-comment parsing ---- *)
+
+let find_sub haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub haystack i m = needle then Some i
+    else go (i + 1)
+  in
+  if m = 0 then Some 0 else go 0
+
+let is_token_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+(* Tokens directly after "<keyword>: allow": comma/space-separated
+   rule ids, terminated by the first token that is not a catalogued
+   rule (the free-text reason). Whole-token matching is the point —
+   "allow hashtbl-order-custom" must not suppress "hashtbl-order",
+   and a reason that merely mentions a rule name must not allow it. *)
+let allow_tokens ~keyword ~rules line =
+  let marker = keyword ^ ": allow" in
+  match find_sub line marker with
+  | None -> None
+  | Some at ->
+      let n = String.length line in
+      let catalogued tok =
+        tok <> fst stale_rule && List.mem_assoc tok rules
+      in
+      let rec skip_sep i =
+        if i < n && (line.[i] = ' ' || line.[i] = '\t' || line.[i] = ',')
+        then skip_sep (i + 1)
+        else i
+      in
+      let rec token_end i = if i < n && is_token_char line.[i] then token_end (i + 1) else i in
+      let rec collect acc i =
+        let i = skip_sep i in
+        let j = token_end i in
+        if j = i then List.rev acc
+        else
+          let tok = String.sub line i (j - i) in
+          if catalogued tok then collect (tok :: acc) j else List.rev acc
+      in
+      Some (collect [] (at + String.length marker))
+
+let allows_rule ~keyword ~rules lines idx rule =
+  idx >= 0
+  && idx < Array.length lines
+  &&
+  match allow_tokens ~keyword ~rules lines.(idx) with
+  | None -> false
+  | Some toks -> List.mem rule toks
+
+(* A finding on 1-based [line] is waived by an allow comment on that
+   line (lines.(line-1)) or the line directly above (lines.(line-2)).
+   stale-allow findings are never suppressible: the fix is deleting
+   the dead comment, not waiving the waiver. *)
+let suppressed ~keyword ~rules ~lines ~line ~rule =
+  rule <> fst stale_rule
+  && (allows_rule ~keyword ~rules lines (line - 1) rule
+     || allows_rule ~keyword ~rules lines (line - 2) rule)
+
+let stale_allows ~keyword ~rules ~file ~lines ~raw =
+  let fires rule line =
+    List.exists (fun f -> f.rule = rule && (f.line = line || f.line = line + 1)) raw
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun idx text ->
+      let line = idx + 1 in
+      match allow_tokens ~keyword ~rules text with
+      | None -> ()
+      | Some [] ->
+          out :=
+            {
+              file;
+              line;
+              rule = fst stale_rule;
+              message =
+                Printf.sprintf
+                  "'%s: allow' names no catalogued rule; fix the rule id or \
+                   delete the comment"
+                  keyword;
+            }
+            :: !out
+      | Some toks ->
+          List.iter
+            (fun tok ->
+              if not (fires tok line) then
+                out :=
+                  {
+                    file;
+                    line;
+                    rule = fst stale_rule;
+                    message =
+                      Printf.sprintf
+                        "'%s: allow %s' no longer fires here; the waiver has \
+                         outlived its hazard — delete it (or move it next to \
+                         the site it documents)"
+                        keyword tok;
+                  }
+                  :: !out)
+            toks)
+    lines;
+  List.rev !out
+
+(* ---- Machine-readable encodings ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \
+            \"message\": \"%s\"}"
+           (json_escape f.file) f.line (json_escape f.rule)
+           (json_escape f.message)))
+    findings;
+  if findings <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let to_sarif ~tool ~rules findings =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "{\n\
+    \  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"%s\",\n\
+    \          \"rules\": ["
+    (json_escape tool);
+  List.iteri
+    (fun i (id, descr) ->
+      if i > 0 then add ",";
+      add
+        "\n            {\"id\": \"%s\", \"shortDescription\": {\"text\": \
+         \"%s\"}}"
+        (json_escape id) (json_escape descr))
+    rules;
+  add "\n          ]\n        }\n      },\n      \"results\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then add ",";
+      add
+        "\n        {\"ruleId\": \"%s\", \"level\": \"error\", \"message\": \
+         {\"text\": \"%s\"}, \"locations\": [{\"physicalLocation\": \
+         {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": \
+         {\"startLine\": %d}}}]}"
+        (json_escape f.rule) (json_escape f.message) (json_escape f.file)
+        f.line)
+    findings;
+  add "\n      ]\n    }\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,90 @@
+(** Shared reporting layer for the two source gates ({!Lint_core}, the
+    Parsetree determinism lint, and {!Analyze_core}, the typedtree
+    domain-safety/purity analyzer).
+
+    Both tools produce the same shape of finding — [file:line],
+    a rule id from a small catalog, a one-line message — and share the
+    per-site waiver idiom: a comment containing
+    [<keyword>: allow <rule-id>] (keyword [lint] or [analyze]) on the
+    offending line or the line directly above disables that one rule
+    for that line.
+
+    This module owns:
+
+    - the finding record and its deterministic ordering;
+    - waiver-comment parsing with {e whole-token} rule matching: the
+      rule name must appear as a complete token (over the alphabet
+      [A-Za-z0-9_-]) in the comma/space-separated list directly after
+      [allow]; parsing stops at the first token that is not a
+      catalogued rule id, so free-text reasons that merely mention a
+      rule name do not suppress it, and neither does a longer
+      similarly-prefixed name ([allow hashtbl-order-custom] does not
+      suppress [hashtbl-order]);
+    - stale-waiver detection ([stale-allow]): an allow comment whose
+      named rule no longer fires on the line it covers is itself a
+      finding, so waivers cannot outlive the hazard they documented.
+      [stale-allow] is not suppressible;
+    - the two machine-readable encodings: a flat JSON array and SARIF
+      2.1.0 (one run, one driver, results at [error] level) for GitHub
+      code-scanning upload. *)
+
+type finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val compare_findings : finding -> finding -> int
+(** Order by file, line, rule, message — the report order. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line: [rule] message] — editor-clickable. *)
+
+val allow_tokens :
+  keyword:string -> rules:(string * string) list -> string -> string list option
+(** [allow_tokens ~keyword ~rules line] is [None] when [line] contains
+    no ["<keyword>: allow"] marker, and [Some rule_ids] otherwise,
+    where [rule_ids] are the catalogued rule names listed directly
+    after [allow] (possibly empty when the first token is not a
+    catalogued rule — a typo or an unknown rule). [stale-allow] never
+    parses as an allowed rule. *)
+
+val suppressed :
+  keyword:string ->
+  rules:(string * string) list ->
+  lines:string array ->
+  line:int ->
+  rule:string ->
+  bool
+(** Is a finding of [rule] on 1-based [line] waived by an allow
+    comment on that line or the line directly above? *)
+
+val stale_allows :
+  keyword:string ->
+  rules:(string * string) list ->
+  file:string ->
+  lines:string array ->
+  raw:finding list ->
+  finding list
+(** One [stale-allow] finding per allow comment that no longer earns
+    its keep: either it names no catalogued rule at all, or a named
+    rule has no raw (pre-suppression) finding on the comment's line or
+    the line below. [raw] must be the findings {e before} waivers were
+    applied, or live waivers would self-report as stale. *)
+
+val stale_rule : string * string
+(** The ["stale-allow"] catalog entry, for inclusion in each tool's
+    rule list. *)
+
+val to_json : finding list -> string
+(** A JSON array of
+    [{"file": ..., "line": ..., "rule": ..., "message": ...}]. *)
+
+val to_sarif :
+  tool:string -> rules:(string * string) list -> finding list -> string
+(** SARIF 2.1.0 log: one run for [tool], the rule catalog as
+    [tool.driver.rules], each finding a result at [error] level with a
+    physical location ([uri] is the finding's [file] verbatim, so run
+    the tools with repo-root-relative paths when the log is uploaded
+    to code scanning). *)
