@@ -19,7 +19,7 @@
      dune exec bench/main.exe -- figures 5    # all figures, 5 reps/point
      dune exec bench/main.exe -- ablations    # the ablation studies
      dune exec bench/main.exe -- json [path]  # machine-readable snapshot
-                                              # (default BENCH_pr7.json)
+                                              # (default BENCH_pr9.json)
 
    The json snapshot also times a small end-to-end sweep at
    --jobs 1/2/4 and records the parallel speedups, so the regression
@@ -176,6 +176,36 @@ let micro_tests () =
                 (* Drain the engine so reclaim events do not pile up. *)
                 Sdn_sim.Engine.run engine
             | None -> ()));
+    Test.make ~name:"buf-policy/dt-admit-release"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          let pool =
+            Sdn_switch.Buf_policy.create
+              ~kind:(Sdn_switch.Buf_policy.Dt { alpha = 2.0 })
+              ~name:"bench" engine
+          in
+          let cls =
+            Sdn_switch.Buf_policy.register pool ~name:"cls" ~quota:256
+              ~priority:1
+          in
+          fun () ->
+            if Sdn_switch.Buf_policy.admit cls then
+              Sdn_switch.Buf_policy.release cls));
+    Test.make ~name:"buf-policy/tdt-note_delay"
+      (Staged.stage
+         (let engine = Sdn_sim.Engine.create () in
+          let pool =
+            Sdn_switch.Buf_policy.create
+              ~kind:
+                (Sdn_switch.Buf_policy.Tdt
+                   { alpha0 = 2.0; target_delay = 2e-3 })
+              ~name:"bench" engine
+          in
+          let cls =
+            Sdn_switch.Buf_policy.register pool ~name:"cls" ~quota:256
+              ~priority:1
+          in
+          fun () -> Sdn_switch.Buf_policy.note_delay cls 1e-3));
     Test.make ~name:"buffer/flow-granularity-add-take_all"
       (Staged.stage
          (let engine = Sdn_sim.Engine.create () in
@@ -595,7 +625,7 @@ let () =
       run_figures ();
       Sdn_core.Ablations.run_all ()
   | [ _; "micro" ] -> run_micro ()
-  | [ _; "json" ] -> run_json "BENCH_pr7.json"
+  | [ _; "json" ] -> run_json "BENCH_pr9.json"
   | [ _; "json"; path ] -> run_json path
   | [ _; "ablations" ] -> Sdn_core.Ablations.run_all ()
   | [ _; "figures" ] -> run_figures ()

@@ -121,6 +121,31 @@ let watermark_arg =
            admission instead of evicting in-flight ones. $(b,1.0) (the \
            default) disables the guard.")
 
+let buf_policy_conv =
+  let parse s =
+    match Sdn_switch.Buf_policy.kind_of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt k =
+    Format.pp_print_string fmt (Sdn_switch.Buf_policy.kind_to_string k)
+  in
+  Arg.conv (parse, print)
+
+let buf_policy_arg =
+  Arg.(
+    value
+    & opt (some buf_policy_conv) None
+    & info [ "buf-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Shared-buffer sharing discipline across the packet pool and QoS \
+           queues: $(b,static) (private partitions, the reference), \
+           $(b,share) (complete sharing), $(b,dt:ALPHA) (Dynamic Threshold: \
+           admit while the class holds less than ALPHA x free), or \
+           $(b,tdt[:ALPHA[:TARGET_MS]]) (adaptive threshold tightening \
+           under queueing delay). Unset (the default) keeps the legacy \
+           private buffers and byte-identical output.")
+
 let fail_mode_conv =
   let parse s =
     match Sdn_switch.Session.fail_mode_of_string s with
@@ -233,7 +258,7 @@ let workload_arg =
 
 let run_cmd =
   let run mechanism buffer rate seed workload faults crashes watermark
-      echo_interval echo_misses fail_mode check jobs =
+      buf_policy echo_interval echo_misses fail_mode check jobs =
     let faults =
       {
         faults with
@@ -250,6 +275,7 @@ let run_cmd =
         workload;
         faults;
         overload_watermark = watermark;
+        buf_policy;
         echo_interval;
         echo_misses;
         fail_mode;
@@ -265,8 +291,8 @@ let run_cmd =
     Term.(
       const run $ mechanism_arg $ buffer_arg $ rate_arg $ seed_arg
       $ workload_arg $ faults_arg $ crash_arg $ watermark_arg
-      $ echo_interval_arg $ echo_misses_arg $ fail_mode_arg $ check_arg
-      $ jobs_arg)
+      $ buf_policy_arg $ echo_interval_arg $ echo_misses_arg $ fail_mode_arg
+      $ check_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -341,9 +367,48 @@ let chaos_cmd =
       & info [ "downs" ] ~docv:"S1,S2,..."
           ~doc:"Crash downtimes to sweep (seconds, with $(b,--crash)).")
   in
-  let run seed rate loss_rates faults outage durations crash modes downs check
-      jobs =
-    if crash then begin
+  let policy_sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "policy" ]
+          ~doc:
+            "Run the buffer-policy sweep instead of the loss sweep: every \
+             shared-buffer sharing discipline against every pool size under \
+             a deterministic incast burst into a slow egress uplink, with \
+             three strict-priority classes drawing on the shared pool.")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt (list buf_policy_conv) Chaos.default_policies
+      & info [ "policies" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Sharing disciplines to sweep (with $(b,--policy)); same grammar \
+             as $(b,--buf-policy).")
+  in
+  let buffers_arg =
+    Arg.(
+      value
+      & opt (list int) Chaos.default_policy_buffers
+      & info [ "buffers" ] ~docv:"N1,N2,..."
+          ~doc:"Packet-pool capacities to sweep (with $(b,--policy)).")
+  in
+  let run seed rate loss_rates faults outage durations crash modes downs policy
+      policies buffers check jobs =
+    if policy then begin
+      let base =
+        { (Chaos.default_policy_base ~seed) with Config.check; jobs }
+      in
+      let points = Chaos.run_policy ~policies ~buffers ~base () in
+      Chaos.print_policy_report points;
+      check_exit
+        (List.map
+           (fun (p : Chaos.policy_point) ->
+             (Printf.sprintf "policy/%s" (Config.label p.Chaos.config),
+              p.Chaos.result))
+           points)
+    end
+    else if crash then begin
       let base =
         {
           (Chaos.default_crash_base ~seed) with
@@ -412,15 +477,17 @@ let chaos_cmd =
     Term.(
       const run $ seed_arg $ rate_arg $ loss_rates_arg $ faults_arg
       $ outage_arg $ durations_arg $ crash_sweep_arg $ restart_modes_arg
-      $ downs_arg $ check_arg $ jobs_arg)
+      $ downs_arg $ policy_sweep_arg $ policies_arg $ buffers_arg $ check_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Sweep control-channel faults against every buffer mechanism: \
           independent loss by default, a scheduled blackout with \
-          $(b,--outage), or a node crash-restart with $(b,--crash). \
-          Deterministic: the same seed yields a byte-identical report.")
+          $(b,--outage), a node crash-restart with $(b,--crash), or the \
+          shared-buffer policy grid with $(b,--policy). Deterministic: the \
+          same seed yields a byte-identical report.")
     term
 
 let figure_cmd =

@@ -19,11 +19,6 @@ module Egress_queue = Sdn_switch.Egress_queue
 
 let interactive_port = 5001
 
-let classify (ctx : Sdn_controller.App.context) =
-  match ctx.Sdn_controller.App.flow_key with
-  | Some key when key.Sdn_net.Flow_key.dst_port = interactive_port -> 1l
-  | Some _ | None -> 0l
-
 let queues =
   [
     { Egress_queue.default_queue with Egress_queue.queue_id = 0l; priority = 0; weight = 1 };
@@ -42,7 +37,18 @@ let shared_fifo_queue =
   (* A single 2048-frame class: every flow shares it, arrival order. *)
   [ { Egress_queue.default_queue with Egress_queue.capacity = 2048 } ]
 
-let run policy_name ~policy ~queues =
+(* [interactive_queue] is where the controller steers the interactive
+   class for this leg: queue 1 when the port carries two queues, queue
+   0 on the shared-FIFO leg (a controller must not install Enqueue
+   actions naming queues the port does not carry — the switch now
+   counts those as misroutes and drops them). *)
+let run policy_name ~policy ~queues ~interactive_queue =
+  let classify (ctx : Sdn_controller.App.context) =
+    match ctx.Sdn_controller.App.flow_key with
+    | Some key when key.Sdn_net.Flow_key.dst_port = interactive_port ->
+        interactive_queue
+    | Some _ | None -> 0l
+  in
   let config =
     {
       Config.default with
@@ -73,7 +79,8 @@ let run policy_name ~policy ~queues =
     Option.get (Sdn_switch.Switch.port_scheduler scenario.Scenario.switch ~port:2)
   in
   let interactive_delay =
-    Stats.mean (Egress_queue.queue_delay_stats scheduler ~queue_id:1l)
+    Stats.mean
+      (Egress_queue.queue_delay_stats scheduler ~queue_id:interactive_queue)
   in
   let bulk_delay =
     Stats.mean (Egress_queue.queue_delay_stats scheduler ~queue_id:0l)
@@ -93,11 +100,12 @@ let () =
   let results =
     [
       run "FIFO (one shared queue)" ~policy:Egress_queue.Fifo
-        ~queues:shared_fifo_queue;
-      run "strict priority" ~policy:Egress_queue.Strict_priority ~queues;
+        ~queues:shared_fifo_queue ~interactive_queue:0l;
+      run "strict priority" ~policy:Egress_queue.Strict_priority ~queues
+        ~interactive_queue:1l;
       run "DRR (interactive weight 8)"
         ~policy:(Egress_queue.Drr { quantum = 500 })
-        ~queues;
+        ~queues ~interactive_queue:1l;
     ]
   in
   let rows =

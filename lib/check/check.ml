@@ -14,6 +14,14 @@ exception Violation of violation
    (generations make recycled slots produce fresh ids). *)
 type buffer_state = { mutable packets : int; mutable originals : int }
 
+(* Shared-pool conservation ledger: one entry per policy-managed pool.
+   [holdings] keeps registration order (an assoc list, not a table) so
+   every report derived from it is deterministic. *)
+type pool_ledger = {
+  mutable pool_capacity : int;
+  mutable holdings : (string * int ref) list;
+}
+
 type t = {
   trace_depth : int;
   raise_on_violation : bool;
@@ -25,6 +33,7 @@ type t = {
   live : (string * int32, buffer_state) Hashtbl.t;
   closed : (string * int32, unit) Hashtbl.t;
   xids : (string * int32, unit) Hashtbl.t;
+  pools : (string, pool_ledger) Hashtbl.t;
 }
 
 let create ?(trace_depth = 48) ?(raise_on_violation = false) () =
@@ -38,6 +47,7 @@ let create ?(trace_depth = 48) ?(raise_on_violation = false) () =
     live = Hashtbl.create 256;
     closed = Hashtbl.create 256;
     xids = Hashtbl.create 1024;
+    pools = Hashtbl.create 8;
   }
 
 let record t ~time event =
@@ -153,6 +163,77 @@ let note_crash_wipe t ~time ~pool =
         (Printf.sprintf "%d chain(s) survived the cold restart of pool %s: %s"
            (List.length ids) pool
            (String.concat ", " (List.map Int32.to_string ids)))
+
+(* ---- Shared-pool conservation ---- *)
+
+let pool_ledger t pool =
+  match Hashtbl.find_opt t.pools pool with
+  | Some ledger -> ledger
+  | None ->
+      let ledger = { pool_capacity = 0; holdings = [] } in
+      Hashtbl.replace t.pools pool ledger;
+      ledger
+
+let holdings_sum ledger =
+  List.fold_left (fun acc (_, n) -> acc + !n) 0 ledger.holdings
+
+(* The invariant itself: at every ledger event the per-class holdings
+   and the pool's reported free count must tile the capacity exactly —
+   no unit is ever double-claimed or leaked. *)
+let check_pool_conservation t ~time ~pool ledger ~free =
+  let sum = holdings_sum ledger in
+  if sum + free <> ledger.pool_capacity then
+    violate t ~time ~invariant:"shared-pool-conservation"
+      (Printf.sprintf
+         "pool %s: class holdings (%d) + free (%d) <> capacity (%d)" pool sum
+         free ledger.pool_capacity)
+
+let note_pool_create t ~time ~pool ~headroom =
+  record t ~time (Printf.sprintf "pool create %s headroom=%d" pool headroom);
+  let ledger = pool_ledger t pool in
+  (* Headroom is pool capacity beyond the sum of class quotas; without
+     it the ledger would under-count and flag every claim. *)
+  ledger.pool_capacity <- ledger.pool_capacity + headroom
+
+let note_pool_register t ~time ~pool ~class_ ~quota =
+  record t ~time
+    (Printf.sprintf "pool register %s/%s quota=%d" pool class_ quota);
+  let ledger = pool_ledger t pool in
+  if List.mem_assoc class_ ledger.holdings then
+    violate t ~time ~invariant:"shared-pool-conservation"
+      (Printf.sprintf "pool %s: class %s registered twice" pool class_)
+  else begin
+    (* Append keeps registration order for deterministic reports. *)
+    ledger.holdings <- ledger.holdings @ [ (class_, ref 0) ];
+    ledger.pool_capacity <- ledger.pool_capacity + quota
+  end
+
+let note_pool_claim t ~time ~pool ~class_ ~free =
+  record t ~time (Printf.sprintf "pool claim %s/%s free=%d" pool class_ free);
+  let ledger = pool_ledger t pool in
+  (match List.assoc_opt class_ ledger.holdings with
+  | Some n -> incr n
+  | None ->
+      violate t ~time ~invariant:"shared-pool-conservation"
+        (Printf.sprintf "pool %s: claim by unregistered class %s" pool class_));
+  check_pool_conservation t ~time ~pool ledger ~free
+
+let note_pool_release t ~time ~pool ~class_ ~free =
+  record t ~time
+    (Printf.sprintf "pool release %s/%s free=%d" pool class_ free);
+  let ledger = pool_ledger t pool in
+  (match List.assoc_opt class_ ledger.holdings with
+  | Some n ->
+      decr n;
+      if !n < 0 then
+        violate t ~time ~invariant:"shared-pool-conservation"
+          (Printf.sprintf "pool %s: class %s holdings went negative" pool
+             class_)
+  | None ->
+      violate t ~time ~invariant:"shared-pool-conservation"
+        (Printf.sprintf "pool %s: release by unregistered class %s" pool
+           class_));
+  check_pool_conservation t ~time ~pool ledger ~free
 
 let note_reconciliation t ~time ~session ~agree ~detail =
   record t ~time

@@ -27,6 +27,11 @@
     - {b parallel-equivalence}: a sampled task of a parallel sweep,
       re-run sequentially in the calling domain, produces a
       field-for-field identical {!Sdn_core.Experiment.result};
+    - {b shared-pool-conservation}: in a policy-managed shared buffer
+      pool, the sum of per-class holdings plus the pool's free count
+      equals the registered capacity at every claim/release event, no
+      class's holdings ever go negative, and only registered classes
+      claim or release;
     - {b cold-restart-wipe}: no buffered chain survives a cold node
       restart — the wipe must have expired every live unit of the
       crashed pool;
@@ -92,6 +97,34 @@ val note_crash_wipe : t -> time:float -> pool:string -> unit
     chain of that pool is still live in the conservation ledger — no
     chain may survive a cold restart. Call {e after} the wipe has
     reported its expiries. *)
+
+(* ---- Shared-pool conservation ---- *)
+
+val note_pool_create :
+  t -> time:float -> pool:string -> headroom:int -> unit
+(** Shared pool [pool] came up with [headroom] capacity units beyond
+    what its classes' quotas will contribute. Must precede the pool's
+    first claim so the conservation sum sees the full capacity. *)
+
+val note_pool_register :
+  t -> time:float -> pool:string -> class_:string -> quota:int -> unit
+(** Class [class_] joined shared pool [pool] with a static [quota]
+    contribution to the pool's capacity. Violation if the class is
+    already registered in that pool. *)
+
+val note_pool_claim :
+  t -> time:float -> pool:string -> class_:string -> free:int -> unit
+(** Class [class_] claimed one unit from [pool]; [free] is the pool's
+    free count {e after} the claim. Violation if the class is
+    unregistered or the conservation sum (holdings + free = capacity)
+    no longer holds. *)
+
+val note_pool_release :
+  t -> time:float -> pool:string -> class_:string -> free:int -> unit
+(** Class [class_] returned one unit to [pool]; [free] is the pool's
+    free count {e after} the release. Violation if the class is
+    unregistered, its holdings would go negative, or conservation
+    fails. *)
 
 val note_reconciliation :
   t -> time:float -> session:string -> agree:bool -> detail:string -> unit

@@ -427,3 +427,147 @@ let crash_report points =
   Buffer.contents buf
 
 let print_crash_report points = print_string (crash_report points)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-policy sweep: the shared-buffer sharing disciplines of
+   {!Sdn_switch.Buf_policy} swept against pool size under an incast
+   burst.  An 80 Mbps burst slams into a 20 Mbps egress uplink, so both
+   the ingress packet pool (misses waiting on rule installs) and the
+   egress classes (backlog behind the slow wire) fight over the shared
+   pool; the report compares delivery, drops and per-class occupancy /
+   threshold behaviour across policies and pool sizes. *)
+
+type policy_point = {
+  config : Config.t;
+  policy : Sdn_switch.Buf_policy.kind;
+  buffer : int;
+  result : Experiment.result;
+}
+
+let default_policies =
+  [
+    Sdn_switch.Buf_policy.Static;
+    Sdn_switch.Buf_policy.Sharing;
+    Sdn_switch.Buf_policy.Dt { alpha = 2.0 };
+    Sdn_switch.Buf_policy.Tdt { alpha0 = 2.0; target_delay = 2e-3 };
+  ]
+
+let default_policy_buffers = [ 16; 64; 256 ]
+
+(* Flows spread deterministically over three strict-priority classes by
+   source port; the tight capacities are what the sharing policies
+   relieve (or refuse to). *)
+let policy_classify (ctx : Sdn_controller.App.context) =
+  match ctx.Sdn_controller.App.flow_key with
+  | Some key -> Int32.of_int (key.Sdn_net.Flow_key.src_port mod 3)
+  | None -> 0l
+
+let default_policy_queues =
+  [
+    { Sdn_switch.Egress_queue.queue_id = 0l; priority = 0; weight = 1; capacity = 32 };
+    { Sdn_switch.Egress_queue.queue_id = 1l; priority = 1; weight = 2; capacity = 32 };
+    { Sdn_switch.Egress_queue.queue_id = 2l; priority = 2; weight = 4; capacity = 16 };
+  ]
+
+let default_policy_base ~seed =
+  {
+    Config.default with
+    Config.mechanism = Config.Packet_granularity;
+    buffer_capacity = 64;
+    rate_mbps = 80.0;
+    workload = Config.Udp_burst { n_packets = 400 };
+    egress_bandwidth_bps = Some 20e6;
+    qos =
+      Some
+        {
+          Config.classify = policy_classify;
+          policy = Sdn_switch.Egress_queue.Strict_priority;
+          queues = default_policy_queues;
+        };
+    seed;
+  }
+
+let policy_point_config ~base ~policy ~buffer =
+  { base with Config.buf_policy = Some policy; buffer_capacity = buffer }
+
+let run_policy ?(policies = default_policies)
+    ?(buffers = default_policy_buffers) ?jobs ~base () =
+  let jobs = match jobs with Some j -> j | None -> base.Config.jobs in
+  let specs =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun buffer ->
+            ((policy, buffer), policy_point_config ~base ~policy ~buffer))
+          buffers)
+      policies
+  in
+  let configs = Array.of_list (List.map snd specs) in
+  let results =
+    Exec.run_experiments ~jobs
+      ~label:(fun i ->
+        let _, config = List.nth specs i in
+        Printf.sprintf "policy/%s" (Config.label config))
+      configs
+  in
+  List.mapi
+    (fun i ((policy, buffer), config) ->
+      { config; policy; buffer; result = results.(i) })
+    specs
+
+let pool_rejected (r : Experiment.result) =
+  List.fold_left
+    (fun acc (s : Sdn_switch.Buf_policy.class_stat) ->
+      acc + s.Sdn_switch.Buf_policy.rejected)
+    0 r.Experiment.pool_classes
+
+let policy_row p =
+  let r = p.result in
+  [
+    Sdn_switch.Buf_policy.kind_to_string p.policy;
+    string_of_int p.buffer;
+    Printf.sprintf "%d/%d" r.Experiment.packets_out r.Experiment.packets_in;
+    string_of_int r.Experiment.packets_dropped;
+    string_of_int r.Experiment.full_packet_fallbacks;
+    string_of_int r.Experiment.buffer_max_in_use;
+    string_of_int (pool_rejected r);
+    string_of_int r.Experiment.egress_misrouted;
+    Report.fmt_ms r.Experiment.forwarding_delay.Experiment.mean;
+  ]
+
+let policy_header =
+  [
+    "policy";
+    "buffer";
+    "packets";
+    "dropped";
+    "fallbacks";
+    "buf max";
+    "pool-rej";
+    "misrouted";
+    "fwd mean (ms)";
+  ]
+
+let policy_report points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "chaos: shared-buffer policy sweep (incast burst, policy x pool size)\n\n";
+  Buffer.add_string buf
+    (Report.table ~header:policy_header ~rows:(List.map policy_row points));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "\npool classes\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s (buffer %d)\n"
+           (Sdn_switch.Buf_policy.kind_to_string p.policy)
+           p.buffer);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Format.asprintf "  %a\n" Sdn_switch.Buf_policy.pp_class_stat s))
+        p.result.Experiment.pool_classes)
+    points;
+  Buffer.contents buf
+
+let print_policy_report points = print_string (policy_report points)

@@ -176,3 +176,55 @@ val crash_report : crash_point list -> string
     with crash/restart/reconciliation events marked. *)
 
 val print_crash_report : crash_point list -> unit
+
+(** {2 Buffer-policy sweep}
+
+    The shared-buffer sharing disciplines of {!Sdn_switch.Buf_policy}
+    swept against pool size under an incast burst. Each point runs the
+    same deterministic 80 Mbps burst into a 20 Mbps egress uplink with
+    three strict-priority classes, so both the ingress packet pool and
+    the egress backlog draw on the shared pool; the report compares
+    delivery, drops and per-class occupancy / threshold behaviour.
+    Deterministic like the other sweeps. *)
+
+type policy_point = {
+  config : Config.t;  (** the exact configuration the point ran *)
+  policy : Sdn_switch.Buf_policy.kind;
+  buffer : int;  (** packet-pool capacity (the pool-size axis) *)
+  result : Experiment.result;
+}
+
+val default_policies : Sdn_switch.Buf_policy.kind list
+(** static, complete sharing, DT (alpha 2), adaptive TDT. *)
+
+val default_policy_buffers : int list
+(** [16; 64; 256] packet-pool slots. *)
+
+val default_policy_base : seed:int -> Config.t
+(** Packet-granularity, 400-packet UDP burst at 80 Mbps into a 20 Mbps
+    egress uplink, three strict-priority classes (capacities 32/32/16)
+    filled deterministically by source port. *)
+
+val policy_point_config :
+  base:Config.t -> policy:Sdn_switch.Buf_policy.kind -> buffer:int -> Config.t
+(** The configuration a sweep point runs: [base] with the sharing
+    policy armed and the packet-pool capacity substituted. *)
+
+val run_policy :
+  ?policies:Sdn_switch.Buf_policy.kind list ->
+  ?buffers:int list ->
+  ?jobs:int ->
+  base:Config.t ->
+  unit ->
+  policy_point list
+(** Run the sweep: one experiment per policy x pool size, in
+    deterministic order (policies outer, sizes inner). [jobs] (default
+    [base.jobs]) parallelizes exactly as in {!run}. *)
+
+val policy_report : policy_point list -> string
+(** Deterministic plain-text report: one table row per point (delivery,
+    drops, buffered-packet fallbacks, pool high-water mark, pool
+    rejections, misroutes, forwarding delay) plus each point's
+    per-class occupancy / threshold / admission lines. *)
+
+val print_policy_report : policy_point list -> unit

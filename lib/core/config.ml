@@ -42,6 +42,7 @@ type t = {
   echo_misses : int;
   fail_mode : fail_mode;
   overload_watermark : float;
+  buf_policy : Sdn_switch.Buf_policy.kind option;
   qos : qos option;
   egress_bandwidth_bps : float option;
   check : bool;
@@ -73,6 +74,7 @@ let default =
     echo_misses = 3;
     fail_mode = Fail_secure;
     overload_watermark = 1.0;
+    buf_policy = None;
     qos = None;
     egress_bandwidth_bps = None;
     check = false;
@@ -104,7 +106,13 @@ let packets_expected t =
   | Poisson_mix { n_packets; _ } -> n_packets + 1
 
 let label t =
-  match t.mechanism with
-  | No_buffer -> "no-buffer"
-  | Packet_granularity -> Printf.sprintf "buffer-%d" t.buffer_capacity
-  | Flow_granularity -> "flow-granularity"
+  let base =
+    match t.mechanism with
+    | No_buffer -> "no-buffer"
+    | Packet_granularity -> Printf.sprintf "buffer-%d" t.buffer_capacity
+    | Flow_granularity -> "flow-granularity"
+  in
+  match t.buf_policy with
+  | None -> base
+  | Some kind ->
+      Printf.sprintf "%s/%s" base (Sdn_switch.Buf_policy.kind_to_string kind)

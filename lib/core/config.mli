@@ -82,6 +82,11 @@ type t = {
       (** switch admission-control high watermark (fraction of buffer
           capacity) past which new miss chains are shed; [1.0] (the
           default) disables the guard *)
+  buf_policy : Sdn_switch.Buf_policy.kind option;
+      (** shared-buffer sharing discipline across the switch's packet
+          pool and QoS queues (the [--buf-policy] CLI flag); [None]
+          (the default) keeps the legacy private static partitions and
+          byte-identical outputs *)
   qos : qos option;
   egress_bandwidth_bps : float option;
       (** override for the switch-to-host2 link speed (e.g. a slower

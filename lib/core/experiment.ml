@@ -39,6 +39,11 @@ type result = {
   forwarding_delay : summary;
   buffer_mean_in_use : float;
   buffer_max_in_use : int;
+  (* Shared-buffer policy layer (empty/zero — and unprinted — when no
+     policy is configured, keeping default runs byte-identical). *)
+  buf_policy : string option;
+  pool_classes : Sdn_switch.Buf_policy.class_stat list;
+  egress_misrouted : int;
   flows_started : int;
   flows_completed : int;
   flows_recovered : int;
@@ -201,6 +206,14 @@ let run (config : Config.t) =
     forwarding_delay = summary_of_stats (Delay.flow_forwarding_delays delay);
     buffer_mean_in_use = Sdn_switch.Switch.buffer_mean_in_use switch ~until:window_end;
     buffer_max_in_use = Sdn_switch.Switch.buffer_max_in_use switch;
+    buf_policy =
+      Option.map Sdn_switch.Buf_policy.kind_to_string
+        config.Config.buf_policy;
+    pool_classes =
+      (match Sdn_switch.Switch.shared_pool switch with
+      | Some pool -> Sdn_switch.Buf_policy.stats pool ~until:window_end
+      | None -> []);
+    egress_misrouted = Sdn_switch.Switch.egress_misrouted switch;
     flows_started = Delay.flows_started delay;
     flows_completed = Delay.flows_completed delay;
     flows_recovered = Sdn_switch.Switch.flows_recovered switch;
@@ -280,6 +293,17 @@ let transitions_eq a b =
     (fun (ta, sa) (tb, sb) -> float_eq ta tb && String.equal sa sb)
     a b
 
+let class_stat_eq (a : Sdn_switch.Buf_policy.class_stat)
+    (b : Sdn_switch.Buf_policy.class_stat) =
+  let open Sdn_switch.Buf_policy in
+  String.equal a.class_name b.class_name
+  && a.quota = b.quota && a.priority = b.priority
+  && float_eq a.occupancy_mean b.occupancy_mean
+  && a.occupancy_max = b.occupancy_max
+  && a.threshold = b.threshold
+  && float_eq a.alpha b.alpha
+  && a.admitted = b.admitted && a.rejected = b.rejected
+
 let diff_result a b =
   let mismatches = ref [] in
   let chk name equal = if not equal then mismatches := name :: !mismatches in
@@ -302,6 +326,9 @@ let diff_result a b =
   chk "forwarding_delay" (summary_eq a.forwarding_delay b.forwarding_delay);
   chk "buffer_mean_in_use" (float_eq a.buffer_mean_in_use b.buffer_mean_in_use);
   chk "buffer_max_in_use" (a.buffer_max_in_use = b.buffer_max_in_use);
+  chk "buf_policy" (Option.equal String.equal a.buf_policy b.buf_policy);
+  chk "pool_classes" (List.equal class_stat_eq a.pool_classes b.pool_classes);
+  chk "egress_misrouted" (a.egress_misrouted = b.egress_misrouted);
   chk "flows_started" (a.flows_started = b.flows_started);
   chk "flows_completed" (a.flows_completed = b.flows_completed);
   chk "flows_recovered" (a.flows_recovered = b.flows_recovered);
@@ -368,6 +395,19 @@ let pp_result fmt r =
       r.forwarding_delay;
   Format.fprintf fmt "buffer units         : mean %.1f, max %d@,"
     r.buffer_mean_in_use r.buffer_max_in_use;
+  (* Printed only under a configured sharing policy, so default-policy
+     runs stay byte-identical to the pre-policy goldens. *)
+  (match r.buf_policy with
+  | Some policy ->
+      Format.fprintf fmt "buffer policy        : %s@," policy;
+      List.iter
+        (fun s ->
+          Format.fprintf fmt "  %a@," Sdn_switch.Buf_policy.pp_class_stat s)
+        r.pool_classes
+  | None -> ());
+  if r.egress_misrouted > 0 then
+    Format.fprintf fmt "egress misroutes     : %d frame(s) to unknown queues@,"
+      r.egress_misrouted;
   Format.fprintf fmt "flows                : %d started, %d completed@,"
     r.flows_started r.flows_completed;
   if r.flows_recovered > 0 || r.flows_abandoned > 0 then begin

@@ -39,6 +39,18 @@ type result = {
   forwarding_delay : summary;
   buffer_mean_in_use : float;
   buffer_max_in_use : int;
+  buf_policy : string option;
+      (** the configured shared-buffer policy
+          ({!Sdn_switch.Buf_policy.kind_to_string}); [None] on default
+          runs, whose reports stay byte-identical *)
+  pool_classes : Sdn_switch.Buf_policy.class_stat list;
+      (** per-class occupancy / threshold / admission summary of the
+          switch's shared pool, in registration order; empty when no
+          policy is configured *)
+  egress_misrouted : int;
+      (** frames carrying an [Enqueue] action naming a queue id the
+          egress port never configured (dropped, not silently promoted
+          to the top-priority class) *)
   flows_started : int;
   flows_completed : int;
   flows_recovered : int;

@@ -56,6 +56,20 @@ let build (config : Config.t) =
       echo_misses = config.Config.echo_misses;
       fail_mode = config.Config.fail_mode;
       overload_watermark = config.Config.overload_watermark;
+      buf_policy = config.Config.buf_policy;
+      (* Headroom for the non-static policies: twice the QoS queues'
+         combined capacity, so complete sharing / DT have real slack to
+         move between the ingress pool and the egress classes. Static
+         ignores it (admission is per-class quota). *)
+      shared_headroom =
+        (match (config.Config.buf_policy, config.Config.qos) with
+        | Some _, Some qos ->
+            2
+            * List.fold_left
+                (fun acc (q : Sdn_switch.Egress_queue.queue_config) ->
+                  acc + q.Sdn_switch.Egress_queue.capacity)
+                0 qos.Config.queues
+        | _, _ -> 0);
     }
   in
   (* buffer_capacity = 0 means the no-buffer configuration. *)

@@ -37,11 +37,14 @@ let mean t =
   end
 
 let max_value t =
-  let m = ref 0.0 in
-  for i = 0 to t.n - 1 do
-    if t.vals.(i) > !m then m := t.vals.(i)
-  done;
-  !m
+  if t.n = 0 then 0.0
+  else begin
+    let m = ref t.vals.(0) in
+    for i = 1 to t.n - 1 do
+      if t.vals.(i) > !m then m := t.vals.(i)
+    done;
+    !m
+  end
 
 let stats t =
   let s = Stats.create () in
@@ -71,6 +74,11 @@ module Weighted = struct
     if value > w.max_v then w.max_v <- value
 
   let mean w ~until =
+    (* The integral already extends to [last_time]; a caller-supplied
+       [until] earlier than that would divide it by too short a span,
+       so the observation window can only ever end at or after the
+       last recorded update. *)
+    let until = Float.max until w.last_time in
     let span = until -. w.start in
     if span <= 0.0 then w.last_value
     else begin

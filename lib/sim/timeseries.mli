@@ -29,7 +29,7 @@ val mean : t -> float
 (** Plain (unweighted) mean of the values; [0.] if empty. *)
 
 val max_value : t -> float
-(** Largest value; [0.] if empty. *)
+(** Largest value (correct for all-negative series); [0.] if empty. *)
 
 val stats : t -> Stats.t
 (** All values loaded into a fresh {!Stats.t}. *)
@@ -47,7 +47,9 @@ module Weighted : sig
       [>=] the previous update time. *)
 
   val mean : w -> until:float -> float
-  (** Time-weighted mean of the signal over [\[start, until\]]. *)
+  (** Time-weighted mean of the signal over [\[start, until\]]. An
+      [until] earlier than the last update time is clamped up to it —
+      the accumulated integral already covers that span. *)
 
   val max_value : w -> float
   (** Largest value the signal ever took (including the initial one). *)

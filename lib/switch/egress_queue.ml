@@ -18,6 +18,9 @@ type class_queue = {
   mutable sent : int;
   mutable dropped : int;
   delays : Stats.t;
+  shared_cls : Buf_policy.cls option;
+      (** when the scheduler draws on a shared buffer pool, the class
+          this queue claims units from *)
 }
 
 type t = {
@@ -28,9 +31,12 @@ type t = {
   mutable drr_cursor : int;
   mutable drr_visit_credited : bool;
   mutable pump_armed : bool;
+  mutable misrouted : int;
+      (** frames sent with an unknown [queue_id]: typed-dropped, never
+          enqueued (and in particular never into the top class) *)
 }
 
-let create engine ~link ~policy ~queues =
+let create ?shared engine ~link ~policy ~queues =
   if queues = [] then invalid_arg "Egress_queue.create: no queues";
   let ids = List.map (fun q -> q.queue_id) queues in
   if List.length (List.sort_uniq Int32.compare ids) <> List.length ids then
@@ -51,6 +57,19 @@ let create engine ~link ~policy ~queues =
       Array.of_list
         (List.map
            (fun config ->
+             let shared_cls =
+               match shared with
+               | None -> None
+               | Some (pool, prefix) ->
+                   (* Registration follows the sorted class order, so a
+                      given queue set always produces the same shared-
+                      pool ledger regardless of input ordering. *)
+                   Some
+                     (Buf_policy.register pool
+                        ~name:
+                          (Printf.sprintf "%s/q%ld" prefix config.queue_id)
+                        ~quota:config.capacity ~priority:config.priority)
+             in
              {
                config;
                frames = Queue.create ();
@@ -58,19 +77,33 @@ let create engine ~link ~policy ~queues =
                sent = 0;
                dropped = 0;
                delays = Stats.create ();
+               shared_cls;
              })
            sorted);
     drr_cursor = 0;
     drr_visit_credited = false;
     pump_armed = false;
+    misrouted = 0;
   }
 
-let class_for t queue_id =
-  let found = ref t.classes.(0) in
+(* Exact lookup: [None] for an id no configured queue carries. The old
+   fall-through to [classes.(0)] silently promoted misrouted frames to
+   the top-priority class. *)
+let class_for_opt t queue_id =
+  let found = ref None in
   Array.iter
-    (fun c -> if Int32.equal c.config.queue_id queue_id then found := c)
+    (fun c ->
+      if !found = None && Int32.equal c.config.queue_id queue_id then
+        found := Some c)
     t.classes;
   !found
+
+let class_for t queue_id =
+  match class_for_opt t queue_id with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Egress_queue: unknown queue id %ld" queue_id)
 
 let backlog t =
   Array.fold_left (fun acc c -> acc + Queue.length c.frames) 0 t.classes
@@ -156,6 +189,11 @@ let rec pump t =
         | Fifo | Strict_priority -> ());
         c.sent <- c.sent + 1;
         Stats.add c.delays (now -. enqueued_at);
+        (match c.shared_cls with
+        | Some cls ->
+            Buf_policy.release cls;
+            Buf_policy.note_delay cls (now -. enqueued_at)
+        | None -> ());
         Link.send t.link ~size:(Bytes.length frame) frame;
         (* The wire is now busy until this frame finishes; come back. *)
         if backlog t > 0 then arm_at t (Link.busy_until t.link)
@@ -170,18 +208,43 @@ and arm_at t time =
            pump t))
   end
 
+(* One unit of queue room, from the shared pool when attached and from
+   the class's own tail-drop capacity otherwise. Under the [Static]
+   policy the two are equivalent: the class quota equals the configured
+   capacity and the class length mirrors the queue length exactly. *)
+let admit_frame c =
+  match c.shared_cls with
+  | Some cls -> Buf_policy.admit cls
+  | None -> Queue.length c.frames < c.config.capacity
+
 let send t ~queue_id frame =
-  let c = class_for t (Option.value queue_id ~default:0l) in
-  if Queue.length c.frames >= c.config.capacity then
-    c.dropped <- c.dropped + 1
-  else begin
-    Queue.push (Engine.now t.engine, frame) c.frames;
-    pump t
-  end
+  let target =
+    match queue_id with
+    | Some qid -> class_for_opt t qid
+    | None -> (
+        (* Plain Output actions (no queue selected) keep their historic
+           default: queue 0 when configured, else the first class. *)
+        match class_for_opt t 0l with
+        | Some c -> Some c
+        | None -> Some t.classes.(0))
+  in
+  match target with
+  | None ->
+      (* Unknown queue id: a typed drop, counted but never enqueued —
+         promoting it to the top-priority class would let a bogus id
+         jump the scheduling order. *)
+      t.misrouted <- t.misrouted + 1
+  | Some c ->
+      if not (admit_frame c) then c.dropped <- c.dropped + 1
+      else begin
+        Queue.push (Engine.now t.engine, frame) c.frames;
+        pump t
+      end
 
 let queued t ~queue_id = Queue.length (class_for t queue_id).frames
 let sent t ~queue_id = (class_for t queue_id).sent
 let dropped t ~queue_id = (class_for t queue_id).dropped
+let misrouted t = t.misrouted
 
 let total_dropped t =
   Array.fold_left (fun acc c -> acc + c.dropped) 0 t.classes

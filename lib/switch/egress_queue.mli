@@ -16,7 +16,12 @@
 
     Frames are classified by the OpenFlow [Enqueue] action's queue id
     (an [Output] action lands in queue 0). Each queue has a bounded
-    depth; overflow tail-drops, and drops are counted per queue. *)
+    depth; overflow tail-drops, and drops are counted per queue. A
+    frame naming a queue id no configured queue carries is a {e typed
+    drop}: counted in {!misrouted}, never enqueued — in particular it
+    is never promoted into the top-priority class. Queue room may
+    optionally be drawn from a shared {!Buf_policy} pool instead of
+    each queue's private tail-drop capacity. *)
 
 open Sdn_sim
 
@@ -38,12 +43,22 @@ val default_queue : queue_config
 type t
 
 val create :
-  Engine.t -> link:Bytes.t Link.t -> policy:policy -> queues:queue_config list -> t
-(** [queues] must be non-empty and contain distinct ids; frames for
-    unknown queue ids are classified into the first configured queue. *)
+  ?shared:Buf_policy.t * string ->
+  Engine.t ->
+  link:Bytes.t Link.t ->
+  policy:policy ->
+  queues:queue_config list ->
+  t
+(** [queues] must be non-empty and contain distinct ids. With
+    [shared = (pool, prefix)] each queue registers a class
+    ["<prefix>/q<id>"] in [pool] (quota = its capacity, its priority)
+    and admits frames through the pool's sharing policy instead of its
+    private capacity. *)
 
 val send : t -> queue_id:int32 option -> Bytes.t -> unit
-(** Submit a frame for transmission ([None] = default queue 0). *)
+(** Submit a frame for transmission. [None] (a plain [Output] action)
+    goes to queue 0 when configured, else to the first queue. An
+    unknown id is counted in {!misrouted} and dropped. *)
 
 val backlog : t -> int
 (** Frames waiting across all queues (not counting the one on the
@@ -53,6 +68,10 @@ val queued : t -> queue_id:int32 -> int
 val sent : t -> queue_id:int32 -> int
 val dropped : t -> queue_id:int32 -> int
 val total_dropped : t -> int
+
+val misrouted : t -> int
+(** Frames submitted with a queue id no configured queue carries
+    (typed-dropped at [send]). *)
 
 val queue_delay_stats : t -> queue_id:int32 -> Stats.t
 (** Waiting time (enqueue to wire) of the frames of one class. *)

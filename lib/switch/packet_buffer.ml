@@ -2,14 +2,18 @@ open Sdn_sim
 
 type slot_state =
   | Free
-  | Held of { frame : Bytes.t; expiry_handle : Engine.handle }
-  | Reclaiming
+  | Held of { frame : Bytes.t; expiry_handle : Engine.handle; held_at : float }
+  | Reclaiming of { reclaim_handle : Engine.handle }
+      (** carries the deferred-reclaim timer so {!wipe} can cancel it —
+          otherwise a stale callback could shorten the reclaim lag of a
+          slot re-allocated after the wipe *)
 
 type slot = { mutable state : slot_state; mutable generation : int }
 
 type t = {
   engine : Engine.t;
   check : Sdn_check.Check.t option;
+  policy : Buf_policy.cls option;
   pool_name : string;
   capacity : int;
   expiry : float;
@@ -36,13 +40,14 @@ let id_of ~generation ~slot =
 let slot_of_id id = Int32.to_int (Int32.logand id 0xFFFFl)
 let generation_of_id id = Int32.to_int (Int32.shift_right_logical id 16) land 0x7FFF
 
-let create engine ?check ?(pool_name = "pkt_pool") ~capacity ~expiry
+let create engine ?check ?policy ?(pool_name = "pkt_pool") ~capacity ~expiry
     ~reclaim_lag () =
   if capacity <= 0 || capacity > 0xFFFF then
     invalid_arg "Packet_buffer.create: capacity out of range";
   {
     engine;
     check;
+    policy;
     pool_name;
     capacity;
     expiry;
@@ -74,37 +79,53 @@ let release_slot t i =
   slot.generation <- (slot.generation + 1) land 0x7FFF;
   t.free <- i :: t.free;
   t.in_use <- t.in_use - 1;
+  (match t.policy with Some cls -> Buf_policy.release cls | None -> ());
   note_occupancy t
 
 let alloc t ~frame =
-  match t.free with
-  | [] ->
-      t.alloc_failures <- t.alloc_failures + 1;
-      None
-  | i :: rest ->
-      t.free <- rest;
-      let slot = t.slots.(i) in
-      let generation = slot.generation in
-      let expiry_handle =
-        Engine.schedule t.engine ~delay:t.expiry (fun () ->
-            (* Still held by the same allocation? Then nobody released
-               it in time: drop the packet. *)
-            match slot.state with
-            | Held _ when slot.generation = generation ->
-                t.expired <- t.expired + 1;
-                checked t
-                  (Sdn_check.Check.note_buffer_expire
-                     ~id:(id_of ~generation ~slot:i));
-                release_slot t i
-            | Held _ | Free | Reclaiming -> ())
-      in
-      slot.state <- Held { frame; expiry_handle };
-      t.in_use <- t.in_use + 1;
-      t.allocations <- t.allocations + 1;
-      note_occupancy t;
-      let id = id_of ~generation ~slot:i in
-      checked t (Sdn_check.Check.note_buffer_alloc ~id);
-      Some id
+  (* Policy admission first: the sharing discipline may refuse even
+     when a physical slot is free (its share is exhausted), or grant a
+     unit the static quota would have refused. *)
+  let admitted =
+    match t.policy with Some cls -> Buf_policy.admit cls | None -> true
+  in
+  if not admitted then begin
+    t.alloc_failures <- t.alloc_failures + 1;
+    None
+  end
+  else
+    match t.free with
+    | [] ->
+        (match t.policy with
+        | Some cls -> Buf_policy.release cls
+        | None -> ());
+        t.alloc_failures <- t.alloc_failures + 1;
+        None
+    | i :: rest ->
+        t.free <- rest;
+        let slot = t.slots.(i) in
+        let generation = slot.generation in
+        let expiry_handle =
+          Engine.schedule t.engine ~delay:t.expiry (fun () ->
+              (* Still held by the same allocation? Then nobody released
+                 it in time: drop the packet. *)
+              match slot.state with
+              | Held _ when slot.generation = generation ->
+                  t.expired <- t.expired + 1;
+                  checked t
+                    (Sdn_check.Check.note_buffer_expire
+                       ~id:(id_of ~generation ~slot:i));
+                  release_slot t i
+              | Held _ | Free | Reclaiming _ -> ())
+        in
+        slot.state <-
+          Held { frame; expiry_handle; held_at = Engine.now t.engine };
+        t.in_use <- t.in_use + 1;
+        t.allocations <- t.allocations + 1;
+        note_occupancy t;
+        let id = id_of ~generation ~slot:i in
+        checked t (Sdn_check.Check.note_buffer_alloc ~id);
+        Some id
 
 let take t id =
   let i = slot_of_id id in
@@ -112,17 +133,22 @@ let take t id =
   else begin
     let slot = t.slots.(i) in
     match slot.state with
-    | Held { frame; expiry_handle } when slot.generation = generation_of_id id ->
+    | Held { frame; expiry_handle; held_at }
+      when slot.generation = generation_of_id id ->
         Engine.cancel expiry_handle;
         checked t (Sdn_check.Check.note_buffer_release ~id ~packets:1);
-        slot.state <- Reclaiming;
-        ignore
-          (Engine.schedule t.engine ~delay:t.reclaim_lag (fun () ->
-               match slot.state with
-               | Reclaiming -> release_slot t i
-               | Free | Held _ -> ()));
+        (match t.policy with
+        | Some cls -> Buf_policy.note_delay cls (Engine.now t.engine -. held_at)
+        | None -> ());
+        let reclaim_handle =
+          Engine.schedule t.engine ~delay:t.reclaim_lag (fun () ->
+              match slot.state with
+              | Reclaiming _ -> release_slot t i
+              | Free | Held _ -> ())
+        in
+        slot.state <- Reclaiming { reclaim_handle };
         Taken frame
-    | Held _ | Free | Reclaiming ->
+    | Held _ | Free | Reclaiming _ ->
         t.stale_takes <- t.stale_takes + 1;
         Unknown_id
   end
@@ -141,9 +167,11 @@ let wipe t =
                ~id:(id_of ~generation:slot.generation ~slot:i));
           release_slot t i;
           incr packets
-      | Reclaiming ->
-          (* Reclaim immediately; the deferred callback sees Free and
-             stands down. *)
+      | Reclaiming { reclaim_handle } ->
+          (* Reclaim immediately — and cancel the deferred timer, so it
+             cannot fire against a future allocation of this slot and
+             silently shorten that allocation's reclaim lag. *)
+          Engine.cancel reclaim_handle;
           release_slot t i
       | Free -> ())
     t.slots;

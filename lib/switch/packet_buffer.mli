@@ -26,6 +26,7 @@ type take_result =
 val create :
   Engine.t ->
   ?check:Sdn_check.Check.t ->
+  ?policy:Buf_policy.cls ->
   ?pool_name:string ->
   capacity:int ->
   expiry:float ->
@@ -34,11 +35,16 @@ val create :
   t
 (** With [check] armed, every allocation, release and expiry is
     reported to the invariant checker under [pool_name] (default
-    ["pkt_pool"]) for buffer-conservation verification. *)
+    ["pkt_pool"]) for buffer-conservation verification. With [policy]
+    set, the pool draws on a shared {!Buf_policy} pool: every [alloc]
+    must first be admitted by the class, every reclaim returns the
+    unit, and each successful {!take} feeds the buffering delay into
+    the class's EWMA. *)
 
 val alloc : t -> frame:Bytes.t -> int32 option
-(** Store a frame; [None] when every unit is in use (the switch then
-    falls back to sending the full packet to the controller). *)
+(** Store a frame; [None] when every unit is in use or the sharing
+    policy refuses the claim (the switch then falls back to sending
+    the full packet to the controller). *)
 
 val take : t -> int32 -> take_result
 (** Release by id. The frame is returned for forwarding; the unit
@@ -47,8 +53,10 @@ val take : t -> int32 -> take_result
 val wipe : t -> int
 (** Cold-restart state loss: expire every held packet (reported to the
     checker, counted into {!expired}) and reclaim in-flight releases
-    immediately. Returns how many buffered packets were lost. Walks
-    slots in index order so wiped runs stay byte-reproducible. *)
+    immediately, cancelling their deferred-reclaim timers so no stale
+    callback can touch a post-wipe re-allocation of the slot. Returns
+    how many buffered packets were lost. Walks slots in index order so
+    wiped runs stay byte-reproducible. *)
 
 val capacity : t -> int
 

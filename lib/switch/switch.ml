@@ -28,6 +28,8 @@ type config = {
   echo_misses : int;
   fail_mode : Session.fail_mode;
   overload_watermark : float;
+  buf_policy : Buf_policy.kind option;
+  shared_headroom : int;
 }
 
 let default_config =
@@ -56,6 +58,11 @@ let default_config =
     (* 1.0 disables the admission guard: the pool only sheds at true
        exhaustion, exactly the pre-guard behaviour. *)
     overload_watermark = 1.0;
+    (* No shared-buffer policy: the pools keep their private static
+       partitions and every run stays byte-identical to before the
+       policy layer existed. *)
+    buf_policy = None;
+    shared_headroom = 0;
   }
 
 type counters = {
@@ -100,6 +107,7 @@ type t = {
   table : Flow_table.t;
   mutable pkt_pool : Packet_buffer.t option;
   mutable flow_pool : Flow_buffer.t option;
+  mutable shared_pool : Buf_policy.t option;
   ports : (int, Bytes.t Link.t) Hashtbl.t;
   port_schedulers : (int, Egress_queue.t) Hashtbl.t;
   down_ports : (int, unit) Hashtbl.t;
@@ -150,6 +158,25 @@ let fresh_xid t =
 
 let pkt_pool_name t = t.name ^ "/pkt_pool"
 let flow_pool_name t = t.name ^ "/flow_pool"
+let shared_pool_name t = t.name ^ "/shared"
+
+(* The switch-wide shared buffer pool, created on first demand when a
+   sharing policy is configured. The packet-buffer pool and every
+   port scheduler's classes all draw on it. *)
+let ensure_shared_pool t =
+  match t.config.buf_policy with
+  | None -> None
+  | Some kind -> (
+      match t.shared_pool with
+      | Some _ as pool -> pool
+      | None ->
+          let pool =
+            Buf_policy.create ?check:t.check
+              ~headroom:t.config.shared_headroom ~kind
+              ~name:(shared_pool_name t) t.engine
+          in
+          t.shared_pool <- Some pool;
+          Some pool)
 
 (* Report a PACKET_IN emission decision to the invariant checker. Noted
    at the decision point (miss handler / resend timer), not at the
@@ -163,8 +190,26 @@ let note_pkt_in t ~pool ~id ~resend =
   | None -> ()
 
 let make_pkt_pool t =
-  Packet_buffer.create t.engine ?check:t.check ~pool_name:(pkt_pool_name t)
-    ~capacity:t.config.buffer_capacity ~expiry:t.config.buffer_expiry
+  let policy =
+    match ensure_shared_pool t with
+    | None -> None
+    | Some pool ->
+        Some
+          (Buf_policy.register pool ~name:"ingress"
+             ~quota:t.config.buffer_capacity ~priority:0)
+  in
+  (* Under a sharing policy the physical slot array carries headroom
+     beyond the static quota — the policy, not the array, is the
+     admission limit. Static (and no policy) keeps the exact legacy
+     geometry. *)
+  let capacity =
+    match t.config.buf_policy with
+    | None | Some Buf_policy.Static -> t.config.buffer_capacity
+    | Some _ ->
+        Int.min 0xFFFF (t.config.buffer_capacity + t.config.shared_headroom)
+  in
+  Packet_buffer.create t.engine ?check:t.check ?policy
+    ~pool_name:(pkt_pool_name t) ~capacity ~expiry:t.config.buffer_expiry
     ~reclaim_lag:t.config.reclaim_lag ()
 
 (* The flow pool's resend callback needs the switch, so it is created
@@ -907,6 +952,7 @@ let create engine ?check ~config ~costs ~rng () =
           ~capacity:config.flow_table_capacity ();
       pkt_pool = None;
       flow_pool = None;
+      shared_pool = None;
       ports = Hashtbl.create 8;
       port_schedulers = Hashtbl.create 8;
       down_ports = Hashtbl.create 4;
@@ -1039,10 +1085,26 @@ let set_port_scheduler t ~port ~policy ~queues =
   match Hashtbl.find_opt t.ports port with
   | None -> invalid_arg "Switch.set_port_scheduler: no such port"
   | Some link ->
+      let shared =
+        match ensure_shared_pool t with
+        | None -> None
+        | Some pool -> Some (pool, Printf.sprintf "port%d" port)
+      in
       Hashtbl.replace t.port_schedulers port
-        (Egress_queue.create t.engine ~link ~policy ~queues)
+        (Egress_queue.create ?shared t.engine ~link ~policy ~queues)
 
 let port_scheduler t ~port = Hashtbl.find_opt t.port_schedulers port
+let shared_pool t = t.shared_pool
+
+let egress_misrouted t =
+  (* Sum is order-independent, but fold-to-list + sort keeps the
+     traversal deterministic (the sort discharges the hashtbl-order
+     rule). *)
+  Hashtbl.fold
+    (fun port q acc -> (port, Egress_queue.misrouted q) :: acc)
+    t.port_schedulers []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.fold_left (fun acc (_, m) -> acc + m) 0
 let set_controller_link t link = t.controller_link <- Some link
 let kernel_cpu t = t.kernel
 let userspace_cpu t = t.userspace

@@ -63,6 +63,16 @@ type config = {
           shed with a typed drop reason instead of crowding in-flight
           ones (appends to live chains are still admitted). [1.0] (the
           default) disables the guard *)
+  buf_policy : Buf_policy.kind option;
+      (** shared-buffer sharing discipline. [None] (the default) keeps
+          the legacy private static partitions — runs are byte-identical
+          to the pre-policy behaviour. [Some kind] routes the packet
+          pool and every QoS queue's admissions through one switch-wide
+          {!Buf_policy} pool *)
+  shared_headroom : int;
+      (** extra physical capacity (units) granted to the shared pool on
+          top of the per-class quotas; the slack non-static policies
+          can move between classes. Ignored without [buf_policy] *)
 }
 
 val default_config : config
@@ -144,6 +154,15 @@ val set_port_scheduler :
     action's queue id; plain [Output] goes to queue 0. *)
 
 val port_scheduler : t -> port:int -> Egress_queue.t option
+
+val shared_pool : t -> Buf_policy.t option
+(** The switch-wide shared buffer pool, present once a
+    {!config.buf_policy} is configured and the first consumer (packet
+    pool or port scheduler) has been created. *)
+
+val egress_misrouted : t -> int
+(** Frames dropped across all port schedulers because they named a
+    queue id no configured queue carries (summed in port order). *)
 
 val set_port_state : t -> port:int -> up:bool -> unit
 (** Fail or restore a port (failure injection). Frames forwarded to a

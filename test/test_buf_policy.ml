@@ -1,0 +1,207 @@
+(* Tests for the shared-buffer policy layer: parsing, per-policy
+   admission semantics, TDT adaptation, the conservation invariant
+   under the runtime checker, and experiment-level policy curves. *)
+
+open Sdn_sim
+open Sdn_switch
+open Sdn_core
+
+let feq ?(eps = 1e-9) what expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" what expected actual)
+    true
+    (abs_float (expected -. actual) <= eps)
+
+let kind = Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Buf_policy.kind_to_string k))
+    (fun a b -> String.equal (Buf_policy.kind_to_string a) (Buf_policy.kind_to_string b))
+
+let parse_ok s =
+  match Buf_policy.kind_of_string s with
+  | Ok k -> k
+  | Error msg -> Alcotest.failf "%S did not parse: %s" s msg
+
+let test_kind_parsing () =
+  Alcotest.check kind "static" Buf_policy.Static (parse_ok "static");
+  Alcotest.check kind "share" Buf_policy.Sharing (parse_ok "share");
+  Alcotest.check kind "dt default"
+    (Buf_policy.Dt { alpha = 2.0 }) (parse_ok "dt");
+  Alcotest.check kind "dt:0.5"
+    (Buf_policy.Dt { alpha = 0.5 }) (parse_ok "dt:0.5");
+  Alcotest.check kind "tdt:4:1"
+    (Buf_policy.Tdt { alpha0 = 4.0; target_delay = 1e-3 })
+    (parse_ok "tdt:4:1");
+  Alcotest.check kind "case and space" Buf_policy.Static (parse_ok " Static ");
+  List.iter
+    (fun s ->
+      match Buf_policy.kind_of_string s with
+      | Ok _ -> Alcotest.failf "%S must not parse" s
+      | Error _ -> ())
+    [ "bogus"; "dt:-1"; "dt:x"; "tdt:0"; "tdt:2:-3"; "" ];
+  (* Round-trip through the printed form. *)
+  List.iter
+    (fun s ->
+      let k = parse_ok s in
+      Alcotest.check kind
+        (Printf.sprintf "round-trip %s" s)
+        k
+        (parse_ok (Buf_policy.kind_to_string k)))
+    [ "static"; "share"; "dt:1.5"; "tdt:3:5" ]
+
+let make ?check ?(headroom = 0) kind engine =
+  Buf_policy.create ?check ~headroom ~kind ~name:"pool" engine
+
+(* Admit [n] units into [c], stopping at the first rejection; returns
+   how many were admitted. *)
+let fill c n =
+  let admitted = ref 0 in
+  (try
+     for _ = 1 to n do
+       if Buf_policy.admit c then incr admitted else raise Exit
+     done
+   with Exit -> ());
+  !admitted
+
+let test_static_partitions () =
+  let engine = Engine.create () in
+  let pool = make Buf_policy.Static engine in
+  let a = Buf_policy.register pool ~name:"a" ~quota:4 ~priority:0 in
+  let b = Buf_policy.register pool ~name:"b" ~quota:2 ~priority:1 in
+  Alcotest.(check int) "capacity" 6 (Buf_policy.capacity pool);
+  Alcotest.(check int) "a stops at its quota" 4 (fill a 10);
+  (* b's partition is private: a's exhaustion cannot spill into it and
+     b's free quota cannot rescue a. *)
+  Alcotest.(check int) "b unaffected" 2 (fill b 10);
+  Alcotest.(check bool) "a still rejected" false (Buf_policy.admit a);
+  Buf_policy.release b;
+  Alcotest.(check bool) "b slot returns to b" true (Buf_policy.admit b);
+  Alcotest.(check int) "free is exact" 0 (Buf_policy.free pool)
+
+let test_complete_sharing () =
+  let engine = Engine.create () in
+  let pool = make Buf_policy.Sharing engine in
+  let a = Buf_policy.register pool ~name:"a" ~quota:4 ~priority:0 in
+  let b = Buf_policy.register pool ~name:"b" ~quota:2 ~priority:1 in
+  (* One class may monopolise the whole pool... *)
+  Alcotest.(check int) "a takes everything" 6 (fill a 10);
+  (* ...leaving nothing for the other. *)
+  Alcotest.(check bool) "b starved" false (Buf_policy.admit b);
+  Alcotest.(check int) "rejection counted" 1
+    (List.nth (Buf_policy.stats pool ~until:0.0) 1).Buf_policy.rejected;
+  Buf_policy.release a;
+  Alcotest.(check bool) "freed slot goes to b" true (Buf_policy.admit b)
+
+let test_dynamic_threshold () =
+  let engine = Engine.create () in
+  let pool = make Buf_policy.(Dt { alpha = 1.0 }) engine in
+  let a = Buf_policy.register pool ~name:"a" ~quota:8 ~priority:0 in
+  let _b = Buf_policy.register pool ~name:"b" ~quota:8 ~priority:0 in
+  (* alpha = 1: admit while len < free.  Capacity 16, so a stops where
+     len = free, i.e. at 8 — half the pool, the classic DT fixed
+     point for a single hot class. *)
+  Alcotest.(check int) "DT fixed point" 8 (fill a 100);
+  Alcotest.(check int) "threshold tracks free" 8 (Buf_policy.threshold a);
+  (* Freeing shifts the balance and re-opens admission. *)
+  Buf_policy.release a;
+  Buf_policy.release a;
+  Alcotest.(check bool) "reopened" true (Buf_policy.admit a)
+
+let test_tdt_adapts () =
+  let engine = Engine.create () in
+  let pool =
+    make Buf_policy.(Tdt { alpha0 = 2.0; target_delay = 2e-3 }) engine
+  in
+  let hot = Buf_policy.register pool ~name:"hot" ~quota:8 ~priority:0 in
+  let prio = Buf_policy.register pool ~name:"prio" ~quota:8 ~priority:8 in
+  (* Higher-priority classes start with a proportionally larger
+     alpha. *)
+  feq "base alpha" 2.0 (Buf_policy.alpha hot);
+  feq "priority boost" 4.0 (Buf_policy.alpha prio);
+  (* Delay at the target keeps alpha at half strength; delay far past
+     the target tightens it toward the floor, monotonically. *)
+  Buf_policy.note_delay hot 2e-3;
+  feq "at target: alpha0 * 1/2" 1.0 (Buf_policy.alpha hot);
+  let previous = ref (Buf_policy.alpha hot) in
+  for _ = 1 to 20 do
+    Buf_policy.note_delay hot 0.1;
+    let a = Buf_policy.alpha hot in
+    Alcotest.(check bool) "tightens monotonically" true (a <= !previous);
+    previous := a
+  done;
+  Alcotest.(check bool) "clamped above the floor" true
+    (Buf_policy.alpha hot >= 1.0 /. 64.0);
+  (* A recovering class loosens again. *)
+  for _ = 1 to 50 do
+    Buf_policy.note_delay hot 0.0
+  done;
+  Alcotest.(check bool) "recovers" true (Buf_policy.alpha hot > !previous)
+
+let test_conservation_checked () =
+  let engine = Engine.create () in
+  let check = Sdn_check.Check.create () in
+  let pool = make ~check ~headroom:3 Buf_policy.Sharing engine in
+  let a = Buf_policy.register pool ~name:"a" ~quota:2 ~priority:0 in
+  let b = Buf_policy.register pool ~name:"b" ~quota:2 ~priority:1 in
+  (* Exercise claims and releases across both classes; every event
+     re-checks holdings + free = capacity (7 = 3 headroom + quotas). *)
+  Alcotest.(check int) "capacity includes headroom" 7
+    (Buf_policy.capacity pool);
+  ignore (fill a 4);
+  ignore (fill b 3);
+  Buf_policy.release a;
+  Buf_policy.release b;
+  ignore (fill b 1);
+  Alcotest.(check int) "clean ledger" 0
+    (List.length (Sdn_check.Check.violations check));
+  Alcotest.check_raises "duplicate class refused"
+    (Invalid_argument "Buf_policy.register: duplicate class a in pool pool")
+    (fun () -> ignore (Buf_policy.register pool ~name:"a" ~quota:1 ~priority:0));
+  Alcotest.check_raises "over-release refused"
+    (Invalid_argument "Buf_policy.release: class a holds nothing") (fun () ->
+      Buf_policy.release a;
+      Buf_policy.release a;
+      Buf_policy.release a;
+      Buf_policy.release a)
+
+(* Experiment-level: the sweep's policies must produce distinct,
+   individually deterministic delivery curves on the incast base. *)
+let policy_experiment policy =
+  let base = Chaos.default_policy_base ~seed:7 in
+  let base = { base with Config.workload = Config.Udp_burst { n_packets = 120 } } in
+  Experiment.run (Chaos.policy_point_config ~base ~policy ~buffer:16)
+
+let test_distinct_policy_curves () =
+  let static = policy_experiment Buf_policy.Static in
+  let share = policy_experiment Buf_policy.Sharing in
+  let dt = policy_experiment Buf_policy.(Dt { alpha = 2.0 }) in
+  Alcotest.(check bool) "sharing delivers more than static" true
+    (share.Experiment.packets_out > static.Experiment.packets_out);
+  Alcotest.(check bool) "dt between the extremes" true
+    (dt.Experiment.packets_out > static.Experiment.packets_out
+    && dt.Experiment.packets_out <= share.Experiment.packets_out);
+  Alcotest.(check bool) "policy recorded" true
+    (match static.Experiment.buf_policy with
+    | Some s -> String.equal s "static"
+    | None -> false);
+  Alcotest.(check bool) "pool classes reported" true
+    (List.length static.Experiment.pool_classes > 0);
+  (* Determinism: re-running a point reproduces it field for field. *)
+  let again = policy_experiment Buf_policy.Static in
+  Alcotest.(check (list string)) "byte-identical rerun" []
+    (Experiment.diff_result static again)
+
+let suite =
+  [
+    Alcotest.test_case "kind parsing and round-trip" `Quick test_kind_parsing;
+    Alcotest.test_case "static keeps partitions private" `Quick
+      test_static_partitions;
+    Alcotest.test_case "complete sharing can starve" `Quick
+      test_complete_sharing;
+    Alcotest.test_case "dynamic threshold fixed point" `Quick
+      test_dynamic_threshold;
+    Alcotest.test_case "TDT tightens and recovers" `Quick test_tdt_adapts;
+    Alcotest.test_case "conservation under the checker" `Quick
+      test_conservation_checked;
+    Alcotest.test_case "distinct deterministic policy curves" `Slow
+      test_distinct_policy_curves;
+  ]

@@ -118,7 +118,10 @@ let test_tail_drop () =
   Engine.run h.engine;
   Alcotest.(check int) "survivors delivered" 4 (List.length !(h.delivered))
 
-let test_unknown_queue_uses_first () =
+(* Regression: a frame naming an unknown queue id must be typed-dropped
+   and counted — never enqueued, and in particular never promoted into
+   the top-priority class (the old fallback put it in classes.(0)). *)
+let test_unknown_queue_misroutes () =
   let h = make_harness () in
   let eq =
     Egress_queue.create h.engine ~link:h.link ~policy:Egress_queue.Strict_priority
@@ -126,8 +129,41 @@ let test_unknown_queue_uses_first () =
   in
   Egress_queue.send eq ~queue_id:(Some 99l) (frame_of_size 100);
   Engine.run h.engine;
-  Alcotest.(check int) "classified into the only queue" 1
-    (Egress_queue.sent eq ~queue_id:7l)
+  Alcotest.(check int) "nothing delivered" 0 (List.length !(h.delivered));
+  Alcotest.(check int) "not smuggled into the top class" 0
+    (Egress_queue.sent eq ~queue_id:7l);
+  Alcotest.(check int) "counted as misrouted" 1 (Egress_queue.misrouted eq);
+  Alcotest.(check int) "not a tail drop" 0 (Egress_queue.total_dropped eq);
+  (* A frame with NO queue id keeps the historic default-queue path. *)
+  Egress_queue.send eq ~queue_id:None (frame_of_size 100);
+  Engine.run h.engine;
+  Alcotest.(check int) "Output-action frame still delivered" 1
+    (Egress_queue.sent eq ~queue_id:7l);
+  Alcotest.(check int) "misroute count unchanged" 1 (Egress_queue.misrouted eq)
+
+(* The DRR hunt gives up after max_steps rounds of crediting when a
+   head frame is larger than any single visit's credit, and falls back
+   to serving the first non-empty class: the scheduler must stay
+   work-conserving even then. *)
+let test_drr_oversized_frame_fallback () =
+  let h = make_harness () in
+  let eq =
+    Egress_queue.create h.engine ~link:h.link
+      ~policy:(Egress_queue.Drr { quantum = 100 })
+      ~queues:[ q ~id:0l ~priority:0 ~weight:1; q ~id:1l ~priority:0 ~weight:1 ]
+  in
+  (* quantum 100, weight 1: max_steps = 2 * (16000/100 + 2) = 324
+     visits credit at most 162 * 100 = 16200 per class — an oversized
+     frame can still exceed one visit's credit by orders of magnitude,
+     forcing the hunt to its bound. *)
+  let huge = frame_of_size 64_000 in
+  Egress_queue.send eq ~queue_id:(Some 0l) huge;
+  Egress_queue.send eq ~queue_id:(Some 1l) (frame_of_size 200);
+  Engine.run h.engine;
+  Alcotest.(check int) "both frames delivered" 2 (List.length !(h.delivered));
+  Alcotest.(check int) "oversized frame served via fallback" 1
+    (Egress_queue.sent eq ~queue_id:0l);
+  Alcotest.(check int) "backlog drained" 0 (Egress_queue.backlog eq)
 
 let test_queue_delay_stats () =
   let h = make_harness () in
@@ -238,8 +274,10 @@ let suite =
     Alcotest.test_case "DRR byte fairness" `Quick test_drr_byte_fairness;
     Alcotest.test_case "DRR starvation-free" `Quick test_drr_starvation_free;
     Alcotest.test_case "tail drop at capacity" `Quick test_tail_drop;
-    Alcotest.test_case "unknown queue id uses first class" `Quick
-      test_unknown_queue_uses_first;
+    Alcotest.test_case "unknown queue id is a typed misroute drop" `Quick
+      test_unknown_queue_misroutes;
+    Alcotest.test_case "DRR serves oversized frames via fallback" `Quick
+      test_drr_oversized_frame_fallback;
     Alcotest.test_case "per-class delay statistics" `Quick test_queue_delay_stats;
     Alcotest.test_case "configuration validation" `Quick test_validation;
     Alcotest.test_case "switch Enqueue action classifies" `Quick

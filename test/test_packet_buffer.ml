@@ -97,6 +97,49 @@ let test_occupancy_statistics () =
     true
     (abs_float (mean -. 1.0) < 0.01)
 
+(* Regression: a cold wipe arriving while a slot is in its deferred
+   reclaim must CANCEL the reclaim timer. Pre-fix the timer handle was
+   discarded, so the stale callback fired against the slot's next
+   occupant: a post-wipe re-allocation that was taken again had its
+   reclaim lag silently shortened to whatever remained of the old
+   timer. *)
+let test_wipe_cancels_pending_reclaim () =
+  let engine = Engine.create () in
+  let pool = make ~capacity:1 ~reclaim:0.1 engine in
+  (* First life of the slot: alloc + take at t=0 puts it in Reclaiming
+     with a timer due at t=0.1. *)
+  let id1 = Option.get (Packet_buffer.alloc pool ~frame:(frame 1)) in
+  (match Packet_buffer.take pool id1 with
+  | Packet_buffer.Taken _ -> ()
+  | Packet_buffer.Unknown_id -> Alcotest.fail "first take must succeed");
+  (* Wipe mid-reclaim at t=0.05, then immediately start the slot's
+     second life and take it at t=0.06: its reclaim is due at 0.16. *)
+  ignore
+    (Engine.schedule_at engine 0.05 (fun () ->
+         Alcotest.(check int) "wipe reclaims the in-flight release" 0
+           (let _lost = Packet_buffer.wipe pool in
+            Packet_buffer.in_use pool);
+         let id2 = Option.get (Packet_buffer.alloc pool ~frame:(frame 2)) in
+         ignore
+           (Engine.schedule_at engine 0.06 (fun () ->
+                match Packet_buffer.take pool id2 with
+                | Packet_buffer.Taken _ -> ()
+                | Packet_buffer.Unknown_id ->
+                    Alcotest.fail "second take must succeed"))));
+  (* At t=0.12 the STALE timer (due 0.1) has fired — or would have,
+     pre-fix, releasing the slot 40 ms early. The second reclaim must
+     still be counting down to 0.16. *)
+  Engine.run ~until:0.12 engine;
+  Alcotest.(check int) "second reclaim honours the full lag" 1
+    (Packet_buffer.in_use pool);
+  Alcotest.(check bool) "in_use never negative" true
+    (Packet_buffer.in_use pool >= 0);
+  Engine.run ~until:0.2 engine;
+  Alcotest.(check int) "second reclaim completes on time" 0
+    (Packet_buffer.in_use pool);
+  Alcotest.(check bool) "slot allocatable after both lives" true
+    (Packet_buffer.alloc pool ~frame:(frame 3) <> None)
+
 let prop_never_exceeds_capacity =
   QCheck.Test.make ~name:"in_use never exceeds capacity" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 1 60) bool)
@@ -133,5 +176,7 @@ let suite =
       test_expiry_drops_unreleased;
     Alcotest.test_case "take cancels expiry" `Quick test_take_cancels_expiry;
     Alcotest.test_case "occupancy statistics" `Quick test_occupancy_statistics;
+    Alcotest.test_case "wipe cancels pending reclaim" `Quick
+      test_wipe_cancels_pending_reclaim;
     QCheck_alcotest.to_alcotest prop_never_exceeds_capacity;
   ]

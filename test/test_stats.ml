@@ -72,6 +72,40 @@ let test_merge_matches_combined () =
   feq "min" (Stats.min whole) (Stats.min merged);
   feq "max" (Stats.max whole) (Stats.max merged)
 
+let test_merge_empty_side () =
+  let empty = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add b) [ 2.0; 6.0; 4.0 ];
+  let check_equals_b merged =
+    Alcotest.(check int) "count" (Stats.count b) (Stats.count merged);
+    feq "mean" (Stats.mean b) (Stats.mean merged);
+    feq "variance" (Stats.variance b) (Stats.variance merged);
+    feq "min" (Stats.min b) (Stats.min merged);
+    feq "max" (Stats.max b) (Stats.max merged)
+  in
+  (* An empty side must be the identity, whichever side it is — the
+     min/max of the empty accumulator (infinities) must not leak. *)
+  check_equals_b (Stats.merge empty b);
+  check_equals_b (Stats.merge b empty);
+  let both = Stats.merge empty (Stats.create ()) in
+  Alcotest.(check int) "empty+empty count" 0 (Stats.count both);
+  feq "empty+empty mean" 0.0 (Stats.mean both)
+
+let test_merge_mismatched_keep_samples () =
+  let a = Stats.create ~keep_samples:false () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 3.0 ];
+  List.iter (Stats.add b) [ 5.0; 7.0 ];
+  let merged = Stats.merge a b in
+  (* Moments survive the mismatch; the sample store does not (one side
+     never had samples to contribute), so percentiles must refuse
+     rather than answer from half the data. *)
+  Alcotest.(check int) "count" 4 (Stats.count merged);
+  feq "mean" 4.0 (Stats.mean merged);
+  feq "min" 1.0 (Stats.min merged);
+  feq "max" 7.0 (Stats.max merged);
+  Alcotest.check_raises "percentile refuses"
+    (Invalid_argument "Stats.percentile: samples were not kept") (fun () ->
+      ignore (Stats.percentile merged 50.0))
+
 let test_clear () =
   let s = Stats.create () in
   Stats.add s 3.0;
@@ -119,6 +153,29 @@ let test_weighted_mean () =
   feq "max" 10.0 (Timeseries.Weighted.max_value w);
   feq "current" 4.0 (Timeseries.Weighted.current w)
 
+(* Regression: max_value initialised its accumulator to 0.0 and
+   reported 0 for any all-negative series. *)
+let test_max_value_all_negative () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0.0 ~value:(-5.0);
+  Timeseries.add ts ~time:1.0 ~value:(-2.0);
+  Timeseries.add ts ~time:2.0 ~value:(-9.0);
+  feq "all-negative max" (-2.0) (Timeseries.max_value ts);
+  feq "empty max" 0.0 (Timeseries.max_value (Timeseries.create ()))
+
+(* Regression: [mean ~until] with [until] before the last update used
+   the short span as the divisor while the integral already extended to
+   the last update — overcounting the mean (10 instead of 20/3 here).
+   The window is now clamped to end no earlier than the last update. *)
+let test_weighted_mean_until_before_last_update () =
+  let w = Timeseries.Weighted.create () in
+  Timeseries.Weighted.update w ~time:1.0 ~value:10.0;
+  Timeseries.Weighted.update w ~time:3.0 ~value:4.0;
+  (* Integral over [0,3] is 0*1 + 10*2 = 20; asking for until=2.0 must
+     not divide that by 2. *)
+  feq "clamped to the covered span" (20.0 /. 3.0)
+    (Timeseries.Weighted.mean w ~until:2.0)
+
 let test_weighted_rejects_backwards_time () =
   let w = Timeseries.Weighted.create () in
   Timeseries.Weighted.update w ~time:2.0 ~value:1.0;
@@ -134,10 +191,17 @@ let suite =
     Alcotest.test_case "percentiles" `Quick test_percentiles;
     Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
     Alcotest.test_case "merge equals combined" `Quick test_merge_matches_combined;
+    Alcotest.test_case "merge with an empty side" `Quick test_merge_empty_side;
+    Alcotest.test_case "merge with mismatched keep_samples" `Quick
+      test_merge_mismatched_keep_samples;
     Alcotest.test_case "clear" `Quick test_clear;
     QCheck_alcotest.to_alcotest prop_welford_matches_naive;
     Alcotest.test_case "timeseries basics" `Quick test_timeseries_basics;
     Alcotest.test_case "time-weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "max_value handles all-negative series" `Quick
+      test_max_value_all_negative;
+    Alcotest.test_case "weighted mean clamps early until" `Quick
+      test_weighted_mean_until_before_last_update;
     Alcotest.test_case "weighted rejects backwards time" `Quick
       test_weighted_rejects_backwards_time;
   ]
