@@ -47,6 +47,7 @@ type t = {
   egress_bandwidth_bps : float option;
   check : bool;
   jobs : int;
+  event_queue : Sdn_sim.Engine.queue_kind;
   switch_costs : Sdn_switch.Costs.t;
   controller_costs : Sdn_controller.Costs.t;
 }
@@ -79,6 +80,7 @@ let default =
     egress_bandwidth_bps = None;
     check = false;
     jobs = 1;
+    event_queue = `Heap;
     switch_costs = Calibration.switch_costs;
     controller_costs = Calibration.controller_costs;
   }

@@ -78,6 +78,7 @@ type result = {
   reconcile_audits : int;
   reconcile_installs : int;
   overload_sheds : int;
+  sim_events : int;
   crash_events : (float * string) list;
   check_violations : int;
   check_report : string option;
@@ -258,6 +259,7 @@ let run (config : Config.t) =
     reconcile_installs =
       controller_counters.Sdn_controller.Controller.reconcile_installs;
     overload_sheds = counters.Sdn_switch.Switch.overload_sheds;
+    sim_events = Sdn_sim.Engine.processed scenario.Scenario.engine;
     crash_events;
     check_violations =
       (match scenario.Scenario.check with
@@ -363,6 +365,7 @@ let diff_result a b =
   chk "reconcile_audits" (a.reconcile_audits = b.reconcile_audits);
   chk "reconcile_installs" (a.reconcile_installs = b.reconcile_installs);
   chk "overload_sheds" (a.overload_sheds = b.overload_sheds);
+  chk "sim_events" (a.sim_events = b.sim_events);
   chk "crash_events" (transitions_eq a.crash_events b.crash_events);
   chk "check_violations" (a.check_violations = b.check_violations);
   chk "check_report"

@@ -104,6 +104,10 @@ type result = {
       (** flow entries re-installed because an audit found them missing *)
   overload_sheds : int;
       (** new miss chains refused by the buffer-pool admission guard *)
+  sim_events : int;
+      (** discrete events the engine dispatched over the whole run —
+          the numerator of the [massive] scenario's events/s rate
+          (deterministic; independent of the queue backend) *)
   crash_events : (float * string) list;
       (** injected crash/restart events merged chronologically with
           reconciliation outcomes: (time, description) *)

@@ -1,0 +1,179 @@
+(* Fixed-slab frame pool over one off-heap Bigarray. Slot ids are
+   plain ints; every hot-path accessor reads or writes untagged ints,
+   so per-packet forwarding work allocates nothing on the minor heap.
+   Layout bookkeeping (free stack, liveness, stored lengths) lives in
+   flat arrays indexed by slot id. *)
+
+type slab =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  slab : slab;
+  n_slots : int;
+  slot_size : int;
+  (* LIFO free stack of slot ids; [free_top] is the live stack size.
+     LIFO keeps the working set of slots hot in cache. *)
+  free : int array;
+  mutable free_top : int;
+  (* '\001' while claimed — rejects double release in O(1). *)
+  state : Bytes.t;
+  lens : int array;
+}
+
+let create ~slots ~slot_size () =
+  if slots <= 0 then invalid_arg "Frame_pool.create: slots must be positive";
+  if slot_size <= 0 then
+    invalid_arg "Frame_pool.create: slot_size must be positive";
+  let slab =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout (slots * slot_size)
+  in
+  Bigarray.Array1.fill slab '\000';
+  let free = Array.init slots (fun i -> slots - 1 - i) in
+  {
+    slab;
+    n_slots = slots;
+    slot_size;
+    free;
+    free_top = slots;
+    state = Bytes.make slots '\000';
+    lens = Array.make slots 0;
+  }
+
+let slots t = t.n_slots
+let slot_size t = t.slot_size
+let free_count t = t.free_top
+let live_count t = t.n_slots - t.free_top
+
+let alloc t =
+  if t.free_top = 0 then -1
+  else begin
+    t.free_top <- t.free_top - 1;
+    let slot = Array.unsafe_get t.free t.free_top in
+    Bytes.unsafe_set t.state slot '\001';
+    Array.unsafe_set t.lens slot 0;
+    slot
+  end
+
+let release t slot =
+  if slot < 0 || slot >= t.n_slots then false
+  else if Char.equal (Bytes.unsafe_get t.state slot) '\000' then false
+  else begin
+    Bytes.unsafe_set t.state slot '\000';
+    Array.unsafe_set t.free t.free_top slot;
+    t.free_top <- t.free_top + 1;
+    true
+  end
+
+let wipe t =
+  Bigarray.Array1.fill t.slab '\000';
+  Bytes.fill t.state 0 t.n_slots '\000';
+  Array.fill t.lens 0 t.n_slots 0;
+  for i = 0 to t.n_slots - 1 do
+    t.free.(i) <- t.n_slots - 1 - i
+  done;
+  t.free_top <- t.n_slots
+
+let claimed t slot ~what =
+  if slot < 0 || slot >= t.n_slots then
+    invalid_arg (Printf.sprintf "Frame_pool.%s: slot %d out of range" what slot);
+  if Char.equal (Bytes.get t.state slot) '\000' then
+    invalid_arg (Printf.sprintf "Frame_pool.%s: slot %d is free" what slot)
+
+let load t slot frame =
+  claimed t slot ~what:"load";
+  let len = Bytes.length frame in
+  if len > t.slot_size then
+    invalid_arg
+      (Printf.sprintf "Frame_pool.load: frame of %d bytes exceeds slot size %d"
+         len t.slot_size);
+  let base = slot * t.slot_size in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set t.slab (base + i) (Bytes.unsafe_get frame i)
+  done;
+  t.lens.(slot) <- len
+
+let length t slot =
+  claimed t slot ~what:"length";
+  t.lens.(slot)
+
+let set_length t slot len =
+  claimed t slot ~what:"set_length";
+  if len < 0 || len > t.slot_size then
+    invalid_arg (Printf.sprintf "Frame_pool.set_length: bad length %d" len);
+  t.lens.(slot) <- len
+
+let copy_out t slot =
+  claimed t slot ~what:"copy_out";
+  let len = t.lens.(slot) in
+  let base = slot * t.slot_size in
+  let out = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set out i (Bigarray.Array1.unsafe_get t.slab (base + i))
+  done;
+  out
+
+(* ---- hot-path accessors: untagged ints only ---- *)
+
+let get_u8 t slot off =
+  Char.code (Bigarray.Array1.unsafe_get t.slab ((slot * t.slot_size) + off))
+
+let set_u8 t slot off v =
+  Bigarray.Array1.unsafe_set t.slab
+    ((slot * t.slot_size) + off)
+    (Char.unsafe_chr (v land 0xFF))
+
+let get_u16 t slot off =
+  let base = (slot * t.slot_size) + off in
+  (Char.code (Bigarray.Array1.unsafe_get t.slab base) lsl 8)
+  lor Char.code (Bigarray.Array1.unsafe_get t.slab (base + 1))
+
+let set_u16 t slot off v =
+  let base = (slot * t.slot_size) + off in
+  Bigarray.Array1.unsafe_set t.slab base (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bigarray.Array1.unsafe_set t.slab (base + 1) (Char.unsafe_chr (v land 0xFF))
+
+let get_u32 t slot off =
+  let base = (slot * t.slot_size) + off in
+  (Char.code (Bigarray.Array1.unsafe_get t.slab base) lsl 24)
+  lor (Char.code (Bigarray.Array1.unsafe_get t.slab (base + 1)) lsl 16)
+  lor (Char.code (Bigarray.Array1.unsafe_get t.slab (base + 2)) lsl 8)
+  lor Char.code (Bigarray.Array1.unsafe_get t.slab (base + 3))
+
+let set_u32 t slot off v =
+  let base = (slot * t.slot_size) + off in
+  Bigarray.Array1.unsafe_set t.slab base
+    (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bigarray.Array1.unsafe_set t.slab (base + 1)
+    (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bigarray.Array1.unsafe_set t.slab (base + 2)
+    (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bigarray.Array1.unsafe_set t.slab (base + 3) (Char.unsafe_chr (v land 0xFF))
+
+(* Wire layout shared with {!Packet.encode}: Ethernet 0..13, IPv4
+   14..33, L4 from 34. *)
+let off_ttl = 22
+let off_proto = 23
+let off_ip_checksum = 24
+let off_src_ip = 26
+let off_dst_ip = 30
+let off_src_port = 34
+let off_dst_port = 36
+
+(* RFC 1624 incremental checksum update for the TTL/proto 16-bit
+   word: HC' = ~(~HC + ~m + m'), all ones'-complement. *)
+let dec_ttl t slot =
+  let ttl = get_u8 t slot off_ttl in
+  if ttl = 0 then 0
+  else begin
+    let ttl' = ttl - 1 in
+    let proto = get_u8 t slot off_proto in
+    let m = (ttl lsl 8) lor proto in
+    let m' = (ttl' lsl 8) lor proto in
+    set_u8 t slot off_ttl ttl';
+    let hc = get_u16 t slot off_ip_checksum in
+    let sum = (lnot hc land 0xFFFF) + (lnot m land 0xFFFF) + m' in
+    let sum = (sum land 0xFFFF) + (sum lsr 16) in
+    let sum = (sum land 0xFFFF) + (sum lsr 16) in
+    set_u16 t slot off_ip_checksum (lnot sum land 0xFFFF);
+    ttl'
+  end

@@ -1,0 +1,116 @@
+(** Bigarray-backed fixed-slab frame pool.
+
+    Extends the scratch-codec idea ({!Sdn_openflow.Of_wire.Scratch})
+    from control messages to whole data-plane packets: a pool owns one
+    off-heap slab of [slots * slot_size] bytes (a
+    [(char, int8_unsigned_elt)] Bigarray) plus an int free-list, and
+    hands out slot ids — plain [int]s — instead of [Bytes.t] frames.
+    The packet-processing hot path (microflow hit → header rewrite →
+    egress enqueue, see {!Sdn_switch.Fast_path}) then touches only the
+    slab, through accessors that read and write untagged [int]s, so
+    steady-state forwarding allocates {e nothing} on the OCaml minor
+    heap: no per-packet [Bytes.t], no [Int32] boxing, no closures.
+
+    Frames in slots use the same wire layout as {!Packet.encode}
+    (Ethernet at 0, IPv4 at 14, L4 at 34), so header field offsets are
+    fixed and a slot can be converted to and from heap [Bytes.t] at
+    the pool boundary (ingress load / slow-path handoff) — the copies
+    happen only off the fast path.
+
+    Discipline: {!alloc} pops a free slot, {!release} pushes it back.
+    A double {!release} (or a release of an out-of-range id) is
+    rejected and reported to the caller, and {!wipe} force-frees
+    everything (cold restart). The conservation law — live slots plus
+    free slots equal the slot count at all times — is audited by
+    {!Sdn_check.Check} frame-pool notes when the owner runs with
+    [--check]. *)
+
+type t
+
+val create : slots:int -> slot_size:int -> unit -> t
+(** A pool of [slots] frames of at most [slot_size] bytes each, all
+    free. The slab is allocated once, off the OCaml heap. Raises
+    [Invalid_argument] if either is non-positive. *)
+
+val slots : t -> int
+val slot_size : t -> int
+
+val free_count : t -> int
+(** Slots currently on the free list. *)
+
+val live_count : t -> int
+(** Slots currently claimed: [slots t - free_count t]. *)
+
+(** {2 Slot lifecycle} *)
+
+val alloc : t -> int
+(** Claim a slot; its stored length starts at 0. Returns [-1] when the
+    pool is exhausted (the caller sheds load — no exception, the hot
+    path stays branch-plus-int). O(1), allocation-free. *)
+
+val release : t -> int -> bool
+(** Return a slot to the free list. [false] — and no state change — if
+    the id is out of range or the slot is already free (double
+    release). O(1), allocation-free. *)
+
+val wipe : t -> unit
+(** Force-release every slot (cold node restart). Slot contents are
+    zeroed so no stale frame bytes survive the crash. *)
+
+(** {2 Frame bytes} *)
+
+val load : t -> int -> Bytes.t -> unit
+(** [load t slot frame] copies an encoded frame into the slot and sets
+    the stored length. Raises [Invalid_argument] if the slot is free
+    or the frame exceeds [slot_size]. Pool-boundary operation (copies;
+    not for the hot path). *)
+
+val length : t -> int -> int
+(** Stored frame length of a claimed slot (0 if never loaded). *)
+
+val set_length : t -> int -> int -> unit
+(** Set the stored frame length (frame built in place). Raises
+    [Invalid_argument] if the slot is free or the length exceeds
+    [slot_size]. *)
+
+val copy_out : t -> int -> Bytes.t
+(** Fresh [Bytes.t] of the slot's stored frame (slow-path handoff;
+    allocates, not for the hot path). Raises [Invalid_argument] if the
+    slot is free. *)
+
+(** {2 In-place header access — the allocation-free hot path}
+
+    All offsets are relative to the frame start. No bounds or
+    liveness checks beyond the Bigarray's own: these are the
+    per-packet innermost operations. All values are untagged [int]s
+    (big-endian on the wire), never [Int32] or [Bytes.t]. *)
+
+val get_u8 : t -> int -> int -> int
+val set_u8 : t -> int -> int -> int -> unit
+val get_u16 : t -> int -> int -> int
+val set_u16 : t -> int -> int -> int -> unit
+
+val get_u32 : t -> int -> int -> int
+(** Big-endian 32-bit read as a non-negative [int] (no boxing). *)
+
+val set_u32 : t -> int -> int -> int -> unit
+
+(** {3 Fixed wire-layout header fields} *)
+
+val off_proto : int  (** IPv4 protocol byte: 23 *)
+
+val off_ttl : int  (** IPv4 TTL byte: 22 *)
+
+val off_src_ip : int  (** IPv4 source address: 26 *)
+
+val off_dst_ip : int  (** IPv4 destination address: 30 *)
+
+val off_src_port : int  (** L4 source port: 34 *)
+
+val off_dst_port : int  (** L4 destination port: 36 *)
+
+val dec_ttl : t -> int -> int
+(** Decrement the frame's IPv4 TTL in place and return the new value
+    (the forwarding rewrite). The IPv4 header checksum field is kept
+    consistent by the incremental RFC 1624 update, still without
+    allocating. *)

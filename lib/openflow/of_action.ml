@@ -36,56 +36,50 @@ let size = function
       8
   | Set_dl_src _ | Set_dl_dst _ | Enqueue _ -> 16
 
-let list_size actions = List.fold_left (fun acc a -> acc + size a) 0 actions
+let rec list_size = function [] -> 0 | a :: rest -> size a + list_size rest
 
+let type_of = function
+  | Output _ -> type_output
+  | Set_vlan_vid _ -> type_set_vlan_vid
+  | Set_vlan_pcp _ -> type_set_vlan_pcp
+  | Strip_vlan -> type_strip_vlan
+  | Set_dl_src _ -> type_set_dl_src
+  | Set_dl_dst _ -> type_set_dl_dst
+  | Set_nw_src _ -> type_set_nw_src
+  | Set_nw_dst _ -> type_set_nw_dst
+  | Set_nw_tos _ -> type_set_nw_tos
+  | Set_tp_src _ -> type_set_tp_src
+  | Set_tp_dst _ -> type_set_tp_dst
+  | Enqueue _ -> type_enqueue
+
+(* Keep this writer closure-free: it sits on the controller's
+   flow-mod hot path, where every closure is a minor-heap word the
+   scratch encoder promised not to spend. *)
 let write_one action buf off =
   let n = size action in
   Bytes.fill buf off n '\000';
-  let header typ =
-    Bytes.set_uint16_be buf off typ;
-    Bytes.set_uint16_be buf (off + 2) n
-  in
+  Bytes.set_uint16_be buf off (type_of action);
+  Bytes.set_uint16_be buf (off + 2) n;
   (match action with
   | Output { port; max_len } ->
-      header type_output;
       Bytes.set_uint16_be buf (off + 4) port;
       Bytes.set_uint16_be buf (off + 6) max_len
-  | Set_vlan_vid vid ->
-      header type_set_vlan_vid;
-      Bytes.set_uint16_be buf (off + 4) vid
-  | Set_vlan_pcp pcp ->
-      header type_set_vlan_pcp;
-      Bytes.set_uint8 buf (off + 4) pcp
-  | Strip_vlan -> header type_strip_vlan
-  | Set_dl_src mac ->
-      header type_set_dl_src;
-      Mac.write mac buf (off + 4)
-  | Set_dl_dst mac ->
-      header type_set_dl_dst;
-      Mac.write mac buf (off + 4)
-  | Set_nw_src ip ->
-      header type_set_nw_src;
-      Ip.write ip buf (off + 4)
-  | Set_nw_dst ip ->
-      header type_set_nw_dst;
-      Ip.write ip buf (off + 4)
-  | Set_nw_tos tos ->
-      header type_set_nw_tos;
-      Bytes.set_uint8 buf (off + 4) tos
-  | Set_tp_src port ->
-      header type_set_tp_src;
-      Bytes.set_uint16_be buf (off + 4) port
-  | Set_tp_dst port ->
-      header type_set_tp_dst;
-      Bytes.set_uint16_be buf (off + 4) port
+  | Set_vlan_vid vid -> Bytes.set_uint16_be buf (off + 4) vid
+  | Set_vlan_pcp pcp -> Bytes.set_uint8 buf (off + 4) pcp
+  | Strip_vlan -> ()
+  | Set_dl_src mac | Set_dl_dst mac -> Mac.write mac buf (off + 4)
+  | Set_nw_src ip | Set_nw_dst ip -> Ip.write ip buf (off + 4)
+  | Set_nw_tos tos -> Bytes.set_uint8 buf (off + 4) tos
+  | Set_tp_src port | Set_tp_dst port -> Bytes.set_uint16_be buf (off + 4) port
   | Enqueue { port; queue_id } ->
-      header type_enqueue;
       Bytes.set_uint16_be buf (off + 4) port;
       Bytes.set_int32_be buf (off + 12) queue_id);
   off + n
 
-let write_list actions buf off =
-  List.fold_left (fun o a -> write_one a buf o) off actions
+let rec write_list actions buf off =
+  match actions with
+  | [] -> off
+  | a :: rest -> write_list rest buf (write_one a buf off)
 
 let read_one buf off =
   if off + 8 > Bytes.length buf then Error "Of_action.read: truncated header"

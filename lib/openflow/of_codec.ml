@@ -59,16 +59,18 @@ let body_size = function
 
 let size msg = Of_wire.header_size + body_size msg
 
-let encode_into ~xid msg buf ~pos =
-  let length = size msg in
+(* [length] must be [size msg]; the public entry points compute it
+   once and share it between sizing the buffer and writing, keeping
+   the body-size walk off the hot path twice. *)
+let encode_sized ~xid msg buf ~pos ~length =
   if pos < 0 || pos + length > Bytes.length buf then
     invalid_arg "Of_codec.encode_into: buffer too small";
   (* Body writers may skip pad bytes; zero the window first so the
      result is byte-identical to a fresh-buffer [encode]. *)
   Bytes.fill buf pos length '\000';
-  Of_wire.write_header_at
-    { Of_wire.msg_type = msg_type msg; length; xid }
-    buf ~pos;
+  (* Field form, not the header record: this is the scratch path's
+     hot spot and must not allocate. *)
+  Of_wire.write_header_fields ~msg_type:(msg_type msg) ~length ~xid buf ~pos;
   let off = pos + Of_wire.header_size in
   (match msg with
   | Hello | Features_request | Get_config_request | Barrier_request
@@ -89,15 +91,19 @@ let encode_into ~xid msg buf ~pos =
   | Stats_reply r -> Of_stats.write_reply_body r buf off);
   length
 
+let encode_into ~xid msg buf ~pos =
+  encode_sized ~xid msg buf ~pos ~length:(size msg)
+
 let encode ~xid msg =
-  let buf = Bytes.create (size msg) in
-  ignore (encode_into ~xid msg buf ~pos:0);
+  let length = size msg in
+  let buf = Bytes.create length in
+  ignore (encode_sized ~xid msg buf ~pos:0 ~length);
   buf
 
 let encode_scratch scratch ~xid msg =
-  let buf = Of_wire.Scratch.ensure scratch (size msg) in
-  let length = encode_into ~xid msg buf ~pos:0 in
-  (buf, length)
+  let length = size msg in
+  let buf = Of_wire.Scratch.ensure scratch length in
+  encode_sized ~xid msg buf ~pos:0 ~length
 
 let decode_sub buf ~pos ~len:window =
   match Of_wire.read_header_sub buf ~pos ~len:window with

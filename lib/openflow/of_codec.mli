@@ -40,10 +40,13 @@ val encode_into : xid:int32 -> msg -> Bytes.t -> pos:int -> int
     even into a dirty buffer. Raises [Invalid_argument] when the
     buffer cannot hold {!size} bytes at [pos]. *)
 
-val encode_scratch : Of_wire.Scratch.t -> xid:int32 -> msg -> Bytes.t * int
+val encode_scratch : Of_wire.Scratch.t -> xid:int32 -> msg -> int
 (** Encode into a reusable scratch buffer, growing it if needed;
-    returns the backing buffer and the encoded length. Steady-state
-    cost is the header+body writes only — no per-message allocation. *)
+    returns the encoded length. The bytes live at offset 0 of
+    [Of_wire.Scratch.buffer] until the next encode. Steady-state cost
+    is the header+body writes only — zero per-message allocation (a
+    result pair would be the last minor-heap word on the path, so the
+    buffer is not returned). *)
 
 val decode : Bytes.t -> (int32 * msg, string) result
 (** Parse one message from the start of the buffer; the buffer must be

@@ -177,25 +177,30 @@ let wildcards_of t =
   lor bit wc_dl_vlan_pcp t.dl_vlan_pcp
   lor bit wc_nw_tos t.nw_tos
 
+(* Closure- and box-free on purpose: this writer dominates the
+   flow-mod encode cost, and the scratch path's zero-allocation
+   budget leaves no room for per-call helpers or an Int32 box. The
+   22-bit wildcards word is emitted as two u16 halves to stay off
+   [Int32.of_int]. *)
 let write t buf off =
   Bytes.fill buf off size '\000';
-  Bytes.set_int32_be buf off (Int32.of_int (wildcards_of t));
-  let set_u16 o v = Bytes.set_uint16_be buf (off + o) v in
-  let set_u8 o v = Bytes.set_uint8 buf (off + o) v in
-  set_u16 4 (Option.value t.in_port ~default:0);
+  let wildcards = wildcards_of t in
+  Bytes.set_uint16_be buf off (wildcards lsr 16);
+  Bytes.set_uint16_be buf (off + 2) (wildcards land 0xFFFF);
+  Bytes.set_uint16_be buf (off + 4) (Option.value t.in_port ~default:0);
   (match t.dl_src with Some m -> Mac.write m buf (off + 6) | None -> ());
   (match t.dl_dst with Some m -> Mac.write m buf (off + 12) | None -> ());
-  set_u16 18 (Option.value t.dl_vlan ~default:0);
-  set_u8 20 (Option.value t.dl_vlan_pcp ~default:0);
+  Bytes.set_uint16_be buf (off + 18) (Option.value t.dl_vlan ~default:0);
+  Bytes.set_uint8 buf (off + 20) (Option.value t.dl_vlan_pcp ~default:0);
   (* pad at 21 *)
-  set_u16 22 (Option.value t.dl_type ~default:0);
-  set_u8 24 (Option.value t.nw_tos ~default:0);
-  set_u8 25 (Option.value t.nw_proto ~default:0);
+  Bytes.set_uint16_be buf (off + 22) (Option.value t.dl_type ~default:0);
+  Bytes.set_uint8 buf (off + 24) (Option.value t.nw_tos ~default:0);
+  Bytes.set_uint8 buf (off + 25) (Option.value t.nw_proto ~default:0);
   (* pad at 26-27 *)
   (match t.nw_src with Some (ip, _) -> Ip.write ip buf (off + 28) | None -> ());
   (match t.nw_dst with Some (ip, _) -> Ip.write ip buf (off + 32) | None -> ());
-  set_u16 36 (Option.value t.tp_src ~default:0);
-  set_u16 38 (Option.value t.tp_dst ~default:0)
+  Bytes.set_uint16_be buf (off + 36) (Option.value t.tp_src ~default:0);
+  Bytes.set_uint16_be buf (off + 38) (Option.value t.tp_dst ~default:0)
 
 let read buf off =
   if off + size > Bytes.length buf then Error "Of_match.read: truncated"

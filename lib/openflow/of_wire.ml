@@ -124,17 +124,20 @@ end
 
 type header = { msg_type : Msg_type.t; length : int; xid : int32 }
 
-let write_header_at h buf ~pos =
-  (* The wire length field is 16 bits; Bytes.set_uint16_be would wrap
-     a larger value silently and emit a frame the peer cannot parse.
-     Oversized bodies (a stats reply for a huge flow table, say) must
-     be split by the sender before framing. *)
-  if h.length > 0xffff then
+(* The wire length field is 16 bits; Bytes.set_uint16_be would wrap
+   a larger value silently and emit a frame the peer cannot parse.
+   Oversized bodies (a stats reply for a huge flow table, say) must
+   be split by the sender before framing. *)
+let write_header_fields ~msg_type ~length ~xid buf ~pos =
+  if length > 0xffff then
     invalid_arg "Of_wire.write_header: length exceeds the 16-bit wire field";
   Bytes.set_uint8 buf pos version;
-  Bytes.set_uint8 buf (pos + 1) (Msg_type.to_int h.msg_type);
-  Bytes.set_uint16_be buf (pos + 2) h.length;
-  Bytes.set_int32_be buf (pos + 4) h.xid
+  Bytes.set_uint8 buf (pos + 1) (Msg_type.to_int msg_type);
+  Bytes.set_uint16_be buf (pos + 2) length;
+  Bytes.set_int32_be buf (pos + 4) xid
+
+let write_header_at h buf ~pos =
+  write_header_fields ~msg_type:h.msg_type ~length:h.length ~xid:h.xid buf ~pos
 
 let write_header h buf = write_header_at h buf ~pos:0
 

@@ -76,6 +76,12 @@ val write_header_at : header -> Bytes.t -> pos:int -> unit
 (** Serialize at offset [pos]; the caller guarantees room. Same
     16-bit length guard as {!write_header}. *)
 
+val write_header_fields :
+  msg_type:Msg_type.t -> length:int -> xid:int32 -> Bytes.t -> pos:int -> unit
+(** {!write_header_at} without building the intermediate [header]
+    record — the form the scratch encoder's zero-allocation hot path
+    uses. Same 16-bit length guard. *)
+
 val read_header : Bytes.t -> (header, string) result
 (** Parse the header at offset 0; checks version, type and that
     [length] does not exceed the buffer. *)

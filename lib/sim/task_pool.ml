@@ -44,17 +44,27 @@ let parallel ~jobs ~tasks f =
       | None -> invalid_arg "Task_pool.run: task produced no result")
     results
 
-let run ~jobs ~tasks f =
+let recommended_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+(* Oversubscribing domains past the cores the runtime reports is a
+   pure loss for CPU-bound tasks: no extra parallelism, but every
+   minor collection becomes a cross-domain stop-the-world rendezvous.
+   On a single-core host that made `--jobs 4` sweeps ~3x slower than
+   sequential, so the width callers ask for is capped at the host's
+   recommendation unless they explicitly opt out (the Task_pool test
+   suite does, to exercise the domain machinery everywhere). *)
+let run ?(oversubscribe = false) ~jobs ~tasks f =
   if tasks < 0 then invalid_arg "Task_pool.run: negative task count";
+  let jobs = if oversubscribe then jobs else Stdlib.min jobs (recommended_jobs ()) in
   if tasks = 0 then [||]
   else if jobs <= 1 || tasks = 1 then sequential ~tasks f
   else parallel ~jobs:(Stdlib.min jobs tasks) ~tasks f
 
-let map_list ~jobs f xs =
+let map_list ?(oversubscribe = false) ~jobs f xs =
   if jobs <= 1 then List.map f xs
   else begin
     let items = Array.of_list xs in
-    Array.to_list (run ~jobs ~tasks:(Array.length items) (fun i -> f items.(i)))
+    Array.to_list
+      (run ~oversubscribe ~jobs ~tasks:(Array.length items) (fun i ->
+           f items.(i)))
   end
-
-let recommended_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())

@@ -21,7 +21,7 @@
     parallel-equivalence replay check and the jobs-equivalence property
     tests assert. *)
 
-val run : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
+val run : ?oversubscribe:bool -> jobs:int -> tasks:int -> (int -> 'a) -> 'a array
 (** [run ~jobs ~tasks f] evaluates [f 0 .. f (tasks - 1)] and returns
     the results indexed by task. [jobs <= 1] (or [tasks <= 1]) runs
     every task sequentially in the calling domain, in index order — the
@@ -29,6 +29,17 @@ val run : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
     domains that drain a chunked atomic work queue; completion order is
     arbitrary but the merge is by index, so the result array is
     identical to the sequential one.
+
+    The requested width is additionally capped at
+    {!recommended_jobs}[ ()] unless [oversubscribe] is [true]:
+    domains beyond the physical cores add no parallelism for these
+    CPU-bound tasks but turn every minor collection into a
+    cross-domain stop-the-world, which made oversubscribed sweeps
+    several times {e slower} than sequential on small hosts. The cap
+    is purely an execution-width decision — by the determinism
+    contract it can never change results. [oversubscribe:true] forces
+    the asked-for width (the test suite uses it so the parallel
+    machinery is exercised even on a single-core host).
 
     Worker chunks are [max 1 (tasks / (8 * jobs))] indices wide: wide
     enough to keep queue contention negligible, narrow enough that a
@@ -38,10 +49,11 @@ val run : jobs:int -> tasks:int -> (int -> 'a) -> 'a array
     re-raised in the caller after every worker has been joined; the
     partial results are discarded. *)
 
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?oversubscribe:bool -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~jobs f xs] is [List.map f xs] with the applications
-    distributed over the pool. Same ordering and determinism guarantees
-    as {!run}; [jobs <= 1] is exactly [List.map f xs]. *)
+    distributed over the pool. Same ordering, determinism and
+    width-cap guarantees as {!run}; [jobs <= 1] is exactly
+    [List.map f xs]. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1 — a

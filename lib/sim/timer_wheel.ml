@@ -1,0 +1,296 @@
+(* Hierarchical timer wheel: 4 levels x 256 slots, 1 tick = [tick]
+   seconds at level 0, each level covering 256x the span below it.
+   The cursor is an absolute tick count; ticks below it have been
+   drained into [ready], a small sorted batch holding the next due
+   tick's events plus anything scheduled at-or-before the cursor
+   while that batch is being consumed. Within-tick order is restored
+   by sorting on [(time, seq)], which makes dispatch order identical
+   to the indexed heap's regardless of tick resolution. *)
+
+let bits = 8
+let slots_per_level = 1 lsl bits
+let slot_mask = slots_per_level - 1
+let levels = 4
+
+(* Ticks covered by all wheels ahead of the cursor: 2^32. Farther
+   events wait in the overflow heap. *)
+let wheel_span = 1 lsl (bits * levels)
+
+type 'a t = {
+  tick : float;
+  time_of : 'a -> float;
+  seq_of : 'a -> int;
+  cancelled_of : 'a -> bool;
+  (* [slots.(level).(i)] holds events in arrival order; order within a
+     slot is irrelevant because draining sorts. *)
+  slots : 'a list array array;
+  (* Stored element count per level, cancelled included — slot-scan
+     skip decisions and the exhaustion test read these. *)
+  counts : int array;
+  overflow : 'a Heap.t;
+  mutable cursor : int;
+  (* Live (non-cancelled) queued events: the [length] this wheel
+     reports, kept in step by [add] / [pop] / [note_cancel]. *)
+  mutable live : int;
+  (* The due batch, sorted ascending; consumed from [ready_head]. *)
+  mutable ready : 'a option array;
+  mutable ready_head : int;
+  mutable ready_len : int;
+}
+
+let ready_floor = 16
+
+let create ?(tick = 1e-6) ?(now = 0.0) ~time ~seq ~cancelled () =
+  if tick <= 0.0 then invalid_arg "Timer_wheel.create: tick must be positive";
+  let cmp a b =
+    let c = Float.compare (time a) (time b) in
+    if c <> 0 then c else Int.compare (seq a) (seq b)
+  in
+  let t =
+    {
+      tick;
+      time_of = time;
+      seq_of = seq;
+      cancelled_of = cancelled;
+      slots = Array.init levels (fun _ -> Array.make slots_per_level []);
+      counts = Array.make levels 0;
+      overflow = Heap.create ~capacity:16 ~cmp ();
+      cursor = 0;
+      live = 0;
+      ready = Array.make ready_floor None;
+      ready_head = 0;
+      ready_len = 0;
+    }
+  in
+  let f = now /. tick in
+  t.cursor <- (if f <= 0.0 then 0 else int_of_float f);
+  t
+
+(* Monotone time->tick mapping, clamped so boundary arithmetic
+   ([cursor + wheel_span]) can never overflow. *)
+let tick_of t time =
+  let f = time /. t.tick in
+  if f <= 0.0 then 0
+  else if f >= 4.0e18 then max_int - wheel_span
+  else int_of_float f
+
+let cmp_elt t a b =
+  let c = Float.compare (t.time_of a) (t.time_of b) in
+  if c <> 0 then c else Int.compare (t.seq_of a) (t.seq_of b)
+
+let in_wheels t = t.counts.(0) + t.counts.(1) + t.counts.(2) + t.counts.(3)
+
+let length t = t.live
+let is_empty t = t.live = 0
+let note_cancel t = t.live <- t.live - 1
+
+(* ---- ready batch ---- *)
+
+let ready_grow t =
+  if t.ready_len = Array.length t.ready then begin
+    let bigger = Array.make (2 * Array.length t.ready) None in
+    Array.blit t.ready 0 bigger 0 t.ready_len;
+    t.ready <- bigger
+  end
+
+(* Append, caller guarantees ascending order (sorted drains). *)
+let ready_push t v =
+  ready_grow t;
+  t.ready.(t.ready_len) <- Some v;
+  t.ready_len <- t.ready_len + 1
+
+(* Sorted insert for events landing at or before the cursor — the
+   common case is an action scheduling at the running instant, which
+   sorts last in the current batch, so scan from the back. *)
+let ready_insert t v =
+  ready_grow t;
+  let i = ref t.ready_len in
+  let scanning = ref true in
+  while !scanning && !i > t.ready_head do
+    match t.ready.(!i - 1) with
+    | Some u when cmp_elt t u v > 0 ->
+        t.ready.(!i) <- t.ready.(!i - 1);
+        decr i
+    | Some _ | None -> scanning := false
+  done;
+  t.ready.(!i) <- Some v;
+  t.ready_len <- t.ready_len + 1
+
+(* Batch fully consumed: rewind, and let go of a storm-sized array so
+   one same-instant burst does not pin its high-water memory. *)
+let ready_reset t =
+  t.ready_head <- 0;
+  t.ready_len <- 0;
+  if Array.length t.ready > 64 * ready_floor then
+    t.ready <- Array.make ready_floor None
+
+(* ---- placement ---- *)
+
+let put t level idx v =
+  t.slots.(level).(idx) <- v :: t.slots.(level).(idx);
+  t.counts.(level) <- t.counts.(level) + 1
+
+let place t v =
+  let tk = tick_of t (t.time_of v) in
+  let delta = tk - t.cursor in
+  if delta < 0 then
+    (* Tick already drained: join the due batch in sorted position.
+       The cursor's own tick (delta 0) is NOT drained yet and must go
+       through its slot, or it would jump ahead of earlier same-tick
+       events still stored there. *)
+    ready_insert t v
+  else if delta < slots_per_level then put t 0 (tk land slot_mask) v
+  else if delta < 1 lsl (2 * bits) then put t 1 ((tk lsr bits) land slot_mask) v
+  else if delta < 1 lsl (3 * bits) then
+    put t 2 ((tk lsr (2 * bits)) land slot_mask) v
+  else if delta < wheel_span then
+    put t 3 ((tk lsr (3 * bits)) land slot_mask) v
+  else Heap.push t.overflow v
+
+let add t v =
+  place t v;
+  t.live <- t.live + 1
+
+(* ---- cursor advance ---- *)
+
+(* Pour a higher-level slot down into the finer wheels. Every element
+   re-placed here has a delta below the slot's own span (the cursor
+   just reached the slot's window), so it lands strictly lower — or
+   in [ready] if its tick equals the cursor. Cancelled elements are
+   dropped on the way ([note_cancel] already uncounted them). *)
+let cascade_slot t level idx =
+  match t.slots.(level).(idx) with
+  | [] -> ()
+  | l ->
+      t.slots.(level).(idx) <- [];
+      t.counts.(level) <- t.counts.(level) - List.length l;
+      List.iter (fun v -> if not (t.cancelled_of v) then place t v) l
+
+(* Pull overflow events whose tick now falls inside the wheels'
+   2^32-tick window. Called whenever the cursor crosses (or jumps to)
+   a multiple of [wheel_span]. *)
+let drain_overflow t =
+  let draining = ref true in
+  while !draining do
+    match Heap.peek t.overflow with
+    | Some v when tick_of t (t.time_of v) - t.cursor < wheel_span -> (
+        match Heap.pop t.overflow with
+        | Some v -> if not (t.cancelled_of v) then place t v
+        | None -> draining := false)
+    | Some _ | None -> draining := false
+  done
+
+(* The cursor just reached a multiple of 256 ticks: cascade the slot
+   of each level whose boundary this is, highest level first so its
+   elements pour through the levels below in the same pass. *)
+let cascade_boundary t =
+  let c = t.cursor in
+  let idx1 = (c lsr bits) land slot_mask in
+  if idx1 = 0 then begin
+    let idx2 = (c lsr (2 * bits)) land slot_mask in
+    if idx2 = 0 then begin
+      let idx3 = (c lsr (3 * bits)) land slot_mask in
+      if idx3 = 0 then drain_overflow t;
+      cascade_slot t 3 idx3
+    end;
+    cascade_slot t 2 idx2
+  end;
+  cascade_slot t 1 idx1
+
+(* Drain level-0 slot [idx] (the cursor's current tick) into [ready]
+   in sorted order. Every element in a level-0 slot shares one exact
+   tick: a slot index repeats only 256 ticks later, and deltas that
+   large are stored a level up. *)
+let drain_tick t idx =
+  match t.slots.(0).(idx) with
+  | [] -> ()
+  | l ->
+      t.slots.(0).(idx) <- [];
+      t.counts.(0) <- t.counts.(0) - List.length l;
+      let l = List.filter (fun v -> not (t.cancelled_of v)) l in
+      List.iter (ready_push t) (List.sort (cmp_elt t) l)
+
+(* Advance the cursor until [ready] gains an element or nothing is
+   stored anywhere. Empty stretches are jumped a whole level-window at
+   a time when the finer levels are empty, so idle virtual time costs
+   slot checks, not per-tick work. *)
+let hunt t =
+  let hunting = ref true in
+  while !hunting && t.ready_head >= t.ready_len do
+    if in_wheels t = 0 then
+      match Heap.peek t.overflow with
+      | None -> hunting := false
+      | Some v ->
+          (* Everything lives beyond the wheels: jump the cursor to
+             the overflow minimum's window and pull it in. *)
+          let tk = tick_of t (t.time_of v) in
+          if tk - t.cursor >= wheel_span then
+            t.cursor <- tk land lnot (wheel_span - 1);
+          drain_overflow t
+    else begin
+      if t.cursor land slot_mask = 0 then cascade_boundary t;
+      if t.counts.(0) > 0 then begin
+        let base = t.cursor land lnot slot_mask in
+        let i = ref (t.cursor land slot_mask) in
+        let scanning = ref true in
+        while !scanning && !i < slots_per_level do
+          match t.slots.(0).(!i) with
+          | [] -> incr i
+          | _ :: _ -> scanning := false
+        done;
+        if !i < slots_per_level then begin
+          t.cursor <- base + !i;
+          drain_tick t !i;
+          t.cursor <- t.cursor + 1
+        end
+        else t.cursor <- base + slots_per_level
+      end
+      else if t.counts.(1) > 0 then
+        t.cursor <- ((t.cursor lsr bits) + 1) lsl bits
+      else if t.counts.(2) > 0 then
+        t.cursor <- ((t.cursor lsr (2 * bits)) + 1) lsl (2 * bits)
+      else t.cursor <- ((t.cursor lsr (3 * bits)) + 1) lsl (3 * bits)
+    end
+  done
+
+(* ---- dispatch ---- *)
+
+(* Drop cancelled events from the front of the due batch. *)
+let skip_cancelled t =
+  let skipping = ref true in
+  while !skipping && t.ready_head < t.ready_len do
+    match t.ready.(t.ready_head) with
+    | Some v when t.cancelled_of v ->
+        t.ready.(t.ready_head) <- None;
+        t.ready_head <- t.ready_head + 1
+    | Some _ -> skipping := false
+    | None ->
+        (* Live region never holds [None]; tolerate rather than trap. *)
+        t.ready_head <- t.ready_head + 1
+  done
+
+let peek t =
+  let result = ref None in
+  let searching = ref true in
+  while !searching do
+    skip_cancelled t;
+    if t.ready_head < t.ready_len then begin
+      result := t.ready.(t.ready_head);
+      searching := false
+    end
+    else begin
+      ready_reset t;
+      if in_wheels t = 0 && Heap.is_empty t.overflow then searching := false
+      else hunt t
+    end
+  done;
+  !result
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some _ as r ->
+      t.ready.(t.ready_head) <- None;
+      t.ready_head <- t.ready_head + 1;
+      t.live <- t.live - 1;
+      r

@@ -1,0 +1,76 @@
+(** Hierarchical timer wheel (Varghese–Lauck).
+
+    An alternative pending-event store for {!Engine}, tuned for very
+    large pending sets: scheduling is O(1) (a cons into a slot), and
+    dispatch is O(1) amortized — the cursor walks slots instead of
+    sifting a heap, so cost per event stays flat as the pending count
+    grows from thousands to millions. The indexed heap pays O(log n)
+    per operation but has no cursor to advance across empty time; see
+    DESIGN for when each wins.
+
+    Structure: 4 levels of 256 slots each. Level 0 resolves single
+    ticks (default 1 µs); each higher level covers 256x the span of
+    the one below, so the wheels together cover 2^32 ticks (~71.6
+    virtual minutes at the default tick) ahead of the cursor. Events
+    beyond that horizon wait in a small overflow heap and are pulled
+    into the wheels when the cursor enters their 2^32-tick window.
+    When the cursor crosses a slot boundary of a higher level, that
+    slot's events cascade down into the finer wheels below.
+
+    Events that fall into the same tick are dispatched in [(time,
+    seq)] order — the due tick is drained into a sorted ready batch —
+    so wheel dispatch order is {e identical} to the heap's, not merely
+    tick-accurate. This is what lets the engine treat the backend as a
+    drop-in swap with byte-identical simulation output.
+
+    The wheel is generic in its element type and reads timestamps,
+    tie-break sequence numbers and cancellation flags through
+    accessors supplied at creation. Cancellation is lazy: the owner
+    flips its cancelled flag and calls {!note_cancel} once; the
+    element is skipped and dropped whenever the wheel next touches it.
+    O(1), no index bookkeeping — the trade-off against the heap's
+    eager O(log n) removal is that a cancelled element's memory lives
+    until its tick (or a cascade) reaches it. *)
+
+type 'a t
+(** A mutable timer wheel of ['a] events. *)
+
+val create :
+  ?tick:float ->
+  ?now:float ->
+  time:('a -> float) ->
+  seq:('a -> int) ->
+  cancelled:('a -> bool) ->
+  unit ->
+  'a t
+(** [create ~time ~seq ~cancelled ()] is an empty wheel whose cursor
+    starts at [now] (default [0.], must be non-negative). [tick]
+    (default [1e-6], i.e. 1 µs) is the level-0 resolution in seconds;
+    events closer together than one tick still dispatch in exact
+    [(time, seq)] order, a coarser tick only batches more of them into
+    one sorted drain. Raises [Invalid_argument] if [tick <= 0.]. *)
+
+val add : 'a t -> 'a -> unit
+(** Insert an event. O(1). Events at or before the cursor's current
+    tick (the engine schedules at the running clock instant) are
+    placed directly into the due batch, still in sorted position. *)
+
+val peek : 'a t -> 'a option
+(** Earliest live (non-cancelled) event without removing it, or [None]
+    if none remain. Advances the cursor over empty ticks as needed;
+    amortized O(1) per dispatched event. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the earliest live event, or [None]. *)
+
+val note_cancel : 'a t -> unit
+(** The owner just cancelled one queued element (flipped the flag the
+    [cancelled] accessor reads). Adjusts {!length} immediately; the
+    element itself is dropped lazily. Call exactly once per cancelled
+    element that was added and not yet popped. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events queued. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty w] is [length w = 0]. *)

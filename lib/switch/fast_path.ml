@@ -1,0 +1,143 @@
+(* Steady-state forwarding kernel over pooled frames: every per-packet
+   structure is an int array, every per-packet value an untagged int,
+   so a microflow hit runs without minor-heap allocation. *)
+
+open Sdn_net
+
+type t = {
+  pool : Frame_pool.t;
+  mask : int;
+  (* Open-addressing microflow table, linear probing. A slot is
+     occupied iff [ports.(i) >= 0]; the 5-tuple is packed into two
+     ints ([keys1] = src_ip:16+src_port, [keys2] =
+     dst_ip:24 + dst_port:8 + proto). *)
+  keys1 : int array;
+  keys2 : int array;
+  ports : int array;
+  load_limit : int;
+  mutable entries : int;
+  (* Per-port egress rings of slot ids. *)
+  rings : int array array;
+  ring_mask : int;
+  heads : int array;
+  tails : int array;
+  mutable hits : int;
+  mutable misses : int;
+  mutable drops : int;
+}
+
+let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+let create ~pool ~n_ports ?(table_capacity = 65536) ?(ring_capacity = 4096) ()
+    =
+  if n_ports <= 0 then
+    invalid_arg "Fast_path.create: n_ports must be positive";
+  let cap = pow2_at_least (max 16 table_capacity) 16 in
+  let ring_cap = pow2_at_least (max 16 ring_capacity) 16 in
+  {
+    pool;
+    mask = cap - 1;
+    keys1 = Array.make cap 0;
+    keys2 = Array.make cap 0;
+    ports = Array.make cap (-1);
+    (* 3/4 load cap keeps linear-probe chains short and bounded. *)
+    load_limit = cap - (cap / 4);
+    entries = 0;
+    rings = Array.init n_ports (fun _ -> Array.make ring_cap 0);
+    ring_mask = ring_cap - 1;
+    heads = Array.make n_ports 0;
+    tails = Array.make n_ports 0;
+    hits = 0;
+    misses = 0;
+    drops = 0;
+  }
+
+(* Deterministic avalanche over the packed key pair; odd multipliers
+   spread consecutive IPs/ports across the table. *)
+let slot_hash t k1 k2 =
+  let h = (k1 * 0x9E3779B1) lxor (k2 * 0x85EBCA77) in
+  (h lxor (h lsr 16)) land t.mask
+
+let install t ~proto ~src_ip ~dst_ip ~src_port ~dst_port ~out_port =
+  if out_port < 0 || out_port >= Array.length t.rings then false
+  else begin
+    let k1 = (src_ip lsl 16) lor (src_port land 0xFFFF) in
+    let k2 = (dst_ip lsl 24) lor ((dst_port land 0xFFFF) lsl 8) lor (proto land 0xFF) in
+    let i = ref (slot_hash t k1 k2) in
+    while
+      t.ports.(!i) >= 0 && not (t.keys1.(!i) = k1 && t.keys2.(!i) = k2)
+    do
+      i := (!i + 1) land t.mask
+    done;
+    if t.ports.(!i) >= 0 then begin
+      (* Same key: replace the mapping. *)
+      t.ports.(!i) <- out_port;
+      true
+    end
+    else if t.entries >= t.load_limit then false
+    else begin
+      t.keys1.(!i) <- k1;
+      t.keys2.(!i) <- k2;
+      t.ports.(!i) <- out_port;
+      t.entries <- t.entries + 1;
+      true
+    end
+  end
+
+let flush t =
+  Array.fill t.ports 0 (Array.length t.ports) (-1);
+  t.entries <- 0
+
+let process t slot =
+  let pool = t.pool in
+  let proto = Frame_pool.get_u8 pool slot Frame_pool.off_proto in
+  let src_ip = Frame_pool.get_u32 pool slot Frame_pool.off_src_ip in
+  let dst_ip = Frame_pool.get_u32 pool slot Frame_pool.off_dst_ip in
+  let src_port = Frame_pool.get_u16 pool slot Frame_pool.off_src_port in
+  let dst_port = Frame_pool.get_u16 pool slot Frame_pool.off_dst_port in
+  let k1 = (src_ip lsl 16) lor src_port in
+  let k2 = (dst_ip lsl 24) lor (dst_port lsl 8) lor proto in
+  let i = ref (slot_hash t k1 k2) in
+  while
+    Array.unsafe_get t.ports (!i land t.mask) >= 0
+    && not
+         (Array.unsafe_get t.keys1 !i = k1
+         && Array.unsafe_get t.keys2 !i = k2)
+  do
+    i := (!i + 1) land t.mask
+  done;
+  let port = Array.unsafe_get t.ports !i in
+  if port < 0 then begin
+    t.misses <- t.misses + 1;
+    -1
+  end
+  else begin
+    let head = Array.unsafe_get t.heads port in
+    let tail = Array.unsafe_get t.tails port in
+    if tail - head > t.ring_mask then begin
+      t.drops <- t.drops + 1;
+      -2
+    end
+    else begin
+      ignore (Frame_pool.dec_ttl pool slot);
+      let ring = Array.unsafe_get t.rings port in
+      Array.unsafe_set ring (tail land t.ring_mask) slot;
+      Array.unsafe_set t.tails port (tail + 1);
+      t.hits <- t.hits + 1;
+      port
+    end
+  end
+
+let dequeue t port =
+  let head = t.heads.(port) in
+  if head = t.tails.(port) then -1
+  else begin
+    t.heads.(port) <- head + 1;
+    t.rings.(port).(head land t.ring_mask)
+  end
+
+let queue_length t port = t.tails.(port) - t.heads.(port)
+let entries t = t.entries
+let hits t = t.hits
+let misses t = t.misses
+let drops t = t.drops

@@ -1,0 +1,90 @@
+(** Allocation-free switch datapath kernel: microflow hit → header
+    rewrite → egress enqueue over pooled frames.
+
+    The classic {!Switch} pipeline models the full OpenFlow control
+    interaction (buffering, PACKET_IN, flow-mod) with heap-allocated
+    {!Sdn_net.Packet.t} values and closure-based links — the right
+    shape for protocol fidelity, the wrong one for a 10M events/s
+    forwarding floor. This module is the steady-state complement: once
+    a flow's rule is installed, its packets take an exact-match hit
+    path that runs entirely on {!Sdn_net.Frame_pool} slot ids and
+    untagged ints — open-addressed int-array microflow table, in-place
+    TTL rewrite, per-port int-ring egress queues — and performs {e
+    zero} minor-heap allocation per packet (enforced by the
+    [fast_path/hit-minor-words] bench subject).
+
+    The microflow key is the IPv4 5-tuple read straight from the
+    pooled frame bytes ({!Sdn_net.Frame_pool.off_src_ip} etc.),
+    packed into two ints. Same-key packets are indistinguishable to
+    this kernel; resolution of the first packet of a flow (the miss)
+    stays with the slow path, which installs the mapping with
+    {!install}.
+
+    Ownership: the caller allocs a pool slot, loads the frame, and
+    calls {!process}. On a hit the kernel takes ownership (the slot id
+    sits in the out-port's ring until {!dequeue}); on a miss or drop
+    the caller keeps ownership and typically hands the frame to the
+    slow path or releases it. *)
+
+type t
+
+val create :
+  pool:Sdn_net.Frame_pool.t ->
+  n_ports:int ->
+  ?table_capacity:int ->
+  ?ring_capacity:int ->
+  unit ->
+  t
+(** A kernel forwarding over [pool] to [n_ports] egress rings.
+    [table_capacity] (default 65536) is rounded up to a power of two
+    and bounds installed microflows; [ring_capacity] (default 4096,
+    also rounded up) bounds each port's queued slot count. Raises
+    [Invalid_argument] if [n_ports <= 0]. *)
+
+(** {2 Control plane (slow path; may allocate)} *)
+
+val install :
+  t ->
+  proto:int ->
+  src_ip:int ->
+  dst_ip:int ->
+  src_port:int ->
+  dst_port:int ->
+  out_port:int ->
+  bool
+(** Map a 5-tuple to an egress port. IPs are the unsigned-int reading
+    {!Sdn_net.Frame_pool.get_u32} returns. Replaces an existing
+    mapping for the same key. [false] (and no change) when the table
+    is at its load limit and the key is new, or [out_port] is out of
+    range. *)
+
+val flush : t -> unit
+(** Drop every installed microflow (table mutation elsewhere — mirror
+    of {!Microflow.flush}). Queued frames stay queued. *)
+
+(** {2 Data plane (hot path; never allocates)} *)
+
+val process : t -> int -> int
+(** [process t slot] classifies the pooled frame in [slot] and, on a
+    microflow hit, rewrites its TTL in place and enqueues the slot on
+    the out-port's ring, returning the port number. Returns [-1] on a
+    table miss and [-2] when the out-port ring is full (the frame is
+    dropped by the caller); in both cases slot ownership stays with
+    the caller. *)
+
+val dequeue : t -> int -> int
+(** [dequeue t port] pops the next queued slot id from the port's
+    egress ring, or [-1] if the ring is empty. Ownership returns to
+    the caller (who transmits and releases the slot). *)
+
+val queue_length : t -> int -> int
+(** Slot count currently queued on a port's ring. *)
+
+(** {2 Introspection} *)
+
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val drops : t -> int
+(** Hits whose out-port ring was full. *)

@@ -1,0 +1,224 @@
+(* Tests for the Bigarray frame pool and the allocation-free fast
+   path built on it: slot lifecycle discipline (exhaustion, double
+   release, crash wipe), wire-layout header access against real
+   encoded frames, and the Check frame-pool conservation ledger. *)
+
+open Sdn_net
+
+let mk_pool ?(slots = 4) ?(slot_size = 64) () =
+  Frame_pool.create ~slots ~slot_size ()
+
+let sample_frame ?(ttl = 64) () =
+  Packet.encode
+    (Packet.udp
+       ~src_mac:(Mac.of_string_exn "02:00:00:00:00:01")
+       ~dst_mac:(Mac.of_string_exn "02:00:00:00:00:02")
+       ~src_ip:(Ip.make 10 0 0 1) ~dst_ip:(Ip.make 10 0 0 2) ~src_port:4242
+       ~dst_port:9 ~ttl
+       ~payload:(Bytes.make 6 'x')
+       ())
+
+let test_alloc_release_exhaustion () =
+  let pool = mk_pool ~slots:3 () in
+  let a = Frame_pool.alloc pool in
+  let b = Frame_pool.alloc pool in
+  let c = Frame_pool.alloc pool in
+  Alcotest.(check bool) "three distinct slots" true
+    (a >= 0 && b >= 0 && c >= 0 && a <> b && b <> c && a <> c);
+  Alcotest.(check int) "exhausted" (-1) (Frame_pool.alloc pool);
+  Alcotest.(check int) "none free" 0 (Frame_pool.free_count pool);
+  Alcotest.(check int) "all live" 3 (Frame_pool.live_count pool);
+  Alcotest.(check bool) "release b" true (Frame_pool.release pool b);
+  Alcotest.(check int) "one free" 1 (Frame_pool.free_count pool);
+  Alcotest.(check int) "recycled" b (Frame_pool.alloc pool)
+
+let test_double_release_rejected () =
+  let pool = mk_pool () in
+  let a = Frame_pool.alloc pool in
+  Alcotest.(check bool) "first release" true (Frame_pool.release pool a);
+  Alcotest.(check bool) "double release rejected" false
+    (Frame_pool.release pool a);
+  Alcotest.(check bool) "out of range rejected" false
+    (Frame_pool.release pool 99);
+  Alcotest.(check bool) "negative rejected" false (Frame_pool.release pool (-1));
+  Alcotest.(check int) "free count unaffected" (Frame_pool.slots pool)
+    (Frame_pool.free_count pool)
+
+let test_wipe_on_crash () =
+  let pool = mk_pool ~slots:2 ~slot_size:128 () in
+  let a = Frame_pool.alloc pool in
+  Frame_pool.load pool a (sample_frame ());
+  ignore (Frame_pool.alloc pool);
+  Alcotest.(check int) "pool saturated" 0 (Frame_pool.free_count pool);
+  Frame_pool.wipe pool;
+  Alcotest.(check int) "all free after wipe" 2 (Frame_pool.free_count pool);
+  let b = Frame_pool.alloc pool in
+  Alcotest.(check int) "no stale bytes survive" 0
+    (Frame_pool.get_u32 pool b Frame_pool.off_src_ip);
+  Alcotest.(check int) "length reset" 0 (Frame_pool.length pool b)
+
+let test_load_peek_roundtrip () =
+  let pool = mk_pool ~slot_size:128 () in
+  let frame = sample_frame () in
+  let slot = Frame_pool.alloc pool in
+  Frame_pool.load pool slot frame;
+  Alcotest.(check int) "stored length" (Bytes.length frame)
+    (Frame_pool.length pool slot);
+  Alcotest.(check bytes) "copy_out is byte-identical" frame
+    (Frame_pool.copy_out pool slot);
+  Alcotest.(check int) "proto peek" Ipv4.proto_udp
+    (Frame_pool.get_u8 pool slot Frame_pool.off_proto);
+  Alcotest.(check int) "src port peek" 4242
+    (Frame_pool.get_u16 pool slot Frame_pool.off_src_port);
+  Alcotest.(check int) "dst port peek" 9
+    (Frame_pool.get_u16 pool slot Frame_pool.off_dst_port);
+  Alcotest.(check int) "src ip peek" 0x0A000001
+    (Frame_pool.get_u32 pool slot Frame_pool.off_src_ip);
+  Alcotest.(check int) "dst ip peek" 0x0A000002
+    (Frame_pool.get_u32 pool slot Frame_pool.off_dst_ip)
+
+(* The in-place TTL rewrite must keep the IPv4 header checksum valid:
+   decode the rewritten frame with the strict checksum-verifying
+   parser and compare against a freshly encoded TTL-63 packet. *)
+let test_dec_ttl_checksum () =
+  let pool = mk_pool ~slot_size:128 () in
+  let slot = Frame_pool.alloc pool in
+  Frame_pool.load pool slot (sample_frame ~ttl:64 ());
+  Alcotest.(check int) "ttl decremented" 63 (Frame_pool.dec_ttl pool slot);
+  Alcotest.(check bytes) "rewritten frame equals TTL-63 encoding"
+    (sample_frame ~ttl:63 ())
+    (Frame_pool.copy_out pool slot);
+  match Packet.decode (Frame_pool.copy_out pool slot) with
+  | Ok { Packet.l3 = Packet.Ipv4 (ip, _); _ } ->
+      Alcotest.(check int) "decoded ttl" 63 ip.Ipv4.ttl
+  | Ok _ -> Alcotest.fail "expected IPv4"
+  | Error e -> Alcotest.fail ("decode after rewrite failed: " ^ e)
+
+let test_load_rejects () =
+  let pool = mk_pool ~slots:2 ~slot_size:16 () in
+  let slot = Frame_pool.alloc pool in
+  Alcotest.check_raises "oversized frame" (Invalid_argument
+    "Frame_pool.load: frame of 60 bytes exceeds slot size 16") (fun () ->
+      Frame_pool.load pool slot (Bytes.create 60));
+  ignore (Frame_pool.release pool slot);
+  Alcotest.(check bool) "load on free slot raises" true
+    (try
+       Frame_pool.load pool slot (Bytes.create 8);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- fast path ---- *)
+
+let fp_setup () =
+  let pool = Frame_pool.create ~slots:32 ~slot_size:128 () in
+  let fp = Sdn_switch.Fast_path.create ~pool ~n_ports:2 ~ring_capacity:16 () in
+  (pool, fp)
+
+let load_sample pool =
+  let slot = Frame_pool.alloc pool in
+  Frame_pool.load pool slot (sample_frame ());
+  slot
+
+let install_sample fp =
+  Sdn_switch.Fast_path.install fp ~proto:Ipv4.proto_udp ~src_ip:0x0A000001
+    ~dst_ip:0x0A000002 ~src_port:4242 ~dst_port:9 ~out_port:1
+
+let test_fast_path_hit () =
+  let pool, fp = fp_setup () in
+  let slot = load_sample pool in
+  Alcotest.(check int) "miss before install" (-1)
+    (Sdn_switch.Fast_path.process fp slot);
+  Alcotest.(check bool) "install" true (install_sample fp);
+  Alcotest.(check int) "hit routes to port 1" 1
+    (Sdn_switch.Fast_path.process fp slot);
+  Alcotest.(check int) "queued" 1 (Sdn_switch.Fast_path.queue_length fp 1);
+  Alcotest.(check int) "ttl rewritten in place" 63
+    (Frame_pool.get_u8 pool slot Frame_pool.off_ttl);
+  Alcotest.(check int) "dequeue returns the slot" slot
+    (Sdn_switch.Fast_path.dequeue fp 1);
+  Alcotest.(check int) "ring drained" (-1) (Sdn_switch.Fast_path.dequeue fp 1);
+  Alcotest.(check int) "stats" 1 (Sdn_switch.Fast_path.hits fp);
+  Alcotest.(check int) "miss counted" 1 (Sdn_switch.Fast_path.misses fp)
+
+let test_fast_path_ring_full_and_flush () =
+  let pool, fp = fp_setup () in
+  Alcotest.(check bool) "install" true (install_sample fp);
+  let slots = List.init 17 (fun _ -> load_sample pool) in
+  let results = List.map (Sdn_switch.Fast_path.process fp) slots in
+  Alcotest.(check int) "16 fit the ring" 16
+    (List.length (List.filter (fun r -> r = 1) results));
+  Alcotest.(check (list int)) "17th dropped" [ -2 ]
+    (List.filter (fun r -> r < 0) results);
+  Alcotest.(check int) "drop counted" 1 (Sdn_switch.Fast_path.drops fp);
+  Sdn_switch.Fast_path.flush fp;
+  Alcotest.(check int) "flush empties table" 0
+    (Sdn_switch.Fast_path.entries fp);
+  let slot = load_sample pool in
+  Alcotest.(check int) "miss after flush" (-1)
+    (Sdn_switch.Fast_path.process fp slot)
+
+(* ---- Check conservation ledger ---- *)
+
+let violations_of check = List.map (fun v -> v.Sdn_check.Check.invariant)
+    (Sdn_check.Check.violations check)
+
+let test_check_frame_pool_clean () =
+  let check = Sdn_check.Check.create () in
+  let pool = mk_pool ~slots:2 () in
+  let note_claim slot =
+    ignore slot;
+    Sdn_check.Check.note_frame_pool_claim check ~time:0.0 ~pool:"fp"
+      ~free:(Frame_pool.free_count pool)
+  in
+  Sdn_check.Check.note_frame_pool_create check ~time:0.0 ~pool:"fp"
+    ~slots:(Frame_pool.slots pool);
+  let a = Frame_pool.alloc pool in
+  note_claim a;
+  let b = Frame_pool.alloc pool in
+  note_claim b;
+  ignore (Frame_pool.release pool a);
+  Sdn_check.Check.note_frame_pool_release check ~time:1.0 ~pool:"fp"
+    ~free:(Frame_pool.free_count pool);
+  Frame_pool.wipe pool;
+  Sdn_check.Check.note_frame_pool_wipe check ~time:2.0 ~pool:"fp"
+    ~free:(Frame_pool.free_count pool);
+  Alcotest.(check (list string)) "clean run has no violations" []
+    (violations_of check)
+
+let test_check_frame_pool_violations () =
+  let check = Sdn_check.Check.create () in
+  Sdn_check.Check.note_frame_pool_create check ~time:0.0 ~pool:"fp" ~slots:2;
+  (* Claim reporting an impossible free count: conservation broken. *)
+  Sdn_check.Check.note_frame_pool_claim check ~time:0.1 ~pool:"fp" ~free:2;
+  (* Release with nothing live: double release. *)
+  Sdn_check.Check.note_frame_pool_release check ~time:0.2 ~pool:"fp" ~free:2;
+  Sdn_check.Check.note_frame_pool_release check ~time:0.3 ~pool:"fp" ~free:2;
+  (* Wipe that somehow left a slot claimed. *)
+  Sdn_check.Check.note_frame_pool_wipe check ~time:0.4 ~pool:"fp" ~free:1;
+  (* Claim on a pool never created. *)
+  Sdn_check.Check.note_frame_pool_claim check ~time:0.5 ~pool:"ghost" ~free:0;
+  Alcotest.(check bool) "all five flagged" true
+    (List.length (violations_of check) >= 5
+    && List.for_all
+         (String.equal "frame-pool-conservation")
+         (violations_of check))
+
+let suite =
+  [
+    Alcotest.test_case "alloc/release and exhaustion" `Quick
+      test_alloc_release_exhaustion;
+    Alcotest.test_case "double release rejected" `Quick
+      test_double_release_rejected;
+    Alcotest.test_case "wipe on crash" `Quick test_wipe_on_crash;
+    Alcotest.test_case "load/peek roundtrip" `Quick test_load_peek_roundtrip;
+    Alcotest.test_case "dec_ttl keeps checksum valid" `Quick
+      test_dec_ttl_checksum;
+    Alcotest.test_case "load argument validation" `Quick test_load_rejects;
+    Alcotest.test_case "fast path hit/dequeue" `Quick test_fast_path_hit;
+    Alcotest.test_case "fast path ring-full and flush" `Quick
+      test_fast_path_ring_full_and_flush;
+    Alcotest.test_case "check ledger clean run" `Quick
+      test_check_frame_pool_clean;
+    Alcotest.test_case "check ledger violations" `Quick
+      test_check_frame_pool_violations;
+  ]

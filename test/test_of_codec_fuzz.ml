@@ -413,7 +413,8 @@ let prop_encode_scratch_identical =
       let scratch = Of_wire.Scratch.create ~capacity:16 () in
       let check msg =
         let reference = Of_codec.encode ~xid:7l msg in
-        let buf, len = Of_codec.encode_scratch scratch ~xid:7l msg in
+        let len = Of_codec.encode_scratch scratch ~xid:7l msg in
+        let buf = Of_wire.Scratch.buffer scratch in
         len = Bytes.length reference && Bytes.equal reference (Bytes.sub buf 0 len)
       in
       (* Encoding a second message over the first must not leak stale

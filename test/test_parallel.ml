@@ -14,13 +14,13 @@ let test_pool_indexed_results () =
       Alcotest.(check (array int))
         (Printf.sprintf "jobs=%d merges by index" jobs)
         expected
-        (Sdn_sim.Task_pool.run ~jobs ~tasks:37 (fun i -> i * i)))
+        (Sdn_sim.Task_pool.run ~oversubscribe:true ~jobs ~tasks:37 (fun i -> i * i)))
     [ 1; 2; 4; 8 ]
 
 let test_pool_more_jobs_than_tasks () =
   Alcotest.(check (array int))
     "jobs clamp to tasks" [| 0; 10; 20 |]
-    (Sdn_sim.Task_pool.run ~jobs:16 ~tasks:3 (fun i -> 10 * i))
+    (Sdn_sim.Task_pool.run ~oversubscribe:true ~jobs:16 ~tasks:3 (fun i -> 10 * i))
 
 let test_pool_edge_sizes () =
   Alcotest.(check (array int))
@@ -41,7 +41,7 @@ let test_pool_exception_propagates () =
         (Failure "task 5 exploded")
         (fun () ->
           ignore
-            (Sdn_sim.Task_pool.run ~jobs ~tasks:12 (fun i ->
+            (Sdn_sim.Task_pool.run ~oversubscribe:true ~jobs ~tasks:12 (fun i ->
                  if i = 5 then failwith "task 5 exploded" else i))))
     [ 1; 4 ]
 
@@ -53,7 +53,7 @@ let test_pool_map_list () =
       Alcotest.(check (list string))
         (Printf.sprintf "map_list at jobs=%d is List.map" jobs)
         (List.map f xs)
-        (Sdn_sim.Task_pool.map_list ~jobs f xs))
+        (Sdn_sim.Task_pool.map_list ~oversubscribe:true ~jobs f xs))
     [ 1; 3 ];
   Alcotest.(check (list int))
     "map_list on []" []

@@ -1,0 +1,219 @@
+(* Tests for the hierarchical timer wheel engine backend.
+
+   The wheel's contract is behavioral equivalence with the default
+   heap backend: identical dispatch order, identical clock behavior,
+   identical pending/processed accounting. The deterministic cases
+   mirror the sharpest heap-backend tests in Test_engine; the
+   property test drives both backends through the same randomized
+   schedule/cancel/step scripts and requires identical traces. *)
+
+open Sdn_sim
+
+let wheel () = Engine.create ~queue:`Wheel ()
+
+let test_runs_in_time_order () =
+  let engine = wheel () in
+  let order = ref [] in
+  ignore (Engine.schedule_at engine 3.0 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule_at engine 2.0 (fun () -> order := 2 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_fifo_tie_break () =
+  let engine = wheel () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at engine 1.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+(* Sub-tick spacing: events closer together than the 1 µs level-0
+   resolution share a slot, and the sorted drain must still dispatch
+   them in exact time order. *)
+let test_sub_tick_ordering () =
+  let engine = wheel () in
+  let order = ref [] in
+  ignore (Engine.schedule_at engine 1.0000007 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule_at engine 1.0000001 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule_at engine 1.0000004 (fun () -> order := 2 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "sub-tick times dispatch in time order"
+    [ 1; 2; 3 ] (List.rev !order)
+
+(* Deltas spanning every wheel level plus the overflow heap: 1 tick,
+   one slot rotation, levels 1..3, and beyond the 2^32-tick horizon
+   (~4295 s at 1 µs). All must come back in time order. *)
+let test_cross_level_ordering () =
+  let engine = wheel () in
+  let times =
+    [ 1e-6; 2.55e-4; 6.5e-2; 1.67e1; 4.2e3; 6.0e3; 1.0e5 ]
+  in
+  let order = ref [] in
+  List.iteri
+    (fun i time ->
+      ignore (Engine.schedule_at engine time (fun () -> order := i :: !order)))
+    (List.rev times);
+  Engine.run engine;
+  Alcotest.(check (list int)) "levels and overflow dispatch in time order"
+    [ 6; 5; 4; 3; 2; 1; 0 ] (List.rev !order);
+  Alcotest.(check (float 1e-9)) "clock at last event" 1.0e5 (Engine.now engine)
+
+(* Mirror of the heap backend's [test_cancel_removes_from_queue]:
+   schedule 10k timers, cancel every one, and the wheel must report
+   zero pending and fire nothing. The wheel cancels lazily, so this
+   exercises [note_cancel] accounting rather than physical removal. *)
+let test_cancel_10k () =
+  let engine = wheel () in
+  let fired = ref 0 in
+  let handles =
+    List.init 10_000 (fun i ->
+        Engine.schedule_at engine
+          (1.0 +. (float_of_int i *. 1e-5))
+          (fun () -> incr fired))
+  in
+  Alcotest.(check int) "all pending" 10_000 (Engine.pending engine);
+  List.iter Engine.cancel handles;
+  Alcotest.(check int) "none pending after cancel" 0 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "nothing fired" 0 !fired;
+  Alcotest.(check int) "nothing processed" 0 (Engine.processed engine)
+
+let test_cancel_idempotent () =
+  let engine = wheel () in
+  let fired = ref false in
+  let h = Engine.schedule_at engine 1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.cancel h;
+  Alcotest.(check int) "pending counted once" 0 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let test_run_until () =
+  let engine = wheel () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> ignore (Engine.schedule_at engine t (fun () -> fired := t :: !fired)))
+    [ 0.5; 1.5; 2.5 ];
+  Engine.run ~until:2.0 engine;
+  Alcotest.(check (list (float 1e-12))) "only events up to limit" [ 0.5; 1.5 ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-12)) "clock parked at limit" 2.0 (Engine.now engine);
+  Alcotest.(check int) "later event still queued" 1 (Engine.pending engine);
+  (* The 2.5 event's tick was hunted past while peeking; an event
+     scheduled between the clock and that tick must still fire first. *)
+  ignore (Engine.schedule_at engine 2.25 (fun () -> fired := 2.25 :: !fired));
+  Engine.run engine;
+  Alcotest.(check (list (float 1e-12))) "late add dispatches in order"
+    [ 0.5; 1.5; 2.25; 2.5 ] (List.rev !fired)
+
+let test_step_batch_includes_spawned_same_time () =
+  let engine = wheel () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule_at engine 1.0 (fun () ->
+         order := "first" :: !order;
+         ignore
+           (Engine.schedule_at engine 1.0 (fun () ->
+                order := "spawned" :: !order))));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> order := "second" :: !order));
+  let n = Engine.step_batch engine in
+  Alcotest.(check int) "batch size" 3 n;
+  Alcotest.(check (list string)) "spawned event joins the batch in seq order"
+    [ "first"; "second"; "spawned" ] (List.rev !order)
+
+let test_cancel_sibling_during_batch () =
+  let engine = wheel () in
+  let fired = ref [] in
+  let sibling = ref None in
+  ignore
+    (Engine.schedule_at engine 1.0 (fun () ->
+         fired := "killer" :: !fired;
+         Option.iter Engine.cancel !sibling));
+  sibling :=
+    Some (Engine.schedule_at engine 1.0 (fun () -> fired := "victim" :: !fired));
+  ignore (Engine.schedule_at engine 1.0 (fun () -> fired := "survivor" :: !fired));
+  ignore (Engine.step_batch engine);
+  Alcotest.(check (list string)) "victim skipped" [ "killer"; "survivor" ]
+    (List.rev !fired);
+  Alcotest.(check int) "no pending left" 0 (Engine.pending engine)
+
+let test_chained_events () =
+  let engine = wheel () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Engine.schedule engine ~delay:0.1 (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 50;
+  Engine.run engine;
+  Alcotest.(check int) "all chained events ran" 50 !count;
+  Alcotest.(check (float 1e-9)) "clock" 5.0 (Engine.now engine)
+
+(* One randomized script, two backends, traces must match exactly.
+   Op encoding: (kind, a) with kind 0-2 = schedule at now + scaled
+   delay (three delay scales so events hit the same tick, nearby
+   ticks, and higher wheel levels), kind 3 = cancel the a-th oldest
+   live handle, kind 4 = step_batch. *)
+let run_script ops queue =
+  let engine = Engine.create ~queue () in
+  let trace = ref [] in
+  let handles = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun (kind, a) ->
+      match kind with
+      | 0 | 1 | 2 ->
+          let scale =
+            match kind with 0 -> 3.3e-7 | 1 -> 1.05e-4 | _ -> 2.7e-2
+          in
+          let id = !next_id in
+          incr next_id;
+          let h =
+            Engine.schedule engine
+              ~delay:(float_of_int a *. scale)
+              (fun () -> trace := (id, Engine.now engine) :: !trace)
+          in
+          handles := !handles @ [ h ]
+      | 3 ->
+          let n = List.length !handles in
+          if n > 0 then Engine.cancel (List.nth !handles (a mod n))
+      | _ -> ignore (Engine.step_batch engine))
+    ops;
+  Engine.run engine;
+  (List.rev !trace, Engine.processed engine, Engine.pending engine)
+
+let prop_matches_heap =
+  QCheck.Test.make ~name:"wheel and heap dispatch identical traces" ~count:300
+    QCheck.(list (pair (int_bound 4) (int_bound 200)))
+    (fun ops ->
+      let th, ph, nh = run_script ops `Heap in
+      let tw, pw, nw = run_script ops `Wheel in
+      List.length th = List.length tw
+      && List.for_all2
+           (fun (i, t) (j, u) -> i = j && Float.equal t u)
+           th tw
+      && ph = pw && nh = nw)
+
+let suite =
+  [
+    Alcotest.test_case "runs in time order" `Quick test_runs_in_time_order;
+    Alcotest.test_case "FIFO tie break" `Quick test_fifo_tie_break;
+    Alcotest.test_case "sub-tick ordering" `Quick test_sub_tick_ordering;
+    Alcotest.test_case "cross-level and overflow ordering" `Quick
+      test_cross_level_ordering;
+    Alcotest.test_case "10k cancel leaves queue empty" `Quick test_cancel_10k;
+    Alcotest.test_case "cancel is idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "run until limit" `Quick test_run_until;
+    Alcotest.test_case "step_batch includes spawned same-time events" `Quick
+      test_step_batch_includes_spawned_same_time;
+    Alcotest.test_case "cancel sibling during batch" `Quick
+      test_cancel_sibling_during_batch;
+    Alcotest.test_case "chained events" `Quick test_chained_events;
+    QCheck_alcotest.to_alcotest prop_matches_heap;
+  ]

@@ -20,9 +20,21 @@
    relative threshold on noise (a 0.2-word jitter on a 1-word metric is
    not a regression).
 
+   Beyond the relative baseline comparison, [--min NAME=V] and
+   [--max NAME=V] (repeatable) pin absolute floors and ceilings on
+   candidate metrics: a floor enforces a claimed win outright (e.g.
+   [--min derived/wheel_speedup_1m=2.0] keeps the timer wheel >= 2x the
+   heap at 1M pending regardless of what the baseline drifted to), and
+   a ceiling pins a structural invariant (e.g.
+   [--max massive/datapath/minor-words-per-packet=0.5] is the
+   zero-allocation fast-path guarantee with room for measurement
+   jitter, not for a real allocation). A named metric absent from the
+   candidate is an error.
+
    Usage:
      bench_gate BASELINE.json CANDIDATE.json [--portable]
                 [--threshold PCT] [--slack N]
+                [--min NAME=V]... [--max NAME=V]...
 
    Exits 0 when no gated metric regresses, 1 otherwise (listing every
    regression), 2 on usage or parse errors. *)
@@ -30,6 +42,22 @@
 let threshold = ref 0.15
 let slack = ref 2.0
 let portable = ref false
+let floors = ref [] (* --min NAME=V: candidate must reach V *)
+let ceilings = ref [] (* --max NAME=V: candidate must stay under V *)
+
+let parse_bound flag spec =
+  match String.index_opt spec '=' with
+  | Some eq -> (
+      let name = String.sub spec 0 eq in
+      let v = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+      match float_of_string_opt v with
+      | Some f when name <> "" -> (name, f)
+      | _ ->
+          Printf.eprintf "bench_gate: bad %s bound %S\n" flag spec;
+          exit 2)
+  | None ->
+      Printf.eprintf "bench_gate: %s expects NAME=VALUE, got %S\n" flag spec;
+      exit 2
 
 (* ---- Minimal JSON scanner ----
 
@@ -123,6 +151,12 @@ let () =
     | "--slack" :: s :: rest ->
         slack := float_of_string s;
         parse_args rest
+    | "--min" :: spec :: rest ->
+        floors := parse_bound "--min" spec :: !floors;
+        parse_args rest
+    | "--max" :: spec :: rest ->
+        ceilings := parse_bound "--max" spec :: !ceilings;
+        parse_args rest
     | arg :: rest ->
         files := arg :: !files;
         parse_args rest
@@ -155,6 +189,23 @@ let () =
                 in
                 if bad then regressions := (name, base, cand) :: !regressions)
         baseline;
+      (* Absolute bounds run against the candidate alone: a floor or
+         ceiling is a claim about this snapshot, not about drift. *)
+      let bounds = ref [] in
+      let check_bound kind (name, bound) =
+        match List.assoc_opt name candidate with
+        | None -> missing := name :: !missing
+        | Some cand ->
+            incr checked;
+            let bad =
+              match kind with
+              | `Floor -> cand < bound
+              | `Ceiling -> cand > bound
+            in
+            if bad then bounds := (kind, name, bound, cand) :: !bounds
+      in
+      List.iter (check_bound `Floor) (List.rev !floors);
+      List.iter (check_bound `Ceiling) (List.rev !ceilings);
       List.iter
         (fun (name, base, cand) ->
           Printf.printf "REGRESSION %-55s baseline %12.4g  candidate %12.4g (%s)\n"
@@ -163,15 +214,24 @@ let () =
              else "lower is better"))
         (List.rev !regressions);
       List.iter
-        (fun name -> Printf.printf "MISSING    %s (in baseline, not in candidate)\n" name)
+        (fun (kind, name, bound, cand) ->
+          Printf.printf "BOUND      %-55s %s %12.4g  candidate %12.4g\n" name
+            (match kind with `Floor -> "floor  " | `Ceiling -> "ceiling")
+            bound cand)
+        (List.rev !bounds);
+      List.iter
+        (fun name -> Printf.printf "MISSING    %s (required, not in candidate)\n" name)
         (List.rev !missing);
-      Printf.printf "bench_gate: %d metric(s) checked, %d regression(s), %d missing\n"
+      Printf.printf
+        "bench_gate: %d metric(s) checked, %d regression(s), %d bound \
+         violation(s), %d missing\n"
         !checked
         (List.length !regressions)
+        (List.length !bounds)
         (List.length !missing);
-      if !regressions <> [] || !missing <> [] then exit 1
+      if !regressions <> [] || !bounds <> [] || !missing <> [] then exit 1
   | _ ->
       prerr_endline
         "usage: bench_gate BASELINE.json CANDIDATE.json [--portable] \
-         [--threshold PCT] [--slack N]";
+         [--threshold PCT] [--slack N] [--min NAME=V]... [--max NAME=V]...";
       exit 2
